@@ -1,0 +1,204 @@
+(* odinc — command-line driver for the Odin reproduction toolchain.
+
+     odinc compile file.c [--optimize] [--emit ir|asm]
+     odinc run file.c [--entry main] [--args 1,2,...] [--optimize]
+     odinc partition file.c [--mode one|odin|max]
+     odinc fuzz file.c [--execs N] [--no-prune]
+     odinc workload NAME          (print a generated benchmark program)
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let compile_source path = Minic.Lower.compile ~name:(Filename.basename path) (read_file path)
+
+(* ---------------- compile ---------------- *)
+
+let emit_conv = Arg.enum [ ("ir", `Ir); ("asm", `Asm) ]
+
+let compile_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let optimize =
+    Arg.(value & flag & info [ "optimize"; "O" ] ~doc:"Run the O2 pipeline first.")
+  in
+  let emit =
+    Arg.(value & opt emit_conv `Ir & info [ "emit" ] ~doc:"Output: ir or asm.")
+  in
+  let run file optimize emit =
+    let m = compile_source file in
+    if optimize then ignore (Opt.Pipeline.run m);
+    Ir.Verify.run_exn m;
+    match emit with
+    | `Ir -> print_string (Ir.Print.module_to_string m)
+    | `Asm ->
+      List.iter
+        (fun f ->
+          if not (Ir.Func.is_declaration f) then
+            print_string (Codegen.Emit.func_to_string (Codegen.Emit.compile_func f)))
+        (Ir.Modul.functions m)
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a mini-C file and print IR or machine code.")
+    Term.(const run $ file $ optimize $ emit)
+
+(* ---------------- run ---------------- *)
+
+let run_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let entry =
+    Arg.(value & opt string "main" & info [ "entry" ] ~doc:"Entry function.")
+  in
+  let args =
+    Arg.(value & opt string "" & info [ "args" ] ~doc:"Comma-separated integers.")
+  in
+  let optimize = Arg.(value & flag & info [ "optimize"; "O" ] ~doc:"O2 first.") in
+  let run file entry args optimize =
+    let m = compile_source file in
+    if optimize then ignore (Opt.Pipeline.run ~keep:[ entry ] m);
+    Ir.Verify.run_exn m;
+    let obj = Link.Objfile.of_module m in
+    let exe = Link.Linker.link ~host:[ "printf"; "puts" ] [ obj ] in
+    let vm = Vm.create exe in
+    List.iter (fun n -> Vm.register_host vm n (fun _ -> 0L)) [ "printf"; "puts" ];
+    let int_args =
+      if args = "" then []
+      else List.map Int64.of_string (String.split_on_char ',' args)
+    in
+    let r = Vm.call vm entry int_args in
+    Printf.printf "%s(%s) = %Ld   [%d cycles, %d instructions]\n" entry args r
+      vm.Vm.cycles vm.Vm.steps
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile, link and execute a mini-C file on the VM.")
+    Term.(const run $ file $ entry $ args $ optimize)
+
+(* ---------------- partition ---------------- *)
+
+let mode_conv =
+  Arg.enum
+    [ ("one", Odin.Partition.One); ("odin", Odin.Partition.Auto);
+      ("max", Odin.Partition.Max) ]
+
+let partition_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let mode =
+    Arg.(value & opt mode_conv Odin.Partition.Auto & info [ "mode" ] ~doc:"one|odin|max")
+  in
+  let keep =
+    Arg.(value & opt string "main" & info [ "keep" ] ~doc:"Exported entry point.")
+  in
+  let run file mode keep =
+    let m = compile_source file in
+    let cls = Odin.Classify.classify ~keep:[ keep ] m in
+    let plan = Odin.Partition.plan ~mode ~keep:[ keep ] m cls in
+    Printf.printf "partition mode: %s\n" (Odin.Partition.mode_to_string mode);
+    Printf.printf "symbol classification:\n";
+    List.iter
+      (fun gv ->
+        if Ir.Modul.is_definition gv then begin
+          let name = Ir.Modul.gvalue_name gv in
+          let cat =
+            match Odin.Classify.category_of cls name with
+            | Odin.Classify.Bond -> "bond"
+            | Odin.Classify.Copy_on_use -> "copy-on-use"
+            | Odin.Classify.Fixed -> "fixed"
+          in
+          Printf.printf "  %-24s %s\n" name cat
+        end)
+      (Ir.Modul.globals m);
+    Printf.printf "\n%d fragments:\n" (Odin.Partition.fragment_count plan);
+    Array.iter
+      (fun (f : Odin.Partition.fragment) ->
+        Printf.printf "  #%d  exports/defines: %s\n" f.Odin.Partition.fid
+          (String.concat ", " (Odin.Partition.SSet.elements f.Odin.Partition.members));
+        if not (Odin.Partition.SSet.is_empty f.Odin.Partition.clones) then
+          Printf.printf "      local clones: %s\n"
+            (String.concat ", " (Odin.Partition.SSet.elements f.Odin.Partition.clones)))
+      plan.Odin.Partition.fragments
+  in
+  Cmd.v
+    (Cmd.info "partition" ~doc:"Show Odin's symbol classification and fragments.")
+    Term.(const run $ file $ mode $ keep)
+
+(* ---------------- fuzz ---------------- *)
+
+let fuzz_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let entry =
+    Arg.(value & opt string "target_main" & info [ "entry" ]
+           ~doc:"Entry: int f(char *buf, int len).")
+  in
+  let execs = Arg.(value & opt int 500 & info [ "execs" ] ~doc:"Executions.") in
+  let no_prune =
+    Arg.(value & flag & info [ "no-prune" ] ~doc:"Disable probe pruning.")
+  in
+  let run file entry execs no_prune =
+    let m = compile_source file in
+    let session =
+      Odin.Session.create ~keep:[ entry ]
+        ~runtime_globals:[ Odin.Cov.runtime_global m ]
+        ~host:[ "printf"; "puts" ] m
+    in
+    let cov = Odin.Cov.setup session in
+    ignore (Odin.Session.build session);
+    let recompiles = ref 0 in
+    let target =
+      {
+        Fuzzer.Fuzz.run =
+          (fun input ->
+            let vm = Vm.create (Odin.Session.executable session) in
+            List.iter (fun n -> Vm.register_host vm n (fun _ -> 0L)) [ "printf"; "puts" ];
+            let addr = Vm.write_buffer vm input in
+            ignore (Vm.call vm entry [ addr; Int64.of_int (String.length input) ]);
+            let fresh = Odin.Cov.harvest cov vm in
+            if not no_prune then
+              if Odin.Cov.prune_fired cov > 0 then
+                (match Odin.Session.refresh session with
+                | Some _ -> incr recompiles
+                | None -> ());
+            { Fuzzer.Fuzz.ex_cycles = vm.Vm.cycles; ex_new_blocks = List.length fresh });
+      }
+    in
+    let rng = Support.Rng.create 42 in
+    let seeds = [ String.init 48 (fun i -> Char.chr ((i * 37) land 255)) ] in
+    let corpus, stats = Fuzzer.Fuzz.collect_corpus ~rng ~seeds ~execs target in
+    Printf.printf "executions : %d\n" stats.Fuzzer.Fuzz.executions;
+    Printf.printf "corpus     : %d inputs\n" (Fuzzer.Corpus.size corpus);
+    Printf.printf "coverage   : %d / %d blocks\n" (Odin.Cov.covered cov)
+      cov.Odin.Cov.total_probes;
+    Printf.printf "recompiles : %d\n" !recompiles
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Fuzz a mini-C target with OdinCov (live pruning).")
+    Term.(const run $ file $ entry $ execs $ no_prune)
+
+(* ---------------- workload ---------------- *)
+
+let workload_cmd =
+  let wname = Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME") in
+  let run name =
+    match Workloads.Profile.find name with
+    | Some p -> print_string (Workloads.Generate.source p)
+    | None ->
+      Printf.eprintf "unknown workload %S; available: %s\n" name
+        (String.concat ", "
+           (List.map (fun (p : Workloads.Profile.t) -> p.Workloads.Profile.name)
+              Workloads.Profile.all));
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Print the generated source of a benchmark workload.")
+    Term.(const run $ wname)
+
+let () =
+  let doc = "Odin on-demand instrumentation toolchain (PLDI 2022 reproduction)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "odinc" ~doc)
+          [ compile_cmd; run_cmd; partition_cmd; fuzz_cmd; workload_cmd ]))

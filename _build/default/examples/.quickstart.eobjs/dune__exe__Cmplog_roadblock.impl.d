@@ -1,0 +1,1 @@
+examples/cmplog_roadblock.ml: Bytes Char Instr Int64 List Minic Odin Printf String Vm

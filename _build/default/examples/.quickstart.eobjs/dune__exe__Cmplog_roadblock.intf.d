@@ -1,0 +1,1 @@
+examples/cmplog_roadblock.mli:

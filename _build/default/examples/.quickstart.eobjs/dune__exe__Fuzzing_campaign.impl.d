@@ -1,0 +1,1 @@
+examples/fuzzing_campaign.ml: Fuzzer Instr Int64 Ir List Odin Printf String Support Unix Vm Workloads

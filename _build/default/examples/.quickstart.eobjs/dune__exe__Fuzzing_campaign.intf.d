@@ -1,0 +1,1 @@
+examples/fuzzing_campaign.mli:

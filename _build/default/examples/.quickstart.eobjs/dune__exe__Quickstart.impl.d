@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Int64 Ir List Minic Odin Printf String Vm

@@ -1,0 +1,1 @@
+examples/sanitizer_pruning.ml: Instr Int64 List Minic Odin Printf Vm

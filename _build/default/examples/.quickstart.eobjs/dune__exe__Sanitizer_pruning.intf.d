@@ -1,0 +1,1 @@
+examples/sanitizer_pruning.mli:

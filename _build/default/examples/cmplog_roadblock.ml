@@ -1,0 +1,97 @@
+(* CmpLog + input-to-state correspondence (the paper's Section 2.1 AFL++
+   story, with Odin doing it right): the target checks a 4-byte magic
+   that random mutation will essentially never guess. CmpLog probes log
+   the comparison operands; because Odin instruments *before*
+   optimization, the logged value is a direct copy of the input, so the
+   fuzzer can patch the input bytes with the expected value and pass the
+   roadblock — then the solved comparison's probe is pruned.
+
+     dune exec examples/cmplog_roadblock.exe
+*)
+
+let source =
+  {|
+int target_main(char *buf, int len) {
+  if (len < 8) return 0;
+  int magic = ((buf[0] & 255) << 24) | ((buf[1] & 255) << 16)
+            | ((buf[2] & 255) << 8) | (buf[3] & 255);
+  if (magic == 0x4F44494E) {   /* "ODIN" */
+    int sum = 0;
+    for (int i = 4; i < len; i++) sum += buf[i] & 255;
+    return 1000 + sum;
+  }
+  return 1;
+}
+|}
+
+let entry = "target_main"
+
+let run session cmplog input =
+  let vm = Vm.create (Odin.Session.executable session) in
+  Vm.register_host vm Odin.Cmplog.runtime_fn (Odin.Cmplog.host_hook cmplog);
+  let addr = Vm.write_buffer vm input in
+  Vm.call vm entry [ addr; Int64.of_int (String.length input) ]
+
+let () =
+  print_endline "== CmpLog: solving a magic-byte roadblock ==\n";
+  let m = Minic.Lower.compile ~name:"roadblock" source in
+  let session = Odin.Session.create ~keep:[ entry ] m in
+  let cmplog = Odin.Cmplog.setup session in
+  ignore (Odin.Session.build session);
+  Printf.printf "comparison probes: %d\n\n"
+    (Instr.Manager.count session.Odin.Session.manager);
+
+  (* random input: the roadblock comparison fails *)
+  let input = "xxxxABCD" in
+  let r1 = run session cmplog input in
+  Printf.printf "random input      -> result %Ld (roadblock not passed)\n" r1;
+
+  (* input-to-state: find the comparison whose lhs matches bytes of our
+     input's prefix interpretation, take the rhs the program wanted *)
+  let records = Odin.Cmplog.drain cmplog in
+  let solved =
+    List.find_opt
+      (fun (r : Odin.Cmplog.record) ->
+        (* the operand pair where one side is a large constant and the
+           other derives from our input *)
+        Int64.abs r.Odin.Cmplog.rec_rhs > 65536L
+        || Int64.abs r.Odin.Cmplog.rec_lhs > 65536L)
+      records
+  in
+  (match solved with
+  | None -> print_endline "no roadblock comparison observed?!"
+  | Some r ->
+    let want =
+      if Int64.abs r.Odin.Cmplog.rec_rhs > 65536L then r.Odin.Cmplog.rec_rhs
+      else r.Odin.Cmplog.rec_lhs
+    in
+    Printf.printf "CmpLog observed   -> %Ld vs %Ld; expected constant 0x%LX\n"
+      r.Odin.Cmplog.rec_lhs r.Odin.Cmplog.rec_rhs want;
+    (* patch the input bytes with the expected value (big-endian, as the
+       target assembles it) *)
+    let w = Int64.to_int want in
+    let patched = Bytes.of_string input in
+    Bytes.set patched 0 (Char.chr ((w lsr 24) land 255));
+    Bytes.set patched 1 (Char.chr ((w lsr 16) land 255));
+    Bytes.set patched 2 (Char.chr ((w lsr 8) land 255));
+    Bytes.set patched 3 (Char.chr (w land 255));
+    let patched = Bytes.to_string patched in
+    let r2 = run session cmplog patched in
+    Printf.printf "patched input     -> result %Ld (roadblock passed: %b)\n" r2
+      (r2 > 1000L);
+    (* both outcomes seen: the comparison is solved; prune and recompile *)
+    ignore (Odin.Cmplog.drain cmplog);
+    let pruned = Odin.Cmplog.prune_solved cmplog in
+    (match Odin.Session.refresh session with
+    | Some ev ->
+      Printf.printf
+        "\nsolved: pruned %d probes, recompiled %d fragment(s) in %.2f ms\n" pruned
+        (List.length ev.Odin.Session.ev_fragments)
+        (1000. *. ev.Odin.Session.ev_compile_time)
+    | None -> ());
+    (* the pruned probe logs nothing anymore *)
+    let r3 = run session cmplog patched in
+    let after = Odin.Cmplog.drain cmplog in
+    Printf.printf "after pruning     -> result %Ld, %d cmp records (solved cmp is silent)\n"
+      r3
+      (List.length after))

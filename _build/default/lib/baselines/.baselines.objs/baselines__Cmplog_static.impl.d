@@ -1,0 +1,1 @@
+lib/baselines/cmplog_static.ml: Array Int64 Ir Link List Odin Opt Printf Queue Vm

@@ -1,0 +1,1 @@
+lib/baselines/cmplog_static.mli: Ir Link Odin Queue Vm

@@ -1,0 +1,1 @@
+lib/baselines/dbi.ml: Array Codegen Hashtbl Link Option Vm

@@ -1,0 +1,1 @@
+lib/baselines/dbi.mli: Codegen Hashtbl Vm

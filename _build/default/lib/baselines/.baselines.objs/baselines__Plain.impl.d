@@ -1,0 +1,1 @@
+lib/baselines/plain.ml: Int64 Ir Link List Opt String Vm

@@ -1,0 +1,1 @@
+lib/baselines/plain.mli: Ir Link Vm

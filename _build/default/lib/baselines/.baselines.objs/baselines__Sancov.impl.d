@@ -1,0 +1,1 @@
+lib/baselines/sancov.ml: Array Int64 Ir Link List Opt Vm

@@ -1,0 +1,1 @@
+lib/baselines/sancov.mli: Ir Link Vm

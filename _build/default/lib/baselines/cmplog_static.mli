@@ -1,0 +1,27 @@
+(** AFL++-style CmpLog binary: comparison-operand logging instrumented
+    *after* optimization (the industry pipeline of paper Figure 1). The
+    operands it logs are whatever the optimizer left behind — after the
+    Figure 2 range fold that is [x - L], which breaks input-to-state
+    correspondence; `bench/main.exe fig2` quantifies the contrast with
+    Odin's instrument-first CmpLog. *)
+
+val runtime_fn : string
+
+type record = { sr_pid : int; sr_lhs : int64; sr_rhs : int64 }
+
+type t = {
+  exe : Link.Linker.exe;
+  n_probes : int;
+  log : record Queue.t;
+}
+
+(** Optimize a clone of the module, then instrument every remaining
+    comparison with a logging call. *)
+val build : ?keep:string list -> ?host:string list -> Ir.Modul.t -> t
+
+(** The host hook to register with the VM under {!runtime_fn}. *)
+val host_hook : t -> Vm.t -> int64
+
+(** Drain records collected since the last call, converted to the common
+    CmpLog record type so the same solver consumes both strategies. *)
+val drain : t -> Odin.Cmplog.record list

@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Array Buffer Hashtbl Ir Isel List Mach Printf Regalloc

@@ -1,0 +1,1 @@
+lib/codegen/isel.ml: Array Cfg Func Hashtbl Ins Int64 Ir List Mach Option Printf String Types

@@ -1,0 +1,1 @@
+lib/codegen/mach.ml: Array Ir List Printf

@@ -1,0 +1,1 @@
+lib/codegen/regalloc.ml: Array Hashtbl Int Ir Isel List Mach Map Option Set

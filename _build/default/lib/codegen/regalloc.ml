@@ -1,0 +1,367 @@
+(** Linear-scan register allocation over the linearized vcode.
+
+    Liveness is computed per block (iterative dataflow), then each vreg
+    gets one conservative interval over the linear layout. Intervals that
+    cross a clobber point (a call, or the argument-marshalling moves that
+    precede it) are restricted to callee-saved registers; everything else
+    draws from the caller-saved pool first. Intervals that fit nowhere are
+    spilled to frame slots; spill code uses the two reserved scratch
+    registers, so allocation never iterates. *)
+
+open Mach
+
+module ISet = Set.Make (Int)
+module IMap = Map.Make (Int)
+
+(* Registers read / written by an instruction (virtual or physical). *)
+let reads = function
+  | Mmov (_, Oreg s) -> [ s ]
+  | Mmov (_, _) -> []
+  | Mbin (_, _, _, s1, o) | Mcmp (_, _, _, s1, o) -> (
+    s1 :: (match o with Oreg s2 -> [ s2 ] | _ -> []))
+  | Mcmov (d, c, s) -> [ d; c; s ]
+  | Mld (_, _, Abase (b, _)) -> [ b ]
+  | Mld (_, _, (Aslot _ | Asym _)) -> []
+  | Mst (_, s, Abase (b, _)) -> [ s; b ]
+  | Mst (_, s, (Aslot _ | Asym _)) -> [ s ]
+  | Mincmem (_, Abase (b, _)) -> [ b ]
+  | Mincmem (_, (Aslot _ | Asym _)) -> []
+  | Mlea (_, Abase (b, _)) -> [ b ]
+  | Mlea (_, (Aslot _ | Asym _)) -> []
+  | Mjnz (r, _) -> [ r ]
+  | Mjtab (r, _, _) -> [ r ]
+  | Mcallr r -> [ r ]
+  | Mcall _ -> []
+  | Mret -> [ reg_ret ]
+  | Mpush r -> [ r ]
+  | Mjmp _ | Mpop _ | Mspadj _ -> []
+
+let writes = function
+  | Mmov (d, _) | Mbin (_, _, d, _, _) | Mcmp (_, _, d, _, _) | Mld (_, d, _)
+  | Mlea (d, _) | Mpop d ->
+    [ d ]
+  | Mcmov (d, _, _) -> [ d ]
+  | Mcall _ | Mcallr _ -> [ reg_ret ]
+  | Mst _ | Mincmem _ | Mjmp _ | Mjnz _ | Mjtab _ | Mret | Mpush _ | Mspadj _ -> []
+
+let map_regs f inst =
+  let g r = if is_virtual r then f r else r in
+  let go = function
+    | Oreg r -> Oreg (g r)
+    | o -> o
+  in
+  let ga = function Abase (b, o) -> Abase (g b, o) | a -> a in
+  match inst with
+  | Mmov (d, o) -> Mmov (g d, go o)
+  | Mbin (op, ty, d, s, o) -> Mbin (op, ty, g d, g s, go o)
+  | Mcmp (p, ty, d, s, o) -> Mcmp (p, ty, g d, g s, go o)
+  | Mcmov (d, c, s) -> Mcmov (g d, g c, g s)
+  | Mld (ty, d, a) -> Mld (ty, g d, ga a)
+  | Mst (ty, s, a) -> Mst (ty, g s, ga a)
+  | Mincmem (ty, a) -> Mincmem (ty, ga a)
+  | Mlea (d, a) -> Mlea (g d, ga a)
+  | Mjnz (r, t) -> Mjnz (g r, t)
+  | Mjtab (r, tbl, d) -> Mjtab (g r, tbl, d)
+  | Mcallr r -> Mcallr (g r)
+  | (Mjmp _ | Mcall _ | Mret | Mpush _ | Mpop _ | Mspadj _) as i -> i
+
+(* ------------------------------------------------------------------ *)
+(* Liveness                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let block_successors (vb : Isel.vblock) =
+  List.concat_map
+    (function
+      | Mjmp t -> [ t ]
+      | Mjnz (_, t) -> [ t ]
+      | Mjtab (_, tbl, d) -> d :: (Array.to_list tbl |> List.map snd)
+      | _ -> [])
+    vb.Isel.vb_insts
+  |> List.sort_uniq compare
+
+(* live-in/out of virtual registers per block *)
+let liveness (vc : Isel.vcode) =
+  let n = Array.length vc.Isel.vc_blocks in
+  let use = Array.make n ISet.empty in
+  let def = Array.make n ISet.empty in
+  Array.iteri
+    (fun i vb ->
+      List.iter
+        (fun inst ->
+          List.iter
+            (fun r ->
+              if is_virtual r && not (ISet.mem r def.(i)) then
+                use.(i) <- ISet.add r use.(i))
+            (reads inst);
+          List.iter
+            (fun r -> if is_virtual r then def.(i) <- ISet.add r def.(i))
+            (writes inst))
+        vb.Isel.vb_insts)
+    vc.Isel.vc_blocks;
+  let succs = Array.map block_successors vc.Isel.vc_blocks in
+  let live_in = Array.make n ISet.empty in
+  let live_out = Array.make n ISet.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc s -> ISet.union acc live_in.(s))
+          ISet.empty succs.(i)
+      in
+      let inn = ISet.union use.(i) (ISet.diff out def.(i)) in
+      if not (ISet.equal out live_out.(i)) || not (ISet.equal inn live_in.(i))
+      then begin
+        live_out.(i) <- out;
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  (live_in, live_out)
+
+(* ------------------------------------------------------------------ *)
+(* Intervals                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type interval = { vreg : int; start : int; stop : int }
+
+(* Intervals for virtual registers, plus *busy ranges* for physical
+   registers: precolored lifetimes around entry-parameter reads, argument
+   marshalling, call clobbers of the caller-saved set, and return-value
+   hand-offs. A vreg may only be assigned a physical register whose busy
+   ranges do not overlap the vreg's interval. *)
+let intervals (vc : Isel.vcode) =
+  let live_in, live_out = liveness vc in
+  let starts = Hashtbl.create 64 and stops = Hashtbl.create 64 in
+  let touch r pos =
+    if is_virtual r then begin
+      (match Hashtbl.find_opt starts r with
+      | Some s when s <= pos -> ()
+      | _ -> Hashtbl.replace starts r pos);
+      match Hashtbl.find_opt stops r with
+      | Some e when e >= pos -> ()
+      | _ -> Hashtbl.replace stops r pos
+    end
+  in
+  let pos = ref 0 in
+  let block_start = Array.make (Array.length vc.Isel.vc_blocks) 0 in
+  let block_end = Array.make (Array.length vc.Isel.vc_blocks) 0 in
+  let busy : (int, (int * int) list) Hashtbl.t = Hashtbl.create 16 in
+  let add_busy r s e =
+    let old = Option.value ~default:[] (Hashtbl.find_opt busy r) in
+    Hashtbl.replace busy r ((s, e) :: old)
+  in
+  (* a "barrier" (re)defines the physical argument/return registers:
+     function entry, and every call *)
+  let last_barrier = ref 0 in
+  Array.iteri
+    (fun i vb ->
+      block_start.(i) <- !pos;
+      List.iter
+        (fun inst ->
+          List.iter (fun r -> touch r !pos) (reads inst);
+          List.iter (fun r -> touch r !pos) (writes inst);
+          (match inst with
+          | Mcall _ | Mcallr _ ->
+            (* calls clobber every caller-saved register *)
+            List.iter (fun r -> add_busy r !pos !pos) (reg_ret :: caller_saved_pool);
+            last_barrier := !pos
+          | Mmov (d, _) when not (is_virtual d) && d <> reg_sp ->
+            (* marshalling into a phys reg: busy until the consuming
+               call/ret executes; conservatively to the next barrier *)
+            add_busy d !pos (!pos + 8)
+          | Mmov (_, Oreg s) when not (is_virtual s) ->
+            (* reading a phys reg (entry params, call results): the value
+               has been live since the last barrier *)
+            add_busy s !last_barrier !pos
+          | _ -> ());
+          incr pos)
+        vb.Isel.vb_insts;
+      block_end.(i) <- !pos - 1)
+    vc.Isel.vc_blocks;
+  (* extend intervals over blocks where the vreg is live-in/out *)
+  Array.iteri
+    (fun i _ ->
+      ISet.iter (fun r -> touch r block_start.(i)) live_in.(i);
+      ISet.iter (fun r -> touch r block_end.(i)) live_out.(i))
+    vc.Isel.vc_blocks;
+  let ivals =
+    Hashtbl.fold
+      (fun r s acc ->
+        let e = Option.value ~default:s (Hashtbl.find_opt stops r) in
+        { vreg = r; start = s; stop = e } :: acc)
+      starts []
+    |> List.sort (fun a b -> compare (a.start, a.vreg) (b.start, b.vreg))
+  in
+  (ivals, busy)
+
+(* ------------------------------------------------------------------ *)
+(* Allocation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type assignment = Phys of int | Spill of int  (** spill slot id *)
+
+let allocate (vc : Isel.vcode) =
+  let ivals, busy = intervals vc in
+  let assignment : (int, assignment) Hashtbl.t = Hashtbl.create 64 in
+  let active : (int * interval) list ref = ref [] (* (phys, interval) *) in
+  let next_spill = ref (List.length vc.Isel.vc_slots) in
+  let spill_slots = ref [] in
+  let used_callee_saved = ref ISet.empty in
+  let conflicts_busy r iv =
+    match Hashtbl.find_opt busy r with
+    | None -> false
+    | Some ranges ->
+      List.exists (fun (bs, be) -> bs <= iv.stop && iv.start <= be) ranges
+  in
+  List.iter
+    (fun iv ->
+      (* expire finished intervals *)
+      active := List.filter (fun (_, a) -> a.stop >= iv.start) !active;
+      let in_use = List.map fst !active in
+      let pool = caller_saved_pool @ callee_saved_pool in
+      let usable r = (not (List.mem r in_use)) && not (conflicts_busy r iv) in
+      match List.find_opt usable pool with
+      | Some r ->
+        Hashtbl.replace assignment iv.vreg (Phys r);
+        if List.mem r callee_saved_pool then
+          used_callee_saved := ISet.add r !used_callee_saved;
+        active := (r, iv) :: !active
+      | None ->
+        let slot = !next_spill in
+        incr next_spill;
+        spill_slots := (slot, 8) :: !spill_slots;
+        Hashtbl.replace assignment iv.vreg (Spill slot))
+    ivals;
+  (assignment, List.rev !spill_slots, !used_callee_saved)
+
+(* ------------------------------------------------------------------ *)
+(* Rewrite: apply the assignment, inserting spill code                 *)
+(* ------------------------------------------------------------------ *)
+
+let rewrite (vc : Isel.vcode) assignment =
+  let phys_of r =
+    match Hashtbl.find_opt assignment r with
+    | Some (Phys p) -> Some p
+    | _ -> None
+  in
+  let slot_of r =
+    match Hashtbl.find_opt assignment r with
+    | Some (Spill s) -> Some s
+    | _ -> None
+  in
+  Array.iter
+    (fun vb ->
+      let out = ref [] in
+      List.iter
+        (fun inst ->
+          (* map register operands: allocated ones directly; spilled reads
+             reload into scratch, spilled writes store from scratch *)
+          let scratch_pool = ref [ scratch0; scratch1; scratch2 ] in
+          let reload_map = Hashtbl.create 4 in
+          let pre = ref [] in
+          let post = ref [] in
+          let read_reg r =
+            if not (is_virtual r) then r
+            else
+              match phys_of r with
+              | Some p -> p
+              | None -> (
+                match Hashtbl.find_opt reload_map r with
+                | Some s -> s
+                | None -> (
+                  match (slot_of r, !scratch_pool) with
+                  | Some slot, s :: rest ->
+                    scratch_pool := rest;
+                    Hashtbl.replace reload_map r s;
+                    pre := Mld (Ir.Types.I64, s, Aslot slot) :: !pre;
+                    s
+                  | Some _, [] -> failwith "regalloc: out of scratch registers"
+                  | None, _ ->
+                    (* never defined: reading garbage is the program's
+                       business; give it scratch0 *)
+                    scratch0))
+          in
+          let write_reg r =
+            if not (is_virtual r) then r
+            else
+              match phys_of r with
+              | Some p -> p
+              | None -> (
+                match slot_of r with
+                | Some slot ->
+                  (* reuse the reload scratch when this instruction also
+                     read r (e.g. cmov); otherwise take a free scratch *)
+                  let s =
+                    match Hashtbl.find_opt reload_map r with
+                    | Some s -> s
+                    | None -> (
+                      match !scratch_pool with
+                      | s :: rest ->
+                        scratch_pool := rest;
+                        s
+                      | [] -> scratch0)
+                  in
+                  post := Mst (Ir.Types.I64, s, Aslot slot) :: !post;
+                  s
+                | None -> scratch0)
+          in
+          let mapped =
+            match inst with
+            | Mmov (d, Oreg s) ->
+              let s' = read_reg s in
+              Mmov (write_reg d, Oreg s')
+            | Mmov (d, o) -> Mmov (write_reg d, o)
+            | Mbin (op, ty, d, s, o) ->
+              let s' = read_reg s in
+              let o' = match o with Oreg r -> Oreg (read_reg r) | o -> o in
+              Mbin (op, ty, write_reg d, s', o')
+            | Mcmp (p, ty, d, s, o) ->
+              let s' = read_reg s in
+              let o' = match o with Oreg r -> Oreg (read_reg r) | o -> o in
+              Mcmp (p, ty, write_reg d, s', o')
+            | Mcmov (d, c, s) ->
+              (* cmov reads and writes d *)
+              let c' = read_reg c in
+              let s' = read_reg s in
+              let d_read = read_reg d in
+              let d' = write_reg d in
+              if d' <> d_read then begin
+                (* spilled dst: bring current value into scratch first *)
+                pre := Mmov (d', Oreg d_read) :: !pre
+              end;
+              Mcmov (d', c', s')
+            | Mld (ty, d, a) ->
+              let a' =
+                match a with Abase (b, o) -> Abase (read_reg b, o) | a -> a
+              in
+              Mld (ty, write_reg d, a')
+            | Mst (ty, s, a) ->
+              let s' = read_reg s in
+              let a' =
+                match a with Abase (b, o) -> Abase (read_reg b, o) | a -> a
+              in
+              Mst (ty, s', a')
+            | Mincmem (ty, a) ->
+              let a' =
+                match a with Abase (b, o) -> Abase (read_reg b, o) | a -> a
+              in
+              Mincmem (ty, a')
+            | Mlea (d, a) ->
+              let a' =
+                match a with Abase (b, o) -> Abase (read_reg b, o) | a -> a
+              in
+              Mlea (write_reg d, a')
+            | Mjnz (r, t) -> Mjnz (read_reg r, t)
+            | Mjtab (r, tbl, d) -> Mjtab (read_reg r, tbl, d)
+            | Mcallr r -> Mcallr (read_reg r)
+            | (Mjmp _ | Mcall _ | Mret | Mpush _ | Mpop _ | Mspadj _) as i -> i
+          in
+          out := List.rev_append (List.rev !pre) !out;
+          out := mapped :: !out;
+          out := List.rev_append (List.rev !post) !out)
+        vb.Isel.vb_insts;
+      vb.Isel.vb_insts <- List.rev !out)
+    vc.Isel.vc_blocks

@@ -1,0 +1,1 @@
+lib/fuzzer/campaign.ml: Array Baselines Corpus Fuzz Int64 Ir List Minic Odin String Support Vm Workloads

@@ -1,0 +1,1 @@
+lib/fuzzer/campaign.mli: Baselines Fuzz Ir Link Odin Vm Workloads

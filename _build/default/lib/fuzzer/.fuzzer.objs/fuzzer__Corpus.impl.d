@@ -1,0 +1,1 @@
+lib/fuzzer/corpus.ml: List String Support

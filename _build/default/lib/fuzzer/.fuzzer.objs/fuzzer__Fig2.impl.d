@@ -1,0 +1,1 @@
+lib/fuzzer/fig2.ml: Baselines Buffer Int64 List Minic Odin Printf Solver String Support Vm

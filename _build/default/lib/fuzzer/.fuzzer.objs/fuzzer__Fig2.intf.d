@@ -1,0 +1,1 @@
+lib/fuzzer/fig2.mli:

@@ -1,0 +1,1 @@
+lib/fuzzer/fuzz.ml: Corpus List Mutate

@@ -1,0 +1,1 @@
+lib/fuzzer/fuzz.mli: Corpus Support

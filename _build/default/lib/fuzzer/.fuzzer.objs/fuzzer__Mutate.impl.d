@@ -1,0 +1,1 @@
+lib/fuzzer/mutate.ml: Bytes Char String Support

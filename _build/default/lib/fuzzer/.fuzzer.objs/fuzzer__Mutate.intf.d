@@ -1,0 +1,1 @@
+lib/fuzzer/mutate.mli: Support

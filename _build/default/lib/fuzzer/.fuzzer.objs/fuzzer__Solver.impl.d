@@ -1,0 +1,1 @@
+lib/fuzzer/solver.ml: Bytes Char Hashtbl Int64 List Odin String

@@ -1,0 +1,1 @@
+lib/fuzzer/solver.mli: Odin

@@ -1,0 +1,164 @@
+(** Campaign drivers: the evaluation methodology of paper Section 5.
+
+    For each workload we (1) run a deterministic fuzzing campaign against
+    a coverage build to collect a seed corpus, then (2) replay that same
+    corpus under every instrumentation tool and measure execution
+    duration (VM cycles). Replaying avoids fuzzing randomness — exactly
+    the paper's setup, with the 24-hour campaign compressed into a
+    deterministic loop. *)
+
+let entry = "target_main"
+
+(* the only host function workloads use; a fixed modest cost *)
+let default_hosts =
+  [ ("printf", fun (_ : Vm.t) -> 0L); ("puts", fun (_ : Vm.t) -> 0L) ]
+
+let fresh_vm ?(hosts = default_hosts) exe =
+  let vm = Vm.create exe in
+  List.iter (fun (n, f) -> Vm.register_host vm n f) hosts;
+  vm
+
+let run_once ?hosts ?(setup = fun (_ : Vm.t) -> ()) exe input =
+  let vm = fresh_vm ?hosts exe in
+  setup vm;
+  let addr = Vm.write_buffer vm input in
+  ignore (Vm.call vm entry [ addr; Int64.of_int (String.length input) ]);
+  vm
+
+(* ------------------------------------------------------------------ *)
+(* Corpus collection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Build a fuzzing target from a SanitizerCoverage build of [m]. *)
+let sancov_target (m : Ir.Modul.t) =
+  let sc = Baselines.Sancov.build ~keep:[ entry ] ~host:Workloads.Generate.host_functions m in
+  let seen = Array.make (max 1 sc.Baselines.Sancov.n_counters) false in
+  let run input =
+    let vm = run_once sc.Baselines.Sancov.exe input in
+    let covered = Baselines.Sancov.covered_counters vm sc in
+    let fresh = List.filter (fun i -> not seen.(i)) covered in
+    List.iter (fun i -> seen.(i) <- true) fresh;
+    { Fuzz.ex_cycles = vm.Vm.cycles; ex_new_blocks = List.length fresh }
+  in
+  { Fuzz.run }
+
+type prepared = {
+  profile : Workloads.Profile.t;
+  source : string;
+  modul : Ir.Modul.t;  (** pristine frontend output (never optimized) *)
+  corpus : string list;  (** replay inputs, in discovery order *)
+  fuzz_stats : Fuzz.stats;
+}
+
+(** Compile a workload and fuzz it to collect the replay corpus.
+    [rounds] repeats the corpus during replay (steady-state throughput,
+    like replaying the seeds of a long campaign several times). *)
+let prepare ?(fuzz_execs = 400) ?(rounds = 1) (profile : Workloads.Profile.t) =
+  let source = Workloads.Generate.source profile in
+  let modul = Minic.Lower.compile ~name:profile.Workloads.Profile.name source in
+  let target = sancov_target modul in
+  let rng = Support.Rng.create (profile.Workloads.Profile.seed * 31 + 7) in
+  let seeds = Workloads.Generate.seed_inputs profile in
+  let corpus, fuzz_stats = Fuzz.collect_corpus ~rng ~seeds ~execs:fuzz_execs target in
+  let base_inputs = Corpus.inputs corpus in
+  let replay_inputs =
+    List.concat (List.init (max 1 rounds) (fun _ -> base_inputs))
+  in
+  { profile; source; modul; corpus = replay_inputs; fuzz_stats }
+
+(* ------------------------------------------------------------------ *)
+(* Replay under each tool                                              *)
+(* ------------------------------------------------------------------ *)
+
+type replay = {
+  r_tool : string;
+  r_total_cycles : int;
+  r_per_input : int list;
+}
+
+let sum = List.fold_left ( + ) 0
+
+(** Baseline: the uninstrumented O2 binary. *)
+let replay_plain (p : prepared) =
+  let exe = Baselines.Plain.build ~keep:[ entry ] ~host:Workloads.Generate.host_functions p.modul in
+  let per_input =
+    List.map (fun input -> (run_once exe input).Vm.cycles) p.corpus
+  in
+  { r_tool = "baseline"; r_total_cycles = sum per_input; r_per_input = per_input }
+
+(** SanitizerCoverage: static instrumentation after optimization. *)
+let replay_sancov (p : prepared) =
+  let sc = Baselines.Sancov.build ~keep:[ entry ] ~host:Workloads.Generate.host_functions p.modul in
+  let per_input =
+    List.map
+      (fun input -> (run_once sc.Baselines.Sancov.exe input).Vm.cycles)
+      p.corpus
+  in
+  { r_tool = "SanCov"; r_total_cycles = sum per_input; r_per_input = per_input }
+
+(** DrCov / libInst: DBI over the plain binary. *)
+let replay_dbi kind (p : prepared) =
+  let exe = Baselines.Plain.build ~keep:[ entry ] ~host:Workloads.Generate.host_functions p.modul in
+  let dbi = Baselines.Dbi.create kind in
+  let per_input =
+    List.map
+      (fun input ->
+        (run_once ~setup:(Baselines.Dbi.attach dbi) exe input).Vm.cycles)
+      p.corpus
+  in
+  let name =
+    match kind with Baselines.Dbi.Drcov -> "DrCov" | Baselines.Dbi.Libinst -> "libInst"
+  in
+  { r_tool = name; r_total_cycles = sum per_input; r_per_input = per_input }
+
+type odin_replay = {
+  o_replay : replay;
+  o_session : Odin.Session.t;
+  o_recompiles : int;
+  o_probes_pruned : int;
+}
+
+(** OdinCov: instrument-first coverage with (optionally) on-the-fly probe
+    pruning and recompilation between executions. The reported cycles are
+    execution-only; recompilation overhead is recorded separately in the
+    session's events (Figures 11/12 and the 82 ms claim). *)
+let replay_odincov ?(prune = true) ?(mode = Odin.Partition.Auto) (p : prepared) =
+  let base = Ir.Clone.clone_module p.modul in
+  let session =
+    Odin.Session.create ~mode ~keep:[ entry ]
+      ~runtime_globals:[ Odin.Cov.runtime_global base ]
+      ~host:Workloads.Generate.host_functions base
+  in
+  let cov = Odin.Cov.setup session in
+  ignore (Odin.Session.build session);
+  let recompiles = ref 0 in
+  let pruned = ref 0 in
+  let per_input =
+    List.map
+      (fun input ->
+        let exe = Odin.Session.executable session in
+        let vm = run_once exe input in
+        ignore (Odin.Cov.harvest cov vm);
+        if prune then begin
+          let n = Odin.Cov.prune_fired cov in
+          if n > 0 then begin
+            pruned := !pruned + n;
+            match Odin.Session.refresh session with
+            | Some _ -> incr recompiles
+            | None -> ()
+          end
+        end;
+        vm.Vm.cycles)
+      p.corpus
+  in
+  {
+    o_replay =
+      {
+        r_tool = (if prune then "OdinCov" else "OdinCov-NoPrune");
+        r_total_cycles = sum per_input;
+        r_per_input = per_input;
+      };
+    o_session = session;
+    o_recompiles = !recompiles;
+    o_probes_pruned = !pruned;
+  }

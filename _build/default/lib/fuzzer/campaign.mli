@@ -1,0 +1,54 @@
+(** Campaign drivers implementing the paper's evaluation methodology
+    (Section 5): fuzz a coverage build once to collect a corpus, then
+    replay that corpus under every instrumentation tool and measure
+    execution duration in VM cycles. *)
+
+val entry : string
+
+val default_hosts : (string * (Vm.t -> int64)) list
+
+val fresh_vm : ?hosts:(string * (Vm.t -> int64)) list -> Link.Linker.exe -> Vm.t
+
+(** Run one input through [entry] in a fresh VM; returns the VM (cycles,
+    memory, coverage state readable). [setup] runs before execution
+    (e.g. to attach a DBI engine). *)
+val run_once :
+  ?hosts:(string * (Vm.t -> int64)) list ->
+  ?setup:(Vm.t -> unit) ->
+  Link.Linker.exe ->
+  string ->
+  Vm.t
+
+(** A fuzzing target backed by a SanitizerCoverage build of the module. *)
+val sancov_target : Ir.Modul.t -> Fuzz.target
+
+type prepared = {
+  profile : Workloads.Profile.t;
+  source : string;
+  modul : Ir.Modul.t;  (** pristine frontend output (never optimized) *)
+  corpus : string list;  (** replay inputs, in discovery order *)
+  fuzz_stats : Fuzz.stats;
+}
+
+(** Compile a workload and fuzz it to collect the replay corpus;
+    [rounds] repeats the corpus during replay (steady-state throughput). *)
+val prepare : ?fuzz_execs:int -> ?rounds:int -> Workloads.Profile.t -> prepared
+
+type replay = { r_tool : string; r_total_cycles : int; r_per_input : int list }
+
+val replay_plain : prepared -> replay
+val replay_sancov : prepared -> replay
+val replay_dbi : Baselines.Dbi.kind -> prepared -> replay
+
+type odin_replay = {
+  o_replay : replay;
+  o_session : Odin.Session.t;
+  o_recompiles : int;
+  o_probes_pruned : int;
+}
+
+(** OdinCov replay: instrument-first coverage with (by default)
+    Untracer-style pruning and on-the-fly recompilation between
+    executions. Cycles are execution-only; recompile costs live in the
+    session's events. *)
+val replay_odincov : ?prune:bool -> ?mode:Odin.Partition.mode -> prepared -> odin_replay

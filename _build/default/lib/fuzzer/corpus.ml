@@ -1,0 +1,43 @@
+(** Seed corpus: inputs that contributed new coverage, with the classic
+    favoring of small/fast seeds for scheduling. *)
+
+type seed = {
+  data : string;
+  exec_cycles : int;  (** cost of the discovering execution *)
+  new_blocks : int;  (** coverage it contributed when found *)
+}
+
+type t = { mutable seeds : seed list (* newest first *) }
+
+let create () = { seeds = [] }
+
+let add t ~data ~exec_cycles ~new_blocks =
+  t.seeds <- { data; exec_cycles; new_blocks } :: t.seeds
+
+let size t = List.length t.seeds
+
+let seeds t = List.rev t.seeds
+
+let inputs t = List.rev_map (fun s -> s.data) t.seeds |> List.rev
+
+(** Pick a seed biased toward small, cheap, high-yield entries. *)
+let pick t rng =
+  match t.seeds with
+  | [] -> None
+  | all ->
+    let scored =
+      List.map
+        (fun s ->
+          let score =
+            (1 + s.new_blocks) * 1000 / (1 + (s.exec_cycles / 1000) + String.length s.data)
+          in
+          (max 1 score, s))
+        all
+    in
+    let total = List.fold_left (fun acc (w, _) -> acc + w) 0 scored in
+    let roll = Support.Rng.int rng total in
+    let rec walk acc = function
+      | [] -> None
+      | (w, s) :: rest -> if roll < acc + w then Some s else walk (acc + w) rest
+    in
+    walk 0 scored

@@ -1,0 +1,19 @@
+(** Seed corpus with AFL-style favoring of small/fast/high-yield seeds. *)
+
+type seed = { data : string; exec_cycles : int; new_blocks : int }
+
+type t
+
+val create : unit -> t
+val add : t -> data:string -> exec_cycles:int -> new_blocks:int -> unit
+val size : t -> int
+
+(** Seeds in discovery order. *)
+val seeds : t -> seed list
+
+(** Seed inputs in discovery order. *)
+val inputs : t -> string list
+
+(** Weighted random pick biased toward small, cheap, high-yield seeds;
+    [None] when empty. *)
+val pick : t -> Support.Rng.t -> seed option

@@ -1,0 +1,150 @@
+(** The Figure 2 correctness experiment: does CmpLog still support
+    input-to-state solving after the optimizer has had its way?
+
+    The target program guards [n_range] range-check roadblocks
+    ([buf[i] >= L && buf[i] <= U], the islower pattern) and [n_magic]
+    byte-equality roadblocks. Two CmpLog strategies attack it with the
+    same solver:
+
+    - AFL++-style ({!Baselines.Cmplog_static}): comparisons logged
+      *after* optimization. The range checks have been folded to
+      [(x - L) ult N], so the logged operand is [x - L] — not a copy of
+      any input byte, and the solver cannot patch it (Section 2.2:
+      "the value collected by CmpLog will be 0 ... the solver algorithm
+      cannot work anymore").
+    - Odin CmpLog: instrument first; operands are the original bytes.
+
+    Equality roadblocks survive optimization undistorted, so both
+    strategies solve those — isolating the distortion as the variable. *)
+
+type result = {
+  strategy : string;
+  passed_range : int;
+  passed_magic : int;
+  rounds_used : int;
+}
+
+type spec = {
+  n_range : int;
+  n_magic : int;
+  ranges : (int * int) list;  (** (lo, width) per range roadblock *)
+  magics : int list;
+}
+
+let make_spec ?(n_range = 4) ?(n_magic = 2) seed =
+  let rng = Support.Rng.create seed in
+  {
+    n_range;
+    n_magic;
+    ranges =
+      List.init n_range (fun _ ->
+          (Support.Rng.range rng 40 90, Support.Rng.range rng 4 20));
+    magics = List.init n_magic (fun _ -> Support.Rng.range rng 97 122);
+  }
+
+(** The roadblock program: each passed check sets one bit of the result. *)
+let source spec =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "int target_main(char *buf, int len) {";
+  line "  if (len < %d) return 0;" (spec.n_range + spec.n_magic);
+  line "  int score = 0;";
+  (* each byte is read once into a local (natural C; also what lets the
+     optimizer see the two comparisons share an operand and fold them) *)
+  List.iteri (fun i _ -> line "  char c%d = buf[%d];" i i) spec.ranges;
+  List.iteri
+    (fun i (lo, width) ->
+      line "  if (c%d >= %d && c%d <= %d) score = score | %d;" i lo i (lo + width)
+        (1 lsl i))
+    spec.ranges;
+  List.iteri
+    (fun j m ->
+      let idx = spec.n_range + j in
+      line "  if (buf[%d] == %d) score = score | %d;" idx m
+        (1 lsl (spec.n_range + j)))
+    spec.magics;
+  line "  return score;";
+  line "}";
+  Buffer.contents b
+
+let bits_in_mask score mask =
+  let rec go i acc =
+    if i >= 30 then acc
+    else
+      go (i + 1)
+        (acc + if score land (1 lsl i) <> 0 && mask land (1 lsl i) <> 0 then 1 else 0)
+  in
+  go 0 0
+
+(* Greedy solving loop shared by both strategies: run, collect records,
+   generate candidates, keep the best-scoring input; stop when a round
+   brings no improvement. *)
+let drive ~strategy ~(run : string -> int64) ~(drain : unit -> Odin.Cmplog.record list)
+    ~spec ~rounds input0 =
+  let range_mask = (1 lsl spec.n_range) - 1 in
+  let magic_mask = ((1 lsl spec.n_magic) - 1) lsl spec.n_range in
+  let best = ref input0 in
+  let best_score = ref (Int64.to_int (run input0)) in
+  let used = ref 0 in
+  (try
+     for _ = 1 to rounds do
+       incr used;
+       let records = drain () in
+       let candidates =
+         Solver.solve ~limit:128 ~min_magnitude:3L ~records !best
+       in
+       let improved = ref false in
+       List.iter
+         (fun c ->
+           let s = Int64.to_int (run c) in
+           ignore (drain ());
+           if s > !best_score then begin
+             best_score := s;
+             best := c;
+             improved := true
+           end)
+         candidates;
+       (* refill the record log for the next round *)
+       ignore (run !best);
+       if not !improved then raise Exit
+     done
+   with Exit -> ());
+  {
+    strategy;
+    passed_range = bits_in_mask !best_score range_mask;
+    passed_magic = bits_in_mask !best_score magic_mask;
+    rounds_used = !used;
+  }
+
+(** Odin CmpLog (instrument-first) on the roadblock program. *)
+let run_odin ?(rounds = 8) spec =
+  let m = Minic.Lower.compile ~name:"fig2" (source spec) in
+  let session = Odin.Session.create ~keep:[ "target_main" ] m in
+  let cmplog = Odin.Cmplog.setup session in
+  ignore (Odin.Session.build session);
+  let run input =
+    let vm = Vm.create (Odin.Session.executable session) in
+    Vm.register_host vm Odin.Cmplog.runtime_fn (Odin.Cmplog.host_hook cmplog);
+    let addr = Vm.write_buffer vm input in
+    Vm.call vm "target_main" [ addr; Int64.of_int (String.length input) ]
+  in
+  let drain () = Odin.Cmplog.drain cmplog in
+  let input0 = String.make (spec.n_range + spec.n_magic) '\x00' in
+  ignore (run input0);
+  drive ~strategy:"Odin CmpLog (instrument-first)" ~run ~drain ~spec ~rounds input0
+
+(** AFL++-style CmpLog (instrument after optimization). *)
+let run_static ?(rounds = 8) spec =
+  let m = Minic.Lower.compile ~name:"fig2" (source spec) in
+  let t = Baselines.Cmplog_static.build ~keep:[ "target_main" ] m in
+  let run input =
+    let vm = Vm.create t.Baselines.Cmplog_static.exe in
+    Vm.register_host vm Baselines.Cmplog_static.runtime_fn
+      (Baselines.Cmplog_static.host_hook t);
+    let addr = Vm.write_buffer vm input in
+    Vm.call vm "target_main" [ addr; Int64.of_int (String.length input) ]
+  in
+  let drain () = Baselines.Cmplog_static.drain t in
+  let input0 = String.make (spec.n_range + spec.n_magic) '\x00' in
+  ignore (run input0);
+  drive ~strategy:"AFL++ CmpLog (instrument-last)" ~run ~drain ~spec ~rounds input0

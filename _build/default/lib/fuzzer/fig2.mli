@@ -1,0 +1,32 @@
+(** The Figure 2 correctness experiment: input-to-state solving over
+    range-check and byte-equality roadblocks, comparing Odin's
+    instrument-first CmpLog against AFL++-style instrument-after-
+    optimization CmpLog with the same solver. The optimizer's range fold
+    turns [x >= L && x <= U] into [(x-L) ult N], whose logged operand
+    matches no input byte — so only the instrument-first strategy solves
+    the range roadblocks. *)
+
+type result = {
+  strategy : string;
+  passed_range : int;
+  passed_magic : int;
+  rounds_used : int;
+}
+
+type spec = {
+  n_range : int;
+  n_magic : int;
+  ranges : (int * int) list;  (** (lo, width) per range roadblock *)
+  magics : int list;
+}
+
+val make_spec : ?n_range:int -> ?n_magic:int -> int -> spec
+
+(** The roadblock program (each passed check sets one result bit). *)
+val source : spec -> string
+
+(** Odin CmpLog (instrument-first) attacking the roadblocks. *)
+val run_odin : ?rounds:int -> spec -> result
+
+(** AFL++-style CmpLog (instrument after optimization). *)
+val run_static : ?rounds:int -> spec -> result

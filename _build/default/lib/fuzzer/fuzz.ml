@@ -1,0 +1,40 @@
+(** The coverage-guided fuzzing loop (AFL-style): pick a favored seed,
+    mutate, execute, keep inputs that reach new coverage. The loop is
+    generic over a [target]; campaign drivers provide targets built on
+    the different instrumentation tools. *)
+
+type exec = { ex_cycles : int; ex_new_blocks : int }
+
+type target = { run : string -> exec }
+
+type stats = {
+  mutable executions : int;
+  mutable total_cycles : int;
+  mutable discoveries : int;  (** inputs that found new coverage *)
+}
+
+(** Run the seed inputs, then [execs] mutated executions; returns the
+    corpus of coverage-increasing inputs and loop statistics. *)
+let collect_corpus ~rng ~seeds ~execs (target : target) =
+  let corpus = Corpus.create () in
+  let stats = { executions = 0; total_cycles = 0; discoveries = 0 } in
+  let execute data =
+    let r = target.run data in
+    stats.executions <- stats.executions + 1;
+    stats.total_cycles <- stats.total_cycles + r.ex_cycles;
+    if r.ex_new_blocks > 0 then begin
+      stats.discoveries <- stats.discoveries + 1;
+      Corpus.add corpus ~data ~exec_cycles:r.ex_cycles ~new_blocks:r.ex_new_blocks
+    end
+  in
+  List.iter execute seeds;
+  for _ = 1 to execs do
+    let base =
+      match Corpus.pick corpus rng with
+      | Some s -> s.Corpus.data
+      | None -> ( match seeds with s :: _ -> s | [] -> "\x00")
+    in
+    let pool = Corpus.inputs corpus in
+    execute (Mutate.havoc rng ~pool base)
+  done;
+  (corpus, stats)

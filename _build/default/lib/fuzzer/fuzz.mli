@@ -1,0 +1,16 @@
+(** The coverage-guided fuzzing loop (AFL-style), generic over a target. *)
+
+type exec = { ex_cycles : int; ex_new_blocks : int }
+
+type target = { run : string -> exec }
+
+type stats = {
+  mutable executions : int;
+  mutable total_cycles : int;
+  mutable discoveries : int;  (** inputs that found new coverage *)
+}
+
+(** Run the seeds, then [execs] mutated executions; returns the corpus of
+    coverage-increasing inputs and the loop statistics. *)
+val collect_corpus :
+  rng:Support.Rng.t -> seeds:string list -> execs:int -> target -> Corpus.t * stats

@@ -1,0 +1,85 @@
+(** Input mutators: the classic AFL repertoire (bit flips, byte
+    replacement, arithmetic, block insertion/deletion, splicing), all
+    deterministic via the caller's RNG. *)
+
+let flip_bit rng s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = Support.Rng.int rng (Bytes.length b) in
+    let bit = Support.Rng.int rng 8 in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+    Bytes.to_string b
+  end
+
+let random_byte rng s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = Support.Rng.int rng (Bytes.length b) in
+    Bytes.set b i (Char.chr (Support.Rng.int rng 256));
+    Bytes.to_string b
+  end
+
+let arith rng s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = Support.Rng.int rng (Bytes.length b) in
+    let delta = Support.Rng.range rng (-16) 16 in
+    Bytes.set b i (Char.chr ((Char.code (Bytes.get b i) + delta) land 255));
+    Bytes.to_string b
+  end
+
+let interesting_values = [ 0; 1; 255; 127; 128; 64; 77; 90 ]
+
+let interesting rng s =
+  if String.length s = 0 then s
+  else begin
+    let b = Bytes.of_string s in
+    let i = Support.Rng.int rng (Bytes.length b) in
+    Bytes.set b i (Char.chr (Support.Rng.choose rng interesting_values));
+    Bytes.to_string b
+  end
+
+let insert_block rng s =
+  let i = Support.Rng.int rng (String.length s + 1) in
+  let n = Support.Rng.range rng 1 8 in
+  let filler = String.init n (fun _ -> Char.chr (Support.Rng.int rng 256)) in
+  String.sub s 0 i ^ filler ^ String.sub s i (String.length s - i)
+
+let delete_block rng s =
+  if String.length s <= 8 then s
+  else begin
+    let n = Support.Rng.range rng 1 (min 8 (String.length s - 8)) in
+    let i = Support.Rng.int rng (String.length s - n) in
+    String.sub s 0 i ^ String.sub s (i + n) (String.length s - i - n)
+  end
+
+let splice rng s other =
+  if String.length s = 0 || String.length other = 0 then s
+  else begin
+    let i = Support.Rng.int rng (String.length s) in
+    let j = Support.Rng.int rng (String.length other) in
+    String.sub s 0 i ^ String.sub other j (String.length other - j)
+  end
+
+(** One random mutation; [pool] supplies splice partners. *)
+let mutate rng ~pool s =
+  match Support.Rng.int rng 7 with
+  | 0 -> flip_bit rng s
+  | 1 -> random_byte rng s
+  | 2 -> arith rng s
+  | 3 -> interesting rng s
+  | 4 -> insert_block rng s
+  | 5 -> delete_block rng s
+  | _ -> (
+    match pool with
+    | [] -> random_byte rng s
+    | _ -> splice rng s (Support.Rng.choose rng pool))
+
+(** A havoc stage: several stacked mutations. *)
+let havoc rng ~pool s =
+  let n = 1 + Support.Rng.int rng 4 in
+  let rec go acc k = if k = 0 then acc else go (mutate rng ~pool acc) (k - 1) in
+  go s n

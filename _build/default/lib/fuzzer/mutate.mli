@@ -1,0 +1,18 @@
+(** Input mutators: the classic AFL repertoire, deterministic via the
+    caller's RNG. All mutators total: they return the input unchanged
+    rather than fail on degenerate sizes. *)
+
+val flip_bit : Support.Rng.t -> string -> string
+val random_byte : Support.Rng.t -> string -> string
+val arith : Support.Rng.t -> string -> string
+val interesting_values : int list
+val interesting : Support.Rng.t -> string -> string
+val insert_block : Support.Rng.t -> string -> string
+val delete_block : Support.Rng.t -> string -> string
+val splice : Support.Rng.t -> string -> string -> string
+
+(** One random mutation; [pool] supplies splice partners. *)
+val mutate : Support.Rng.t -> pool:string list -> string -> string
+
+(** Several stacked mutations. *)
+val havoc : Support.Rng.t -> pool:string list -> string -> string

@@ -1,0 +1,86 @@
+(** Input-to-state solving (RedQueen-style), driven by Odin's CmpLog
+    probes — the fuzzing stage the paper's Section 2.1 motivates.
+
+    When an execution logs a comparison [lhs vs rhs] where one side is a
+    value the input controls and the other is what the program expected,
+    the solver searches the input for an encoding of the observed value
+    and patches those bytes with the expected one. Because Odin's CmpLog
+    instruments *before* optimization, the observed operand is a direct
+    copy of input bytes (Figure 2's prerequisite), so the byte search
+    usually succeeds. *)
+
+(* Encodings tried when looking for [value] inside the input. *)
+let encodings value =
+  let le n =
+    String.init n (fun i ->
+        Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical value (8 * i)) 255L)))
+  in
+  let be n =
+    String.init n (fun i ->
+        Char.chr
+          (Int64.to_int
+             (Int64.logand (Int64.shift_right_logical value (8 * (n - 1 - i))) 255L)))
+  in
+  [ le 1; le 2; be 2; le 4; be 4; le 8; be 8 ]
+
+(* All positions where [needle] occurs in [hay]. *)
+let find_all hay needle =
+  let n = String.length needle and h = String.length hay in
+  if n = 0 || n > h then []
+  else begin
+    let out = ref [] in
+    for i = h - n downto 0 do
+      if String.sub hay i n = needle then out := i :: !out
+    done;
+    !out
+  end
+
+let patch input pos replacement =
+  let b = Bytes.of_string input in
+  Bytes.blit_string replacement 0 b pos (String.length replacement);
+  Bytes.to_string b
+
+(** Candidate inputs derived from one comparison record: wherever an
+    encoding of the observed operand appears in [input], substitute the
+    expected operand in the same width/endianness. *)
+let candidates_for input (r : Odin.Cmplog.record) =
+  let try_pair observed expected =
+    List.concat_map
+      (fun (enc_obs, enc_exp) ->
+        if String.length enc_obs = String.length enc_exp then
+          List.map (fun pos -> patch input pos enc_exp) (find_all input enc_obs)
+        else [])
+      (List.combine (encodings observed) (encodings expected))
+  in
+  (* either side may be the input copy; try both directions *)
+  try_pair r.Odin.Cmplog.rec_lhs r.Odin.Cmplog.rec_rhs
+  @ try_pair r.Odin.Cmplog.rec_rhs r.Odin.Cmplog.rec_lhs
+
+(** One solving round: run [input], collect its comparison records, and
+    return deduplicated patched candidates (bounded by [limit]).
+    [min_magnitude] filters out records whose operands are all tiny —
+    those solve themselves by chance and flood the candidate set (the
+    default suits magic constants; byte-level roadblocks want ~3). *)
+let solve ?(limit = 32) ?(min_magnitude = 256L) ~(records : Odin.Cmplog.record list)
+    input =
+  let interesting (r : Odin.Cmplog.record) =
+    let big v = Int64.abs v >= min_magnitude in
+    (big r.Odin.Cmplog.rec_lhs || big r.Odin.Cmplog.rec_rhs)
+    && not (Int64.equal r.Odin.Cmplog.rec_lhs r.Odin.Cmplog.rec_rhs)
+  in
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  let count = ref 0 in
+  List.iter
+    (fun r ->
+      if interesting r && !count < limit then
+        List.iter
+          (fun c ->
+            if (not (Hashtbl.mem seen c)) && !count < limit && c <> input then begin
+              Hashtbl.replace seen c ();
+              out := c :: !out;
+              incr count
+            end)
+          (candidates_for input r))
+    records;
+  List.rev !out

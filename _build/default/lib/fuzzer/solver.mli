@@ -1,0 +1,21 @@
+(** Input-to-state solving (RedQueen-style), driven by Odin's CmpLog
+    probes: search the input for an encoding of a comparison operand the
+    program observed, and patch in the operand it expected. Works because
+    Odin's instrument-first CmpLog logs direct copies of input bytes
+    (paper Figure 2's prerequisite). *)
+
+(** Byte encodings tried for a value: little/big-endian at 1/2/4/8 bytes. *)
+val encodings : int64 -> string list
+
+(** Candidate patched inputs derived from one comparison record. *)
+val candidates_for : string -> Odin.Cmplog.record -> string list
+
+(** All deduplicated candidates from an execution's comparison records,
+    bounded by [limit]; records whose operands are all below
+    [min_magnitude] in absolute value are skipped. *)
+val solve :
+  ?limit:int ->
+  ?min_magnitude:int64 ->
+  records:Odin.Cmplog.record list ->
+  string ->
+  string list

@@ -1,0 +1,1 @@
+lib/instr/manager.ml: Hashtbl List Printf Probe String

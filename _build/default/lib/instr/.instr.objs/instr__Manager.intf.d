@@ -1,0 +1,1 @@
+lib/instr/manager.mli: Probe

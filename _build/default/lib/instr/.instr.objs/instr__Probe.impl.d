@@ -1,0 +1,1 @@
+lib/instr/probe.ml: Ir Printf

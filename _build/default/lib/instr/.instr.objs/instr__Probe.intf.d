@@ -1,0 +1,1 @@
+lib/instr/probe.mli: Ir

@@ -1,0 +1,75 @@
+(** PatchManager: dynamic adding, deleting and changing of probes (paper
+    Section 4). Tracks which probes changed since the last recompilation
+    so the scheduler can bound the recompilation scope. *)
+
+type t = {
+  mutable probes : Probe.t list;  (** newest first *)
+  by_id : (int, Probe.t) Hashtbl.t;
+  mutable next_id : int;
+  changed : (int, unit) Hashtbl.t;  (** probe ids changed since last build *)
+  removed_targets : (string, unit) Hashtbl.t;
+      (** symbols whose probes were removed — they must be recompiled even
+          though the probe object is gone *)
+}
+
+let create () =
+  {
+    probes = [];
+    by_id = Hashtbl.create 64;
+    next_id = 0;
+    changed = Hashtbl.create 64;
+    removed_targets = Hashtbl.create 16;
+  }
+
+let add t ~target payload =
+  let p = { Probe.pid = t.next_id; target; enabled = true; payload } in
+  t.next_id <- t.next_id + 1;
+  t.probes <- p :: t.probes;
+  Hashtbl.replace t.by_id p.Probe.pid p;
+  Hashtbl.replace t.changed p.Probe.pid ();
+  p
+
+let get t pid = Hashtbl.find_opt t.by_id pid
+
+let get_exn t pid =
+  match get t pid with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Manager.get_exn: no probe #%d" pid)
+
+(** Removing a probe dirties its target symbol: the next recompilation
+    regenerates the symbol without the probe's code. *)
+let remove t (p : Probe.t) =
+  t.probes <- List.filter (fun q -> q.Probe.pid <> p.Probe.pid) t.probes;
+  Hashtbl.remove t.by_id p.Probe.pid;
+  Hashtbl.remove t.changed p.Probe.pid;
+  Hashtbl.replace t.removed_targets p.Probe.target ()
+
+let set_enabled t (p : Probe.t) enabled =
+  if p.Probe.enabled <> enabled then begin
+    p.Probe.enabled <- enabled;
+    Hashtbl.replace t.changed p.Probe.pid ()
+  end
+
+(** Mark a probe's logic as modified (e.g. its payload was retargeted). *)
+let touch t (p : Probe.t) = Hashtbl.replace t.changed p.Probe.pid ()
+
+let iter f t = List.iter f (List.rev t.probes)
+let to_list t = List.rev t.probes
+let count t = List.length t.probes
+
+let changed_probes t =
+  List.filter (fun p -> Hashtbl.mem t.changed p.Probe.pid) (to_list t)
+
+let changed_targets t =
+  let s = Hashtbl.create 16 in
+  List.iter (fun (p : Probe.t) -> Hashtbl.replace s p.Probe.target ()) (changed_probes t);
+  Hashtbl.iter (fun target () -> Hashtbl.replace s target ()) t.removed_targets;
+  Hashtbl.fold (fun k () acc -> k :: acc) s [] |> List.sort String.compare
+
+let has_changes t =
+  Hashtbl.length t.changed > 0 || Hashtbl.length t.removed_targets > 0
+
+(** Called by the engine after a successful rebuild. *)
+let clear_changes t =
+  Hashtbl.reset t.changed;
+  Hashtbl.reset t.removed_targets

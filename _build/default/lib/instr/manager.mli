@@ -1,0 +1,47 @@
+(** PatchManager: dynamic adding, deleting and changing of probes (paper
+    Section 4). The manager tracks which probes changed since the last
+    recompilation; Odin's scheduler reads that dirty set to bound the
+    recompilation scope (Algorithm 2, lines 2-6). *)
+
+type t
+
+val create : unit -> t
+
+(** Register a new probe against [target]; starts enabled and dirty. *)
+val add : t -> target:string -> Probe.payload -> Probe.t
+
+val get : t -> int -> Probe.t option
+
+(** @raise Invalid_argument if no probe has this id. *)
+val get_exn : t -> int -> Probe.t
+
+(** Remove a probe. Its target symbol stays dirty so the next
+    recompilation regenerates the symbol without the probe's code.
+    Removing an already-removed probe is a no-op (the target stays
+    dirty). *)
+val remove : t -> Probe.t -> unit
+
+(** Enable or disable a probe (marks it changed when the state flips). *)
+val set_enabled : t -> Probe.t -> bool -> unit
+
+(** Mark a probe's logic as modified (e.g. its payload was retargeted). *)
+val touch : t -> Probe.t -> unit
+
+val iter : (Probe.t -> unit) -> t -> unit
+
+(** All live probes in registration order. *)
+val to_list : t -> Probe.t list
+
+val count : t -> int
+
+(** Probes changed since the last successful rebuild. *)
+val changed_probes : t -> Probe.t list
+
+(** Symbols that must be recompiled: targets of changed probes plus
+    targets of removed probes, sorted. *)
+val changed_targets : t -> string list
+
+val has_changes : t -> bool
+
+(** Called by the engine after a successful rebuild. *)
+val clear_changes : t -> unit

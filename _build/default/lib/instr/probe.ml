@@ -1,0 +1,50 @@
+(** Probes: the unit of on-demand instrumentation (paper Section 4).
+
+    Each probe targets one symbol and carries scheme-specific state that
+    the fuzzer may freely annotate with profiling results — the paper's
+    CmpProbe example stores the instrumented instruction and the last
+    observed value; ours mirror that structure as a variant. *)
+
+type cov_state = {
+  cov_block : string;  (** IR block label within the target function *)
+  mutable cov_hits : int;  (** profiling annotation: accumulated hit count *)
+}
+
+type cmp_state = {
+  cmp_ins : Ir.Ins.ins;  (** the comparison in the pristine IR *)
+  mutable cmp_solved : bool;  (** both outcomes seen; probe is useless *)
+  mutable cmp_last : int64 * int64;  (** last observed operand values *)
+}
+
+type check_kind = Div_by_zero | Load_in_bounds
+
+type check_state = {
+  chk_ins : Ir.Ins.ins;
+  chk_kind : check_kind;
+  mutable chk_trips : int;  (** times the check fired (profiling) *)
+}
+
+type payload =
+  | Cov of cov_state
+  | Cmp of cmp_state
+  | Check of check_state
+
+type t = {
+  pid : int;
+  target : string;  (** the symbol this probe patches (getPatchTarget) *)
+  mutable enabled : bool;
+  payload : payload;
+}
+
+let describe p =
+  let kind =
+    match p.payload with
+    | Cov c -> Printf.sprintf "cov(%%%s)" c.cov_block
+    | Cmp _ -> "cmplog"
+    | Check c -> (
+      match c.chk_kind with
+      | Div_by_zero -> "check(div)"
+      | Load_in_bounds -> "check(load)")
+  in
+  Printf.sprintf "#%d %s@%s%s" p.pid kind p.target
+    (if p.enabled then "" else " (disabled)")

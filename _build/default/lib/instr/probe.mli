@@ -1,0 +1,37 @@
+(** Probes: the unit of on-demand instrumentation (paper Section 4).
+
+    A probe targets one symbol and carries scheme-specific, freely
+    annotatable state — the paper's [CmpProbe] stores the instrumented
+    instruction and dynamic profiling results; these payloads mirror that
+    structure for the three schemes shipped with the framework. *)
+
+type cov_state = {
+  cov_block : string;  (** IR block label within the target function *)
+  mutable cov_hits : int;  (** profiling annotation: accumulated hit count *)
+}
+
+type cmp_state = {
+  cmp_ins : Ir.Ins.ins;  (** the comparison in the pristine IR *)
+  mutable cmp_solved : bool;  (** both outcomes seen; probe is useless *)
+  mutable cmp_last : int64 * int64;  (** last observed operand values *)
+}
+
+type check_kind = Div_by_zero | Load_in_bounds
+
+type check_state = {
+  chk_ins : Ir.Ins.ins;  (** the guarded instruction in the pristine IR *)
+  chk_kind : check_kind;
+  mutable chk_trips : int;  (** times the check executed (profiling) *)
+}
+
+type payload = Cov of cov_state | Cmp of cmp_state | Check of check_state
+
+type t = {
+  pid : int;  (** unique id, assigned by the manager *)
+  target : string;  (** the symbol this probe patches (getPatchTarget) *)
+  mutable enabled : bool;
+  payload : payload;
+}
+
+(** One-line human-readable description (for logs and debugging). *)
+val describe : t -> string

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Func Hashtbl Ins Int64 List Printf Types

@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Func Hashtbl Ins List Map Modul Option Set String

@@ -1,0 +1,1 @@
+lib/ir/clone.ml: Func Hashtbl Ins List Modul Uses

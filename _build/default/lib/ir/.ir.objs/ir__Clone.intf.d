@@ -1,0 +1,1 @@
+lib/ir/clone.mli: Func Hashtbl Ins Modul

@@ -1,0 +1,1 @@
+lib/ir/dom.ml: Array Cfg Func List Map Option String

@@ -1,0 +1,1 @@
+lib/ir/eval.ml: Ins Int64 Option Types

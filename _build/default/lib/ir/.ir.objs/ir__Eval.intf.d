@@ -1,0 +1,1 @@
+lib/ir/eval.mli: Ins Types

@@ -1,0 +1,1 @@
+lib/ir/func.ml: Hashtbl Ins List Option Printf String Types

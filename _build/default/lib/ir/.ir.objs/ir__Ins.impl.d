@@ -1,0 +1,1 @@
+lib/ir/ins.ml: List String Types

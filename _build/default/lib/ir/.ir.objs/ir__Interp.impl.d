@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Bytes Char Eval Func Hashtbl Ins Int64 List Map Modul Printf String Types

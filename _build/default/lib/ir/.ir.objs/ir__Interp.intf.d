@@ -1,0 +1,1 @@
+lib/ir/interp.mli: Bytes Hashtbl Modul Types

@@ -1,0 +1,1 @@
+lib/ir/modul.ml: Func Hashtbl List String Types

@@ -1,0 +1,1 @@
+lib/ir/modul.mli: Func Hashtbl Types

@@ -1,0 +1,1 @@
+lib/ir/parse.ml: Buffer Char Func Ins Int64 List Modul Option Printf String Types

@@ -1,0 +1,1 @@
+lib/ir/print.ml: Buffer Char Func Ins Int64 List Modul Printf String Types

@@ -1,0 +1,1 @@
+lib/ir/uses.ml: Func Hashtbl Ins List Modul Option Set String

@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Func Hashtbl Ins List Modul Printf String Types

@@ -1,0 +1,94 @@
+(** Convenience API for constructing functions instruction by instruction,
+    in the style of LLVM's [IRBuilder]. Used by the frontend lowering, by
+    instrumentation patch logic (paper Section 4) and by tests. *)
+
+type t = {
+  fn : Func.t;
+  mutable cur : Func.block option;
+  mutable counter : int;
+  names : (string, unit) Hashtbl.t;
+}
+
+let create fn =
+  let b = { fn; cur = None; counter = 0; names = Hashtbl.create 64 } in
+  List.iter (fun (_, p) -> Hashtbl.replace b.names p ()) fn.Func.params;
+  Func.iter_insns
+    (fun i -> if i.Ins.id <> "" then Hashtbl.replace b.names i.Ins.id ())
+    fn;
+  b
+
+let fresh b hint =
+  let rec pick () =
+    b.counter <- b.counter + 1;
+    let candidate = Printf.sprintf "%s%d" hint b.counter in
+    if Hashtbl.mem b.names candidate then pick () else candidate
+  in
+  let name = if hint = "" then pick () else if Hashtbl.mem b.names hint then pick () else hint in
+  Hashtbl.replace b.names name ();
+  name
+
+(** Create (and position at) a new block with a unique label based on [hint]. *)
+let new_block b hint =
+  let label = Func.fresh_label b.fn hint in
+  let blk = { Func.label; insns = []; term = Ins.Unreachable } in
+  b.fn.Func.blocks <- b.fn.Func.blocks @ [ blk ];
+  b.cur <- Some blk;
+  blk
+
+let position b blk = b.cur <- Some blk
+
+(** Reserve a block now (so its label is taken) without moving the
+    insertion point; fill it later with {!enter}. *)
+let declare_block b hint =
+  let label = Func.fresh_label b.fn hint in
+  let blk = { Func.label; insns = []; term = Ins.Unreachable } in
+  b.fn.Func.blocks <- b.fn.Func.blocks @ [ blk ];
+  label
+
+(** Move the insertion point to a previously declared block. *)
+let enter b label = b.cur <- Some (Func.find_block_exn b.fn label)
+
+let current b =
+  match b.cur with
+  | Some blk -> blk
+  | None -> invalid_arg "Builder: no current block"
+
+let insert b ins =
+  let blk = current b in
+  blk.Func.insns <- blk.Func.insns @ [ ins ]
+
+let emit ?(volatile = false) ?(hint = "t") b ty kind =
+  let id = if ty = Types.Void then "" else fresh b hint in
+  let ins = Ins.mk ~volatile ~id ~ty kind in
+  insert b ins;
+  if ty = Types.Void then Ins.Undef Types.Void else Ins.Reg (ty, id)
+
+let binop b op ty x y = emit b ty (Ins.Binop (op, x, y))
+let icmp b pred x y = emit b Types.I1 (Ins.Icmp (pred, x, y))
+let select b ty c x y = emit b ty (Ins.Select (c, x, y))
+let cast b c ty v = emit b ty (Ins.Cast (c, v))
+let load b ty ptr = emit b ty (Ins.Load ptr)
+
+let store ?(volatile = false) b v ptr =
+  ignore (emit ~volatile b Types.Void (Ins.Store (v, ptr)))
+
+let gep b base index elem_size = emit b Types.Ptr (Ins.Gep (base, index, elem_size))
+
+let call ?(volatile = false) b ty callee args =
+  emit ~volatile b ty (Ins.Call (callee, args))
+
+let phi b ty incoming = emit ~hint:"phi" b ty (Ins.Phi incoming)
+let alloca b ty count = emit ~hint:"a" b Types.Ptr (Ins.Alloca (ty, count))
+
+let set_term b term = (current b).Func.term <- term
+let ret b v = set_term b (Ins.Ret v)
+let br b label = set_term b (Ins.Br label)
+let cbr b cond iftrue iffalse = set_term b (Ins.Cbr (cond, iftrue, iffalse))
+let switch b v default cases = set_term b (Ins.Switch (v, default, cases))
+
+let const ty v = Ins.Const (ty, Types.normalize ty v)
+let i32 v = const Types.I32 (Int64.of_int v)
+let i64 v = const Types.I64 (Int64.of_int v)
+let i8 v = const Types.I8 (Int64.of_int v)
+let i1 v = const Types.I1 (if v then 1L else 0L)
+let glob name = Ins.Global name

@@ -1,0 +1,59 @@
+(** Constant evaluation of IR operations, shared by the constant-folding
+    passes and (for cross-checking) the interpreter tests. All arithmetic
+    wraps at the type's bit width; division by zero yields [None]. *)
+
+let bool_to_i1 b = if b then 1L else 0L
+
+let binop ty (op : Ins.binop) a b =
+  let open Int64 in
+  let norm v = Types.normalize ty v in
+  let za = Types.zext_value ty a and zb = Types.zext_value ty b in
+  let sa = norm a and sb = norm b in
+  let result =
+    match op with
+    | Ins.Add -> Some (add sa sb)
+    | Ins.Sub -> Some (sub sa sb)
+    | Ins.Mul -> Some (mul sa sb)
+    | Ins.Sdiv -> if sb = 0L then None else Some (div sa sb)
+    | Ins.Udiv -> if zb = 0L then None else Some (unsigned_div za zb)
+    | Ins.Srem -> if sb = 0L then None else Some (rem sa sb)
+    | Ins.Urem -> if zb = 0L then None else Some (unsigned_rem za zb)
+    | Ins.And -> Some (logand sa sb)
+    | Ins.Or -> Some (logor sa sb)
+    | Ins.Xor -> Some (logxor sa sb)
+    | Ins.Shl ->
+      let sh = to_int (logand zb 63L) in
+      Some (shift_left sa sh)
+    | Ins.Lshr ->
+      let sh = to_int (logand zb 63L) in
+      Some (shift_right_logical za sh)
+    | Ins.Ashr ->
+      let sh = to_int (logand zb 63L) in
+      Some (shift_right sa sh)
+  in
+  Option.map norm result
+
+let icmp ty (pred : Ins.icmp) a b =
+  let sa = Types.normalize ty a and sb = Types.normalize ty b in
+  let za = Types.zext_value ty a and zb = Types.zext_value ty b in
+  let r =
+    match pred with
+    | Ins.Eq -> sa = sb
+    | Ins.Ne -> sa <> sb
+    | Ins.Slt -> sa < sb
+    | Ins.Sle -> sa <= sb
+    | Ins.Sgt -> sa > sb
+    | Ins.Sge -> sa >= sb
+    | Ins.Ult -> Int64.unsigned_compare za zb < 0
+    | Ins.Ule -> Int64.unsigned_compare za zb <= 0
+    | Ins.Ugt -> Int64.unsigned_compare za zb > 0
+    | Ins.Uge -> Int64.unsigned_compare za zb >= 0
+  in
+  bool_to_i1 r
+
+let cast (c : Ins.cast) ~from ~into v =
+  match c with
+  | Ins.Zext -> Types.normalize into (Types.zext_value from v)
+  | Ins.Sext -> Types.normalize into (Types.normalize from v)
+  | Ins.Trunc -> Types.normalize into v
+  | Ins.Bitcast | Ins.Ptrtoint | Ins.Inttoptr -> Types.normalize into v

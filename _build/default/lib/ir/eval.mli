@@ -1,0 +1,12 @@
+(** Constant evaluation of IR operations, shared by the folding passes,
+    the reference interpreter and the VM — one semantics, three users. *)
+
+val bool_to_i1 : bool -> int64
+
+(** Wrapping arithmetic at the type's width; [None] on division by zero. *)
+val binop : Types.ty -> Ins.binop -> int64 -> int64 -> int64 option
+
+(** Comparison at the operand type's width; returns 0 or 1. *)
+val icmp : Types.ty -> Ins.icmp -> int64 -> int64 -> int64
+
+val cast : Ins.cast -> from:Types.ty -> into:Types.ty -> int64 -> int64

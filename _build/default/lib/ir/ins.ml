@@ -1,0 +1,209 @@
+(** Instructions, operands and terminators.
+
+    Representation notes:
+    - SSA values are referenced by name ([Reg (ty, name)]); a function's
+      instruction results and parameters define names. This keeps passes
+      simple (no intrusive use-lists) at the cost of name-keyed lookups,
+      which is fine at the program sizes we compile.
+    - Globals are referenced by symbol name; their type is always [Ptr].
+    - [Blockaddr] exists to model the GNU labels-as-values extension, one of
+      the paper's "innate partition constraints" (Section 2.3). *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Sdiv
+  | Udiv
+  | Srem
+  | Urem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Lshr
+  | Ashr
+
+type icmp = Eq | Ne | Slt | Sle | Sgt | Sge | Ult | Ule | Ugt | Uge
+
+type cast = Zext | Sext | Trunc | Bitcast | Ptrtoint | Inttoptr
+
+type value =
+  | Const of Types.ty * int64
+  | Reg of Types.ty * string
+  | Global of string  (** address of a global symbol; type Ptr *)
+  | Blockaddr of string * string  (** function, label; type Ptr *)
+  | Undef of Types.ty
+
+type callee = Direct of string | Indirect of value
+
+type kind =
+  | Binop of binop * value * value
+  | Icmp of icmp * value * value
+  | Select of value * value * value
+  | Cast of cast * value
+  | Load of value  (** pointer; loaded type is [ins.ty] *)
+  | Store of value * value  (** stored value, pointer *)
+  | Gep of value * value * int  (** base ptr, index, element size in bytes *)
+  | Call of callee * value list
+  | Phi of (string * value) list  (** (incoming block label, value) *)
+  | Alloca of Types.ty * int  (** element type, element count *)
+
+type ins = {
+  mutable id : string;  (** SSA result name; "" when the result is void *)
+  mutable ty : Types.ty;  (** result type; Void when no result *)
+  mutable kind : kind;
+  mutable volatile : bool;
+      (** set on instrumentation probes so optimization passes must not
+          remove or reorder them across each other (paper Section 3.1:
+          instrumenting first must not let the optimizer delete probes) *)
+}
+
+type term =
+  | Ret of value option
+  | Br of string
+  | Cbr of value * string * string  (** cond, if-true, if-false *)
+  | Switch of value * string * (int64 * string) list  (** scrutinee, default, cases *)
+  | Unreachable
+
+let value_ty = function
+  | Const (ty, _) -> ty
+  | Reg (ty, _) -> ty
+  | Global _ -> Types.Ptr
+  | Blockaddr _ -> Types.Ptr
+  | Undef ty -> ty
+
+let mk ?(volatile = false) ~id ~ty kind = { id; ty; kind; volatile }
+
+let binop_to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Sdiv -> "sdiv"
+  | Udiv -> "udiv"
+  | Srem -> "srem"
+  | Urem -> "urem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Lshr -> "lshr"
+  | Ashr -> "ashr"
+
+let binop_of_string = function
+  | "add" -> Some Add
+  | "sub" -> Some Sub
+  | "mul" -> Some Mul
+  | "sdiv" -> Some Sdiv
+  | "udiv" -> Some Udiv
+  | "srem" -> Some Srem
+  | "urem" -> Some Urem
+  | "and" -> Some And
+  | "or" -> Some Or
+  | "xor" -> Some Xor
+  | "shl" -> Some Shl
+  | "lshr" -> Some Lshr
+  | "ashr" -> Some Ashr
+  | _ -> None
+
+let icmp_to_string = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Slt -> "slt"
+  | Sle -> "sle"
+  | Sgt -> "sgt"
+  | Sge -> "sge"
+  | Ult -> "ult"
+  | Ule -> "ule"
+  | Ugt -> "ugt"
+  | Uge -> "uge"
+
+let icmp_of_string = function
+  | "eq" -> Some Eq
+  | "ne" -> Some Ne
+  | "slt" -> Some Slt
+  | "sle" -> Some Sle
+  | "sgt" -> Some Sgt
+  | "sge" -> Some Sge
+  | "ult" -> Some Ult
+  | "ule" -> Some Ule
+  | "ugt" -> Some Ugt
+  | "uge" -> Some Uge
+  | _ -> None
+
+let cast_to_string = function
+  | Zext -> "zext"
+  | Sext -> "sext"
+  | Trunc -> "trunc"
+  | Bitcast -> "bitcast"
+  | Ptrtoint -> "ptrtoint"
+  | Inttoptr -> "inttoptr"
+
+let cast_of_string = function
+  | "zext" -> Some Zext
+  | "sext" -> Some Sext
+  | "trunc" -> Some Trunc
+  | "bitcast" -> Some Bitcast
+  | "ptrtoint" -> Some Ptrtoint
+  | "inttoptr" -> Some Inttoptr
+  | _ -> None
+
+(** Does evaluating this instruction have an observable effect besides its
+    result? Stores, calls and volatile-marked probes do. *)
+let has_side_effect ins =
+  ins.volatile
+  ||
+  match ins.kind with
+  | Store _ | Call _ -> true
+  | Alloca _ -> true (* keep allocas; mem2reg removes them explicitly *)
+  | Binop _ | Icmp _ | Select _ | Cast _ | Load _ | Gep _ | Phi _ -> false
+
+(** All value operands of an instruction, in evaluation order. *)
+let operands ins =
+  match ins.kind with
+  | Binop (_, a, b) | Icmp (_, a, b) | Store (a, b) -> [ a; b ]
+  | Select (c, a, b) -> [ c; a; b ]
+  | Cast (_, a) | Load a -> [ a ]
+  | Gep (a, b, _) -> [ a; b ]
+  | Call (Direct _, args) -> args
+  | Call (Indirect f, args) -> f :: args
+  | Phi incoming -> List.map snd incoming
+  | Alloca _ -> []
+
+(** Rebuild the instruction kind with operands mapped through [f]. *)
+let map_operands f ins =
+  let kind =
+    match ins.kind with
+    | Binop (op, a, b) -> Binop (op, f a, f b)
+    | Icmp (p, a, b) -> Icmp (p, f a, f b)
+    | Select (c, a, b) -> Select (f c, f a, f b)
+    | Cast (c, a) -> Cast (c, f a)
+    | Load a -> Load (f a)
+    | Store (a, b) -> Store (f a, f b)
+    | Gep (a, b, sz) -> Gep (f a, f b, sz)
+    | Call (Direct name, args) -> Call (Direct name, List.map f args)
+    | Call (Indirect fn, args) -> Call (Indirect (f fn), List.map f args)
+    | Phi incoming -> Phi (List.map (fun (l, v) -> (l, f v)) incoming)
+    | Alloca _ as k -> k
+  in
+  ins.kind <- kind
+
+let term_operands = function
+  | Ret (Some v) -> [ v ]
+  | Ret None | Unreachable | Br _ -> []
+  | Cbr (c, _, _) -> [ c ]
+  | Switch (v, _, _) -> [ v ]
+
+let map_term_operands f = function
+  | Ret (Some v) -> Ret (Some (f v))
+  | (Ret None | Unreachable | Br _) as t -> t
+  | Cbr (c, a, b) -> Cbr (f c, a, b)
+  | Switch (v, d, cases) -> Switch (f v, d, cases)
+
+let successors = function
+  | Ret _ | Unreachable -> []
+  | Br l -> [ l ]
+  | Cbr (_, a, b) -> if String.equal a b then [ a ] else [ a; b ]
+  | Switch (_, d, cases) ->
+    let targets = d :: List.map snd cases in
+    List.sort_uniq String.compare targets

@@ -1,0 +1,140 @@
+(** Global variables, aliases and modules.
+
+    A module is the minimal translation unit (paper Section 2.3): it is
+    lowered to one object file, and one global value generally maps to one
+    symbol in that object file. *)
+
+type init =
+  | Bytes of string  (** raw bytes, e.g. C string constants (NUL included) *)
+  | Words of Types.ty * int64 list  (** homogeneous array of integers *)
+  | Symbols of string list  (** array of pointers to other globals *)
+  | Zero of int  (** zero-initialized region of n bytes *)
+  | Extern  (** declaration only; defined in another module *)
+
+type gvar = {
+  gname : string;
+  mutable glinkage : Func.linkage;
+  mutable gconst : bool;  (** immutable after initialization *)
+  mutable ginit : init;
+  mutable gcomdat : string option;
+}
+
+(** Alias symbol: a second name for an existing definition. Relocation
+    cannot be applied to the alias alone, so the base symbol must be
+    *defined* (not declared) in the same object — one of the innate
+    partition constraints of Section 2.3. *)
+type alias = {
+  aname : string;
+  mutable alinkage : Func.linkage;
+  mutable atarget : string;
+}
+
+type gvalue = Fun of Func.t | Var of gvar | Alias of alias
+
+let gvalue_name = function
+  | Fun f -> f.Func.name
+  | Var v -> v.gname
+  | Alias a -> a.aname
+
+let gvalue_linkage = function
+  | Fun f -> f.Func.linkage
+  | Var v -> v.glinkage
+  | Alias a -> a.alinkage
+
+let set_linkage gv linkage =
+  match gv with
+  | Fun f -> f.Func.linkage <- linkage
+  | Var v -> v.glinkage <- linkage
+  | Alias a -> a.alinkage <- linkage
+
+let is_definition = function
+  | Fun f -> not (Func.is_declaration f)
+  | Var v -> v.ginit <> Extern
+  | Alias _ -> true
+
+type t = {
+  mutable mname : string;
+  table : (string, gvalue) Hashtbl.t;
+  mutable order : string list;  (** insertion order, for determinism *)
+}
+
+let create ?(name = "module") () =
+  { mname = name; table = Hashtbl.create 64; order = [] }
+
+let mem m name = Hashtbl.mem m.table name
+
+let add m gv =
+  let name = gvalue_name gv in
+  if not (Hashtbl.mem m.table name) then m.order <- m.order @ [ name ];
+  Hashtbl.replace m.table name gv
+
+let remove m name =
+  if Hashtbl.mem m.table name then begin
+    Hashtbl.remove m.table name;
+    m.order <- List.filter (fun n -> not (String.equal n name)) m.order
+  end
+
+let find m name = Hashtbl.find_opt m.table name
+
+let find_exn m name =
+  match find m name with
+  | Some gv -> gv
+  | None -> invalid_arg ("Modul.find_exn: no global " ^ name)
+
+let find_func m name =
+  match find m name with Some (Fun f) -> Some f | _ -> None
+
+let find_var m name =
+  match find m name with Some (Var v) -> Some v | _ -> None
+
+(** Globals in deterministic (insertion) order. *)
+let globals m = List.filter_map (find m) m.order
+
+let functions m =
+  List.filter_map (fun n -> match find m n with Some (Fun f) -> Some f | _ -> None) m.order
+
+let defined_functions m =
+  List.filter (fun f -> not (Func.is_declaration f)) (functions m)
+
+let vars m =
+  List.filter_map (fun n -> match find m n with Some (Var v) -> Some v | _ -> None) m.order
+
+let aliases m =
+  List.filter_map (fun n -> match find m n with Some (Alias a) -> Some a | _ -> None) m.order
+
+let iter f m = List.iter f (globals m)
+
+(** Follow alias chains to the underlying definition name. *)
+let rec resolve_alias m name =
+  match find m name with
+  | Some (Alias a) -> resolve_alias m a.atarget
+  | _ -> name
+
+let add_function m ?(linkage = Func.External) ?comdat ~name ~params ~ret blocks =
+  let f = Func.mk ~linkage ?comdat ~name ~params ~ret blocks in
+  add m (Fun f);
+  f
+
+let declare_function m ~name ~params ~ret =
+  match find m name with
+  | Some (Fun f) -> f
+  | Some _ -> invalid_arg ("Modul.declare_function: " ^ name ^ " is not a function")
+  | None -> add_function m ~name ~params ~ret []
+
+let add_var m ?(linkage = Func.External) ?(const = false) ?comdat ~name init =
+  let v = { gname = name; glinkage = linkage; gconst = const; ginit = init; gcomdat = comdat } in
+  add m (Var v);
+  v
+
+let add_alias m ?(linkage = Func.External) ~name ~target () =
+  let a = { aname = name; alinkage = linkage; atarget = target } in
+  add m (Alias a);
+  a
+
+(** Byte size of a global's initialized data. *)
+let init_size = function
+  | Bytes s -> String.length s
+  | Words (ty, ws) -> Types.size_of ty * List.length ws
+  | Symbols ss -> 8 * List.length ss
+  | Zero n -> n
+  | Extern -> 0

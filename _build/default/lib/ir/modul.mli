@@ -1,0 +1,87 @@
+(** Global variables, aliases and modules. A module is the minimal
+    translation unit (paper Section 2.3): it compiles to one object file,
+    one global value per symbol. Iteration order is deterministic
+    (insertion order). *)
+
+type init =
+  | Bytes of string  (** raw bytes, e.g. C string constants *)
+  | Words of Types.ty * int64 list  (** homogeneous integer array *)
+  | Symbols of string list  (** array of pointers to other globals *)
+  | Zero of int  (** zero-initialized region of n bytes *)
+  | Extern  (** declaration only *)
+
+type gvar = {
+  gname : string;
+  mutable glinkage : Func.linkage;
+  mutable gconst : bool;
+  mutable ginit : init;
+  mutable gcomdat : string option;
+}
+
+(** A second name for a definition; the base must be *defined* in the
+    same object (innate partition constraint, Section 2.3). *)
+type alias = {
+  aname : string;
+  mutable alinkage : Func.linkage;
+  mutable atarget : string;
+}
+
+type gvalue = Fun of Func.t | Var of gvar | Alias of alias
+
+val gvalue_name : gvalue -> string
+val gvalue_linkage : gvalue -> Func.linkage
+val set_linkage : gvalue -> Func.linkage -> unit
+val is_definition : gvalue -> bool
+
+type t = {
+  mutable mname : string;
+  table : (string, gvalue) Hashtbl.t;
+  mutable order : string list;
+}
+
+val create : ?name:string -> unit -> t
+val mem : t -> string -> bool
+
+(** Insert or replace; preserves first-insertion order. *)
+val add : t -> gvalue -> unit
+
+val remove : t -> string -> unit
+val find : t -> string -> gvalue option
+
+(** @raise Invalid_argument when absent. *)
+val find_exn : t -> string -> gvalue
+
+val find_func : t -> string -> Func.t option
+val find_var : t -> string -> gvar option
+val globals : t -> gvalue list
+val functions : t -> Func.t list
+val defined_functions : t -> Func.t list
+val vars : t -> gvar list
+val aliases : t -> alias list
+val iter : (gvalue -> unit) -> t -> unit
+
+(** Follow alias chains to the underlying definition name. *)
+val resolve_alias : t -> string -> string
+
+val add_function :
+  t ->
+  ?linkage:Func.linkage ->
+  ?comdat:string ->
+  name:string ->
+  params:(Types.ty * string) list ->
+  ret:Types.ty ->
+  Func.block list ->
+  Func.t
+
+(** Idempotent declaration; @raise Invalid_argument if the name is bound
+    to a non-function. *)
+val declare_function :
+  t -> name:string -> params:(Types.ty * string) list -> ret:Types.ty -> Func.t
+
+val add_var :
+  t -> ?linkage:Func.linkage -> ?const:bool -> ?comdat:string -> name:string -> init -> gvar
+
+val add_alias : t -> ?linkage:Func.linkage -> name:string -> target:string -> unit -> alias
+
+(** Byte size of an initializer. *)
+val init_size : init -> int

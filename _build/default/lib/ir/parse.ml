@@ -1,0 +1,528 @@
+(** Parser for the textual IR emitted by {!Print}. Round-tripping modules
+    through text is used heavily by the test suite to state inputs
+    readably (e.g. the paper's Figure 2 and Figure 4 case studies). *)
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Line tokenizer                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tword of string
+  | Tint of int64
+  | Treg of string  (** %name *)
+  | Tsym of string  (** @name *)
+  | Tstr of string  (** c"..." decoded bytes *)
+  | Tpunct of char  (** , ( ) [ ] : ; = *)
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '$'
+
+let tokenize line =
+  let n = String.length line in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    let c = line.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = ';' then i := n (* comment to end of line *)
+    else if c = '%' || c = '@' then begin
+      let start = !i + 1 in
+      let j = ref start in
+      while !j < n && is_word_char line.[!j] do incr j done;
+      let name = String.sub line start (!j - start) in
+      push (if c = '%' then Treg name else Tsym name);
+      i := !j
+    end
+    else if c = 'c' && !i + 1 < n && line.[!i + 1] = '"' then begin
+      (* c"..." byte string with \XX escapes *)
+      let buf = Buffer.create 16 in
+      let j = ref (!i + 2) in
+      while !j < n && line.[!j] <> '"' do
+        if line.[!j] = '\\' && !j + 2 < n then begin
+          let hex = String.sub line (!j + 1) 2 in
+          Buffer.add_char buf (Char.chr (int_of_string ("0x" ^ hex)));
+          j := !j + 3
+        end
+        else begin
+          Buffer.add_char buf line.[!j];
+          incr j
+        end
+      done;
+      if !j >= n then fail "unterminated string in %S" line;
+      push (Tstr (Buffer.contents buf));
+      i := !j + 1
+    end
+    else if c = '-' || (c >= '0' && c <= '9') then begin
+      let start = !i in
+      incr i;
+      while !i < n && ((line.[!i] >= '0' && line.[!i] <= '9') || line.[!i] = 'x') do
+        incr i
+      done;
+      let text = String.sub line start (!i - start) in
+      (match Int64.of_string_opt text with
+      | Some v -> push (Tint v)
+      | None -> fail "bad integer %S" text)
+    end
+    else if is_word_char c then begin
+      let start = !i in
+      while !i < n && is_word_char line.[!i] do incr i done;
+      push (Tword (String.sub line start (!i - start)))
+    end
+    else begin
+      push (Tpunct c);
+      incr i
+    end
+  done;
+  List.rev !toks
+
+(* ------------------------------------------------------------------ *)
+(* Token-stream helpers                                                *)
+(* ------------------------------------------------------------------ *)
+
+type stream = { mutable toks : token list }
+
+let peek s = match s.toks with [] -> None | t :: _ -> Some t
+let advance s = match s.toks with [] -> () | _ :: rest -> s.toks <- rest
+
+let expect_punct s c =
+  match peek s with
+  | Some (Tpunct p) when p = c -> advance s
+  | t -> fail "expected '%c', got %s" c (match t with None -> "eol" | Some _ -> "other")
+
+let eat_punct s c =
+  match peek s with
+  | Some (Tpunct p) when p = c ->
+    advance s;
+    true
+  | _ -> false
+
+let expect_word s w =
+  match peek s with
+  | Some (Tword x) when String.equal x w -> advance s
+  | _ -> fail "expected %S" w
+
+let word s =
+  match peek s with
+  | Some (Tword w) ->
+    advance s;
+    w
+  | _ -> fail "expected word"
+
+let ty s =
+  let w = word s in
+  match Types.of_string w with Some t -> t | None -> fail "unknown type %S" w
+
+(* atom: %r | int | @g | undef | blockaddress(@f, %l); type from context *)
+let atom s context_ty =
+  match peek s with
+  | Some (Treg r) ->
+    advance s;
+    Ins.Reg (context_ty, r)
+  | Some (Tint v) ->
+    advance s;
+    Ins.Const (context_ty, Types.normalize context_ty v)
+  | Some (Tsym g) ->
+    advance s;
+    Ins.Global g
+  | Some (Tword "undef") ->
+    advance s;
+    Ins.Undef context_ty
+  | Some (Tword "blockaddress") ->
+    advance s;
+    expect_punct s '(';
+    let f = match peek s with Some (Tsym g) -> advance s; g | _ -> fail "blockaddress fn" in
+    expect_punct s ',';
+    let l = match peek s with Some (Treg r) -> advance s; r | _ -> fail "blockaddress label" in
+    expect_punct s ')';
+    Ins.Blockaddr (f, l)
+  | _ -> fail "expected value atom"
+
+(* full value: <ty> <atom> *)
+let full_value s =
+  let t = ty s in
+  atom s t
+
+(* ------------------------------------------------------------------ *)
+(* Instruction / terminator parsing                                    *)
+(* ------------------------------------------------------------------ *)
+
+let parse_term s =
+  match word s with
+  | "ret" -> (
+    match peek s with
+    | Some (Tword "void") ->
+      advance s;
+      Ins.Ret None
+    | _ -> Ins.Ret (Some (full_value s)))
+  | "br" -> (
+    match peek s with
+    | Some (Tword "label") ->
+      advance s;
+      (match peek s with
+      | Some (Treg l) ->
+        advance s;
+        Ins.Br l
+      | _ -> fail "br label")
+    | _ ->
+      let c = full_value s in
+      expect_punct s ',';
+      expect_word s "label";
+      let a = match peek s with Some (Treg l) -> advance s; l | _ -> fail "cbr" in
+      expect_punct s ',';
+      expect_word s "label";
+      let b = match peek s with Some (Treg l) -> advance s; l | _ -> fail "cbr" in
+      Ins.Cbr (c, a, b))
+  | "switch" ->
+    let v = full_value s in
+    expect_punct s ',';
+    expect_word s "label";
+    let d = match peek s with Some (Treg l) -> advance s; l | _ -> fail "switch" in
+    expect_punct s '[';
+    let cases = ref [] in
+    let rec loop () =
+      match peek s with
+      | Some (Tpunct ']') -> advance s
+      | Some (Tint k) ->
+        advance s;
+        expect_punct s ':';
+        expect_word s "label";
+        (match peek s with
+        | Some (Treg l) ->
+          advance s;
+          cases := (k, l) :: !cases
+        | _ -> fail "switch case label");
+        ignore (eat_punct s ',');
+        loop ()
+      | _ -> fail "switch case"
+    in
+    loop ();
+    Ins.Switch (v, d, List.rev !cases)
+  | "unreachable" -> Ins.Unreachable
+  | w -> fail "unknown terminator %S" w
+
+let is_term_line toks =
+  match toks with
+  | Tword ("ret" | "br" | "switch" | "unreachable") :: _ -> true
+  | _ -> false
+
+let parse_ins s =
+  let id, has_result =
+    match peek s with
+    | Some (Treg r) ->
+      advance s;
+      expect_punct s '=';
+      (r, true)
+    | _ -> ("", false)
+  in
+  let volatile =
+    match peek s with
+    | Some (Tword "volatile") ->
+      advance s;
+      true
+    | _ -> false
+  in
+  let op = word s in
+  let mk ty kind = Ins.mk ~volatile ~id ~ty kind in
+  match (Ins.binop_of_string op, op) with
+  | Some bop, _ ->
+    let t = ty s in
+    let a = atom s t in
+    expect_punct s ',';
+    let b = atom s t in
+    mk t (Ins.Binop (bop, a, b))
+  | None, "icmp" ->
+    let pred =
+      match Ins.icmp_of_string (word s) with
+      | Some p -> p
+      | None -> fail "bad icmp predicate"
+    in
+    let t = ty s in
+    let a = atom s t in
+    expect_punct s ',';
+    let b = atom s t in
+    mk Types.I1 (Ins.Icmp (pred, a, b))
+  | None, "select" ->
+    let c = full_value s in
+    expect_punct s ',';
+    let a = full_value s in
+    expect_punct s ',';
+    let b = full_value s in
+    mk (Ins.value_ty a) (Ins.Select (c, a, b))
+  | None, ("zext" | "sext" | "trunc" | "bitcast" | "ptrtoint" | "inttoptr") ->
+    let c = Option.get (Ins.cast_of_string op) in
+    let v = full_value s in
+    expect_word s "to";
+    let t = ty s in
+    mk t (Ins.Cast (c, v))
+  | None, "load" ->
+    let t = ty s in
+    expect_punct s ',';
+    let p = full_value s in
+    mk t (Ins.Load p)
+  | None, "store" ->
+    let v = full_value s in
+    expect_punct s ',';
+    let p = full_value s in
+    mk Types.Void (Ins.Store (v, p))
+  | None, "gep" ->
+    let base = full_value s in
+    expect_punct s ',';
+    let idx = full_value s in
+    expect_punct s ',';
+    expect_word s "size";
+    let sz = match peek s with Some (Tint v) -> advance s; Int64.to_int v | _ -> fail "gep size" in
+    mk Types.Ptr (Ins.Gep (base, idx, sz))
+  | None, "call" ->
+    let rt = ty s in
+    let callee =
+      match peek s with
+      | Some (Tsym g) ->
+        advance s;
+        Ins.Direct g
+      | _ -> Ins.Indirect (full_value s)
+    in
+    expect_punct s '(';
+    let args = ref [] in
+    let rec loop () =
+      match peek s with
+      | Some (Tpunct ')') -> advance s
+      | _ ->
+        args := full_value s :: !args;
+        if eat_punct s ',' then loop () else (expect_punct s ')')
+    in
+    loop ();
+    if has_result && rt = Types.Void then fail "void call with result";
+    mk rt (Ins.Call (callee, List.rev !args))
+  | None, "phi" ->
+    let t = ty s in
+    let incoming = ref [] in
+    let rec loop () =
+      if eat_punct s '[' then begin
+        let v = atom s t in
+        expect_punct s ',';
+        (match peek s with
+        | Some (Treg l) ->
+          advance s;
+          incoming := (l, v) :: !incoming
+        | _ -> fail "phi label");
+        expect_punct s ']';
+        if eat_punct s ',' then loop ()
+      end
+    in
+    loop ();
+    mk t (Ins.Phi (List.rev_map (fun (l, v) -> (l, v)) !incoming |> List.rev))
+  | None, "alloca" ->
+    let t = ty s in
+    expect_punct s ',';
+    let n = match peek s with Some (Tint v) -> advance s; Int64.to_int v | _ -> fail "alloca count" in
+    mk Types.Ptr (Ins.Alloca (t, n))
+  | None, other -> fail "unknown instruction %S" other
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_linkage s =
+  match peek s with
+  | Some (Tword "internal") ->
+    advance s;
+    Func.Internal
+  | Some (Tword "external") ->
+    advance s;
+    Func.External
+  | _ -> Func.External
+
+let parse_init s =
+  match peek s with
+  | Some (Tstr bytes) ->
+    advance s;
+    Modul.Bytes bytes
+  | Some (Tword "zeroinitializer") ->
+    advance s;
+    (match peek s with
+    | Some (Tint n) ->
+      advance s;
+      Modul.Zero (Int64.to_int n)
+    | _ -> fail "zeroinitializer size")
+  | Some (Tword "extern") ->
+    advance s;
+    Modul.Extern
+  | Some (Tpunct '[') -> (
+    advance s;
+    match peek s with
+    | Some (Tword "ptr") ->
+      advance s;
+      expect_word s "x";
+      let syms = ref [] in
+      let rec loop () =
+        match peek s with
+        | Some (Tsym g) ->
+          advance s;
+          syms := g :: !syms;
+          if eat_punct s ',' then loop ()
+        | _ -> ()
+      in
+      loop ();
+      expect_punct s ']';
+      Modul.Symbols (List.rev !syms)
+    | _ ->
+      let t = ty s in
+      expect_word s "x";
+      let ws = ref [] in
+      let rec loop () =
+        match peek s with
+        | Some (Tint v) ->
+          advance s;
+          ws := v :: !ws;
+          if eat_punct s ',' then loop ()
+        | _ -> ()
+      in
+      loop ();
+      expect_punct s ']';
+      Modul.Words (t, List.rev !ws))
+  | _ -> fail "bad global initializer"
+
+(** Parse a module from its textual form. *)
+let module_of_string ?(name = "parsed") text =
+  let m = Modul.create ~name () in
+  let lines = String.split_on_char '\n' text in
+  let cur_fn : Func.t option ref = ref None in
+  let cur_blocks : Func.block list ref = ref [] in
+  let cur_block : Func.block option ref = ref None in
+  let finish_block () =
+    match !cur_block with
+    | None -> ()
+    | Some b ->
+      cur_blocks := !cur_blocks @ [ b ];
+      cur_block := None
+  in
+  let finish_fn () =
+    finish_block ();
+    (match !cur_fn with
+    | None -> ()
+    | Some f ->
+      f.Func.blocks <- !cur_blocks;
+      Modul.add m (Modul.Fun f));
+    cur_fn := None;
+    cur_blocks := []
+  in
+  let parse_fn_header s ~is_define =
+    let linkage = parse_linkage s in
+    (* Accept both forms: "define <linkage> @f(...) <ret>" (canonical) and
+       the LLVM-style "define <linkage> <ret> @f(...)". *)
+    let pre_ret =
+      match peek s with
+      | Some (Tword w) -> (
+        match Types.of_string w with
+        | Some t ->
+          advance s;
+          Some t
+        | None -> None)
+      | _ -> None
+    in
+    let name =
+      match peek s with Some (Tsym g) -> advance s; g | _ -> fail "function name"
+    in
+    expect_punct s '(';
+    let params = ref [] in
+    let rec loop () =
+      match peek s with
+      | Some (Tpunct ')') -> advance s
+      | _ ->
+        let t = ty s in
+        (match peek s with
+        | Some (Treg p) ->
+          advance s;
+          params := (t, p) :: !params
+        | _ -> fail "param name");
+        if eat_punct s ',' then loop () else expect_punct s ')'
+    in
+    loop ();
+    let comdat =
+      match peek s with
+      | Some (Tword "comdat") ->
+        advance s;
+        expect_punct s '(';
+        let key = word s in
+        expect_punct s ')';
+        Some key
+      | _ -> None
+    in
+    let ret =
+      match pre_ret with
+      | Some t -> t
+      | None -> ty s
+    in
+    let f = Func.mk ~linkage ?comdat ~name ~params:(List.rev !params) ~ret [] in
+    if is_define then begin
+      cur_fn := Some f;
+      cur_blocks := []
+    end
+    else Modul.add m (Modul.Fun f)
+  in
+  List.iter
+    (fun raw ->
+      let line = String.trim raw in
+      if line = "" || line.[0] = ';' then ()
+      else if line = "}" then finish_fn ()
+      else begin
+        let toks = tokenize line in
+        match toks with
+        | [] -> ()
+        | Tword "define" :: _ ->
+          finish_fn ();
+          let s = { toks = List.tl toks } in
+          parse_fn_header s ~is_define:true;
+          ignore (eat_punct s '{')
+        | Tword "declare" :: _ ->
+          finish_fn ();
+          let s = { toks = List.tl toks } in
+          parse_fn_header s ~is_define:false
+        | Tsym gname :: Tpunct '=' :: rest -> (
+          let s = { toks = rest } in
+          let linkage = parse_linkage s in
+          match peek s with
+          | Some (Tword "alias") ->
+            advance s;
+            (match peek s with
+            | Some (Tsym target) ->
+              advance s;
+              ignore (Modul.add_alias m ~linkage ~name:gname ~target ())
+            | _ -> fail "alias target")
+          | Some (Tword (("constant" | "global") as kw)) ->
+            advance s;
+            let init = parse_init s in
+            ignore
+              (Modul.add_var m ~linkage ~const:(String.equal kw "constant") ~name:gname
+                 init)
+          | _ -> fail "bad global %S" line)
+        | _ when !cur_fn <> None -> (
+          (* inside a function: label, instruction, or terminator *)
+          match toks with
+          | [ Tword label; Tpunct ':' ] | [ Treg label; Tpunct ':' ] ->
+            finish_block ();
+            cur_block := Some { Func.label; insns = []; term = Ins.Unreachable }
+          | _ when is_term_line toks -> (
+            match !cur_block with
+            | None -> fail "terminator outside block: %S" line
+            | Some b ->
+              let s = { toks } in
+              b.Func.term <- parse_term s)
+          | _ -> (
+            match !cur_block with
+            | None -> fail "instruction outside block: %S" line
+            | Some b ->
+              let s = { toks } in
+              let i = parse_ins s in
+              b.Func.insns <- b.Func.insns @ [ i ]))
+        | _ -> fail "unexpected top-level line %S" line
+      end)
+    lines;
+  finish_fn ();
+  m

@@ -1,0 +1,132 @@
+(** Textual IR printer, LLVM-flavoured. The output round-trips through
+    {!Parse}. *)
+
+open Printf
+
+let value_to_string = function
+  | Ins.Const (ty, v) -> sprintf "%s %Ld" (Types.to_string ty) v
+  | Ins.Reg (ty, n) -> sprintf "%s %%%s" (Types.to_string ty) n
+  | Ins.Global g -> sprintf "ptr @%s" g
+  | Ins.Blockaddr (f, l) -> sprintf "ptr blockaddress(@%s, %%%s)" f l
+  | Ins.Undef ty -> sprintf "%s undef" (Types.to_string ty)
+
+let short_value = function
+  | Ins.Const (_, v) -> sprintf "%Ld" v
+  | Ins.Reg (_, n) -> sprintf "%%%s" n
+  | Ins.Global g -> sprintf "@%s" g
+  | Ins.Blockaddr (f, l) -> sprintf "blockaddress(@%s, %%%s)" f l
+  | Ins.Undef _ -> "undef"
+
+let callee_to_string = function
+  | Ins.Direct f -> "@" ^ f
+  | Ins.Indirect v -> value_to_string v
+
+let ins_to_string (i : Ins.ins) =
+  let v = value_to_string in
+  let lhs = if i.id = "" then "" else sprintf "%%%s = " i.id in
+  let vol = if i.volatile then "volatile " else "" in
+  let body =
+    match i.kind with
+    | Ins.Binop (op, a, b) ->
+      sprintf "%s %s %s, %s" (Ins.binop_to_string op) (Types.to_string i.ty)
+        (short_value a) (short_value b)
+    | Ins.Icmp (p, a, b) ->
+      sprintf "icmp %s %s %s, %s" (Ins.icmp_to_string p)
+        (Types.to_string (Ins.value_ty a)) (short_value a) (short_value b)
+    | Ins.Select (c, a, b) -> sprintf "select %s, %s, %s" (v c) (v a) (v b)
+    | Ins.Cast (c, a) ->
+      sprintf "%s %s to %s" (Ins.cast_to_string c) (v a) (Types.to_string i.ty)
+    | Ins.Load p -> sprintf "load %s, %s" (Types.to_string i.ty) (v p)
+    | Ins.Store (x, p) -> sprintf "store %s, %s" (v x) (v p)
+    | Ins.Gep (base, idx, sz) ->
+      sprintf "gep %s, %s, size %d" (v base) (v idx) sz
+    | Ins.Call (c, args) ->
+      sprintf "call %s %s(%s)" (Types.to_string i.ty) (callee_to_string c)
+        (String.concat ", " (List.map v args))
+    | Ins.Phi incoming ->
+      let arm (l, x) = sprintf "[ %s, %%%s ]" (short_value x) l in
+      sprintf "phi %s %s" (Types.to_string i.ty)
+        (String.concat ", " (List.map arm incoming))
+    | Ins.Alloca (ty, n) -> sprintf "alloca %s, %d" (Types.to_string ty) n
+  in
+  lhs ^ vol ^ body
+
+let term_to_string = function
+  | Ins.Ret None -> "ret void"
+  | Ins.Ret (Some v) -> sprintf "ret %s" (value_to_string v)
+  | Ins.Br l -> sprintf "br label %%%s" l
+  | Ins.Cbr (c, a, b) ->
+    sprintf "br %s, label %%%s, label %%%s" (value_to_string c) a b
+  | Ins.Switch (v, d, cases) ->
+    let case (k, l) = sprintf "%Ld: label %%%s" k l in
+    sprintf "switch %s, label %%%s [%s]" (value_to_string v) d
+      (String.concat ", " (List.map case cases))
+  | Ins.Unreachable -> "unreachable"
+
+let block_to_string (b : Func.block) =
+  let lines =
+    (b.label ^ ":")
+    :: List.map (fun i -> "  " ^ ins_to_string i) b.insns
+    @ [ "  " ^ term_to_string b.term ]
+  in
+  String.concat "\n" lines
+
+let linkage_to_string = function
+  | Func.External -> "external"
+  | Func.Internal -> "internal"
+
+let func_to_string (f : Func.t) =
+  let params =
+    List.map (fun (ty, p) -> sprintf "%s %%%s" (Types.to_string ty) p) f.params
+    |> String.concat ", "
+  in
+  let comdat = match f.comdat with None -> "" | Some c -> sprintf " comdat(%s)" c in
+  let head =
+    sprintf "%s %s @%s(%s)%s"
+      (if Func.is_declaration f then "declare" else "define")
+      (linkage_to_string f.linkage)
+      f.name params comdat
+  in
+  let head = sprintf "%s %s" head (Types.to_string f.ret) in
+  if Func.is_declaration f then head
+  else
+    head ^ " {\n"
+    ^ String.concat "\n" (List.map block_to_string f.blocks)
+    ^ "\n}"
+
+let escape_bytes s =
+  let buf = Buffer.create (String.length s * 2) in
+  String.iter
+    (fun c ->
+      if c >= ' ' && c <= '~' && c <> '"' && c <> '\\' then Buffer.add_char buf c
+      else Buffer.add_string buf (sprintf "\\%02X" (Char.code c)))
+    s;
+  Buffer.contents buf
+
+let init_to_string = function
+  | Modul.Bytes s -> sprintf "c\"%s\"" (escape_bytes s)
+  | Modul.Words (ty, ws) ->
+    sprintf "[%s x %s]" (Types.to_string ty)
+      (String.concat ", " (List.map Int64.to_string ws))
+  | Modul.Symbols ss ->
+    sprintf "[ptr x %s]" (String.concat ", " (List.map (fun s -> "@" ^ s) ss))
+  | Modul.Zero n -> sprintf "zeroinitializer %d" n
+  | Modul.Extern -> "extern"
+
+let gvar_to_string (v : Modul.gvar) =
+  sprintf "@%s = %s %s %s" v.gname
+    (linkage_to_string v.glinkage)
+    (if v.gconst then "constant" else "global")
+    (init_to_string v.ginit)
+
+let alias_to_string (a : Modul.alias) =
+  sprintf "@%s = %s alias @%s" a.aname (linkage_to_string a.alinkage) a.atarget
+
+let gvalue_to_string = function
+  | Modul.Fun f -> func_to_string f
+  | Modul.Var v -> gvar_to_string v
+  | Modul.Alias a -> alias_to_string a
+
+let module_to_string (m : Modul.t) =
+  let parts = List.map gvalue_to_string (Modul.globals m) in
+  sprintf "; module %s\n%s\n" m.mname (String.concat "\n\n" parts)

@@ -1,0 +1,76 @@
+(** First-class types of the IR. Mirrors the LLVM scalar/pointer subset the
+    paper's mechanisms need; vectors are deliberately out of scope (no
+    vectorizer in our pipeline, see DESIGN.md). *)
+
+type ty =
+  | I1
+  | I8
+  | I16
+  | I32
+  | I64
+  | Ptr  (** opaque pointer, 64-bit *)
+  | Void
+
+let equal (a : ty) (b : ty) = a = b
+
+(** Size of a value of this type in bytes, as laid out in memory. *)
+let size_of = function
+  | I1 | I8 -> 1
+  | I16 -> 2
+  | I32 -> 4
+  | I64 -> 8
+  | Ptr -> 8
+  | Void -> 0
+
+(** Width in bits for arithmetic wrapping/sign purposes. *)
+let bits = function
+  | I1 -> 1
+  | I8 -> 8
+  | I16 -> 16
+  | I32 -> 32
+  | I64 -> 64
+  | Ptr -> 64
+  | Void -> 0
+
+let to_string = function
+  | I1 -> "i1"
+  | I8 -> "i8"
+  | I16 -> "i16"
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | Ptr -> "ptr"
+  | Void -> "void"
+
+let of_string = function
+  | "i1" -> Some I1
+  | "i8" -> Some I8
+  | "i16" -> Some I16
+  | "i32" -> Some I32
+  | "i64" -> Some I64
+  | "ptr" -> Some Ptr
+  | "void" -> Some Void
+  | _ -> None
+
+let is_integer = function I1 | I8 | I16 | I32 | I64 -> true | Ptr | Void -> false
+
+(** Truncate [v] to the bit width of [ty], interpreting the result as a
+    signed two's-complement number of that width (the canonical form in
+    which all constant folding operates). *)
+let normalize ty v =
+  match ty with
+  | I64 | Ptr -> v
+  | Void -> 0L
+  | I1 -> if Int64.logand v 1L = 1L then 1L else 0L
+  | _ ->
+    let b = bits ty in
+    let shift = 64 - b in
+    Int64.shift_right (Int64.shift_left v shift) shift
+
+(** Zero-extend interpretation of [v] at width [ty]. *)
+let zext_value ty v =
+  match ty with
+  | I64 | Ptr -> v
+  | Void -> 0L
+  | _ ->
+    let b = bits ty in
+    Int64.logand v (Int64.sub (Int64.shift_left 1L b) 1L)

@@ -1,0 +1,23 @@
+(** First-class types of the IR: the LLVM scalar/pointer subset the
+    paper's mechanisms need. *)
+
+type ty = I1 | I8 | I16 | I32 | I64 | Ptr | Void
+
+val equal : ty -> ty -> bool
+
+(** Size in bytes as laid out in memory. *)
+val size_of : ty -> int
+
+(** Width in bits for arithmetic wrapping/sign purposes. *)
+val bits : ty -> int
+
+val to_string : ty -> string
+val of_string : string -> ty option
+val is_integer : ty -> bool
+
+(** Truncate to the type's width, interpreted as signed two's complement —
+    the canonical representation all constant folding operates in. *)
+val normalize : ty -> int64 -> int64
+
+(** Zero-extended interpretation at the type's width. *)
+val zext_value : ty -> int64 -> int64

@@ -1,0 +1,100 @@
+(** Symbol reference analysis: which global symbols does a global value
+    mention? This drives Odin's partitioning (imports, copy-on-use cloning)
+    and the linker's reachability. *)
+
+module SSet = Set.Make (String)
+
+let of_value acc = function
+  | Ins.Global g -> SSet.add g acc
+  | Ins.Blockaddr (f, _) -> SSet.add f acc
+  | Ins.Const _ | Ins.Reg _ | Ins.Undef _ -> acc
+
+let of_ins acc (i : Ins.ins) =
+  let acc =
+    match i.kind with
+    | Ins.Call (Ins.Direct f, _) -> SSet.add f acc
+    | _ -> acc
+  in
+  List.fold_left of_value acc (Ins.operands i)
+
+let of_func (f : Func.t) =
+  let acc = ref SSet.empty in
+  Func.iter_blocks
+    (fun b ->
+      List.iter (fun i -> acc := of_ins !acc i) b.Func.insns;
+      acc := List.fold_left of_value !acc (Ins.term_operands b.Func.term))
+    f;
+  !acc
+
+let of_gvar (v : Modul.gvar) =
+  match v.Modul.ginit with
+  | Modul.Symbols ss -> SSet.of_list ss
+  | Modul.Bytes _ | Modul.Words _ | Modul.Zero _ | Modul.Extern -> SSet.empty
+
+let of_gvalue = function
+  | Modul.Fun f -> of_func f
+  | Modul.Var v -> of_gvar v
+  | Modul.Alias a -> SSet.singleton a.Modul.atarget
+
+(** Map symbol -> set of symbols that reference it (reverse references). *)
+let referencers (m : Modul.t) =
+  let table = Hashtbl.create 64 in
+  let record user target =
+    let old = Option.value ~default:SSet.empty (Hashtbl.find_opt table target) in
+    Hashtbl.replace table target (SSet.add user old)
+  in
+  List.iter
+    (fun gv ->
+      let user = Modul.gvalue_name gv in
+      SSet.iter (record user) (of_gvalue gv))
+    (Modul.globals m);
+  table
+
+let referencers_of table name =
+  Option.value ~default:SSet.empty (Hashtbl.find_opt table name)
+
+(** Call sites of function [callee] across the module: (caller, ins) list. *)
+let call_sites (m : Modul.t) callee =
+  let sites = ref [] in
+  List.iter
+    (fun (f : Func.t) ->
+      Func.iter_insns
+        (fun i ->
+          match i.Ins.kind with
+          | Ins.Call (Ins.Direct name, _) when String.equal name callee ->
+            sites := (f, i) :: !sites
+          | _ -> ())
+        f)
+    (Modul.defined_functions m);
+  List.rev !sites
+
+(** Is the symbol's address taken other than via direct calls? Functions
+    whose address escapes cannot have their signature rewritten by
+    dead-argument elimination. *)
+let address_taken (m : Modul.t) name =
+  let taken = ref false in
+  let check_value = function
+    | Ins.Global g when String.equal g name -> taken := true
+    | _ -> ()
+  in
+  List.iter
+    (fun gv ->
+      match gv with
+      | Modul.Fun f ->
+        Func.iter_blocks
+          (fun b ->
+            List.iter
+              (fun (i : Ins.ins) ->
+                match i.kind with
+                | Ins.Call (Ins.Direct _, args) -> List.iter check_value args
+                | _ -> List.iter check_value (Ins.operands i))
+              b.Func.insns;
+            List.iter check_value (Ins.term_operands b.Func.term))
+          f
+      | Modul.Var v ->
+        (match v.Modul.ginit with
+        | Modul.Symbols ss -> if List.mem name ss then taken := true
+        | _ -> ())
+      | Modul.Alias a -> if String.equal a.Modul.atarget name then taken := true)
+    (Modul.globals m);
+  !taken

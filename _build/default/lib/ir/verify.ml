@@ -1,0 +1,149 @@
+(** IR well-formedness verifier. Run after the frontend, after every pass in
+    paranoid test builds, and on every fragment before code generation —
+    a malformed fragment (e.g. a reference to an undefined symbol after
+    partitioning) must be caught before it reaches the backend. *)
+
+type error = { where : string; what : string }
+
+let err where fmt = Printf.ksprintf (fun what -> { where; what }) fmt
+
+let check_func (m : Modul.t) (f : Func.t) =
+  let errors = ref [] in
+  let report e = errors := e :: !errors in
+  let where label = Printf.sprintf "@%s/%%%s" f.Func.name label in
+  let labels = Hashtbl.create 32 in
+  List.iter
+    (fun (b : Func.block) ->
+      if Hashtbl.mem labels b.Func.label then
+        report (err f.Func.name "duplicate block label %%%s" b.Func.label);
+      Hashtbl.replace labels b.Func.label ())
+    f.Func.blocks;
+  (* SSA names: defined once, by a param or an instruction. *)
+  let defs = Hashtbl.create 64 in
+  List.iter (fun (ty, p) -> Hashtbl.replace defs p ty) f.Func.params;
+  Func.iter_insns
+    (fun i ->
+      if i.Ins.id <> "" then begin
+        if Hashtbl.mem defs i.Ins.id then
+          report (err f.Func.name "SSA name %%%s defined twice" i.Ins.id);
+        Hashtbl.replace defs i.Ins.id i.Ins.ty
+      end)
+    f;
+  let check_value w = function
+    | Ins.Reg (ty, n) -> (
+      match Hashtbl.find_opt defs n with
+      | None -> report (err w "use of undefined SSA name %%%s" n)
+      | Some dty ->
+        if not (Types.equal dty ty) then
+          report
+            (err w "SSA name %%%s used at type %s but defined at %s" n
+               (Types.to_string ty) (Types.to_string dty)))
+    | Ins.Global g ->
+      if not (Modul.mem m g) then report (err w "reference to undefined symbol @%s" g)
+    | Ins.Blockaddr (fname, l) -> (
+      match Modul.find_func m fname with
+      | None -> report (err w "blockaddress of unknown function @%s" fname)
+      | Some g ->
+        if Func.find_block g l = None && not (Func.is_declaration g) then
+          report (err w "blockaddress of unknown label %%%s in @%s" l fname))
+    | Ins.Const _ | Ins.Undef _ -> ()
+  in
+  let check_label w l =
+    if not (Hashtbl.mem labels l) then
+      report (err w "branch to undefined label %%%s" l)
+  in
+  List.iter
+    (fun (b : Func.block) ->
+      let w = where b.Func.label in
+      List.iter
+        (fun (i : Ins.ins) ->
+          List.iter (check_value w) (Ins.operands i);
+          match i.Ins.kind with
+          | Ins.Phi incoming ->
+            List.iter (fun (l, _) -> check_label w l) incoming;
+            List.iter
+              (fun (_, v) ->
+                let vt = Ins.value_ty v in
+                if not (Types.equal vt i.Ins.ty) && vt <> Types.Void then
+                  report (err w "phi %%%s has arm of type %s, expected %s" i.Ins.id
+                            (Types.to_string vt) (Types.to_string i.Ins.ty)))
+              incoming
+          | Ins.Call (Ins.Direct callee, args) -> (
+            match Modul.find_func m callee with
+            | Some g when g.Func.params <> [] || args = [] ->
+              let np = List.length g.Func.params and na = List.length args in
+              if np <> na then
+                report (err w "call to @%s with %d args, expected %d" callee na np)
+            | Some _ -> ()
+            | None ->
+              if not (Modul.mem m callee) then
+                report (err w "call to undefined symbol @%s" callee))
+          | Ins.Store _ ->
+            if i.Ins.ty <> Types.Void then
+              report (err w "store must have void result")
+          | _ -> ())
+        b.Func.insns;
+      List.iter (check_value w) (Ins.term_operands b.Func.term);
+      (match b.Func.term with
+      | Ins.Br l -> check_label w l
+      | Ins.Cbr (_, a, c) ->
+        check_label w a;
+        check_label w c
+      | Ins.Switch (_, d, cases) ->
+        check_label w d;
+        List.iter (fun (_, l) -> check_label w l) cases
+      | Ins.Ret (Some v) ->
+        let vt = Ins.value_ty v in
+        if not (Types.equal vt f.Func.ret) then
+          report
+            (err w "ret of type %s from function returning %s" (Types.to_string vt)
+               (Types.to_string f.Func.ret))
+      | Ins.Ret None ->
+        if f.Func.ret <> Types.Void then
+          report (err w "ret void from function returning %s" (Types.to_string f.Func.ret))
+      | Ins.Unreachable -> ()))
+    f.Func.blocks;
+  List.rev !errors
+
+let check_module (m : Modul.t) =
+  let errors = ref [] in
+  List.iter
+    (fun gv ->
+      match gv with
+      | Modul.Fun f when not (Func.is_declaration f) ->
+        errors := !errors @ check_func m f
+      | Modul.Fun _ -> ()
+      | Modul.Var v -> (
+        match v.Modul.ginit with
+        | Modul.Symbols ss ->
+          List.iter
+            (fun s ->
+              if not (Modul.mem m s) then
+                errors :=
+                  !errors @ [ err v.Modul.gname "initializer references undefined @%s" s ])
+            ss
+        | _ -> ())
+      | Modul.Alias a ->
+        (match Modul.find m a.Modul.atarget with
+        | None ->
+          errors := !errors @ [ err a.Modul.aname "alias of undefined @%s" a.Modul.atarget ]
+        | Some target ->
+          (* Innate constraint: the aliasee must be a definition. *)
+          if not (Modul.is_definition target) then
+            errors :=
+              !errors
+              @ [ err a.Modul.aname "alias target @%s is only a declaration" a.Modul.atarget ]))
+    (Modul.globals m);
+  !errors
+
+let errors_to_string errors =
+  String.concat "\n"
+    (List.map (fun e -> Printf.sprintf "%s: %s" e.where e.what) errors)
+
+exception Invalid of string
+
+(** Raise {!Invalid} if the module is malformed. *)
+let run_exn m =
+  match check_module m with
+  | [] -> ()
+  | errors -> raise (Invalid (errors_to_string errors))

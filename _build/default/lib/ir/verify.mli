@@ -1,0 +1,15 @@
+(** IR well-formedness verifier: SSA single definitions, defined operands
+    and labels, type-consistent uses, call arity, return types, symbol
+    resolution, and the alias-of-declaration innate constraint. Run after
+    the frontend and on every fragment before code generation. *)
+
+type error = { where : string; what : string }
+
+val check_func : Modul.t -> Func.t -> error list
+val check_module : Modul.t -> error list
+val errors_to_string : error list -> string
+
+exception Invalid of string
+
+(** @raise Invalid when the module is malformed. *)
+val run_exn : Modul.t -> unit

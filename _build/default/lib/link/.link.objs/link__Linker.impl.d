@@ -1,0 +1,1 @@
+lib/link/linker.ml: Bytes Codegen Hashtbl Int64 List Objfile Printf String

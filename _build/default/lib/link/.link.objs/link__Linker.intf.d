@@ -1,0 +1,1 @@
+lib/link/linker.mli: Bytes Codegen Hashtbl Objfile

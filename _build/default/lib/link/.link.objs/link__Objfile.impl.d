@@ -1,0 +1,1 @@
+lib/link/objfile.ml: Array Bytes Char Codegen Hashtbl Int64 Ir List Printf

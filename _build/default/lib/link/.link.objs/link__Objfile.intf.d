@@ -1,0 +1,1 @@
+lib/link/objfile.mli: Bytes Codegen Ir

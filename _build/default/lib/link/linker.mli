@@ -1,0 +1,32 @@
+(** The linker: combines object files into an executable image, with
+    strong-symbol resolution, COMDAT folding (first definition wins),
+    address assignment, absolute data relocations, alias resolution, and
+    host-symbol binding for runtime-provided functions. *)
+
+exception Link_error of string
+
+type exe = {
+  funcs : (string, Codegen.Mach.mfunc) Hashtbl.t;
+  sym_addr : (string, int64) Hashtbl.t;
+  fn_at_addr : (int64, string) Hashtbl.t;  (** code address -> function *)
+  host_at_addr : (int64, string) Hashtbl.t;
+  host_syms : (string, unit) Hashtbl.t;
+  image : (int * Bytes.t) list;  (** (base address, initialized bytes) *)
+  data_end : int;
+  symbols_resolved : int;  (** linker work metric for the cost model *)
+}
+
+val code_base : int
+val data_base : int
+
+(** @raise Link_error for unknown symbols. *)
+val addr_of : exe -> string -> int64
+
+val find_func : exe -> string -> Codegen.Mach.mfunc option
+
+(** Link objects into an executable; [host] names symbols satisfied by
+    the runtime. @raise Link_error on duplicate or undefined symbols. *)
+val link : ?host:string list -> Objfile.t list -> exe
+
+(** Modelled linking work in cycles (symbols + relocations resolved). *)
+val link_cost : exe -> int

@@ -1,0 +1,1 @@
+lib/minic/lexer.ml: Buffer Char Int64 List Printf String

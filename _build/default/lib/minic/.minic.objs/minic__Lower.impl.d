@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Ast Char Hashtbl Int64 Ir List Option Parser Printf String Typecheck

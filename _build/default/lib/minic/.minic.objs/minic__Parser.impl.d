@@ -1,0 +1,1 @@
+lib/minic/parser.ml: Ast Buffer Int64 Lexer List Printf String

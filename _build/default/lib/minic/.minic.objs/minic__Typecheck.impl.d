@@ -1,0 +1,1 @@
+lib/minic/typecheck.ml: Ast Hashtbl List Option Printf

@@ -1,0 +1,135 @@
+(** Abstract syntax for the mini-C frontend.
+
+    The subset covers what the paper's workloads and case studies need:
+    signed integer types, pointers, one-dimensional arrays, string
+    literals, the full statement repertoire (if/while/do/for/switch),
+    short-circuit booleans, and function definitions with internal
+    (static) or external linkage. Structs, floats and varargs are out of
+    scope — no experiment depends on them. *)
+
+type cty =
+  | Void
+  | Char
+  | Short
+  | Int
+  | Long
+  | Ptr of cty
+  | Array of cty * int
+
+type unop =
+  | Neg
+  | Lnot  (** ! *)
+  | Bnot  (** ~ *)
+  | Deref
+  | Addr
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Band
+  | Bor
+  | Bxor
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Land  (** && — short-circuit *)
+  | Lor  (** || — short-circuit *)
+
+type expr =
+  | Int_lit of int64
+  | Str_lit of string
+  | Ident of string
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Assign of expr * expr
+  | Op_assign of binop * expr * expr
+  | Incdec of [ `Pre | `Post ] * int * expr  (** +1 / -1 *)
+  | Cond of expr * expr * expr
+  | Call of expr * expr list
+  | Index of expr * expr
+  | Cast of cty * expr
+
+type init = Iexpr of expr | Ilist of expr list | Istring of string
+
+type stmt =
+  | Sexpr of expr
+  | Sdecl of cty * string * init option
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo of stmt list * expr
+  | Sfor of stmt option * expr option * expr option * stmt list
+  | Sswitch of expr * switch_case list * stmt list option
+  | Sbreak
+  | Scontinue
+  | Sreturn of expr option
+  | Sblock of stmt list
+
+and switch_case = { case_values : int64 list; case_body : stmt list }
+
+type func_decl = {
+  fname : string;
+  fstatic : bool;
+  fret : cty;
+  fparams : (cty * string) list;
+  fbody : stmt list option;  (** None = prototype *)
+}
+
+type var_decl = {
+  vname : string;
+  vstatic : bool;
+  vconst : bool;
+  vextern : bool;
+  vty : cty;
+  vinit : init option;
+}
+
+type top = Tfunc of func_decl | Tvar of var_decl
+
+type program = top list
+
+let rec cty_to_string = function
+  | Void -> "void"
+  | Char -> "char"
+  | Short -> "short"
+  | Int -> "int"
+  | Long -> "long"
+  | Ptr t -> cty_to_string t ^ "*"
+  | Array (t, n) -> Printf.sprintf "%s[%d]" (cty_to_string t) n
+
+(** Size in bytes of a value of this C type. *)
+let rec cty_size = function
+  | Void -> 0
+  | Char -> 1
+  | Short -> 2
+  | Int -> 4
+  | Long -> 8
+  | Ptr _ -> 8
+  | Array (t, n) -> cty_size t * n
+
+(** The IR type a value of this C type occupies in a register. Arrays
+    decay to pointers. *)
+let ir_ty = function
+  | Void -> Ir.Types.Void
+  | Char -> Ir.Types.I8
+  | Short -> Ir.Types.I16
+  | Int -> Ir.Types.I32
+  | Long -> Ir.Types.I64
+  | Ptr _ -> Ir.Types.Ptr
+  | Array _ -> Ir.Types.Ptr
+
+let is_pointerish = function Ptr _ | Array _ -> true | _ -> false
+let is_integer = function Char | Short | Int | Long -> true | _ -> false
+
+(** Element type for pointer arithmetic and indexing. *)
+let element_ty = function
+  | Ptr t -> t
+  | Array (t, _) -> t
+  | t -> invalid_arg ("element_ty: " ^ cty_to_string t)

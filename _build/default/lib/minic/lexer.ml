@@ -1,0 +1,177 @@
+(** Hand-rolled lexer for the mini-C subset. *)
+
+type token =
+  | INT of int64
+  | STRING of string
+  | IDENT of string
+  | KW of string  (** keyword *)
+  | PUNCT of string  (** operator or punctuation, longest-match *)
+  | EOF
+
+type loc = { line : int; col : int }
+
+type lexed = { tok : token; loc : loc }
+
+exception Lex_error of string
+
+let keywords =
+  [
+    "void"; "char"; "short"; "int"; "long"; "if"; "else"; "while"; "do";
+    "for"; "switch"; "case"; "default"; "break"; "continue"; "return";
+    "static"; "const"; "extern"; "unsigned"; "signed";
+  ]
+
+let two_char_ops =
+  [
+    "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||"; "+="; "-="; "*="; "/=";
+    "%="; "&="; "|="; "^="; "++"; "--";
+  ]
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let push tok = out := { tok; loc = { line = !line; col = !col } } :: !out in
+  let advance k =
+    for j = !i to min (n - 1) (!i + k - 1) do
+      if src.[j] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col
+    done;
+    i := !i + k
+  in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  let error fmt =
+    Printf.ksprintf
+      (fun s -> raise (Lex_error (Printf.sprintf "line %d: %s" !line s)))
+      fmt
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance 1
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do advance 1 done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      advance 2;
+      let closed = ref false in
+      while !i < n && not !closed do
+        if src.[!i] = '*' && peek 1 = Some '/' then begin
+          advance 2;
+          closed := true
+        end
+        else advance 1
+      done;
+      if not !closed then error "unterminated comment"
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let start = !i in
+      while
+        !i < n
+        &&
+        let d = src.[!i] in
+        (d >= 'a' && d <= 'z') || (d >= 'A' && d <= 'Z') || (d >= '0' && d <= '9') || d = '_'
+      do
+        advance 1
+      done;
+      let word = String.sub src start (!i - start) in
+      push (if List.mem word keywords then KW word else IDENT word)
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !i in
+      if c = '0' && (peek 1 = Some 'x' || peek 1 = Some 'X') then begin
+        advance 2;
+        while
+          !i < n
+          &&
+          let d = src.[!i] in
+          (d >= '0' && d <= '9') || (d >= 'a' && d <= 'f') || (d >= 'A' && d <= 'F')
+        do
+          advance 1
+        done
+      end
+      else
+        while !i < n && src.[!i] >= '0' && src.[!i] <= '9' do advance 1 done;
+      let text = String.sub src start (!i - start) in
+      (match Int64.of_string_opt text with
+      | Some v -> push (INT v)
+      | None -> error "bad integer literal %S" text)
+    end
+    else if c = '\'' then begin
+      advance 1;
+      let v =
+        if !i < n && src.[!i] = '\\' then begin
+          advance 1;
+          let e = if !i < n then src.[!i] else ' ' in
+          advance 1;
+          match e with
+          | 'n' -> 10
+          | 't' -> 9
+          | 'r' -> 13
+          | '0' -> 0
+          | '\\' -> 92
+          | '\'' -> 39
+          | '"' -> 34
+          | other -> Char.code other
+        end
+        else begin
+          let v = if !i < n then Char.code src.[!i] else 0 in
+          advance 1;
+          v
+        end
+      in
+      if !i >= n || src.[!i] <> '\'' then error "unterminated char literal";
+      advance 1;
+      push (INT (Int64.of_int v))
+    end
+    else if c = '"' then begin
+      advance 1;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while !i < n && not !closed do
+        if src.[!i] = '"' then begin
+          advance 1;
+          closed := true
+        end
+        else if src.[!i] = '\\' then begin
+          advance 1;
+          let e = if !i < n then src.[!i] else ' ' in
+          advance 1;
+          Buffer.add_char buf
+            (match e with
+            | 'n' -> '\n'
+            | 't' -> '\t'
+            | 'r' -> '\r'
+            | '0' -> '\x00'
+            | other -> other)
+        end
+        else begin
+          Buffer.add_char buf src.[!i];
+          advance 1
+        end
+      done;
+      if not !closed then error "unterminated string literal";
+      push (STRING (Buffer.contents buf))
+    end
+    else begin
+      let two =
+        if !i + 1 < n then Some (String.sub src !i 2) else None
+      in
+      match two with
+      | Some op when List.mem op two_char_ops ->
+        push (PUNCT op);
+        advance 2
+      | _ ->
+        let single = String.make 1 c in
+        if String.contains "+-*/%<>=!&|^~?:;,(){}[]." c then begin
+          push (PUNCT single);
+          advance 1
+        end
+        else error "unexpected character %C" c
+    end
+  done;
+  push EOF;
+  List.rev !out

@@ -1,0 +1,640 @@
+(** Lowering from the mini-C AST to IR.
+
+    Locals go through allocas (the classic Clang strategy); Opt.Mem2reg
+    subsequently promotes them to SSA. Short-circuit booleans and the
+    ternary operator lower to control flow with phis; switch lowers to
+    the IR switch with fall-through between consecutive case bodies. *)
+
+open Ast
+
+exception Lower_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Lower_error s)) fmt
+
+type fn_sig = { lret : cty; lparams : cty list }
+
+type env = {
+  m : Ir.Modul.t;
+  sigs : (string, fn_sig) Hashtbl.t;
+  global_tys : (string, cty) Hashtbl.t;
+  strings : (string, string) Hashtbl.t;  (** literal -> symbol name *)
+  mutable string_count : int;
+  mutable scopes : (string * (Ir.Ins.value * cty)) list list;
+  mutable breaks : string list;
+  mutable continues : string list;
+  mutable ret_ty : cty;
+}
+
+let push_scope env = env.scopes <- [] :: env.scopes
+let pop_scope env =
+  match env.scopes with [] -> () | _ :: rest -> env.scopes <- rest
+
+let bind env name slot =
+  match env.scopes with
+  | scope :: rest -> env.scopes <- ((name, slot) :: scope) :: rest
+  | [] -> env.scopes <- [ [ (name, slot) ] ]
+
+let lookup_local env name =
+  let rec go = function
+    | [] -> None
+    | scope :: rest -> (
+      match List.assoc_opt name scope with Some s -> Some s | None -> go rest)
+  in
+  go env.scopes
+
+let intern_string env s =
+  let data = s ^ "\x00" in
+  match Hashtbl.find_opt env.strings data with
+  | Some name -> name
+  | None ->
+    let name = Printf.sprintf ".str.%d" env.string_count in
+    env.string_count <- env.string_count + 1;
+    ignore
+      (Ir.Modul.add_var env.m ~linkage:Ir.Func.Internal ~const:true ~name
+         (Ir.Modul.Bytes data));
+    Hashtbl.replace env.strings data name;
+    name
+
+(* C integer promotion: char/short promote to int; the common type of a
+   binary operation is the wider operand. *)
+let promote = function Char | Short -> Int | t -> t
+
+let common_cty a b =
+  let a = promote a and b = promote b in
+  if cty_size a >= cty_size b then a else b
+
+(* Convert [v] (of C type [from]) to C type [into]; emits casts as needed. *)
+let convert b v ~from ~into =
+  let fty = ir_ty from and ity = ir_ty into in
+  if fty = ity then v
+  else
+    match (fty, ity) with
+    | Ir.Types.Ptr, Ir.Types.Ptr -> v
+    | Ir.Types.Ptr, _ -> Ir.Builder.cast b Ir.Ins.Ptrtoint ity v
+    | _, Ir.Types.Ptr -> Ir.Builder.cast b Ir.Ins.Inttoptr ity v
+    | f, i when Ir.Types.size_of f < Ir.Types.size_of i ->
+      Ir.Builder.cast b Ir.Ins.Sext i v
+    | f, i when Ir.Types.size_of f > Ir.Types.size_of i ->
+      Ir.Builder.cast b Ir.Ins.Trunc i v
+    | _ -> v
+
+(* Turn a C value into an i1 condition. *)
+let as_cond b (v, cty) =
+  let ty = ir_ty cty in
+  Ir.Builder.icmp b Ir.Ins.Ne v (Ir.Ins.Const (ty, 0L))
+
+let zero_of cty = Ir.Ins.Const (ir_ty cty, 0L)
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Lower to an rvalue: (ir value, c type). *)
+let rec rvalue env b e : Ir.Ins.value * cty =
+  match e with
+  | Int_lit v -> (Ir.Ins.Const (Ir.Types.I32, Ir.Types.normalize Ir.Types.I32 v), Int)
+  | Str_lit s -> (Ir.Ins.Global (intern_string env s), Ptr Char)
+  | Ident name -> (
+    match lookup_local env name with
+    | Some (slot, (Array _ as aty)) -> (slot, aty)
+    | Some (slot, cty) -> (Ir.Builder.load b (ir_ty cty) slot, cty)
+    | None -> (
+      match Hashtbl.find_opt env.global_tys name with
+      | Some (Array _ as aty) -> (Ir.Ins.Global name, aty)
+      | Some cty -> (Ir.Builder.load b (ir_ty cty) (Ir.Ins.Global name), cty)
+      | None -> (
+        match Hashtbl.find_opt env.sigs name with
+        | Some fs -> (Ir.Ins.Global name, Ptr fs.lret)
+        | None -> fail "lower: undeclared identifier %s" name)))
+  | Unary (Neg, inner) ->
+    let v, icty = rvalue env b inner in
+    let cty = promote icty in
+    let v = convert b v ~from:icty ~into:cty in
+    (Ir.Builder.binop b Ir.Ins.Sub (ir_ty cty) (zero_of cty) v, cty)
+  | Unary (Bnot, inner) ->
+    let v, icty = rvalue env b inner in
+    let cty = promote icty in
+    let v = convert b v ~from:icty ~into:cty in
+    (Ir.Builder.binop b Ir.Ins.Xor (ir_ty cty) v (Ir.Ins.Const (ir_ty cty, -1L)), cty)
+  | Unary (Lnot, inner) ->
+    let v, cty = rvalue env b inner in
+    let is_zero = Ir.Builder.icmp b Ir.Ins.Eq v (zero_of cty) in
+    (Ir.Builder.cast b Ir.Ins.Zext Ir.Types.I32 is_zero, Int)
+  | Unary (Deref, inner) -> (
+    let ptr, pcty = rvalue env b inner in
+    match pcty with
+    | Ptr t | Array (t, _) -> (Ir.Builder.load b (ir_ty t) ptr, t)
+    | _ -> fail "lower: dereference of non-pointer")
+  | Unary (Addr, inner) ->
+    let ptr, cty = lvalue env b inner in
+    (ptr, Ptr cty)
+  | Binary (Land, lhs, rhs) -> lower_short_circuit env b ~is_and:true lhs rhs
+  | Binary (Lor, lhs, rhs) -> lower_short_circuit env b ~is_and:false lhs rhs
+  | Binary (op, lhs, rhs) -> lower_binary env b op lhs rhs
+  | Assign (lhs, rhs) ->
+    let ptr, lcty = lvalue env b lhs in
+    let v, rcty = rvalue env b rhs in
+    let v = convert b v ~from:rcty ~into:lcty in
+    Ir.Builder.store b v ptr;
+    (v, lcty)
+  | Op_assign (op, lhs, rhs) ->
+    let ptr, lcty = lvalue env b lhs in
+    let old = Ir.Builder.load b (ir_ty lcty) ptr in
+    let result, _ = apply_binop env b op (old, lcty) (rvalue env b rhs) in
+    let result = convert b result ~from:(promote lcty) ~into:lcty in
+    Ir.Builder.store b result ptr;
+    (result, lcty)
+  | Incdec (order, delta, lhs) ->
+    let ptr, lcty = lvalue env b lhs in
+    let old = Ir.Builder.load b (ir_ty lcty) ptr in
+    let updated =
+      match lcty with
+      | Ptr t ->
+        Ir.Builder.gep b old (Ir.Ins.Const (Ir.Types.I64, Int64.of_int delta))
+          (max 1 (cty_size t))
+      | _ ->
+        Ir.Builder.binop b Ir.Ins.Add (ir_ty lcty) old
+          (Ir.Ins.Const (ir_ty lcty, Int64.of_int delta))
+    in
+    Ir.Builder.store b updated ptr;
+    ((match order with `Pre -> updated | `Post -> old), lcty)
+  | Cond (c, thn, els) ->
+    let cond = as_cond b (rvalue env b c) in
+    let then_l = Ir.Builder.declare_block b "tern.then" in
+    let else_l = Ir.Builder.declare_block b "tern.else" in
+    let join_l = Ir.Builder.declare_block b "tern.join" in
+    Ir.Builder.cbr b cond then_l else_l;
+    let then_blk = Ir.Builder.enter b then_l in
+    ignore then_blk;
+    let tv, tcty = rvalue env b thn in
+    let result_cty = tcty in
+    let tv_end = (Ir.Builder.current b).Ir.Func.label in
+    Ir.Builder.br b join_l;
+    let _ = Ir.Builder.enter b else_l in
+    let ev, ecty = rvalue env b els in
+    let ev = convert b ev ~from:ecty ~into:result_cty in
+    let ev_end = (Ir.Builder.current b).Ir.Func.label in
+    Ir.Builder.br b join_l;
+    let _ = Ir.Builder.enter b join_l in
+    let phi =
+      Ir.Builder.phi b (ir_ty result_cty) [ (tv_end, tv); (ev_end, ev) ]
+    in
+    (phi, result_cty)
+  | Call (Ident fname, args) when Hashtbl.mem env.sigs fname ->
+    let fs = Hashtbl.find env.sigs fname in
+    if List.length fs.lparams <> List.length args then
+      fail "lower: wrong arity calling %s" fname;
+    let lowered =
+      List.map2
+        (fun pcty arg ->
+          let v, acty = rvalue env b arg in
+          convert b v ~from:acty ~into:pcty)
+        fs.lparams args
+    in
+    let rv = Ir.Builder.call b (ir_ty fs.lret) (Ir.Ins.Direct fname) lowered in
+    (rv, fs.lret)
+  | Call (callee, args) ->
+    (* indirect call through a pointer; convention: int(...) *)
+    let fv, _ = rvalue env b callee in
+    let lowered = List.map (fun a -> fst (rvalue env b a)) args in
+    let rv = Ir.Builder.call b Ir.Types.I32 (Ir.Ins.Indirect fv) lowered in
+    (rv, Int)
+  | Index (base, idx) -> (
+    let bv, bcty = rvalue env b base in
+    match bcty with
+    | Ptr t | Array (t, _) ->
+      let iv, icty = rvalue env b idx in
+      let iv = convert b iv ~from:icty ~into:Long in
+      let addr = Ir.Builder.gep b bv iv (max 1 (cty_size t)) in
+      (Ir.Builder.load b (ir_ty t) addr, t)
+    | _ -> fail "lower: indexing non-pointer")
+  | Cast (ty, inner) ->
+    let v, icty = rvalue env b inner in
+    (convert b v ~from:icty ~into:ty, ty)
+
+and lower_short_circuit env b ~is_and lhs rhs =
+  let rhs_l = Ir.Builder.declare_block b (if is_and then "and.rhs" else "or.rhs") in
+  let join_l = Ir.Builder.declare_block b (if is_and then "and.join" else "or.join") in
+  let lv = as_cond b (rvalue env b lhs) in
+  let lhs_end = (Ir.Builder.current b).Ir.Func.label in
+  if is_and then Ir.Builder.cbr b lv rhs_l join_l
+  else Ir.Builder.cbr b lv join_l rhs_l;
+  let _ = Ir.Builder.enter b rhs_l in
+  let rv = as_cond b (rvalue env b rhs) in
+  let rhs_end = (Ir.Builder.current b).Ir.Func.label in
+  Ir.Builder.br b join_l;
+  let _ = Ir.Builder.enter b join_l in
+  let short_value = Ir.Builder.i1 (not is_and) in
+  let phi =
+    Ir.Builder.phi b Ir.Types.I1 [ (lhs_end, short_value); (rhs_end, rv) ]
+  in
+  (Ir.Builder.cast b Ir.Ins.Zext Ir.Types.I32 phi, Int)
+
+and apply_binop _env b op (lv, lcty) (rv, rcty) =
+  match op with
+  | Add when is_pointerish lcty ->
+    let elem = element_ty lcty in
+    let rv = convert b rv ~from:rcty ~into:Long in
+    (Ir.Builder.gep b lv rv (max 1 (cty_size elem)), (match lcty with Array (t, _) -> Ptr t | t -> t))
+  | Add when is_pointerish rcty ->
+    let elem = element_ty rcty in
+    let lv = convert b lv ~from:lcty ~into:Long in
+    (Ir.Builder.gep b rv lv (max 1 (cty_size elem)), (match rcty with Array (t, _) -> Ptr t | t -> t))
+  | Sub when is_pointerish lcty && is_integer rcty ->
+    let elem = element_ty lcty in
+    let rv = convert b rv ~from:rcty ~into:Long in
+    let neg = Ir.Builder.binop b Ir.Ins.Sub Ir.Types.I64 (Ir.Ins.Const (Ir.Types.I64, 0L)) rv in
+    (Ir.Builder.gep b lv neg (max 1 (cty_size elem)), (match lcty with Array (t, _) -> Ptr t | t -> t))
+  | Sub when is_pointerish lcty && is_pointerish rcty ->
+    let elem_size = max 1 (cty_size (element_ty lcty)) in
+    let li = Ir.Builder.cast b Ir.Ins.Ptrtoint Ir.Types.I64 lv in
+    let ri = Ir.Builder.cast b Ir.Ins.Ptrtoint Ir.Types.I64 rv in
+    let diff = Ir.Builder.binop b Ir.Ins.Sub Ir.Types.I64 li ri in
+    ( Ir.Builder.binop b Ir.Ins.Sdiv Ir.Types.I64 diff
+        (Ir.Ins.Const (Ir.Types.I64, Int64.of_int elem_size)),
+      Long )
+  | Lt | Le | Gt | Ge | Eq | Ne ->
+    let cty = if is_pointerish lcty || is_pointerish rcty then Long else common_cty lcty rcty in
+    let conv v from =
+      if is_pointerish from then Ir.Builder.cast b Ir.Ins.Ptrtoint Ir.Types.I64 v
+      else convert b v ~from ~into:cty
+    in
+    let lv = conv lv lcty and rv = conv rv rcty in
+    let pred =
+      match op with
+      | Lt -> Ir.Ins.Slt
+      | Le -> Ir.Ins.Sle
+      | Gt -> Ir.Ins.Sgt
+      | Ge -> Ir.Ins.Sge
+      | Eq -> Ir.Ins.Eq
+      | Ne -> Ir.Ins.Ne
+      | _ -> assert false
+    in
+    let c = Ir.Builder.icmp b pred lv rv in
+    (Ir.Builder.cast b Ir.Ins.Zext Ir.Types.I32 c, Int)
+  | Add | Sub | Mul | Div | Mod | Band | Bor | Bxor | Shl | Shr ->
+    let cty = common_cty lcty rcty in
+    let lv = convert b lv ~from:lcty ~into:cty in
+    let rv = convert b rv ~from:rcty ~into:cty in
+    let irop =
+      match op with
+      | Add -> Ir.Ins.Add
+      | Sub -> Ir.Ins.Sub
+      | Mul -> Ir.Ins.Mul
+      | Div -> Ir.Ins.Sdiv
+      | Mod -> Ir.Ins.Srem
+      | Band -> Ir.Ins.And
+      | Bor -> Ir.Ins.Or
+      | Bxor -> Ir.Ins.Xor
+      | Shl -> Ir.Ins.Shl
+      | Shr -> Ir.Ins.Ashr
+      | _ -> assert false
+    in
+    (Ir.Builder.binop b irop (ir_ty cty) lv rv, cty)
+  | Land | Lor -> fail "lower: short-circuit handled elsewhere"
+
+and lower_binary env b op lhs rhs =
+  let l = rvalue env b lhs in
+  let r = rvalue env b rhs in
+  apply_binop env b op l r
+
+(* Lower to an lvalue: (pointer value, pointee c type). *)
+and lvalue env b e : Ir.Ins.value * cty =
+  match e with
+  | Ident name -> (
+    match lookup_local env name with
+    | Some (slot, cty) -> (slot, cty)
+    | None -> (
+      match Hashtbl.find_opt env.global_tys name with
+      | Some cty -> (Ir.Ins.Global name, cty)
+      | None -> fail "lower: undeclared lvalue %s" name))
+  | Unary (Deref, inner) -> (
+    let ptr, pcty = rvalue env b inner in
+    match pcty with
+    | Ptr t | Array (t, _) -> (ptr, t)
+    | _ -> fail "lower: dereference of non-pointer lvalue")
+  | Index (base, idx) -> (
+    let bv, bcty = rvalue env b base in
+    match bcty with
+    | Ptr t | Array (t, _) ->
+      let iv, icty = rvalue env b idx in
+      let iv = convert b iv ~from:icty ~into:Long in
+      (Ir.Builder.gep b bv iv (max 1 (cty_size t)), t)
+    | _ -> fail "lower: indexing non-pointer lvalue")
+  | Cast (ty, inner) ->
+    let ptr, _ = lvalue env b inner in
+    (ptr, ty)
+  | _ -> fail "lower: expression is not an lvalue"
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Does the current block already have a real terminator? The builder
+   leaves Unreachable until a terminator is set. *)
+let block_open b =
+  match (Ir.Builder.current b).Ir.Func.term with
+  | Ir.Ins.Unreachable -> true
+  | _ -> false
+
+let rec lower_stmt env b s =
+  if block_open b then
+    match s with
+    | Sexpr e -> ignore (rvalue env b e)
+    | Sdecl (cty, name, init) -> (
+      let count = match cty with Array (_, n) -> max n 1 | _ -> 1 in
+      let elem_cty = match cty with Array (t, _) -> t | t -> t in
+      let slot = Ir.Builder.alloca b (ir_ty elem_cty) count in
+      bind env name (slot, cty);
+      match init with
+      | None -> ()
+      | Some (Iexpr e) ->
+        let v, ecty = rvalue env b e in
+        let v = convert b v ~from:ecty ~into:cty in
+        Ir.Builder.store b v slot
+      | Some (Ilist es) ->
+        List.iteri
+          (fun i e ->
+            let v, ecty = rvalue env b e in
+            let v = convert b v ~from:ecty ~into:elem_cty in
+            let addr =
+              Ir.Builder.gep b slot
+                (Ir.Ins.Const (Ir.Types.I64, Int64.of_int i))
+                (max 1 (cty_size elem_cty))
+            in
+            Ir.Builder.store b v addr)
+          es
+      | Some (Istring s) ->
+        String.iteri
+          (fun i c ->
+            let addr =
+              Ir.Builder.gep b slot (Ir.Ins.Const (Ir.Types.I64, Int64.of_int i)) 1
+            in
+            Ir.Builder.store b (Ir.Ins.Const (Ir.Types.I8, Int64.of_int (Char.code c))) addr)
+          (s ^ "\x00"))
+    | Sif (c, thn, els) ->
+      let cond = as_cond b (rvalue env b c) in
+      let then_l = Ir.Builder.declare_block b "if.then" in
+      let else_l = Ir.Builder.declare_block b "if.else" in
+      let end_l = Ir.Builder.declare_block b "if.end" in
+      let has_else = els <> [] in
+      Ir.Builder.cbr b cond then_l (if has_else then else_l else end_l);
+      let _ = Ir.Builder.enter b then_l in
+      lower_body env b thn;
+      if block_open b then Ir.Builder.br b end_l;
+      if has_else then begin
+        let _ = Ir.Builder.enter b else_l in
+        lower_body env b els;
+        if block_open b then Ir.Builder.br b end_l
+      end;
+      ignore (Ir.Builder.enter b end_l)
+    | Swhile (c, body) ->
+      let cond_l = Ir.Builder.declare_block b "while.cond" in
+      let body_l = Ir.Builder.declare_block b "while.body" in
+      let end_l = Ir.Builder.declare_block b "while.end" in
+      Ir.Builder.br b cond_l;
+      let _ = Ir.Builder.enter b cond_l in
+      let cond = as_cond b (rvalue env b c) in
+      Ir.Builder.cbr b cond body_l end_l;
+      let _ = Ir.Builder.enter b body_l in
+      env.breaks <- end_l :: env.breaks;
+      env.continues <- cond_l :: env.continues;
+      lower_body env b body;
+      env.breaks <- List.tl env.breaks;
+      env.continues <- List.tl env.continues;
+      if block_open b then Ir.Builder.br b cond_l;
+      ignore (Ir.Builder.enter b end_l)
+    | Sdo (body, c) ->
+      let body_l = Ir.Builder.declare_block b "do.body" in
+      let cond_l = Ir.Builder.declare_block b "do.cond" in
+      let end_l = Ir.Builder.declare_block b "do.end" in
+      Ir.Builder.br b body_l;
+      let _ = Ir.Builder.enter b body_l in
+      env.breaks <- end_l :: env.breaks;
+      env.continues <- cond_l :: env.continues;
+      lower_body env b body;
+      env.breaks <- List.tl env.breaks;
+      env.continues <- List.tl env.continues;
+      if block_open b then Ir.Builder.br b cond_l;
+      let _ = Ir.Builder.enter b cond_l in
+      let cond = as_cond b (rvalue env b c) in
+      Ir.Builder.cbr b cond body_l end_l;
+      ignore (Ir.Builder.enter b end_l)
+    | Sfor (init, cond, step, body) ->
+      push_scope env;
+      Option.iter (lower_stmt env b) init;
+      let cond_l = Ir.Builder.declare_block b "for.cond" in
+      let body_l = Ir.Builder.declare_block b "for.body" in
+      let step_l = Ir.Builder.declare_block b "for.step" in
+      let end_l = Ir.Builder.declare_block b "for.end" in
+      Ir.Builder.br b cond_l;
+      let _ = Ir.Builder.enter b cond_l in
+      (match cond with
+      | Some c ->
+        let cv = as_cond b (rvalue env b c) in
+        Ir.Builder.cbr b cv body_l end_l
+      | None -> Ir.Builder.br b body_l);
+      let _ = Ir.Builder.enter b body_l in
+      env.breaks <- end_l :: env.breaks;
+      env.continues <- step_l :: env.continues;
+      lower_body env b body;
+      env.breaks <- List.tl env.breaks;
+      env.continues <- List.tl env.continues;
+      if block_open b then Ir.Builder.br b step_l;
+      let _ = Ir.Builder.enter b step_l in
+      Option.iter (fun e -> ignore (rvalue env b e)) step;
+      Ir.Builder.br b cond_l;
+      ignore (Ir.Builder.enter b end_l);
+      pop_scope env
+    | Sswitch (scrut, cases, default) ->
+      let sv, scty = rvalue env b scrut in
+      let sv = convert b sv ~from:scty ~into:(promote scty) in
+      let sty = ir_ty (promote scty) in
+      let end_l = Ir.Builder.declare_block b "switch.end" in
+      let case_labels =
+        List.mapi (fun i _ -> Ir.Builder.declare_block b (Printf.sprintf "case.%d" i)) cases
+      in
+      let default_l =
+        match default with
+        | Some _ -> Ir.Builder.declare_block b "switch.default"
+        | None -> end_l
+      in
+      let table =
+        List.concat
+          (List.map2
+             (fun c l ->
+               List.map (fun v -> (Ir.Types.normalize sty v, l)) c.case_values)
+             cases case_labels)
+      in
+      Ir.Builder.switch b sv default_l table;
+      env.breaks <- end_l :: env.breaks;
+      (* case bodies with C fall-through semantics *)
+      let rec emit_cases cases labels =
+        match (cases, labels) with
+        | [], [] -> ()
+        | c :: rest_cases, l :: rest_labels ->
+          let _ = Ir.Builder.enter b l in
+          lower_body env b c.case_body;
+          if block_open b then begin
+            (* fall through to the next case, default, or end *)
+            let next =
+              match rest_labels with
+              | n :: _ -> n
+              | [] -> ( match default with Some _ -> default_l | None -> end_l)
+            in
+            Ir.Builder.br b next
+          end;
+          emit_cases rest_cases rest_labels
+        | _ -> assert false
+      in
+      emit_cases cases case_labels;
+      (match default with
+      | Some body ->
+        let _ = Ir.Builder.enter b default_l in
+        lower_body env b body;
+        if block_open b then Ir.Builder.br b end_l
+      | None -> ());
+      env.breaks <- List.tl env.breaks;
+      ignore (Ir.Builder.enter b end_l)
+    | Sbreak -> (
+      match env.breaks with
+      | l :: _ -> Ir.Builder.br b l
+      | [] -> fail "lower: break outside loop/switch")
+    | Scontinue -> (
+      match env.continues with
+      | l :: _ -> Ir.Builder.br b l
+      | [] -> fail "lower: continue outside loop")
+    | Sreturn None -> Ir.Builder.ret b None
+    | Sreturn (Some e) ->
+      let v, ecty = rvalue env b e in
+      let v = convert b v ~from:ecty ~into:env.ret_ty in
+      Ir.Builder.ret b (Some v)
+    | Sblock body -> lower_body env b body
+
+and lower_body env b stmts =
+  push_scope env;
+  List.iter (lower_stmt env b) stmts;
+  pop_scope env
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let const_int_of_expr = function
+  | Int_lit v -> v
+  | Unary (Neg, Int_lit v) -> Int64.neg v
+  | _ -> fail "lower: global initializer element must be a constant"
+
+let lower_global env (v : var_decl) =
+  let linkage = if v.vstatic then Ir.Func.Internal else Ir.Func.External in
+  let init =
+    if v.vextern && v.vinit = None then Ir.Modul.Extern
+    else
+      match (v.vty, v.vinit) with
+      | Array (Char, n), Some (Istring s) ->
+        let data = s ^ "\x00" in
+        let n = if n < 0 then String.length data else n in
+        let padded =
+          if String.length data >= n then String.sub data 0 n
+          else data ^ String.make (n - String.length data) '\x00'
+        in
+        Ir.Modul.Bytes padded
+      | Array (et, n), Some (Ilist es) when is_integer et ->
+        let ws = List.map const_int_of_expr es in
+        let n = if n < 0 then List.length ws else n in
+        let padded =
+          if List.length ws >= n then ws
+          else ws @ List.init (n - List.length ws) (fun _ -> 0L)
+        in
+        Ir.Modul.Words (ir_ty et, List.map (Ir.Types.normalize (ir_ty et)) padded)
+      | Array (Ptr _, n), Some (Ilist es) ->
+        let syms =
+          List.map
+            (function
+              | Ident f -> f
+              | Unary (Addr, Ident g) -> g
+              | Str_lit s -> intern_string env s
+              | _ -> fail "lower: pointer table entries must name symbols")
+            es
+        in
+        let n = if n < 0 then List.length syms else n in
+        ignore n;
+        Ir.Modul.Symbols syms
+      | Ptr _, Some (Iexpr (Ident f)) -> Ir.Modul.Symbols [ f ]
+      | Ptr _, Some (Iexpr (Unary (Addr, Ident g))) -> Ir.Modul.Symbols [ g ]
+      | Ptr _, Some (Iexpr (Str_lit s)) -> Ir.Modul.Symbols [ intern_string env s ]
+      | ty, Some (Iexpr e) when is_integer ty ->
+        Ir.Modul.Words (ir_ty ty, [ Ir.Types.normalize (ir_ty ty) (const_int_of_expr e) ])
+      | ty, None -> Ir.Modul.Zero (max 1 (cty_size ty))
+      | _ -> fail "lower: unsupported global initializer for %s" v.vname
+  in
+  ignore (Ir.Modul.add_var env.m ~linkage ~const:v.vconst ~name:v.vname init)
+
+let lower_function env (f : func_decl) =
+  match f.fbody with
+  | None ->
+    ignore
+      (Ir.Modul.declare_function env.m ~name:f.fname
+         ~params:(List.map (fun (ct, p) -> (ir_ty ct, p)) f.fparams)
+         ~ret:(ir_ty f.fret))
+  | Some body ->
+    let linkage = if f.fstatic then Ir.Func.Internal else Ir.Func.External in
+    let fn =
+      Ir.Modul.add_function env.m ~linkage ~name:f.fname
+        ~params:(List.map (fun (ct, p) -> (ir_ty ct, p)) f.fparams)
+        ~ret:(ir_ty f.fret) []
+    in
+    let b = Ir.Builder.create fn in
+    let _ = Ir.Builder.new_block b "entry" in
+    env.ret_ty <- f.fret;
+    env.scopes <- [];
+    push_scope env;
+    (* spill parameters to allocas; mem2reg lifts them back *)
+    List.iter
+      (fun (cty, p) ->
+        let slot = Ir.Builder.alloca b (ir_ty cty) 1 in
+        Ir.Builder.store b (Ir.Ins.Reg (ir_ty cty, p)) slot;
+        bind env p (slot, cty))
+      f.fparams;
+    lower_body env b body;
+    if block_open b then
+      if f.fret = Void then Ir.Builder.ret b None
+      else Ir.Builder.ret b (Some (Ir.Ins.Const (ir_ty f.fret, 0L)))
+
+(** Lower a checked program to a fresh IR module. *)
+let lower_program ?(name = "program") (prog : program) =
+  let m = Ir.Modul.create ~name () in
+  let env =
+    {
+      m;
+      sigs = Hashtbl.create 64;
+      global_tys = Hashtbl.create 64;
+      strings = Hashtbl.create 64;
+      string_count = 0;
+      scopes = [];
+      breaks = [];
+      continues = [];
+      ret_ty = Void;
+    }
+  in
+  List.iter
+    (function
+      | Tfunc f ->
+        Hashtbl.replace env.sigs f.fname
+          { lret = f.fret; lparams = List.map fst f.fparams }
+      | Tvar v -> Hashtbl.replace env.global_tys v.vname v.vty)
+    prog;
+  (* globals first so functions can reference them *)
+  List.iter (function Tvar v -> lower_global env v | Tfunc _ -> ()) prog;
+  List.iter (function Tfunc f -> lower_function env f | Tvar _ -> ()) prog;
+  m
+
+(** Front-end driver: source text to verified IR module. *)
+let compile ?(name = "program") src =
+  let prog = Parser.parse_program src in
+  (match Typecheck.check prog with
+  | [] -> ()
+  | errors -> fail "type errors:\n%s" (String.concat "\n" errors));
+  let m = lower_program ~name prog in
+  Ir.Verify.run_exn m;
+  m

@@ -1,0 +1,561 @@
+(** Recursive-descent parser for the mini-C subset. *)
+
+open Ast
+
+exception Parse_error of string
+
+type state = { mutable toks : Lexer.lexed list }
+
+let error st fmt =
+  let loc =
+    match st.toks with
+    | { Lexer.loc; _ } :: _ -> Printf.sprintf "line %d" loc.Lexer.line
+    | [] -> "eof"
+  in
+  Printf.ksprintf (fun s -> raise (Parse_error (loc ^ ": " ^ s))) fmt
+
+let peek st =
+  match st.toks with [] -> Lexer.EOF | { Lexer.tok; _ } :: _ -> tok
+
+let peek2 st =
+  match st.toks with
+  | _ :: { Lexer.tok; _ } :: _ -> tok
+  | _ -> Lexer.EOF
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let eat_punct st p =
+  match peek st with
+  | Lexer.PUNCT q when String.equal p q ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_punct st p =
+  if not (eat_punct st p) then error st "expected %S" p
+
+let eat_kw st k =
+  match peek st with
+  | Lexer.KW q when String.equal k q ->
+    advance st;
+    true
+  | _ -> false
+
+let expect_ident st =
+  match peek st with
+  | Lexer.IDENT name ->
+    advance st;
+    name
+  | _ -> error st "expected identifier"
+
+(* adjacent string literals concatenate, as in C *)
+let gather_adjacent_strings st =
+  let buf = Buffer.create 8 in
+  let rec go () =
+    match peek st with
+    | Lexer.STRING s ->
+      advance st;
+      Buffer.add_string buf s;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let is_type_start st =
+  match peek st with
+  | Lexer.KW ("void" | "char" | "short" | "int" | "long" | "unsigned" | "signed"
+             | "const" | "static" | "extern") ->
+    true
+  | _ -> false
+
+(* Base type with optional sign keywords (sign is accepted and ignored:
+   our integers are uniformly signed, which the workloads rely on). *)
+let parse_base_type st =
+  let _ = eat_kw st "unsigned" || eat_kw st "signed" in
+  if eat_kw st "void" then Void
+  else if eat_kw st "char" then Char
+  else if eat_kw st "short" then Short
+  else if eat_kw st "int" then Int
+  else if eat_kw st "long" then begin
+    let _ = eat_kw st "long" in
+    let _ = eat_kw st "int" in
+    Long
+  end
+  else if eat_kw st "unsigned" || eat_kw st "signed" then Int
+  else (* bare unsigned/signed = int *) Int
+
+let parse_pointers st ty =
+  let ty = ref ty in
+  while eat_punct st "*" do
+    ty := Ptr !ty;
+    ignore (eat_kw st "const")
+  done;
+  !ty
+
+(* ------------------------------------------------------------------ *)
+(* Expressions (precedence climbing)                                   *)
+(* ------------------------------------------------------------------ *)
+
+let binop_of_punct = function
+  | "*" -> Some (Mul, 10)
+  | "/" -> Some (Div, 10)
+  | "%" -> Some (Mod, 10)
+  | "+" -> Some (Add, 9)
+  | "-" -> Some (Sub, 9)
+  | "<<" -> Some (Shl, 8)
+  | ">>" -> Some (Shr, 8)
+  | "<" -> Some (Lt, 7)
+  | "<=" -> Some (Le, 7)
+  | ">" -> Some (Gt, 7)
+  | ">=" -> Some (Ge, 7)
+  | "==" -> Some (Eq, 6)
+  | "!=" -> Some (Ne, 6)
+  | "&" -> Some (Band, 5)
+  | "^" -> Some (Bxor, 4)
+  | "|" -> Some (Bor, 3)
+  | "&&" -> Some (Land, 2)
+  | "||" -> Some (Lor, 1)
+  | _ -> None
+
+let op_assign_of_punct = function
+  | "+=" -> Some Add
+  | "-=" -> Some Sub
+  | "*=" -> Some Mul
+  | "/=" -> Some Div
+  | "%=" -> Some Mod
+  | "&=" -> Some Band
+  | "|=" -> Some Bor
+  | "^=" -> Some Bxor
+  | _ -> None
+
+let rec parse_expr st = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_ternary st in
+  match peek st with
+  | Lexer.PUNCT "=" ->
+    advance st;
+    Assign (lhs, parse_assign st)
+  | Lexer.PUNCT p -> (
+    match op_assign_of_punct p with
+    | Some op ->
+      advance st;
+      Op_assign (op, lhs, parse_assign st)
+    | None -> lhs)
+  | _ -> lhs
+
+and parse_ternary st =
+  let cond = parse_binary st 1 in
+  if eat_punct st "?" then begin
+    let thn = parse_expr st in
+    expect_punct st ":";
+    let els = parse_ternary st in
+    Cond (cond, thn, els)
+  end
+  else cond
+
+and parse_binary st min_prec =
+  let lhs = ref (parse_unary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    match peek st with
+    | Lexer.PUNCT p -> (
+      match binop_of_punct p with
+      | Some (op, prec) when prec >= min_prec ->
+        advance st;
+        let rhs = parse_binary st (prec + 1) in
+        lhs := Binary (op, !lhs, rhs)
+      | _ -> continue_ := false)
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary st =
+  match peek st with
+  | Lexer.PUNCT "-" ->
+    advance st;
+    Unary (Neg, parse_unary st)
+  | Lexer.PUNCT "!" ->
+    advance st;
+    Unary (Lnot, parse_unary st)
+  | Lexer.PUNCT "~" ->
+    advance st;
+    Unary (Bnot, parse_unary st)
+  | Lexer.PUNCT "*" ->
+    advance st;
+    Unary (Deref, parse_unary st)
+  | Lexer.PUNCT "&" ->
+    advance st;
+    Unary (Addr, parse_unary st)
+  | Lexer.PUNCT "++" ->
+    advance st;
+    Incdec (`Pre, 1, parse_unary st)
+  | Lexer.PUNCT "--" ->
+    advance st;
+    Incdec (`Pre, -1, parse_unary st)
+  | Lexer.PUNCT "(" when is_cast_ahead st ->
+    advance st;
+    let ty = parse_pointers st (parse_base_type st) in
+    expect_punct st ")";
+    Cast (ty, parse_unary st)
+  | _ -> parse_postfix st
+
+and is_cast_ahead st =
+  (* "(" already peeked; a cast iff the next token is a type keyword *)
+  match peek2 st with
+  | Lexer.KW ("void" | "char" | "short" | "int" | "long" | "unsigned" | "signed") ->
+    true
+  | _ -> false
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue_ = ref true in
+  while !continue_ do
+    if eat_punct st "(" then begin
+      let args = ref [] in
+      if not (eat_punct st ")") then begin
+        let rec loop () =
+          args := parse_expr st :: !args;
+          if eat_punct st "," then loop () else expect_punct st ")"
+        in
+        loop ()
+      end;
+      e := Call (!e, List.rev !args)
+    end
+    else if eat_punct st "[" then begin
+      let idx = parse_expr st in
+      expect_punct st "]";
+      e := Index (!e, idx)
+    end
+    else if eat_punct st "++" then e := Incdec (`Post, 1, !e)
+    else if eat_punct st "--" then e := Incdec (`Post, -1, !e)
+    else continue_ := false
+  done;
+  !e
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT v ->
+    advance st;
+    Int_lit v
+  | Lexer.STRING s ->
+    advance st;
+    (* adjacent string literal concatenation *)
+    let buf = Buffer.create (String.length s) in
+    Buffer.add_string buf s;
+    let rec more () =
+      match peek st with
+      | Lexer.STRING s2 ->
+        advance st;
+        Buffer.add_string buf s2;
+        more ()
+      | _ -> ()
+    in
+    more ();
+    Str_lit (Buffer.contents buf)
+  | Lexer.IDENT name ->
+    advance st;
+    Ident name
+  | Lexer.PUNCT "(" ->
+    advance st;
+    let e = parse_expr st in
+    expect_punct st ")";
+    e
+  | _ -> error st "expected expression"
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_stmt st =
+  match peek st with
+  | Lexer.PUNCT "{" -> Sblock (parse_block st)
+  | Lexer.KW "if" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    let thn = parse_stmt_as_list st in
+    let els = if eat_kw st "else" then parse_stmt_as_list st else [] in
+    Sif (cond, thn, els)
+  | Lexer.KW "while" ->
+    advance st;
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    Swhile (cond, parse_stmt_as_list st)
+  | Lexer.KW "do" ->
+    advance st;
+    let body = parse_stmt_as_list st in
+    if not (eat_kw st "while") then error st "expected 'while' after do-body";
+    expect_punct st "(";
+    let cond = parse_expr st in
+    expect_punct st ")";
+    expect_punct st ";";
+    Sdo (body, cond)
+  | Lexer.KW "for" ->
+    advance st;
+    expect_punct st "(";
+    let init =
+      if eat_punct st ";" then None
+      else begin
+        let s =
+          if is_type_start st then parse_local_decl st else Sexpr (parse_expr st)
+        in
+        (match s with Sdecl _ -> () | _ -> expect_punct st ";");
+        Some s
+      end
+    in
+    let cond = if eat_punct st ";" then None else begin
+      let e = parse_expr st in
+      expect_punct st ";";
+      Some e
+    end
+    in
+    let step = if eat_punct st ")" then None else begin
+      let e = parse_expr st in
+      expect_punct st ")";
+      Some e
+    end
+    in
+    Sfor (init, cond, step, parse_stmt_as_list st)
+  | Lexer.KW "switch" ->
+    advance st;
+    expect_punct st "(";
+    let scrut = parse_expr st in
+    expect_punct st ")";
+    expect_punct st "{";
+    let cases = ref [] in
+    let default = ref None in
+    let rec parse_cases () =
+      match peek st with
+      | Lexer.PUNCT "}" -> advance st
+      | Lexer.KW "case" ->
+        let values = ref [] in
+        let rec labels () =
+          if eat_kw st "case" then begin
+            (match parse_expr st with
+            | Int_lit v -> values := v :: !values
+            | Unary (Neg, Int_lit v) -> values := Int64.neg v :: !values
+            | _ -> error st "case label must be an integer constant");
+            expect_punct st ":";
+            labels ()
+          end
+          else if eat_kw st "default" then begin
+            expect_punct st ":";
+            default := Some [];
+            labels ()
+          end
+        in
+        labels ();
+        let body = parse_case_body st in
+        (* if default was declared among these labels, share the body *)
+        (match !default with Some [] -> default := Some body | _ -> ());
+        cases := { case_values = List.rev !values; case_body = body } :: !cases;
+        parse_cases ()
+      | Lexer.KW "default" ->
+        advance st;
+        expect_punct st ":";
+        default := Some (parse_case_body st);
+        parse_cases ()
+      | _ -> error st "expected case/default/}"
+    and parse_case_body st' =
+      let body = ref [] in
+      let rec loop () =
+        match peek st' with
+        | Lexer.KW ("case" | "default") | Lexer.PUNCT "}" -> ()
+        | _ ->
+          body := parse_stmt st' :: !body;
+          loop ()
+      in
+      loop ();
+      List.rev !body
+    in
+    parse_cases ();
+    Sswitch (scrut, List.rev !cases, !default)
+  | Lexer.KW "break" ->
+    advance st;
+    expect_punct st ";";
+    Sbreak
+  | Lexer.KW "continue" ->
+    advance st;
+    expect_punct st ";";
+    Scontinue
+  | Lexer.KW "return" ->
+    advance st;
+    if eat_punct st ";" then Sreturn None
+    else begin
+      let e = parse_expr st in
+      expect_punct st ";";
+      Sreturn (Some e)
+    end
+  | _ when is_type_start st -> parse_local_decl st
+  | Lexer.PUNCT ";" ->
+    advance st;
+    Sblock []
+  | _ ->
+    let e = parse_expr st in
+    expect_punct st ";";
+    Sexpr e
+
+and parse_stmt_as_list st =
+  match parse_stmt st with Sblock ss -> ss | s -> [ s ]
+
+and parse_block st =
+  expect_punct st "{";
+  let stmts = ref [] in
+  while not (eat_punct st "}") do
+    stmts := parse_stmt st :: !stmts
+  done;
+  List.rev !stmts
+
+and parse_local_decl st =
+  let _ = eat_kw st "static" in
+  let _ = eat_kw st "const" in
+  let base = parse_base_type st in
+  let ty = parse_pointers st base in
+  let name = expect_ident st in
+  let ty =
+    if eat_punct st "[" then begin
+      match peek st with
+      | Lexer.INT n ->
+        advance st;
+        expect_punct st "]";
+        Array (ty, Int64.to_int n)
+      | _ -> error st "expected array size"
+    end
+    else ty
+  in
+  let init =
+    if eat_punct st "=" then
+      Some
+        (if eat_punct st "{" then begin
+           let elems = ref [] in
+           if not (eat_punct st "}") then begin
+             let rec loop () =
+               elems := parse_expr st :: !elems;
+               if eat_punct st "," then begin
+                 if not (eat_punct st "}") then loop ()
+               end
+               else expect_punct st "}"
+             in
+             loop ()
+           end;
+           Ilist (List.rev !elems)
+         end
+         else
+           match peek st with
+           | Lexer.STRING s when (match ty with Array (Char, _) -> true | _ -> false) ->
+             advance st;
+             Istring (s ^ gather_adjacent_strings st)
+           | _ -> Iexpr (parse_expr st))
+    else None
+  in
+  expect_punct st ";";
+  Sdecl (ty, name, init)
+
+(* ------------------------------------------------------------------ *)
+(* Top level                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let parse_top st =
+  let static = eat_kw st "static" in
+  let const = eat_kw st "const" in
+  let extern = eat_kw st "extern" in
+  let const = const || eat_kw st "const" in
+  let base = parse_base_type st in
+  let ty = parse_pointers st base in
+  let name = expect_ident st in
+  if eat_punct st "(" then begin
+    (* function *)
+    let params = ref [] in
+    if not (eat_punct st ")") then begin
+      if eat_kw st "void" && peek st = Lexer.PUNCT ")" then ignore (eat_punct st ")")
+      else begin
+        let rec loop idx =
+          let pbase = parse_base_type st in
+          let pty = parse_pointers st pbase in
+          let pname =
+            match peek st with
+            | Lexer.IDENT n ->
+              advance st;
+              n
+            | _ -> Printf.sprintf "arg%d" idx
+          in
+          (* array parameters decay to pointers *)
+          let pty =
+            if eat_punct st "[" then begin
+              (match peek st with Lexer.INT _ -> advance st | _ -> ());
+              expect_punct st "]";
+              Ptr pty
+            end
+            else pty
+          in
+          params := (pty, pname) :: !params;
+          if eat_punct st "," then loop (idx + 1) else expect_punct st ")"
+        in
+        loop 0
+      end
+    end;
+    let body =
+      if eat_punct st ";" then None else Some (parse_block st)
+    in
+    Tfunc { fname = name; fstatic = static; fret = ty; fparams = List.rev !params; fbody = body }
+  end
+  else begin
+    (* global variable *)
+    let ty =
+      if eat_punct st "[" then
+        match peek st with
+        | Lexer.INT n ->
+          advance st;
+          expect_punct st "]";
+          Array (ty, Int64.to_int n)
+        | Lexer.PUNCT "]" ->
+          advance st;
+          Array (ty, -1) (* size from initializer *)
+        | _ -> error st "expected array size"
+      else ty
+    in
+    let init =
+      if eat_punct st "=" then
+        Some
+          (if eat_punct st "{" then begin
+             let elems = ref [] in
+             if not (eat_punct st "}") then begin
+               let rec loop () =
+                 elems := parse_expr st :: !elems;
+                 if eat_punct st "," then begin
+                   if not (eat_punct st "}") then loop ()
+                 end
+                 else expect_punct st "}"
+               in
+               loop ()
+             end;
+             Ilist (List.rev !elems)
+           end
+           else
+             match peek st with
+             | Lexer.STRING s ->
+               advance st;
+               Istring (s ^ gather_adjacent_strings st)
+             | _ -> Iexpr (parse_expr st))
+      else None
+    in
+    expect_punct st ";";
+    Tvar { vname = name; vstatic = static; vconst = const; vextern = extern; vty = ty; vinit = init }
+  end
+
+let parse_program src =
+  let st = { toks = Lexer.tokenize src } in
+  let tops = ref [] in
+  while peek st <> Lexer.EOF do
+    tops := parse_top st :: !tops
+  done;
+  List.rev !tops

@@ -1,0 +1,283 @@
+(** Semantic checking for mini-C: identifier resolution, call arity,
+    lvalue positions, break/continue placement, and loose type
+    compatibility (integers convert freely among themselves; pointers
+    only mix with pointers of any element type or integer 0).
+
+    Runs before lowering; {!Lower} assumes a checked program. *)
+
+open Ast
+
+type fsig = { sret : cty; sparams : cty list }
+
+type env = {
+  funcs : (string, fsig) Hashtbl.t;
+  globals : (string, cty) Hashtbl.t;
+  mutable locals : (string * cty) list list;  (** scope stack *)
+  mutable errors : string list;
+  mutable loop_depth : int;
+  mutable switch_depth : int;
+  mutable current_ret : cty;
+}
+
+let error env fmt = Printf.ksprintf (fun s -> env.errors <- s :: env.errors) fmt
+
+let push_scope env = env.locals <- [] :: env.locals
+
+let pop_scope env =
+  match env.locals with [] -> () | _ :: rest -> env.locals <- rest
+
+let declare_local env name ty =
+  match env.locals with
+  | scope :: rest ->
+    if List.mem_assoc name scope then error env "redeclaration of %s" name;
+    env.locals <- ((name, ty) :: scope) :: rest
+  | [] -> env.locals <- [ [ (name, ty) ] ]
+
+let lookup env name =
+  let rec in_scopes = function
+    | [] -> None
+    | scope :: rest -> (
+      match List.assoc_opt name scope with
+      | Some ty -> Some ty
+      | None -> in_scopes rest)
+  in
+  match in_scopes env.locals with
+  | Some ty -> Some ty
+  | None -> (
+    match Hashtbl.find_opt env.globals name with
+    | Some ty -> Some ty
+    | None -> (
+      match Hashtbl.find_opt env.funcs name with
+      | Some fs -> Some (Ptr fs.sret) (* function designator, loosely *)
+      | None -> None))
+
+let rec is_lvalue = function
+  | Ident _ -> true
+  | Index _ -> true
+  | Unary (Deref, _) -> true
+  | Cast (_, e) -> is_lvalue e
+  | _ -> false
+
+let compatible a b =
+  match (a, b) with
+  | x, y when x = y -> true
+  | (Char | Short | Int | Long), (Char | Short | Int | Long) -> true
+  | (Ptr _ | Array _), (Ptr _ | Array _) -> true
+  | (Ptr _ | Array _), (Char | Short | Int | Long) -> true (* ptr = 0, p + i *)
+  | (Char | Short | Int | Long), (Ptr _ | Array _) -> true
+  | _ -> false
+
+let rec check_expr env e =
+  match e with
+  | Int_lit _ -> Int
+  | Str_lit _ -> Ptr Char
+  | Ident name -> (
+    match lookup env name with
+    | Some ty -> ty
+    | None ->
+      error env "use of undeclared identifier %s" name;
+      Int)
+  | Unary (op, inner) -> (
+    let ity = check_expr env inner in
+    match op with
+    | Neg | Bnot | Lnot ->
+      if not (is_integer ity) && not (is_pointerish ity) then
+        error env "unary operator on non-scalar %s" (cty_to_string ity);
+      if op = Lnot then Int else ity
+    | Deref -> (
+      match ity with
+      | Ptr t | Array (t, _) -> t
+      | _ ->
+        error env "dereference of non-pointer %s" (cty_to_string ity);
+        Int)
+    | Addr ->
+      if not (is_lvalue inner) then error env "address of non-lvalue";
+      Ptr ity)
+  | Binary (op, a, b) -> (
+    let ta = check_expr env a in
+    let tb = check_expr env b in
+    if not (compatible ta tb) then
+      error env "incompatible operands %s and %s" (cty_to_string ta) (cty_to_string tb);
+    match op with
+    | Lt | Le | Gt | Ge | Eq | Ne | Land | Lor -> Int
+    | Add | Sub when is_pointerish ta -> ta
+    | _ -> if cty_size ta >= cty_size tb then ta else tb)
+  | Assign (lhs, rhs) ->
+    if not (is_lvalue lhs) then error env "assignment to non-lvalue";
+    let tl = check_expr env lhs in
+    let tr = check_expr env rhs in
+    if not (compatible tl tr) then
+      error env "assigning %s to %s" (cty_to_string tr) (cty_to_string tl);
+    tl
+  | Op_assign (_, lhs, rhs) ->
+    if not (is_lvalue lhs) then error env "assignment to non-lvalue";
+    let tl = check_expr env lhs in
+    ignore (check_expr env rhs);
+    tl
+  | Incdec (_, _, lhs) ->
+    if not (is_lvalue lhs) then error env "++/-- on non-lvalue";
+    check_expr env lhs
+  | Cond (c, a, b) ->
+    ignore (check_expr env c);
+    let ta = check_expr env a in
+    let tb = check_expr env b in
+    if not (compatible ta tb) then error env "incompatible ternary arms";
+    if cty_size ta >= cty_size tb then ta else tb
+  | Call (Ident fname, args) -> (
+    match Hashtbl.find_opt env.funcs fname with
+    | Some fs ->
+      if List.length fs.sparams <> List.length args then
+        error env "call to %s with %d args, expected %d" fname (List.length args)
+          (List.length fs.sparams);
+      List.iteri
+        (fun i arg ->
+          let ta = check_expr env arg in
+          match List.nth_opt fs.sparams i with
+          | Some tp when not (compatible tp ta) ->
+            error env "argument %d of %s: %s given, %s expected" (i + 1) fname
+              (cty_to_string ta) (cty_to_string tp)
+          | _ -> ())
+        args;
+      fs.sret
+    | None -> (
+      (* indirect call through a variable of pointer type *)
+      match lookup env fname with
+      | Some (Ptr _) ->
+        List.iter (fun a -> ignore (check_expr env a)) args;
+        Long
+      | _ ->
+        error env "call to undeclared function %s" fname;
+        Int))
+  | Call (f, args) ->
+    ignore (check_expr env f);
+    List.iter (fun a -> ignore (check_expr env a)) args;
+    Long
+  | Index (base, idx) -> (
+    let tb = check_expr env base in
+    let ti = check_expr env idx in
+    if not (is_integer ti) then error env "array index must be an integer";
+    match tb with
+    | Ptr t | Array (t, _) -> t
+    | _ ->
+      error env "indexing non-pointer %s" (cty_to_string tb);
+      Int)
+  | Cast (ty, inner) ->
+    ignore (check_expr env inner);
+    ty
+
+let rec check_stmt env s =
+  match s with
+  | Sexpr e -> ignore (check_expr env e)
+  | Sdecl (ty, name, init) -> (
+    declare_local env name ty;
+    match init with
+    | Some (Iexpr e) ->
+      let te = check_expr env e in
+      if not (compatible ty te) then
+        error env "initializing %s with %s" (cty_to_string ty) (cty_to_string te)
+    | Some (Ilist es) -> List.iter (fun e -> ignore (check_expr env e)) es
+    | Some (Istring _) | None -> ())
+  | Sif (c, t, e) ->
+    ignore (check_expr env c);
+    check_body env t;
+    check_body env e
+  | Swhile (c, body) ->
+    ignore (check_expr env c);
+    env.loop_depth <- env.loop_depth + 1;
+    check_body env body;
+    env.loop_depth <- env.loop_depth - 1
+  | Sdo (body, c) ->
+    env.loop_depth <- env.loop_depth + 1;
+    check_body env body;
+    env.loop_depth <- env.loop_depth - 1;
+    ignore (check_expr env c)
+  | Sfor (init, cond, step, body) ->
+    push_scope env;
+    Option.iter (check_stmt env) init;
+    Option.iter (fun c -> ignore (check_expr env c)) cond;
+    Option.iter (fun c -> ignore (check_expr env c)) step;
+    env.loop_depth <- env.loop_depth + 1;
+    check_body env body;
+    env.loop_depth <- env.loop_depth - 1;
+    pop_scope env
+  | Sswitch (scrut, cases, default) ->
+    let ts = check_expr env scrut in
+    if not (is_integer ts) then error env "switch on non-integer";
+    let seen = Hashtbl.create 16 in
+    env.switch_depth <- env.switch_depth + 1;
+    List.iter
+      (fun c ->
+        List.iter
+          (fun v ->
+            if Hashtbl.mem seen v then error env "duplicate case %Ld" v;
+            Hashtbl.replace seen v ())
+          c.case_values;
+        check_body env c.case_body)
+      cases;
+    Option.iter (check_body env) default;
+    env.switch_depth <- env.switch_depth - 1
+  | Sbreak ->
+    if env.loop_depth = 0 && env.switch_depth = 0 then
+      error env "break outside loop or switch"
+  | Scontinue -> if env.loop_depth = 0 then error env "continue outside loop"
+  | Sreturn None ->
+    if env.current_ret <> Void then error env "return without value"
+  | Sreturn (Some e) ->
+    let te = check_expr env e in
+    if env.current_ret = Void then error env "return with value in void function"
+    else if not (compatible env.current_ret te) then
+      error env "returning %s from function returning %s" (cty_to_string te)
+        (cty_to_string env.current_ret)
+  | Sblock body -> check_body env body
+
+and check_body env body =
+  push_scope env;
+  List.iter (check_stmt env) body;
+  pop_scope env
+
+(** Check a whole program; returns the list of errors (empty = OK). *)
+let check (prog : program) =
+  let env =
+    {
+      funcs = Hashtbl.create 64;
+      globals = Hashtbl.create 64;
+      locals = [];
+      errors = [];
+      loop_depth = 0;
+      switch_depth = 0;
+      current_ret = Void;
+    }
+  in
+  (* Collect signatures first: mini-C allows forward references among
+     top-level definitions like real C with prototypes. *)
+  List.iter
+    (function
+      | Tfunc f ->
+        Hashtbl.replace env.funcs f.fname
+          { sret = f.fret; sparams = List.map fst f.fparams }
+      | Tvar v -> Hashtbl.replace env.globals v.vname v.vty)
+    prog;
+  List.iter
+    (function
+      | Tfunc { fbody = None; _ } -> ()
+      | Tfunc f ->
+        env.current_ret <- f.fret;
+        push_scope env;
+        List.iter (fun (ty, p) -> declare_local env p ty) f.fparams;
+        check_body env (Option.get f.fbody);
+        pop_scope env
+      | Tvar v -> (
+        match v.vinit with
+        | Some (Iexpr (Int_lit _ | Str_lit _)) | Some (Ilist _) | Some (Istring _) | None
+          ->
+          ()
+        | Some (Iexpr (Unary (Neg, Int_lit _))) -> ()
+        | Some (Iexpr (Unary (Addr, Ident _))) -> ()
+        | Some (Iexpr (Ident name)) ->
+          (* allowed when it names a function (pointer table entry) *)
+          if not (Hashtbl.mem env.funcs name) then
+            error env "global initializer for %s must be constant" v.vname
+        | Some (Iexpr _) ->
+          error env "global initializer for %s must be constant" v.vname))
+    prog;
+  List.rev env.errors

@@ -1,0 +1,1 @@
+lib/odin/checks.ml: Array Cmplog Instr Int64 Ir List Session Vm

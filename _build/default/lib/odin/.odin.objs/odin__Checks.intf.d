@@ -1,0 +1,1 @@
+lib/odin/checks.mli: Session Vm

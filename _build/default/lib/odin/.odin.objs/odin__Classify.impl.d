@@ -1,0 +1,1 @@
+lib/odin/classify.ml: Hashtbl Ir List Opt Option Set String

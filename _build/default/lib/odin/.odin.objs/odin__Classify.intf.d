@@ -1,0 +1,1 @@
+lib/odin/classify.mli: Hashtbl Ir Set

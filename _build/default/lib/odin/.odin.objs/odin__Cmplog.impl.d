@@ -1,0 +1,1 @@
+lib/odin/cmplog.ml: Array Hashtbl Instr Int64 Ir List Option Printf Queue Session Vm

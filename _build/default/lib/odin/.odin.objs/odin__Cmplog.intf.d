@@ -1,0 +1,1 @@
+lib/odin/cmplog.mli: Hashtbl Ir Queue Session Vm

@@ -1,0 +1,1 @@
+lib/odin/cov.ml: Instr Int64 Ir List Session Vm

@@ -1,0 +1,1 @@
+lib/odin/cov.mli: Instr Ir Session Vm

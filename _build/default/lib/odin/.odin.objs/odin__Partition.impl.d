@@ -1,0 +1,1 @@
+lib/odin/partition.ml: Array Classify Hashtbl Ir List Map Printf Set String Support

@@ -1,0 +1,1 @@
+lib/odin/partition.mli: Classify Hashtbl Ir Map Set

@@ -1,0 +1,1 @@
+lib/odin/session.ml: Array Classify Hashtbl Instr Ir Link List Opt Partition Printf Set String Unix

@@ -1,0 +1,1 @@
+lib/odin/session.mli: Hashtbl Instr Ir Link Partition Set

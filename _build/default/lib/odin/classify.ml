@@ -1,0 +1,143 @@
+(** Symbol classification (paper Section 3.2, step 1).
+
+    Every defined symbol lands in one of three categories:
+    - [Bond]: must be compiled together with specific partner symbols so
+      interprocedural optimization can proceed (or so the object file is
+      even well-formed — the innate constraints);
+    - [Copy_on_use]: a clonable constant that local optimizations need to
+      inspect; it is cloned into each referencing fragment;
+    - [Fixed]: compiled as-is behind a stable ABI (the default).
+
+    Innate constraints are derived from the IR itself (aliases, COMDAT
+    groups, blockaddress). Optimization requirements come from a *trial
+    optimization* of a throw-away clone of the program, with the pass
+    pipeline running in requirement-logging mode. *)
+
+module SSet = Set.Make (String)
+
+type category = Bond | Copy_on_use | Fixed
+
+type t = {
+  category : (string, category) Hashtbl.t;
+  bonds : (string * string) list;  (** symbol pairs that must co-locate *)
+  copy_users : (string, SSet.t) Hashtbl.t;  (** copy-on-use sym -> users *)
+}
+
+let category_of t name =
+  Option.value ~default:Fixed (Hashtbl.find_opt t.category name)
+
+(* Innate constraints present in the IR regardless of optimization. *)
+let innate_bonds (m : Ir.Modul.t) =
+  let bonds = ref [] in
+  (* aliases: relocation cannot target an alias, so the base must be
+     defined in the same object *)
+  List.iter
+    (fun (a : Ir.Modul.alias) ->
+      bonds := (a.Ir.Modul.aname, a.Ir.Modul.atarget) :: !bonds)
+    (Ir.Modul.aliases m);
+  (* COMDAT groups: all members must be emitted together *)
+  let comdat_groups : (string, string list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun gv ->
+      let key =
+        match gv with
+        | Ir.Modul.Fun f -> f.Ir.Func.comdat
+        | Ir.Modul.Var v -> v.Ir.Modul.gcomdat
+        | Ir.Modul.Alias _ -> None
+      in
+      match key with
+      | Some k ->
+        let old = Option.value ~default:[] (Hashtbl.find_opt comdat_groups k) in
+        Hashtbl.replace comdat_groups k (Ir.Modul.gvalue_name gv :: old)
+      | None -> ())
+    (Ir.Modul.globals m);
+  Hashtbl.iter
+    (fun _ members ->
+      match members with
+      | first :: rest -> List.iter (fun s -> bonds := (first, s) :: !bonds) rest
+      | [] -> ())
+    comdat_groups;
+  (* blockaddress: the taker and the function whose label is taken must
+     co-locate (the label is an address into that function's code) *)
+  List.iter
+    (fun (f : Ir.Func.t) ->
+      Ir.Func.iter_blocks
+        (fun b ->
+          let scan = function
+            | Ir.Ins.Blockaddr (target, _) when not (String.equal target f.Ir.Func.name)
+              ->
+              bonds := (f.Ir.Func.name, target) :: !bonds
+            | _ -> ()
+          in
+          List.iter
+            (fun (i : Ir.Ins.ins) -> List.iter scan (Ir.Ins.operands i))
+            b.Ir.Func.insns;
+          List.iter scan (Ir.Ins.term_operands b.Ir.Func.term))
+        f)
+    (Ir.Modul.defined_functions m);
+  !bonds
+
+(* A symbol is clonable when it is an internal, immutable chunk of data:
+   duplicating it per fragment cannot change program behaviour (its
+   address identity is not observable through our C subset's semantics
+   for string/table constants the optimizer folds). *)
+let clonable (m : Ir.Modul.t) name =
+  match Ir.Modul.find m name with
+  | Some (Ir.Modul.Var v) ->
+    v.Ir.Modul.gconst
+    && v.Ir.Modul.glinkage = Ir.Func.Internal
+    && v.Ir.Modul.ginit <> Ir.Modul.Extern
+  | _ -> false
+
+(** Classify the symbols of [m]. [keep] names entry points that must stay
+    exported. The module is not modified: the trial optimization runs on
+    a clone. *)
+let classify ?(keep = [ "main" ]) (m : Ir.Modul.t) =
+  let trial = Ir.Clone.clone_module m in
+  let ctx = Opt.Pipeline.run ~trial:true ~keep trial in
+  let reqs = ctx.Opt.Pass.reqs in
+  let category = Hashtbl.create 64 in
+  let copy_users = Hashtbl.create 16 in
+  let bonds = ref (innate_bonds m) in
+  let defined name =
+    match Ir.Modul.find m name with
+    | Some gv -> Ir.Modul.is_definition gv
+    | None -> false
+  in
+  (* requirements from the trial run *)
+  List.iter
+    (function
+      | Opt.Pass.Bond { a; b; _ } ->
+        if defined a && defined b then bonds := (a, b) :: !bonds
+      | Opt.Pass.Copy_on_use { user; sym; _ } ->
+        if defined sym then
+          if clonable m sym then begin
+            Hashtbl.replace category sym Copy_on_use;
+            let old =
+              Option.value ~default:SSet.empty (Hashtbl.find_opt copy_users sym)
+            in
+            Hashtbl.replace copy_users sym (SSet.add user old)
+          end
+          else if defined user then
+            (* non-clonable: bond it with its user instead *)
+            bonds := (user, sym) :: !bonds)
+    reqs;
+  (* every symbol involved in a bond is categorized Bond (unless it is
+     already Copy_on_use, which takes priority: cloning subsumes) *)
+  List.iter
+    (fun (a, b) ->
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt category s with
+          | Some Copy_on_use -> ()
+          | _ -> if defined s then Hashtbl.replace category s Bond)
+        [ a; b ])
+    !bonds;
+  (* everything else is Fixed *)
+  List.iter
+    (fun gv ->
+      let name = Ir.Modul.gvalue_name gv in
+      if Ir.Modul.is_definition gv && not (Hashtbl.mem category name) then
+        Hashtbl.replace category name Fixed)
+    (Ir.Modul.globals m);
+  { category; bonds = !bonds; copy_users }

@@ -1,0 +1,32 @@
+(** Symbol classification (paper Section 3.2, step 1).
+
+    Runs a *trial optimization* on a throw-away clone of the program with
+    the pass pipeline in requirement-logging mode, merges in the innate
+    constraints derivable from the IR itself (aliases, COMDAT groups,
+    blockaddress), and assigns each defined symbol one of three
+    categories. *)
+
+module SSet : Set.S with type elt = string
+
+type category =
+  | Bond  (** must co-locate with specific partner symbols *)
+  | Copy_on_use  (** clonable constant; cloned into referencing fragments *)
+  | Fixed  (** compiled as-is behind a stable ABI (the default) *)
+
+type t = {
+  category : (string, category) Hashtbl.t;
+  bonds : (string * string) list;  (** symbol pairs that must co-locate *)
+  copy_users : (string, SSet.t) Hashtbl.t;  (** copy-on-use sym -> users *)
+}
+
+(** [Fixed] for symbols with no recorded category. *)
+val category_of : t -> string -> category
+
+(** The constraints the object format imposes regardless of optimization:
+    alias/base pairs, COMDAT group members, blockaddress taker/takee. *)
+val innate_bonds : Ir.Modul.t -> (string * string) list
+
+(** Classify the symbols of a module. The module is not modified (the
+    trial optimization runs on a clone). [keep] names entry points that
+    stay exported during the trial. *)
+val classify : ?keep:string list -> Ir.Modul.t -> t

@@ -1,0 +1,244 @@
+(** Fragment creation (paper Section 3.2, Algorithm 1) and fragment
+    materialization.
+
+    A fragment is a set of symbol definitions that are always recompiled
+    together. The partition plan also records, per fragment, which
+    copy-on-use symbols get cloned in, and the final visibility of every
+    symbol (step 4, internalization). *)
+
+module SSet = Set.Make (String)
+module SMap = Map.Make (String)
+
+type mode =
+  | One  (** whole program in a single fragment: best optimization *)
+  | Auto  (** Odin's scheme: constraints + optimization bonds *)
+  | Max  (** one definition per fragment (innate constraints only) *)
+
+let mode_to_string = function One -> "one" | Auto -> "odin" | Max -> "max"
+
+type fragment = {
+  fid : int;
+  members : SSet.t;  (** symbols defined by this fragment *)
+  clones : SSet.t;  (** copy-on-use symbols cloned locally *)
+}
+
+type plan = {
+  mode : mode;
+  fragments : fragment array;
+  frag_of : (string, int) Hashtbl.t;  (** defined symbol -> fragment id *)
+  visibility : (string, Ir.Func.linkage) Hashtbl.t;  (** post step 4 *)
+  classification : Classify.t;
+  keep : string list;
+}
+
+let fragment_count plan = Array.length plan.fragments
+
+let fragment_of plan sym = Hashtbl.find_opt plan.frag_of sym
+
+(* Recursively collect the copy-on-use symbols reachable from [roots]
+   through copy-on-use references (a cloned constant may reference
+   further clonable constants). *)
+let rec closure_of_clones (m : Ir.Modul.t) is_copy acc = function
+  | [] -> acc
+  | sym :: rest ->
+    if SSet.mem sym acc then closure_of_clones m is_copy acc rest
+    else begin
+      let acc = SSet.add sym acc in
+      let refs =
+        match Ir.Modul.find m sym with
+        | Some gv -> Ir.Uses.of_gvalue gv
+        | None -> Ir.Uses.SSet.empty
+      in
+      let more =
+        Ir.Uses.SSet.fold (fun r l -> if is_copy r then r :: l else l) refs []
+      in
+      closure_of_clones m is_copy acc (more @ rest)
+    end
+
+(** Build the partition plan (Algorithm 1 + steps 3 and 4).
+    [copy_on_use:false] is an ablation: survey-classified clonable
+    constants are treated as Fixed (own fragment, imported by reference),
+    demonstrating the missed-local-optimization cost of Section 2.3. *)
+let plan ?(mode = Auto) ?(copy_on_use = true) ?(keep = [ "main" ]) (m : Ir.Modul.t)
+    (cls : Classify.t) =
+  let definitions =
+    List.filter Ir.Modul.is_definition (Ir.Modul.globals m)
+    |> List.map Ir.Modul.gvalue_name
+  in
+  let is_defined s = List.mem s definitions in
+  (* Copy-on-use knowledge comes from the survey; the blind Max variant
+     has no survey, and One needs no cloning (everything is local). *)
+  let is_copy s =
+    copy_on_use && mode = Auto
+    && Classify.category_of cls s = Classify.Copy_on_use
+  in
+  (* Step 2 / Algorithm 1: cluster symbols with a union-find. *)
+  let uf = Support.Union_find.create () in
+  List.iter (fun s -> if not (is_copy s) then Support.Union_find.add uf s) definitions;
+  let apply_bonds bonds =
+    List.iter
+      (fun (a, b) ->
+        if is_defined a && is_defined b && (not (is_copy a)) && not (is_copy b)
+        then Support.Union_find.union uf a b)
+      bonds
+  in
+  (match mode with
+  | One ->
+    (* no partitioning: one cluster with everything *)
+    (match List.filter (fun s -> not (is_copy s)) definitions with
+    | [] -> ()
+    | first :: rest -> List.iter (fun s -> Support.Union_find.union uf first s) rest)
+  | Auto -> apply_bonds cls.Classify.bonds
+  | Max ->
+    (* only the innate constraints: anything less miscompiles *)
+    apply_bonds (Classify.innate_bonds m));
+  let clusters = Support.Union_find.clusters uf in
+  (* Step 3: per fragment, add the copy-on-use closure. *)
+  let fragments =
+    List.mapi
+      (fun i members ->
+        let members = SSet.of_list members in
+        let direct =
+          SSet.fold
+            (fun s acc ->
+              match Ir.Modul.find m s with
+              | Some gv ->
+                Ir.Uses.SSet.fold
+                  (fun r l -> if is_copy r then r :: l else l)
+                  (Ir.Uses.of_gvalue gv) acc
+              | None -> acc)
+            members []
+        in
+        let clones = closure_of_clones m is_copy SSet.empty direct in
+        { fid = i; members; clones })
+      clusters
+  in
+  let fragments = Array.of_list fragments in
+  let frag_of = Hashtbl.create 64 in
+  Array.iter
+    (fun f -> SSet.iter (fun s -> Hashtbl.replace frag_of s f.fid) f.members)
+    fragments;
+  (* Step 4: internalize exported symbols with no cross-fragment refs.
+     References from a fragment F to symbol s defined in fragment G with
+     F <> G force s to stay exported. *)
+  let cross_referenced = Hashtbl.create 64 in
+  Array.iter
+    (fun f ->
+      SSet.iter
+        (fun s ->
+          match Ir.Modul.find m s with
+          | Some gv ->
+            Ir.Uses.SSet.iter
+              (fun r ->
+                match Hashtbl.find_opt frag_of r with
+                | Some g when g <> f.fid -> Hashtbl.replace cross_referenced r ()
+                | _ -> ())
+              (Ir.Uses.of_gvalue gv)
+          | None -> ())
+        f.members)
+    fragments;
+  let visibility = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      let vis =
+        if List.mem s keep then Ir.Func.External
+        else if is_copy s then Ir.Func.Internal
+        else if Hashtbl.mem cross_referenced s then Ir.Func.External
+        else Ir.Func.Internal
+      in
+      Hashtbl.replace visibility s vis)
+    definitions;
+  { mode; fragments; frag_of; visibility; classification = cls; keep }
+
+(* ------------------------------------------------------------------ *)
+(* Fragment materialization                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Unique name for a copy-on-use clone inside a fragment. *)
+let clone_name fid sym = Printf.sprintf "%s$f%d" sym fid
+
+(* Rewrite references to cloned copy-on-use symbols inside a gvalue. *)
+let rewrite_refs fid clones gv =
+  let fix_name s = if SSet.mem s clones then clone_name fid s else s in
+  match gv with
+  | Ir.Modul.Fun f ->
+    if not (Ir.Func.is_declaration f) then
+      Ir.Func.map_values
+        (function
+          | Ir.Ins.Global g when SSet.mem g clones ->
+            Ir.Ins.Global (clone_name fid g)
+          | v -> v)
+        f;
+    (* direct calls reference symbols outside of operands *)
+    Ir.Func.iter_insns
+      (fun (i : Ir.Ins.ins) ->
+        match i.Ir.Ins.kind with
+        | Ir.Ins.Call (Ir.Ins.Direct callee, args) when SSet.mem callee clones ->
+          i.Ir.Ins.kind <- Ir.Ins.Call (Ir.Ins.Direct (fix_name callee), args)
+        | _ -> ())
+      f
+  | Ir.Modul.Var v -> (
+    match v.Ir.Modul.ginit with
+    | Ir.Modul.Symbols ss -> v.Ir.Modul.ginit <- Ir.Modul.Symbols (List.map fix_name ss)
+    | _ -> ())
+  | Ir.Modul.Alias a -> a.Ir.Modul.atarget <- fix_name a.Ir.Modul.atarget
+
+(** Materialize fragment [f] of [plan] as a standalone module, pulling
+    symbol definitions from [source] (either the pristine base IR or the
+    instrumented temporary IR — see Sched). Missing referenced symbols
+    are imported as declarations; copy-on-use symbols are cloned in under
+    fragment-unique internal names (so fragments can be linked together
+    without collisions). *)
+let materialize (plan : plan) (f : fragment) ~(source : string -> Ir.Modul.gvalue option)
+    ~(base : Ir.Modul.t) =
+  let name = Printf.sprintf "%s.frag%d" base.Ir.Modul.mname f.fid in
+  let out = Ir.Modul.create ~name () in
+  let lookup s =
+    match source s with Some gv -> Some gv | None -> Ir.Modul.find base s
+  in
+  (* member definitions, with final visibility *)
+  SSet.iter
+    (fun s ->
+      match lookup s with
+      | Some gv ->
+        let copy = Ir.Clone.clone_gvalue gv in
+        (match Hashtbl.find_opt plan.visibility s with
+        | Some vis -> Ir.Modul.set_linkage copy vis
+        | None -> ());
+        rewrite_refs f.fid f.clones copy;
+        Ir.Modul.add out copy
+      | None -> invalid_arg ("Partition.materialize: no definition for " ^ s))
+    f.members;
+  (* local clones of copy-on-use symbols *)
+  SSet.iter
+    (fun s ->
+      match lookup s with
+      | Some (Ir.Modul.Var v) ->
+        let copy = Ir.Clone.clone_gvar v in
+        let copy = { copy with Ir.Modul.gname = clone_name f.fid s } in
+        copy.Ir.Modul.glinkage <- Ir.Func.Internal;
+        rewrite_refs f.fid f.clones (Ir.Modul.Var copy);
+        Ir.Modul.add out (Ir.Modul.Var copy)
+      | _ -> invalid_arg ("Partition.materialize: copy-on-use " ^ s ^ " is not a var"))
+    f.clones;
+  (* import everything else that is referenced *)
+  let missing = ref [] in
+  List.iter
+    (fun gv ->
+      Ir.Uses.SSet.iter
+        (fun s -> if not (Ir.Modul.mem out s) then missing := s :: !missing)
+        (Ir.Uses.of_gvalue gv))
+    (Ir.Modul.globals out);
+  List.iter
+    (fun s ->
+      if not (Ir.Modul.mem out s) then
+        match lookup s with
+        | Some (Ir.Modul.Fun g) ->
+          ignore
+            (Ir.Modul.add_function out ~linkage:Ir.Func.External ~name:g.Ir.Func.name
+               ~params:g.Ir.Func.params ~ret:g.Ir.Func.ret [])
+        | Some (Ir.Modul.Var _) | Some (Ir.Modul.Alias _) | None ->
+          (* runtime symbols and data land here: extern data declaration *)
+          ignore (Ir.Modul.add_var out ~linkage:Ir.Func.External ~name:s Ir.Modul.Extern))
+    (List.sort_uniq String.compare !missing);
+  out

@@ -1,0 +1,55 @@
+(** Fragment creation (paper Section 3.2, Algorithm 1) and fragment
+    materialization.
+
+    A fragment is the unit of recompilation: a set of symbol definitions
+    always compiled together into one object file. *)
+
+module SSet : Set.S with type elt = string
+module SMap : Map.S with type key = string
+
+type mode =
+  | One  (** whole program in a single fragment: best optimization *)
+  | Auto  (** Odin's scheme: innate constraints + optimization bonds *)
+  | Max  (** one definition per fragment (innate constraints only) *)
+
+val mode_to_string : mode -> string
+
+type fragment = {
+  fid : int;
+  members : SSet.t;  (** symbols defined by this fragment *)
+  clones : SSet.t;  (** copy-on-use symbols cloned locally *)
+}
+
+type plan = {
+  mode : mode;
+  fragments : fragment array;
+  frag_of : (string, int) Hashtbl.t;  (** defined symbol -> fragment id *)
+  visibility : (string, Ir.Func.linkage) Hashtbl.t;  (** after step 4 *)
+  classification : Classify.t;
+  keep : string list;
+}
+
+val fragment_count : plan -> int
+val fragment_of : plan -> string -> int option
+
+(** Build the partition plan: cluster symbols (union-find over innate
+    constraints and bonds per [mode]), attach copy-on-use closures, and
+    internalize symbols with no cross-fragment references.
+    [copy_on_use:false] is the ablation that imports clonable constants
+    by reference instead. *)
+val plan :
+  ?mode:mode -> ?copy_on_use:bool -> ?keep:string list -> Ir.Modul.t -> Classify.t -> plan
+
+(** The fragment-unique internal name given to a copy-on-use clone. *)
+val clone_name : int -> string -> string
+
+(** Materialize a fragment as a standalone, verifiable module: member
+    definitions (with final visibility) pulled through [source] (falling
+    back to [base]), fragment-local clones of copy-on-use symbols, and
+    extern declarations for everything else referenced. *)
+val materialize :
+  plan ->
+  fragment ->
+  source:(string -> Ir.Modul.gvalue option) ->
+  base:Ir.Modul.t ->
+  Ir.Modul.t

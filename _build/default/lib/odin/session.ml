@@ -1,0 +1,276 @@
+(** The Odin engine: owns the pristine whole-program IR, the partition
+    plan, the probe manager, the machine-code cache, and the linked
+    executable. Implements the recompilation scheduler (paper Section
+    3.3, Algorithm 2) and the copy-instrument-split flow of Figure 7.
+
+    Timing: every fragment recompilation and every link is measured with
+    the process clock and recorded in [stats]; the benchmark harness
+    reproduces Figures 11/12 and the 82 ms average from these records. *)
+
+module SSet = Set.Make (String)
+
+type recompile_event = {
+  ev_fragments : int list;  (** fragment ids recompiled *)
+  ev_probes_applied : int;
+  ev_compile_time : float;  (** seconds, middle end + back end *)
+  ev_link_time : float;  (** seconds *)
+  ev_per_fragment : (int * float) list;  (** (fragment id, seconds) *)
+}
+
+type t = {
+  base : Ir.Modul.t;  (** pristine IR; instrumentation never touches it *)
+  plan : Partition.plan;
+  manager : Instr.Manager.t;
+  cache : (int, Link.Objfile.t) Hashtbl.t;
+  runtime : Link.Objfile.t;  (** runtime globals (counter arrays, ...) *)
+  mutable host : string list;
+  mutable exe : Link.Linker.exe option;
+  mutable patchers : (sched -> unit) list;
+      (** user patch logic: applies active probes to the temporary IR;
+          schemes compose (coverage + CmpLog + checks in one session) *)
+  mutable events : recompile_event list;  (** newest first *)
+  opt_rounds : int;
+}
+
+(** Scheduler handle passed to patch logic (paper Section 4): exposes the
+    probes to apply and the pristine-to-temporary instruction map. *)
+and sched = {
+  session : t;
+  active : Instr.Probe.t list;  (** probes to (re-)apply *)
+  temp : Ir.Modul.t;  (** temporary IR: clone of all changed symbols *)
+  map : Ir.Clone.map;
+  changed_symbols : SSet.t;
+  changed_fragments : int list;
+}
+
+(** Translate a pristine instruction to its clone in the temporary IR
+    ([Sched.map] in the paper's API). *)
+let map_ins sched ins = Ir.Clone.map_ins sched.map ins
+
+let map_func sched name = Ir.Modul.find_func sched.temp name
+
+(* ------------------------------------------------------------------ *)
+(* Session construction                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Create a session for [base].
+    [runtime_globals] are data symbols owned by the instrumentation
+    runtime (e.g. coverage counter arrays), linked as a separate object;
+    [host] names functions provided by the host/fuzzer at run time. *)
+let create ?(mode = Partition.Auto) ?(copy_on_use = true) ?(keep = [ "main" ])
+    ?(runtime_globals = []) ?(host = []) ?(opt_rounds = 2) (base : Ir.Modul.t) =
+  Ir.Verify.run_exn base;
+  let cls = Classify.classify ~keep base in
+  let plan = Partition.plan ~mode ~copy_on_use ~keep base cls in
+  (* runtime object: plain data symbols, always linked *)
+  let runtime_module = Ir.Modul.create ~name:"odin.runtime" () in
+  List.iter
+    (fun (name, size) ->
+      ignore
+        (Ir.Modul.add_var runtime_module ~linkage:Ir.Func.External ~name
+           (Ir.Modul.Zero size)))
+    runtime_globals;
+  let runtime = Link.Objfile.of_module runtime_module in
+  (* the base module must see runtime globals as declarations so that
+     patch logic can reference them *)
+  List.iter
+    (fun (name, _) ->
+      if not (Ir.Modul.mem base name) then
+        ignore (Ir.Modul.add_var base ~linkage:Ir.Func.External ~name Ir.Modul.Extern))
+    runtime_globals;
+  {
+    base;
+    plan;
+    manager = Instr.Manager.create ();
+    cache = Hashtbl.create 32;
+    runtime;
+    host;
+    exe = None;
+    patchers = [];
+    events = [];
+    opt_rounds;
+  }
+
+(** Replace all patch logic with [patcher]. *)
+let set_patcher t patcher = t.patchers <- [ patcher ]
+
+(** Register an additional instrumentation scheme's patch logic; all
+    registered patchers run (in registration order) on every rebuild. *)
+let add_patcher t patcher = t.patchers <- t.patchers @ [ patcher ]
+
+(** Declare a runtime function provided by the host (fuzzer) at run time;
+    instrumentation schemes call this for their hooks. *)
+let add_host_symbol t name =
+  if not (List.mem name t.host) then t.host <- name :: t.host
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 2: scheduling fragments and probes                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Which fragments must be recompiled given the changed symbols, and the
+   full set of symbols those fragments contain. *)
+let propagate t changed_syms =
+  let frag_ids = ref [] in
+  Array.iter
+    (fun (f : Partition.fragment) ->
+      let touched =
+        SSet.exists (fun s -> Partition.SSet.mem s f.Partition.members) changed_syms
+        (* a change to a copy-on-use symbol dirties every fragment that
+           cloned it *)
+        || SSet.exists (fun s -> Partition.SSet.mem s f.Partition.clones) changed_syms
+      in
+      if touched then frag_ids := f.Partition.fid :: !frag_ids)
+    t.plan.Partition.fragments;
+  let frag_ids = List.rev !frag_ids in
+  let all_syms =
+    List.fold_left
+      (fun acc fid ->
+        let f = t.plan.Partition.fragments.(fid) in
+        Partition.SSet.fold SSet.add f.Partition.members acc)
+      SSet.empty frag_ids
+  in
+  (frag_ids, all_syms)
+
+(** Compute the schedule for the current probe-state changes: detect the
+    changed probes, propagate to fragments, back-propagate to the full
+    set of active probes in those fragments, and extract the temporary
+    IR (lines 1-18 of Algorithm 2). On the very first build, every
+    fragment is scheduled. *)
+let schedule ?(initial = false) ?(backprop = true) t =
+  (* lines 2-6: changed probes -> symbols *)
+  let changed_syms =
+    if initial then
+      Array.fold_left
+        (fun acc (f : Partition.fragment) ->
+          Partition.SSet.fold SSet.add f.Partition.members acc)
+        SSet.empty t.plan.Partition.fragments
+    else
+      List.fold_left
+        (fun acc s -> SSet.add s acc)
+        SSet.empty
+        (Instr.Manager.changed_targets t.manager)
+  in
+  (* lines 7-11: symbols -> fragments (and back to the fragments' full
+     symbol sets, since the recompilation unit is the fragment) *)
+  let frag_ids, all_syms = propagate t changed_syms in
+  (* lines 13-17: back-propagate to probes — every *activated* probe
+     whose target lives in a scheduled fragment must be re-applied.
+     [backprop:false] is the ablation DESIGN.md calls out: without this
+     step, unchanged probes inside a recompiled fragment silently vanish
+     from the new code. *)
+  let active =
+    let all = Instr.Manager.to_list t.manager in
+    if backprop then
+      List.filter
+        (fun (p : Instr.Probe.t) ->
+          p.Instr.Probe.enabled && SSet.mem p.Instr.Probe.target all_syms)
+        all
+    else begin
+      let changed = Instr.Manager.changed_probes t.manager in
+      List.filter
+        (fun (p : Instr.Probe.t) ->
+          p.Instr.Probe.enabled
+          && (initial || List.memq p changed)
+          && SSet.mem p.Instr.Probe.target all_syms)
+        all
+    end
+  in
+  (* line 18: extract the temporary IR by cloning the changed symbols *)
+  let temp, map = Ir.Clone.extract t.base (SSet.elements all_syms) in
+  {
+    session = t;
+    active;
+    temp;
+    map;
+    changed_symbols = all_syms;
+    changed_fragments = frag_ids;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Split, optimize, generate code, link (Figure 7, right half)         *)
+(* ------------------------------------------------------------------ *)
+
+exception Build_error of string
+
+let rebuild (sched : sched) =
+  let t = sched.session in
+  (* the user's patch logic instruments the temporary IR *)
+  List.iter (fun patch -> patch sched) t.patchers;
+  let source s =
+    if SSet.mem s sched.changed_symbols then Ir.Modul.find sched.temp s else None
+  in
+  let per_fragment = ref [] in
+  let compile_t0 = Unix.gettimeofday () in
+  List.iter
+    (fun fid ->
+      let t0 = Unix.gettimeofday () in
+      let f = t.plan.Partition.fragments.(fid) in
+      let frag_module = Partition.materialize t.plan f ~source ~base:t.base in
+      (match Ir.Verify.check_module frag_module with
+      | [] -> ()
+      | errors ->
+        raise
+          (Build_error
+             (Printf.sprintf "fragment %d does not verify:\n%s" fid
+                (Ir.Verify.errors_to_string errors))));
+      ignore (Opt.Pipeline.run_fragment ~max_rounds:t.opt_rounds frag_module);
+      let obj = Link.Objfile.of_module frag_module in
+      Hashtbl.replace t.cache fid obj;
+      per_fragment := (fid, Unix.gettimeofday () -. t0) :: !per_fragment)
+    sched.changed_fragments;
+  let compile_time = Unix.gettimeofday () -. compile_t0 in
+  (* link all cached fragments + the runtime *)
+  let link_t0 = Unix.gettimeofday () in
+  let objs =
+    t.runtime
+    :: (Array.to_list t.plan.Partition.fragments
+       |> List.filter_map (fun (f : Partition.fragment) ->
+              Hashtbl.find_opt t.cache f.Partition.fid))
+  in
+  let exe = Link.Linker.link ~host:t.host objs in
+  let link_time = Unix.gettimeofday () -. link_t0 in
+  t.exe <- Some exe;
+  Instr.Manager.clear_changes t.manager;
+  let event =
+    {
+      ev_fragments = sched.changed_fragments;
+      ev_probes_applied = List.length sched.active;
+      ev_compile_time = compile_time;
+      ev_link_time = link_time;
+      ev_per_fragment = List.rev !per_fragment;
+    }
+  in
+  t.events <- event :: t.events;
+  event
+
+(** Initial build: schedule every fragment and build the executable. *)
+let build t =
+  let sched = schedule ~initial:true t in
+  rebuild sched
+
+(** Incremental rebuild after probe changes; no-op when nothing changed. *)
+let refresh ?(backprop = true) t =
+  if Instr.Manager.has_changes t.manager then begin
+    let sched = schedule ~backprop t in
+    Some (rebuild sched)
+  end
+  else None
+
+let executable t =
+  match t.exe with
+  | Some exe -> exe
+  | None -> raise (Build_error "Odin session not built yet — call Session.build")
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let events t = List.rev t.events
+
+let total_compile_time t =
+  List.fold_left (fun acc e -> acc +. e.ev_compile_time) 0. t.events
+
+let fragment_sizes t =
+  Array.to_list t.plan.Partition.fragments
+  |> List.map (fun (f : Partition.fragment) ->
+         (f.Partition.fid, Partition.SSet.cardinal f.Partition.members))

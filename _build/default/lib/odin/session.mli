@@ -1,0 +1,120 @@
+(** The Odin engine (paper Sections 3.1, 3.3 and 4).
+
+    A session owns the pristine whole-program IR, the partition plan, the
+    probe manager, the per-fragment machine-code cache and the linked
+    executable. The lifecycle is:
+
+    {[
+      let session = Session.create ~keep:["main"] m in
+      (* register probes on session.manager; set the patcher *)
+      ignore (Session.build session);           (* initial full build *)
+      ... run Session.executable, change probe state ...
+      ignore (Session.refresh session)          (* on-the-fly recompile *)
+    ]}
+
+    [refresh] runs Algorithm 2: changed probes are propagated to their
+    fragments, the fragments' *other* active probes are back-propagated in
+    (so they survive the recompile), a temporary IR is extracted by
+    cloning exactly the affected symbols, the user patch logic instruments
+    it, and each affected fragment is re-optimized, re-compiled and
+    relinked from the cache. *)
+
+module SSet : Set.S with type elt = string
+
+(** One (re)compilation: which fragments, how many probes applied, and
+    measured wall-clock durations. *)
+type recompile_event = {
+  ev_fragments : int list;
+  ev_probes_applied : int;
+  ev_compile_time : float;  (** seconds, middle end + back end *)
+  ev_link_time : float;  (** seconds *)
+  ev_per_fragment : (int * float) list;  (** (fragment id, seconds) *)
+}
+
+type t = {
+  base : Ir.Modul.t;  (** pristine IR; instrumentation never touches it *)
+  plan : Partition.plan;
+  manager : Instr.Manager.t;
+  cache : (int, Link.Objfile.t) Hashtbl.t;  (** fragment id -> object *)
+  runtime : Link.Objfile.t;
+  mutable host : string list;
+  mutable exe : Link.Linker.exe option;
+  mutable patchers : (sched -> unit) list;
+  mutable events : recompile_event list;
+  opt_rounds : int;
+}
+
+(** Scheduler handle passed to patch logic (the paper's [Scheduler]):
+    the probes to apply and the pristine-to-temporary instruction map. *)
+and sched = {
+  session : t;
+  active : Instr.Probe.t list;  (** probes to (re-)apply *)
+  temp : Ir.Modul.t;  (** temporary IR: clones of all changed symbols *)
+  map : Ir.Clone.map;
+  changed_symbols : SSet.t;
+  changed_fragments : int list;
+}
+
+(** [map_ins sched ins] is the clone of pristine instruction [ins] in the
+    temporary IR ([Sched.map] in the paper's API). *)
+val map_ins : sched -> Ir.Ins.ins -> Ir.Ins.ins option
+
+(** Find a function by name in the temporary IR. *)
+val map_func : sched -> string -> Ir.Func.t option
+
+(** Create a session: verifies [base], runs the classification survey and
+    builds the partition plan.
+    @param mode partition scheme (default {!Partition.Auto})
+    @param copy_on_use ablation switch for copy-on-use cloning
+    @param keep entry points that stay exported
+    @param runtime_globals data symbols owned by the instrumentation
+      runtime (e.g. counter arrays), linked as a separate object
+    @param host functions resolved to the fuzzer/VM at run time
+    @param opt_rounds fixpoint bound for fragment re-optimization *)
+val create :
+  ?mode:Partition.mode ->
+  ?copy_on_use:bool ->
+  ?keep:string list ->
+  ?runtime_globals:(string * int) list ->
+  ?host:string list ->
+  ?opt_rounds:int ->
+  Ir.Modul.t ->
+  t
+
+(** Replace all patch logic (applies active probes to [sched.temp]). *)
+val set_patcher : t -> (sched -> unit) -> unit
+
+(** Register an additional scheme's patch logic; registered patchers
+    compose and all run on every rebuild. *)
+val add_patcher : t -> (sched -> unit) -> unit
+
+(** Declare a runtime function provided by the host at run time. *)
+val add_host_symbol : t -> string -> unit
+
+(** Compute the schedule for the current probe changes (Algorithm 2).
+    [initial] schedules every fragment; [backprop:false] disables lines
+    13-17 (ablation: unchanged probes in recompiled fragments vanish). *)
+val schedule : ?initial:bool -> ?backprop:bool -> t -> sched
+
+exception Build_error of string
+
+(** Patch, split, optimize, codegen and relink the scheduled fragments.
+    @raise Build_error if a materialized fragment does not verify. *)
+val rebuild : sched -> recompile_event
+
+(** Initial build: schedule every fragment and produce the executable. *)
+val build : t -> recompile_event
+
+(** Incremental rebuild after probe changes; [None] when nothing changed. *)
+val refresh : ?backprop:bool -> t -> recompile_event option
+
+(** @raise Build_error before the first {!build}. *)
+val executable : t -> Link.Linker.exe
+
+(** All recompile events, oldest first. *)
+val events : t -> recompile_event list
+
+val total_compile_time : t -> float
+
+(** (fragment id, number of member symbols) for every fragment. *)
+val fragment_sizes : t -> (int * int) list

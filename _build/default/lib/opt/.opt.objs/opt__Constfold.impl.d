@@ -1,0 +1,1 @@
+lib/opt/constfold.ml: Cfg Eval Func Ins Int64 Ir List Option Pass String Types

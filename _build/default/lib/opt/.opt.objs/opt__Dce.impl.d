@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Func Hashtbl Ins Ir List Modul Option Pass Uses

@@ -1,0 +1,1 @@
+lib/opt/dead_arg_elim.ml: Func Hashtbl Ins Ir List Modul Pass String Uses

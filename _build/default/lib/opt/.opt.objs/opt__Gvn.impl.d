@@ -1,0 +1,1 @@
+lib/opt/gvn.ml: Array Dom Func Hashtbl Ins Ir List Map Option Pass Printf String Types

@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Func Hashtbl Ins Ir List Modul Option Pass Printf String Types

@@ -1,0 +1,1 @@
+lib/opt/instcombine.ml: Cfg Char Func Hashtbl Ins Int64 Ir List Modul Option Pass Printf String Types

@@ -1,0 +1,1 @@
+lib/opt/internalize.ml: Func Ir List Modul Pass

@@ -1,0 +1,1 @@
+lib/opt/jump_threading.ml: Cfg Eval Func Hashtbl Ins Ir List Option Pass String Types

@@ -1,0 +1,1 @@
+lib/opt/loop_unroll.ml: Cfg Eval Func Ins Ir List Map Pass Printf String Types

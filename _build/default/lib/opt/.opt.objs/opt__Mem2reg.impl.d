@@ -1,0 +1,1 @@
+lib/opt/mem2reg.ml: Array Cfg Dom Func Hashtbl Ins Ir List Map Option Pass Printf Set String

@@ -1,0 +1,1 @@
+lib/opt/pass.ml: Ir List String

@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Constfold Dce Dead_arg_elim Gvn Inline Instcombine Internalize Jump_threading List Loop_unroll Mem2reg Pass Simplifycfg

@@ -1,0 +1,1 @@
+lib/opt/simplifycfg.ml: Cfg Func Ins Ir List Option Pass String

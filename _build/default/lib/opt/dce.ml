@@ -1,0 +1,65 @@
+(** Dead code elimination: removes side-effect-free instructions whose
+    results are unused (volatile probes are never touched), and dead
+    internal globals that nothing references. *)
+
+open Ir
+
+let run_function _ctx (fn : Func.t) =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let uses = Func.use_counts fn in
+    let used n = Option.value ~default:0 (Hashtbl.find_opt uses n) > 0 in
+    List.iter
+      (fun (b : Func.block) ->
+        let kept =
+          List.filter
+            (fun (i : Ins.ins) ->
+              let dead =
+                (not (Ins.has_side_effect i)) && (i.Ins.id = "" || not (used i.Ins.id))
+              in
+              if dead then begin
+                changed := true;
+                continue_ := true
+              end;
+              not dead)
+            b.Func.insns
+        in
+        b.Func.insns <- kept)
+      fn.Func.blocks
+  done;
+  !changed
+
+let function_pass = Pass.function_pass "dce" run_function
+
+(** Remove internal globals that are completely unreferenced (dead
+    functions after inlining, dead constants after folding). *)
+let global_dce (ctx : Pass.ctx) =
+  let m = ctx.Pass.modul in
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let refs = Uses.referencers m in
+    let dead =
+      List.filter
+        (fun gv ->
+          Modul.gvalue_linkage gv = Func.Internal
+          && Uses.SSet.is_empty (Uses.referencers_of refs (Modul.gvalue_name gv)))
+        (Modul.globals m)
+    in
+    List.iter
+      (fun gv ->
+        Modul.remove m (Modul.gvalue_name gv);
+        changed := true;
+        continue_ := true)
+      dead
+  done;
+  !changed
+
+let pass =
+  Pass.mk "dce" (fun ctx ->
+      let c1 = function_pass.Pass.run ctx in
+      let c2 = global_dce ctx in
+      c1 || c2)

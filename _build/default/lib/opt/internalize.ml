@@ -1,0 +1,24 @@
+(** Internalize: mark every global as [Internal] except an explicit keep
+    list (program entry points, exported API). Whole-program builds run
+    this first so interprocedural passes see the full set of callers. *)
+
+open Ir
+
+let run ~keep (ctx : Pass.ctx) =
+  let m = ctx.Pass.modul in
+  let changed = ref false in
+  List.iter
+    (fun gv ->
+      let name = Modul.gvalue_name gv in
+      if
+        Modul.is_definition gv
+        && Modul.gvalue_linkage gv = Func.External
+        && not (List.mem name keep)
+      then begin
+        Modul.set_linkage gv Func.Internal;
+        changed := true
+      end)
+    (Modul.globals m);
+  !changed
+
+let pass ~keep = Pass.mk "internalize" (run ~keep)

@@ -1,0 +1,251 @@
+(** Jump threading — the paper's example of a pass that *clones* basic
+    blocks (Section 2.2, item 4): when a block branches on a phi whose
+    value is a constant along some incoming edge, that predecessor can
+    jump straight through a specialized clone of the block, duplicating
+    its code (and any coverage probes in it).
+
+    Implementation: for a block B ending in [br (cond), T, F] where the
+    branch condition reduces to a constant when entered from predecessor
+    P (because it is, or is computed from, a phi with a constant arm for
+    P), create a clone B_P with the phi arms resolved to P's values,
+    retarget P to B_P, and let constant folding collapse the clone's
+    branch. Successor phis gain an arm for the clone.
+
+    Safety guard: the clone's successor-phi arm values must be constants,
+    globals, or values defined inside B itself — anything else might not
+    dominate the new edge. *)
+
+open Ir
+
+let max_clones_per_run = 16
+
+(* Does the branch condition of [blk] become constant when the phis take
+   their arms for predecessor [pred]? Returns the chosen successor. *)
+let constant_target (blk : Func.block) pred =
+  match blk.Func.term with
+  | Ins.Cbr (cond, t, f) -> (
+    let phi_value name =
+      List.find_map
+        (fun (i : Ins.ins) ->
+          match i.Ins.kind with
+          | Ins.Phi incoming when String.equal i.Ins.id name ->
+            List.assoc_opt pred incoming
+          | _ -> None)
+        blk.Func.insns
+    in
+    let resolve = function
+      | Ins.Const (ty, v) -> Some (ty, v)
+      | Ins.Reg (_, n) -> (
+        match phi_value n with
+        | Some (Ins.Const (ty, v)) -> Some (ty, v)
+        | _ ->
+          (* one level of computation: icmp/binop over a phi + consts *)
+          List.find_map
+            (fun (i : Ins.ins) ->
+              if not (String.equal i.Ins.id n) || i.Ins.volatile then None
+              else
+                match i.Ins.kind with
+                | Ins.Icmp (p, Ins.Reg (_, a), Ins.Const (tb, vb)) -> (
+                  match phi_value a with
+                  | Some (Ins.Const (_, va)) -> Some (Types.I1, Eval.icmp tb p va vb)
+                  | _ -> None)
+                | Ins.Binop (op, Ins.Reg (_, a), Ins.Const (_, vb)) -> (
+                  match phi_value a with
+                  | Some (Ins.Const (_, va)) ->
+                    Option.map (fun r -> (i.Ins.ty, r)) (Eval.binop i.Ins.ty op va vb)
+                  | _ -> None)
+                | _ -> None)
+            blk.Func.insns)
+      | _ -> None
+    in
+    match resolve cond with
+    | Some (_, v) -> Some (if v <> 0L then t else f)
+    | None -> None)
+  | _ -> None
+
+(* Can we safely clone [blk] for one predecessor? All successor-phi arm
+   values for blk must be substitutable (constants/globals/blk-defined). *)
+let clone_safe (fn : Func.t) (blk : Func.block) =
+  let defined_in_blk = Hashtbl.create 8 in
+  List.iter
+    (fun (i : Ins.ins) ->
+      if i.Ins.id <> "" then Hashtbl.replace defined_in_blk i.Ins.id ())
+    blk.Func.insns;
+  (* values defined in blk may escape only through successor-phi arms for
+     blk's edge (where the clone contributes its own arm); any direct use
+     in another block would be unreachable from the clone *)
+  let escapes_directly =
+    List.exists
+      (fun (b : Func.block) ->
+        (not (b == blk))
+        && (List.exists
+              (fun (i : Ins.ins) ->
+                match i.Ins.kind with
+                | Ins.Phi incoming ->
+                  (* arms for other predecessors must not name blk defs *)
+                  List.exists
+                    (fun (l, v) ->
+                      (not (String.equal l blk.Func.label))
+                      &&
+                      match v with
+                      | Ins.Reg (_, n) -> Hashtbl.mem defined_in_blk n
+                      | _ -> false)
+                    incoming
+                | _ ->
+                  List.exists
+                    (function
+                      | Ins.Reg (_, n) -> Hashtbl.mem defined_in_blk n
+                      | _ -> false)
+                    (Ins.operands i))
+              b.Func.insns
+           || List.exists
+                (function
+                  | Ins.Reg (_, n) -> Hashtbl.mem defined_in_blk n
+                  | _ -> false)
+                (Ins.term_operands b.Func.term)))
+      fn.Func.blocks
+  in
+  (not escapes_directly)
+  && List.for_all
+    (fun succ_l ->
+      match Func.find_block fn succ_l with
+      | None -> false
+      | Some succ ->
+        List.for_all
+          (fun (i : Ins.ins) ->
+            match i.Ins.kind with
+            | Ins.Phi incoming -> (
+              match List.assoc_opt blk.Func.label incoming with
+              | None -> true
+              | Some (Ins.Reg (_, n)) -> Hashtbl.mem defined_in_blk n
+              | Some (Ins.Const _ | Ins.Global _ | Ins.Undef _ | Ins.Blockaddr _) ->
+                true)
+            | _ -> true)
+          succ.Func.insns)
+    (Ins.successors blk.Func.term)
+
+(* Clone [blk] specialized for predecessor [pred]. *)
+let specialize (fn : Func.t) (blk : Func.block) pred =
+  let clone_label = Func.fresh_label fn (blk.Func.label ^ ".thread") in
+  (* phi names resolve to the pred's arm value; other blk-defined names
+     get fresh clones *)
+  let subst : (string, Ins.value) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (i : Ins.ins) ->
+      match i.Ins.kind with
+      | Ins.Phi incoming ->
+        let v =
+          Option.value ~default:(Ins.Undef i.Ins.ty) (List.assoc_opt pred incoming)
+        in
+        Hashtbl.replace subst i.Ins.id v
+      | _ -> ())
+    blk.Func.insns;
+  let map_value v =
+    match v with
+    | Ins.Reg (_, n) -> (
+      match Hashtbl.find_opt subst n with Some v' -> v' | None -> v)
+    | v -> v
+  in
+  let cloned =
+    List.filter_map
+      (fun (i : Ins.ins) ->
+        match i.Ins.kind with
+        | Ins.Phi _ -> None
+        | _ ->
+          let new_id =
+            if i.Ins.id = "" then ""
+            else begin
+              let n = Func.fresh_name fn (i.Ins.id ^ ".th") in
+              Hashtbl.replace subst i.Ins.id (Ins.Reg (i.Ins.ty, n));
+              n
+            end
+          in
+          let copy = { i with Ins.id = new_id } in
+          Ins.map_operands map_value copy;
+          Some copy)
+      blk.Func.insns
+  in
+  let term = Ins.map_term_operands map_value blk.Func.term in
+  let clone = { Func.label = clone_label; insns = cloned; term } in
+  fn.Func.blocks <- fn.Func.blocks @ [ clone ];
+  (* successors gain an arm for the clone (the blk arm, substituted) *)
+  List.iter
+    (fun succ_l ->
+      match Func.find_block fn succ_l with
+      | None -> ()
+      | Some succ ->
+        List.iter
+          (fun (i : Ins.ins) ->
+            match i.Ins.kind with
+            | Ins.Phi incoming -> (
+              match List.assoc_opt blk.Func.label incoming with
+              | None -> ()
+              | Some v ->
+                i.Ins.kind <- Ins.Phi (incoming @ [ (clone_label, map_value v) ]))
+            | _ -> ())
+          succ.Func.insns)
+    (Ins.successors blk.Func.term);
+  (* retarget the predecessor and drop its arm from blk's phis *)
+  (match Func.find_block fn pred with
+  | None -> ()
+  | Some pb ->
+    let fix l = if String.equal l blk.Func.label then clone_label else l in
+    pb.Func.term <-
+      (match pb.Func.term with
+      | Ins.Br l -> Ins.Br (fix l)
+      | Ins.Cbr (c, a, b) -> Ins.Cbr (c, fix a, fix b)
+      | Ins.Switch (v, d, cases) ->
+        Ins.Switch (v, fix d, List.map (fun (k, l) -> (k, fix l)) cases)
+      | t -> t));
+  List.iter
+    (fun (i : Ins.ins) ->
+      match i.Ins.kind with
+      | Ins.Phi incoming ->
+        i.Ins.kind <-
+          Ins.Phi (List.filter (fun (l, _) -> not (String.equal l pred)) incoming)
+      | _ -> ())
+    blk.Func.insns;
+  clone
+
+let run_function _ctx (fn : Func.t) =
+  let changed = ref false in
+  let budget = ref max_clones_per_run in
+  let continue_ = ref true in
+  while !continue_ && !budget > 0 do
+    continue_ := false;
+    let preds = Cfg.predecessors fn in
+    let entry_label =
+      match fn.Func.blocks with [] -> "" | e :: _ -> e.Func.label
+    in
+    let candidate =
+      List.find_map
+        (fun (blk : Func.block) ->
+          if String.equal blk.Func.label entry_label then None
+          else if List.mem blk.Func.label (Ins.successors blk.Func.term) then None
+          else if not (clone_safe fn blk) then None
+          else
+            let ps =
+              Option.value ~default:[] (Cfg.SMap.find_opt blk.Func.label preds)
+            in
+            if List.length ps < 2 then None
+            else
+              List.find_map
+                (fun p ->
+                  match constant_target blk p with
+                  | Some _ -> Some (blk, p)
+                  | None -> None)
+                ps)
+        fn.Func.blocks
+    in
+    match candidate with
+    | Some (blk, pred) ->
+      ignore (specialize fn blk pred);
+      decr budget;
+      changed := true;
+      continue_ := true;
+      ignore (Cfg.remove_unreachable fn)
+    | None -> ()
+  done;
+  !changed
+
+let pass = Pass.function_pass "jump-threading" run_function

@@ -1,0 +1,47 @@
+(** Pass infrastructure.
+
+    The pass context carries the *requirement log*: when run in trial mode
+    (Odin's pre-fuzzing survey, paper Section 3.2), passes record which
+    symbols an optimization needed together ([Bond]) and which constants a
+    local optimization needed to inspect ([Copy_on_use]). Odin's symbol
+    classification is built from this log. *)
+
+type requirement =
+  | Bond of { a : string; b : string; why : string }
+      (** interprocedural optimization modified/needed [a] and [b] in
+          tandem; separating them would miss or miscompile (Figure 4) *)
+  | Copy_on_use of { user : string; sym : string; why : string }
+      (** local optimization in [user] needed to *read* [sym]'s contents;
+          cloning [sym] into [user]'s fragment preserves the rewrite *)
+
+type ctx = {
+  modul : Ir.Modul.t;
+  trial : bool;  (** requirement-logging survey run *)
+  mutable reqs : requirement list;
+  mutable rounds : int;
+}
+
+let make_ctx ?(trial = false) modul = { modul; trial; reqs = []; rounds = 0 }
+
+let log_bond ctx a b why =
+  if ctx.trial && not (String.equal a b) then ctx.reqs <- Bond { a; b; why } :: ctx.reqs
+
+let log_copy ctx user sym why =
+  if ctx.trial then ctx.reqs <- Copy_on_use { user; sym; why } :: ctx.reqs
+
+type t = {
+  name : string;
+  run : ctx -> bool;  (** returns true when the IR changed *)
+}
+
+let mk name run = { name; run }
+
+(** Lift a per-function transform to a module pass. *)
+let function_pass name run_fn =
+  let run ctx =
+    List.fold_left
+      (fun changed fn -> run_fn ctx fn || changed)
+      false
+      (Ir.Modul.defined_functions ctx.modul)
+  in
+  mk name run

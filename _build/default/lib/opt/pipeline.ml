@@ -1,0 +1,81 @@
+(** The standard optimization pipeline ("O2") and the trial run used by
+    Odin's pre-fuzzing survey.
+
+    Pipeline shape follows the classic middle-end recipe: put the program
+    into SSA form, simplify locally, then alternate interprocedural and
+    local passes to a fixpoint (bounded). *)
+
+let standard_passes ?(keep = [ "main" ]) () =
+  [
+    Internalize.pass ~keep;
+    Mem2reg.pass;
+    Constfold.pass;
+    Instcombine.pass;
+    Simplifycfg.pass;
+    Gvn.pass;
+    Dce.pass;
+    Inline.pass;
+    Dead_arg_elim.pass;
+    Constfold.pass;
+    Instcombine.pass;
+    Jump_threading.pass;
+    Loop_unroll.pass;
+    Simplifycfg.pass;
+    Gvn.pass;
+    Dce.pass;
+  ]
+
+(** Run a list of passes to a bounded fixpoint. Returns the pass context
+    (which carries the requirement log when [trial] is set). *)
+let run ?(trial = false) ?(max_rounds = 5) ?(keep = [ "main" ]) modul =
+  let ctx = Pass.make_ctx ~trial modul in
+  let passes = standard_passes ~keep () in
+  let rec go round =
+    if round >= max_rounds then ()
+    else begin
+      ctx.Pass.rounds <- round + 1;
+      let changed =
+        List.fold_left (fun acc p -> p.Pass.run ctx || acc) false passes
+      in
+      if changed then go (round + 1)
+    end
+  in
+  go 0;
+  ctx
+
+(** Optimize a single fragment module during recompilation. Internalize is
+    *not* run here: fragment symbol visibility was already decided by the
+    partitioner, and demoting an exported symbol would break cross-fragment
+    links. *)
+let run_fragment ?(max_rounds = 2) modul =
+  let ctx = Pass.make_ctx ~trial:false modul in
+  let passes =
+    [
+      Mem2reg.pass;
+      Constfold.pass;
+      Instcombine.pass;
+      Simplifycfg.pass;
+      Gvn.pass;
+      Dce.pass;
+      Inline.pass;
+      Dead_arg_elim.pass;
+      Constfold.pass;
+      Instcombine.pass;
+      Jump_threading.pass;
+      Loop_unroll.pass;
+      Simplifycfg.pass;
+      Gvn.pass;
+      Dce.pass;
+    ]
+  in
+  let rec go round =
+    if round >= max_rounds then ()
+    else begin
+      let changed =
+        List.fold_left (fun acc p -> p.Pass.run ctx || acc) false passes
+      in
+      if changed then go (round + 1)
+    end
+  in
+  go 0;
+  ctx

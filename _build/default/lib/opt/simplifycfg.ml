@@ -1,0 +1,175 @@
+(** CFG simplification: remove unreachable blocks, skip empty forwarding
+    blocks, and merge straight-line block pairs (the "missing basic
+    blocks" distortion of paper Section 2.2 — coverage probes placed per
+    source block disappear when blocks are merged after optimization). *)
+
+open Ir
+
+(* Merge b into its unique successor s when b is s's unique predecessor.
+   Phis in s are resolved to their single arm. *)
+let merge_pairs (fn : Func.t) protected =
+  let changed = ref false in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let preds = Cfg.predecessors fn in
+    let entry_label =
+      match fn.Func.blocks with [] -> "" | e :: _ -> e.Func.label
+    in
+    let candidate =
+      List.find_opt
+        (fun (b : Func.block) ->
+          match b.Func.term with
+          | Ins.Br succ_l when not (String.equal succ_l b.Func.label) -> (
+            match Cfg.SMap.find_opt succ_l preds with
+            | Some [ only_pred ]
+              when String.equal only_pred b.Func.label
+                   && (not (String.equal succ_l entry_label))
+                   && not (Cfg.SSet.mem succ_l protected) ->
+              true
+            | _ -> false)
+          | _ -> false)
+        fn.Func.blocks
+    in
+    match candidate with
+    | None -> ()
+    | Some b -> (
+      match b.Func.term with
+      | Ins.Br succ_l -> (
+        match Func.find_block fn succ_l with
+        | None -> ()
+        | Some s ->
+          (* Resolve phis in s: single predecessor, take that arm. *)
+          List.iter
+            (fun (i : Ins.ins) ->
+              match i.Ins.kind with
+              | Ins.Phi incoming -> (
+                match List.assoc_opt b.Func.label incoming with
+                | Some v -> Func.replace_uses fn i.Ins.id v
+                | None -> ())
+              | _ -> ())
+            s.Func.insns;
+          let non_phi =
+            List.filter
+              (fun (i : Ins.ins) ->
+                match i.Ins.kind with Ins.Phi _ -> false | _ -> true)
+              s.Func.insns
+          in
+          b.Func.insns <- b.Func.insns @ non_phi;
+          b.Func.term <- s.Func.term;
+          (* successors of s now flow from b: rename phi arms *)
+          List.iter
+            (fun succ2 ->
+              match Func.find_block fn succ2 with
+              | None -> ()
+              | Some blk ->
+                List.iter
+                  (fun (i : Ins.ins) ->
+                    match i.Ins.kind with
+                    | Ins.Phi incoming ->
+                      i.Ins.kind <-
+                        Ins.Phi
+                          (List.map
+                             (fun (l, v) ->
+                               if String.equal l s.Func.label then (b.Func.label, v)
+                               else (l, v))
+                             incoming)
+                    | _ -> ())
+                  blk.Func.insns)
+            (Ins.successors s.Func.term);
+          fn.Func.blocks <-
+            List.filter (fun (blk : Func.block) -> blk != s) fn.Func.blocks;
+          changed := true;
+          continue_ := true)
+      | _ -> ())
+  done;
+  !changed
+
+(* Forward jumps through empty blocks that only contain "br %next" and no
+   phis; predecessors retarget, phi arms in the target are re-labelled. *)
+let skip_empty (fn : Func.t) protected =
+  let changed = ref false in
+  let entry_label = match fn.Func.blocks with [] -> "" | e :: _ -> e.Func.label in
+  let empties =
+    List.filter_map
+      (fun (b : Func.block) ->
+        match (b.Func.insns, b.Func.term) with
+        | [], Ins.Br target
+          when (not (String.equal b.Func.label target))
+               && (not (String.equal b.Func.label entry_label))
+               && not (Cfg.SSet.mem b.Func.label protected) ->
+          Some (b.Func.label, target)
+        | _ -> None)
+      fn.Func.blocks
+  in
+  let preds = Cfg.predecessors fn in
+  List.iter
+    (fun (empty_l, target_l) ->
+      match Func.find_block fn target_l with
+      | None -> ()
+      | Some target ->
+        (* Retargeting is only safe w.r.t. phis when target's phi arms can
+           be re-attributed uniquely: require that no predecessor of the
+           empty block is already a predecessor of the target. *)
+        let empty_preds =
+          Option.value ~default:[] (Cfg.SMap.find_opt empty_l preds)
+        in
+        let target_preds =
+          Option.value ~default:[] (Cfg.SMap.find_opt target_l preds)
+        in
+        let has_phi =
+          List.exists
+            (fun (i : Ins.ins) ->
+              match i.Ins.kind with Ins.Phi _ -> true | _ -> false)
+            target.Func.insns
+        in
+        let conflict =
+          List.exists (fun p -> List.mem p target_preds) empty_preds
+        in
+        if (not conflict) && empty_preds <> [] then begin
+          let retarget = function
+            | Ins.Br l when String.equal l empty_l -> Ins.Br target_l
+            | Ins.Cbr (c, a, b) ->
+              let fix l = if String.equal l empty_l then target_l else l in
+              Ins.Cbr (c, fix a, fix b)
+            | Ins.Switch (v, d, cases) ->
+              let fix l = if String.equal l empty_l then target_l else l in
+              Ins.Switch (v, fix d, List.map (fun (k, l) -> (k, fix l)) cases)
+            | t -> t
+          in
+          List.iter
+            (fun p ->
+              match Func.find_block fn p with
+              | None -> ()
+              | Some pb -> pb.Func.term <- retarget pb.Func.term)
+            empty_preds;
+          if has_phi then
+            List.iter
+              (fun (i : Ins.ins) ->
+                match i.Ins.kind with
+                | Ins.Phi incoming ->
+                  let expanded =
+                    List.concat_map
+                      (fun (l, v) ->
+                        if String.equal l empty_l then
+                          List.map (fun p -> (p, v)) empty_preds
+                        else [ (l, v) ])
+                      incoming
+                  in
+                  i.Ins.kind <- Ins.Phi expanded
+                | _ -> ())
+              target.Func.insns;
+          changed := true
+        end)
+    empties;
+  if !changed then ignore (Cfg.remove_unreachable fn);
+  !changed
+
+let run_function ctx (fn : Func.t) =
+  let protected = Cfg.address_taken_labels fn ctx.Pass.modul in
+  let c1 = Cfg.remove_unreachable fn in
+  let c2 = skip_empty fn protected in
+  let c3 = merge_pairs fn protected in
+  c1 || c2 || c3
+
+let pass = Pass.function_pass "simplifycfg" run_function

@@ -1,0 +1,1 @@
+lib/support/tab.ml: List Option Printf String

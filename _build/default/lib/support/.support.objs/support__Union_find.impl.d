@@ -1,0 +1,1 @@
+lib/support/union_find.ml: Hashtbl List Option String

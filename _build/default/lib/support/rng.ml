@@ -1,0 +1,63 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the reproduction (workload generation,
+    fuzzing mutations, seed scheduling) draws from an explicit [t] so that
+    all experiments are bit-for-bit reproducible across runs. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 step: state += golden gamma; output = mixed state. *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** [int t bound] is uniform in [0, bound). Requires [bound > 0]. *)
+let int t bound =
+  assert (bound > 0);
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+  v mod bound
+
+(** [range t lo hi] is uniform in [lo, hi] inclusive. *)
+let range t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** [chance t num den] is true with probability num/den. *)
+let chance t num den = int t den < num
+
+(** Pick a uniformly random element of a non-empty list. *)
+let choose t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let choose_arr t xs =
+  if Array.length xs = 0 then invalid_arg "Rng.choose_arr: empty array";
+  xs.(int t (Array.length xs))
+
+(** Fisher-Yates shuffle (returns a fresh array). *)
+let shuffle t xs =
+  let a = Array.copy xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  a
+
+(** Derive an independent stream; used to give each workload function its own
+    generator so that adding functions does not perturb earlier ones. *)
+let split t =
+  let s = next_int64 t in
+  { state = s }

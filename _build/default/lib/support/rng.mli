@@ -1,0 +1,31 @@
+(** Deterministic pseudo-random number generator (splitmix64). Every
+    stochastic component of the reproduction draws from an explicit [t],
+    so experiments are bit-for-bit reproducible. *)
+
+type t
+
+val create : int -> t
+val copy : t -> t
+val next_int64 : t -> int64
+
+(** Uniform in [0, bound); requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** Uniform in [lo, hi] inclusive. *)
+val range : t -> int -> int -> int
+
+val bool : t -> bool
+
+(** True with probability num/den. *)
+val chance : t -> int -> int -> bool
+
+(** @raise Invalid_argument on empty input. *)
+val choose : t -> 'a list -> 'a
+
+val choose_arr : t -> 'a array -> 'a
+
+(** Fisher-Yates shuffle into a fresh array. *)
+val shuffle : t -> 'a array -> 'a array
+
+(** Derive an independent stream. *)
+val split : t -> t

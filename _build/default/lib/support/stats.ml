@@ -1,0 +1,56 @@
+(** Small statistics kit for the evaluation harness: the paper reports
+    medians, means, geometric means and worst cases over per-program
+    measurements (Figures 8-12). *)
+
+let mean xs =
+  match xs with
+  | [] -> nan
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let geomean xs =
+  match xs with
+  | [] -> nan
+  | _ ->
+    let logsum = List.fold_left (fun acc x -> acc +. log x) 0. xs in
+    exp (logsum /. float_of_int (List.length xs))
+
+(** Percentile with linear interpolation; [p] in [0,100]. *)
+let percentile p xs =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted ->
+    let a = Array.of_list sorted in
+    let n = Array.length a in
+    if n = 1 then a.(0)
+    else begin
+      let rank = p /. 100. *. float_of_int (n - 1) in
+      let lo = int_of_float (floor rank) in
+      let hi = min (n - 1) (lo + 1) in
+      let frac = rank -. float_of_int lo in
+      (a.(lo) *. (1. -. frac)) +. (a.(hi) *. frac)
+    end
+
+let median xs = percentile 50. xs
+let min_l xs = List.fold_left min infinity xs
+let max_l xs = List.fold_left max neg_infinity xs
+
+type summary = {
+  n : int;
+  mean : float;
+  median : float;
+  p25 : float;
+  p75 : float;
+  min : float;
+  max : float;
+}
+
+let summarize xs =
+  {
+    n = List.length xs;
+    mean = mean xs;
+    median = median xs;
+    p25 = percentile 25. xs;
+    p75 = percentile 75. xs;
+    min = min_l xs;
+    max = max_l xs;
+  }

@@ -1,0 +1,25 @@
+(** Statistics for the evaluation harness (medians, means, percentiles
+    over per-program measurements — Figures 8-12). All functions return
+    [nan] on empty input. *)
+
+val mean : float list -> float
+val geomean : float list -> float
+
+(** Percentile with linear interpolation; [p] in [0, 100]. *)
+val percentile : float -> float list -> float
+
+val median : float list -> float
+val min_l : float list -> float
+val max_l : float list -> float
+
+type summary = {
+  n : int;
+  mean : float;
+  median : float;
+  p25 : float;
+  p75 : float;
+  min : float;
+  max : float;
+}
+
+val summarize : float list -> summary

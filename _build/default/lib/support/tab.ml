@@ -1,0 +1,62 @@
+(** Plain-text table and bar-chart rendering for the benchmark harness.
+    The bench binary prints each paper table/figure as an aligned text
+    table plus, for the figures, an ASCII bar chart so the *shape* of the
+    result (who wins, by what factor) is visible at a glance. *)
+
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else s ^ String.make (width - n) ' '
+
+let pad_left width s =
+  let n = String.length s in
+  if n >= width then s else String.make (width - n) ' ' ^ s
+
+(** Render rows with a header; first column left-aligned, rest right-aligned. *)
+let render ~header rows =
+  let all = header :: rows in
+  let ncols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun m row ->
+        match List.nth_opt row c with
+        | Some cell -> max m (String.length cell)
+        | None -> m)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let render_row row =
+    List.mapi
+      (fun c w ->
+        let cell = Option.value ~default:"" (List.nth_opt row c) in
+        if c = 0 then pad w cell else pad_left w cell)
+      widths
+    |> String.concat "  "
+  in
+  let sep =
+    List.map (fun w -> String.make w '-') widths |> String.concat "  "
+  in
+  let body = List.map render_row rows in
+  String.concat "\n" (render_row header :: sep :: body)
+
+let print ~title ~header rows =
+  Printf.printf "\n== %s ==\n%s\n" title (render ~header rows)
+
+(** Horizontal ASCII bar chart; values scaled so the max fills [width]. *)
+let bar_chart ?(width = 50) items =
+  let vmax = List.fold_left (fun m (_, v) -> max m v) 0. items in
+  let vmax = if vmax <= 0. then 1. else vmax in
+  let label_w =
+    List.fold_left (fun m (l, _) -> max m (String.length l)) 0 items
+  in
+  let line (label, v) =
+    let n = int_of_float (v /. vmax *. float_of_int width +. 0.5) in
+    Printf.sprintf "%s |%s %.4g" (pad label_w label) (String.make n '#') v
+  in
+  String.concat "\n" (List.map line items)
+
+let print_bars ~title items =
+  Printf.printf "\n-- %s --\n%s\n" title (bar_chart items)
+
+let pct x = Printf.sprintf "%.2f%%" (x *. 100.)
+let ms x = Printf.sprintf "%.1f ms" x
+let f2 x = Printf.sprintf "%.2f" x

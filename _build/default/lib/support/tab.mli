@@ -1,0 +1,22 @@
+(** Plain-text table and bar-chart rendering for the benchmark harness. *)
+
+val pad : int -> string -> string
+val pad_left : int -> string -> string
+
+(** Aligned table: first column left-aligned, the rest right-aligned;
+    a dash separator follows the header. *)
+val render : header:string list -> string list list -> string
+
+(** [render] preceded by a "== title ==" line, to stdout. *)
+val print : title:string -> header:string list -> string list list -> unit
+
+(** Horizontal ASCII bars, scaled so the maximum fills [width]. *)
+val bar_chart : ?width:int -> (string * float) list -> string
+
+val print_bars : title:string -> (string * float) list -> unit
+
+(** Format 0.125 as "12.50%". *)
+val pct : float -> string
+
+val ms : float -> string
+val f2 : float -> string

@@ -1,0 +1,52 @@
+(** Union-find over string keys, used by Odin's fragment-creation step
+    (Algorithm 1 of the paper) to cluster symbols that must be recompiled
+    together. Path compression + union by rank. *)
+
+type t = {
+  parent : (string, string) Hashtbl.t;
+  rank : (string, int) Hashtbl.t;
+}
+
+let create () = { parent = Hashtbl.create 64; rank = Hashtbl.create 64 }
+
+let add t x = if not (Hashtbl.mem t.parent x) then Hashtbl.replace t.parent x x
+
+let rec find t x =
+  add t x;
+  let p = Hashtbl.find t.parent x in
+  if String.equal p x then x
+  else begin
+    let root = find t p in
+    Hashtbl.replace t.parent x root;
+    root
+  end
+
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if not (String.equal rx ry) then begin
+    let kx = Option.value ~default:0 (Hashtbl.find_opt t.rank rx) in
+    let ky = Option.value ~default:0 (Hashtbl.find_opt t.rank ry) in
+    if kx < ky then Hashtbl.replace t.parent rx ry
+    else if kx > ky then Hashtbl.replace t.parent ry rx
+    else begin
+      Hashtbl.replace t.parent ry rx;
+      Hashtbl.replace t.rank rx (kx + 1)
+    end
+  end
+
+let same t x y = String.equal (find t x) (find t y)
+
+let members t = Hashtbl.fold (fun k _ acc -> k :: acc) t.parent []
+
+(** All clusters, as lists of members; deterministic order (sorted). *)
+let clusters t =
+  let groups = Hashtbl.create 16 in
+  let keys = List.sort String.compare (members t) in
+  let add_member k =
+    let r = find t k in
+    let old = Option.value ~default:[] (Hashtbl.find_opt groups r) in
+    Hashtbl.replace groups r (k :: old)
+  in
+  List.iter add_member keys;
+  Hashtbl.fold (fun _ ms acc -> List.rev ms :: acc) groups []
+  |> List.sort (fun a b -> compare a b)

@@ -1,0 +1,18 @@
+(** Union-find over string keys (path compression + union by rank), used
+    by Odin's fragment creation (Algorithm 1) to cluster symbols that
+    must be recompiled together. *)
+
+type t
+
+val create : unit -> t
+
+(** Ensure a key exists as a singleton. *)
+val add : t -> string -> unit
+
+val find : t -> string -> string
+val union : t -> string -> string -> unit
+val same : t -> string -> string -> bool
+val members : t -> string list
+
+(** All clusters as member lists, deterministically ordered. *)
+val clusters : t -> string list list

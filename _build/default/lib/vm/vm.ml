@@ -1,0 +1,264 @@
+(** Execution engine: runs linked machine code with per-instruction cycle
+    accounting. Every "execution duration" in the reproduced figures is a
+    cycle count from this VM, so results are deterministic and
+    hardware-independent while preserving relative costs.
+
+    The engine exposes a block-entry hook, which is how the dynamic-
+    binary-instrumentation baselines (DrCov, libInst) charge their
+    translation/dispatch/trampoline costs without touching the code. *)
+
+open Codegen.Mach
+
+exception Fault of string
+
+let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
+
+type t = {
+  exe : Link.Linker.exe;
+  mem : Bytes.t;
+  regs : int64 array;
+  mutable cycles : int;
+  mutable steps : int;
+  max_steps : int;
+  host : (string, t -> int64) Hashtbl.t;
+      (** host functions read args from regs r0..r5, return the result *)
+  mutable host_cost : int;  (** default cycles charged per host call *)
+  mutable block_hook : (t -> string -> int -> unit) option;
+      (** called on block entry with (function name, block index) *)
+  mutable stack_base : int;
+}
+
+let mem_size = 1 lsl 20 (* 1 MiB; data starts at 256 KiB, stack at the top *)
+
+let create ?(max_steps = 200_000_000) exe =
+  let vm =
+    {
+      exe;
+      mem = Bytes.make mem_size '\x00';
+      regs = Array.make num_phys 0L;
+      cycles = 0;
+      steps = 0;
+      max_steps;
+      host = Hashtbl.create 8;
+      host_cost = 10;
+      block_hook = None;
+      stack_base = mem_size - 16;
+    }
+  in
+  (* load the data image *)
+  List.iter
+    (fun (base, bytes) ->
+      if base + Bytes.length bytes > mem_size then fault "data image too large";
+      Bytes.blit bytes 0 vm.mem base (Bytes.length bytes))
+    exe.Link.Linker.image;
+  vm
+
+let register_host vm name fn = Hashtbl.replace vm.host name fn
+let set_block_hook vm hook = vm.block_hook <- Some hook
+let add_cycles vm n = vm.cycles <- vm.cycles + n
+
+let addr_of vm name = Link.Linker.addr_of vm.exe name
+
+(* ------------------------------------------------------------------ *)
+(* Memory                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let check _vm addr width =
+  let a = Int64.to_int addr in
+  if a < 0 || a + width > mem_size then fault "memory fault at 0x%Lx" addr;
+  a
+
+let load_mem vm ty addr =
+  let width = Ir.Types.size_of ty in
+  let a = check vm addr width in
+  let raw =
+    match width with
+    | 1 -> Int64.of_int (Char.code (Bytes.get vm.mem a))
+    | 2 -> Int64.of_int (Bytes.get_uint16_le vm.mem a)
+    | 4 -> Int64.of_int32 (Bytes.get_int32_le vm.mem a)
+    | 8 -> Bytes.get_int64_le vm.mem a
+    | _ -> fault "load width %d" width
+  in
+  Ir.Types.normalize ty raw
+
+let store_mem vm ty addr v =
+  let width = Ir.Types.size_of ty in
+  let a = check vm addr width in
+  match width with
+  | 1 -> Bytes.set vm.mem a (Char.chr (Int64.to_int (Int64.logand v 0xFFL)))
+  | 2 -> Bytes.set_uint16_le vm.mem a (Int64.to_int (Int64.logand v 0xFFFFL))
+  | 4 -> Bytes.set_int32_le vm.mem a (Int64.to_int32 v)
+  | 8 -> Bytes.set_int64_le vm.mem a v
+  | _ -> fault "store width %d" width
+
+(** Reserve a region below the stack and copy [bytes] into it; returns its
+    address. Used to hand fuzzing inputs to the program. *)
+let write_buffer vm bytes =
+  let size = (max 1 (String.length bytes) + 15) / 16 * 16 in
+  vm.stack_base <- vm.stack_base - size;
+  Bytes.blit_string bytes 0 vm.mem vm.stack_base (String.length bytes);
+  Int64.of_int vm.stack_base
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let operand vm = function
+  | Oreg r -> vm.regs.(r)
+  | Oimm v -> v
+  | Osym (s, add) -> Int64.add (addr_of vm s) (Int64.of_int add)
+
+let eaddr vm = function
+  | Abase (r, off) -> Int64.add vm.regs.(r) (Int64.of_int off)
+  | Asym (s, off) -> Int64.add (addr_of vm s) (Int64.of_int off)
+  | Aslot _ -> fault "unresolved frame slot at execution"
+
+(* block-index lookup: is [pc] the start of a block in [mf]? *)
+let block_at (mf : mfunc) pc =
+  let rec go i =
+    if i >= Array.length mf.mf_blocks then None
+    else begin
+      let start, _ = mf.mf_blocks.(i) in
+      if start = pc then Some i else if start > pc then None else go (i + 1)
+    end
+  in
+  go 0
+
+let enter_block vm (mf : mfunc) pc =
+  match vm.block_hook with
+  | None -> ()
+  | Some hook -> (
+    match block_at mf pc with
+    | Some idx -> hook vm mf.mf_name idx
+    | None -> ())
+
+type frame = { fr_fn : mfunc; fr_pc : int }
+
+(** Call [fname] with up to 6 integer arguments; returns r0. *)
+let call vm fname args =
+  let entry =
+    match Link.Linker.find_func vm.exe fname with
+    | Some mf -> mf
+    | None -> fault "call to unknown function @%s" fname
+  in
+  if List.length args > max_reg_args then fault "too many arguments";
+  List.iteri (fun i v -> vm.regs.(i) <- v) args;
+  vm.regs.(reg_sp) <- Int64.of_int vm.stack_base;
+  let stack : frame list ref = ref [] in
+  let cur = ref entry in
+  let pc = ref 0 in
+  let running = ref true in
+  enter_block vm entry 0;
+  let dispatch_call name ret_pc =
+    match Link.Linker.find_func vm.exe name with
+    | Some mf ->
+      stack := { fr_fn = !cur; fr_pc = ret_pc } :: !stack;
+      if List.length !stack > 4096 then fault "call stack overflow";
+      cur := mf;
+      pc := 0;
+      enter_block vm mf 0
+    | None -> (
+      match Hashtbl.find_opt vm.host name with
+      | Some h ->
+        vm.cycles <- vm.cycles + vm.host_cost;
+        vm.regs.(reg_ret) <- h vm;
+        pc := ret_pc
+      | None -> fault "call to undefined symbol @%s" name)
+  in
+  while !running do
+    let mf = !cur in
+    let code = mf.mf_code in
+    if !pc < 0 || !pc >= Array.length code then
+      fault "pc out of range in @%s" mf.mf_name;
+    let inst = code.(!pc) in
+    vm.steps <- vm.steps + 1;
+    if vm.steps > vm.max_steps then fault "cycle budget exhausted";
+    vm.cycles <- vm.cycles + cost inst;
+    (match inst with
+    | Mmov (d, o) ->
+      vm.regs.(d) <- operand vm o;
+      incr pc
+    | Mbin (op, ty, d, s, o) ->
+      (match Ir.Eval.binop ty op vm.regs.(s) (operand vm o) with
+      | Some r -> vm.regs.(d) <- r
+      | None -> fault "division by zero in @%s" mf.mf_name);
+      incr pc
+    | Mcmp (p, ty, d, s, o) ->
+      vm.regs.(d) <- Ir.Eval.icmp ty p vm.regs.(s) (operand vm o);
+      incr pc
+    | Mcmov (d, c, s) ->
+      if vm.regs.(c) <> 0L then vm.regs.(d) <- vm.regs.(s);
+      incr pc
+    | Mld (ty, d, a) ->
+      vm.regs.(d) <- load_mem vm ty (eaddr vm a);
+      incr pc
+    | Mst (ty, s, a) ->
+      store_mem vm ty (eaddr vm a) vm.regs.(s);
+      incr pc
+    | Mincmem (ty, a) ->
+      let addr = eaddr vm a in
+      store_mem vm ty addr (Int64.add (load_mem vm ty addr) 1L);
+      incr pc
+    | Mlea (d, a) ->
+      vm.regs.(d) <- eaddr vm a;
+      incr pc
+    | Mjmp t ->
+      pc := t;
+      enter_block vm mf t
+    | Mjnz (r, t) ->
+      if vm.regs.(r) <> 0L then begin
+        pc := t;
+        enter_block vm mf t
+      end
+      else begin
+        incr pc;
+        enter_block vm mf !pc
+      end
+    | Mjtab (r, cases, d) ->
+      let key = vm.regs.(r) in
+      let target = ref d in
+      (try
+         Array.iter
+           (fun (k, t) ->
+             if Int64.equal k key then begin
+               target := t;
+               raise Exit
+             end)
+           cases
+       with Exit -> ());
+      pc := !target;
+      enter_block vm mf !target
+    | Mcall name -> dispatch_call name (!pc + 1)
+    | Mcallr r -> (
+      let addr = vm.regs.(r) in
+      match Hashtbl.find_opt vm.exe.Link.Linker.fn_at_addr addr with
+      | Some name -> dispatch_call name (!pc + 1)
+      | None -> (
+        match Hashtbl.find_opt vm.exe.Link.Linker.host_at_addr addr with
+        | Some name -> dispatch_call name (!pc + 1)
+        | None -> fault "indirect call to 0x%Lx (not a function)" addr))
+    | Mret -> (
+      match !stack with
+      | [] -> running := false
+      | fr :: rest ->
+        stack := rest;
+        cur := fr.fr_fn;
+        pc := fr.fr_pc)
+    | Mpush r ->
+      vm.regs.(reg_sp) <- Int64.sub vm.regs.(reg_sp) 8L;
+      store_mem vm Ir.Types.I64 vm.regs.(reg_sp) vm.regs.(r);
+      incr pc
+    | Mpop r ->
+      vm.regs.(r) <- load_mem vm Ir.Types.I64 vm.regs.(reg_sp);
+      vm.regs.(reg_sp) <- Int64.add vm.regs.(reg_sp) 8L;
+      incr pc
+    | Mspadj n ->
+      vm.regs.(reg_sp) <- Int64.add vm.regs.(reg_sp) (Int64.of_int n);
+      incr pc)
+  done;
+  vm.regs.(reg_ret)
+
+(** Reset the per-run counters (memory and globals keep their state). *)
+let reset_counters vm =
+  vm.cycles <- 0;
+  vm.steps <- 0

@@ -1,0 +1,60 @@
+(** Execution engine: runs linked machine code with per-instruction cycle
+    accounting. Every "execution duration" in the reproduced figures is a
+    cycle count from this VM, so results are deterministic and
+    hardware-independent while preserving relative costs.
+
+    The block-entry hook is how the dynamic-binary-instrumentation
+    baselines (DrCov, libInst) charge translation/dispatch/trampoline
+    costs without modifying the code. *)
+
+exception Fault of string
+
+type t = {
+  exe : Link.Linker.exe;
+  mem : Bytes.t;
+  regs : int64 array;  (** 16 registers; r0 = return value *)
+  mutable cycles : int;
+  mutable steps : int;
+  max_steps : int;
+  host : (string, t -> int64) Hashtbl.t;
+  mutable host_cost : int;  (** cycles charged per host call *)
+  mutable block_hook : (t -> string -> int -> unit) option;
+  mutable stack_base : int;
+}
+
+val mem_size : int
+
+(** Fresh VM with the executable's data image loaded.
+    @raise Fault if the image does not fit. *)
+val create : ?max_steps:int -> Link.Linker.exe -> t
+
+(** Host functions read their arguments from [regs.(0..5)] and return the
+    value placed in r0. *)
+val register_host : t -> string -> (t -> int64) -> unit
+
+(** Called on every basic-block entry with (function name, block index). *)
+val set_block_hook : t -> (t -> string -> int -> unit) -> unit
+
+(** Charge extra cycles (instrumentation-engine overhead models). *)
+val add_cycles : t -> int -> unit
+
+(** @raise Link.Linker.Link_error for unknown symbols. *)
+val addr_of : t -> string -> int64
+
+(** Typed little-endian memory access (loads sign-extend to the type's
+    width). @raise Fault on out-of-bounds access. *)
+val load_mem : t -> Ir.Types.ty -> int64 -> int64
+
+val store_mem : t -> Ir.Types.ty -> int64 -> int64 -> unit
+
+(** Copy an input buffer into fresh memory below the stack; returns its
+    address. *)
+val write_buffer : t -> string -> int64
+
+(** Call a function with up to 6 integer arguments; returns r0.
+    @raise Fault on traps (undefined symbols, division by zero, memory
+    faults, stack overflow, step-budget exhaustion). *)
+val call : t -> string -> int64 list -> int64
+
+(** Reset cycle/step counters (memory and globals keep their state). *)
+val reset_counters : t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/generate.ml: Buffer Char List Minic Printf Profile String Support

@@ -1,0 +1,1 @@
+lib/workloads/generate.mli: Ir Profile

@@ -1,0 +1,307 @@
+(** Synthetic mini-C program generator.
+
+    Produces, deterministically from a profile, a whole program with the
+    entry point [int target_main(char *buf, int len)]:
+
+    - constant lookup tables (copy-on-use material for the partitioner),
+    - mid-size arithmetic helpers with straight-line bodies (realistic
+      decode/transform kernels: heavy basic blocks),
+    - tiny inline-friendly functions (json's template soup),
+    - byte-consuming parser functions with switch dispatch (coverage
+      growth during fuzzing),
+    - optionally one giant opcode interpreter (sqlite3VdbeExec),
+    - a header check with magic-byte comparisons (CmpLog roadblocks),
+    - a rarely-taken reporting path through printf (exercising the
+      printf->puts rewrite and its copy-on-use constant). *)
+
+open Printf
+
+(** Host functions every workload expects the fuzzer/VM to provide. *)
+let host_functions = [ "printf"; "puts" ]
+
+let buf_byte pos = sprintf "(buf[%s] & 255)" pos
+
+type gen = { b : Buffer.t; rng : Support.Rng.t; p : Profile.t }
+
+let line g fmt = ksprintf (fun s -> Buffer.add_string g.b (s ^ "\n")) fmt
+
+let odd_const g lo hi =
+  let c = Support.Rng.range g.rng lo hi in
+  if c mod 2 = 0 then c + 1 else c
+
+(* ------------------------------------------------------------------ *)
+(* Constant tables and globals                                         *)
+(* ------------------------------------------------------------------ *)
+
+let gen_tables g =
+  for k = 0 to g.p.Profile.const_tables - 1 do
+    let values =
+      List.init 16 (fun _ -> string_of_int (Support.Rng.range g.rng 1 997))
+    in
+    line g "static const int tbl_%d[16] = {%s};" k (String.concat ", " values)
+  done;
+  (* mutable state shared by coupled helpers *)
+  for k = 0 to (g.p.Profile.coupling * 2) - 1 do
+    line g "static int g_state_%d;" k
+  done;
+  line g ""
+
+let table_ref g expr =
+  let t = Support.Rng.int g.rng g.p.Profile.const_tables in
+  sprintf "tbl_%d[(%s) & 15]" t expr
+
+(* ------------------------------------------------------------------ *)
+(* Tiny functions (inline fodder)                                      *)
+(* ------------------------------------------------------------------ *)
+
+let gen_tiny g =
+  for k = 0 to g.p.Profile.n_tiny - 1 do
+    let c1 = odd_const g 3 63 in
+    let c2 = Support.Rng.range g.rng 1 255 in
+    let s = Support.Rng.range g.rng 1 7 in
+    if k > 0 && Support.Rng.chance g.rng 2 5 then
+      line g "static int tiny_%d(int x) { return tiny_%d(x ^ %d) + ((x * %d) >> %d); }"
+        k (Support.Rng.int g.rng k) c2 c1 s
+    else
+      line g "static int tiny_%d(int x) { return ((x * %d) ^ (x >> %d)) + %d; }" k c1
+        s c2
+  done;
+  line g ""
+
+(* ------------------------------------------------------------------ *)
+(* Helpers: straight-line arithmetic kernels                           *)
+(* ------------------------------------------------------------------ *)
+
+let gen_helper g k =
+  line g "static int helper_%d(int x, int y) {" k;
+  line g "  int a = x;";
+  line g "  int b = y;";
+  (* a constant-trip mixing loop: fully unrollable when the body is
+     clean; probes inflate the body past the unroll budget, which is one
+     of the instrument-first costs the paper discusses (Section 2.2) *)
+  let trip = Support.Rng.range g.rng 3 4 in
+  let loop_stmts = max 2 (g.p.Profile.helper_stmts / 2) in
+  line g "  int r = 0;";
+  line g "  do {";
+  (* a tiny-function call on the hot loop path: inlined by whole-program
+     or bonded-fragment builds, a real call under blind Max partitioning
+     (the Figure 10 effect) *)
+  if g.p.Profile.coupling >= 1 && g.p.Profile.n_tiny > 0 then
+    line g "    b = b + tiny_%d(a & 255);" (Support.Rng.int g.rng g.p.Profile.n_tiny);
+  for _ = 1 to loop_stmts do
+    match Support.Rng.int g.rng 4 with
+    | 0 -> line g "    a = a * %d + %s;" (odd_const g 3 31) (table_ref g "b >> 2")
+    | 1 -> line g "    b = (b ^ (a >> %d)) + %d;" (Support.Rng.range g.rng 1 7)
+             (Support.Rng.range g.rng 1 127)
+    | 2 -> line g "    a = a + b * %d;" (odd_const g 3 15)
+    | _ -> line g "    b = b + (a & %d);" (Support.Rng.range g.rng 7 255)
+  done;
+  line g "    r++;";
+  line g "  } while (r < %d);" trip;
+  for _ = 1 to g.p.Profile.helper_stmts - loop_stmts do
+    match Support.Rng.int g.rng 6 with
+    | 0 -> line g "  a = a * %d + %s;" (odd_const g 3 31) (table_ref g "b >> 2")
+    | 1 -> line g "  b = (b ^ (a >> %d)) + %d;" (Support.Rng.range g.rng 1 7)
+             (Support.Rng.range g.rng 1 127)
+    | 2 -> line g "  a = a + b * %d;" (odd_const g 3 15)
+    | 3 -> line g "  b = b + %s;" (table_ref g "a")
+    | 4 -> line g "  a = (a << %d) | (b & %d);" (Support.Rng.range g.rng 1 4)
+             (Support.Rng.range g.rng 3 63)
+    | _ -> line g "  b = b - (a & %d) + %d;" (Support.Rng.range g.rng 7 255)
+             (Support.Rng.range g.rng 1 31)
+  done;
+  (* interprocedural coupling: a call to an earlier helper and, in denser
+     profiles, tiny functions and shared mutable state *)
+  if g.p.Profile.coupling >= 1 && k > 0 && Support.Rng.chance g.rng g.p.Profile.coupling 4
+  then
+    line g "  a = a ^ helper_%d(b, a & 1023);" (Support.Rng.int g.rng k);
+  if g.p.Profile.coupling >= 2 && g.p.Profile.n_tiny > 0 then
+    line g "  b = b + tiny_%d(a);" (Support.Rng.int g.rng g.p.Profile.n_tiny);
+  if g.p.Profile.coupling >= 2 then begin
+    let s = Support.Rng.int g.rng (g.p.Profile.coupling * 2) in
+    line g "  g_state_%d = g_state_%d + (a & 15);" s s;
+    line g "  b = b + g_state_%d;" s
+  end;
+  line g "  return a ^ b;";
+  line g "}";
+  line g ""
+
+let gen_helpers g =
+  for k = 0 to g.p.Profile.n_helpers - 1 do
+    gen_helper g k
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Parsers: byte-consuming switch dispatch                             *)
+(* ------------------------------------------------------------------ *)
+
+let call_some_fn g args =
+  if g.p.Profile.n_tiny > 0 && Support.Rng.bool g.rng then
+    sprintf "tiny_%d(%s)" (Support.Rng.int g.rng g.p.Profile.n_tiny)
+      (List.hd args)
+  else if g.p.Profile.n_helpers > 0 then
+    sprintf "helper_%d(%s)"
+      (Support.Rng.int g.rng g.p.Profile.n_helpers)
+      (String.concat ", " args)
+  else sprintf "(%s)" (List.hd args)
+
+let gen_parser g k =
+  line g "static int parse_%d(char *buf, int len, int pos) {" k;
+  line g "  int acc = %d;" (Support.Rng.range g.rng 1 99);
+  line g "  int guard = 0;";
+  line g "  while (pos + 2 < len && guard < 48) {";
+  line g "    int tag = %s %% %d;" (buf_byte "pos") g.p.Profile.parser_cases;
+  line g "    guard++;";
+  line g "    switch (tag) {";
+  for c = 0 to g.p.Profile.parser_cases - 1 do
+    let arg1 = buf_byte "pos + 1" in
+    let arg2 = "acc" in
+    (match Support.Rng.int g.rng 4 with
+    | 0 ->
+      line g "      case %d: acc += %s + %s; pos += 2; break;" c
+        (call_some_fn g [ arg1; arg2 ])
+        (if g.p.Profile.n_tiny > 0 then
+           sprintf "tiny_%d(acc)" (Support.Rng.int g.rng g.p.Profile.n_tiny)
+         else "1")
+    | 1 ->
+      line g "      case %d: acc ^= %s + %d; pos += 1; break;" c
+        (table_ref g arg1) (Support.Rng.range g.rng 1 255)
+    | 2 ->
+      line g
+        "      case %d: if (%s > %d) { acc += %s; } else { acc -= %d; } pos += 2; break;"
+        c arg1
+        (Support.Rng.range g.rng 32 192)
+        (call_some_fn g [ arg2; arg1 ])
+        (Support.Rng.range g.rng 1 63)
+    | _ ->
+      line g "      case %d: acc = acc * 31 + %s; pos += 3; break;" c arg1)
+  done;
+  line g "      default: return acc;";
+  line g "    }";
+  line g "  }";
+  line g "  return acc;";
+  line g "}";
+  line g ""
+
+let gen_parsers g =
+  for k = 0 to g.p.Profile.n_parsers - 1 do
+    gen_parser g k
+  done
+
+(* ------------------------------------------------------------------ *)
+(* The giant interpreter (sqlite3VdbeExec)                             *)
+(* ------------------------------------------------------------------ *)
+
+let gen_interpreter g n_ops =
+  line g "static int vdbe_exec(char *buf, int len) {";
+  line g "  int pc = 0;";
+  line g "  int r0 = 1;";
+  line g "  int r1 = %d;" (Support.Rng.range g.rng 1 99);
+  line g "  int r2 = 0;";
+  line g "  int steps = 0;";
+  line g "  while (pc + 1 < len && steps < 160) {";
+  line g "    int op = %s %% %d;" (buf_byte "pc") n_ops;
+  line g "    steps++;";
+  line g "    switch (op) {";
+  for op = 0 to n_ops - 1 do
+    let body =
+      match Support.Rng.int g.rng 6 with
+      | 0 -> sprintf "r0 = r0 + r1 * %d; pc += 1;" (odd_const g 3 15)
+      | 1 -> sprintf "r1 = %s + r2; pc += 2;" (table_ref g "r0")
+      | 2 -> sprintf "r2 = (r2 ^ (r0 >> %d)) + %d; pc += 1;"
+               (Support.Rng.range g.rng 1 6) (Support.Rng.range g.rng 1 63)
+      | 3 ->
+        sprintf "r0 = %s; pc += 2;"
+          (call_some_fn g [ sprintf "r1 + %s" (buf_byte "pc + 1"); "r2" ])
+      | 4 -> sprintf "if (r0 > r1) { r2 += %d; } r1 = r1 + 1; pc += 1;"
+               (Support.Rng.range g.rng 1 31)
+      | _ -> sprintf "r1 = r1 * %d + %s; pc += 3;" (odd_const g 3 9) (buf_byte "pc + 1")
+    in
+    line g "      case %d: %s break;" op body
+  done;
+  line g "      default: pc += 1; break;";
+  line g "    }";
+  line g "  }";
+  line g "  return (r0 ^ r1) + r2;";
+  line g "}";
+  line g ""
+
+(* ------------------------------------------------------------------ *)
+(* Reporting path: printf -> puts material                             *)
+(* ------------------------------------------------------------------ *)
+
+let gen_report g =
+  line g "extern int printf(char *fmt);";
+  line g "static void report_event(void) { printf(\"%s event\\n\"); }"
+    g.p.Profile.name;
+  line g ""
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let gen_main g =
+  line g "int target_main(char *buf, int len) {";
+  line g "  if (len < 8) return -1;";
+  line g "  int acc = 0;";
+  (* magic-byte roadblocks, nested so CmpLog has work to do *)
+  let magics =
+    List.init g.p.Profile.magic_checks (fun _ -> Support.Rng.range g.rng 33 126)
+  in
+  let rec emit_magics depth = function
+    | [] ->
+      line g "%s  acc += 7777;" (String.make (depth * 2) ' ');
+      line g "%s  report_event();" (String.make (depth * 2) ' ')
+    | m :: rest ->
+      line g "%s  if (buf[%d] == %d) {" (String.make (depth * 2) ' ') depth m;
+      emit_magics (depth + 1) rest;
+      line g "%s  }" (String.make (depth * 2) ' ')
+  in
+  emit_magics 0 magics;
+  (* dispatch into the parsers based on input bytes *)
+  for k = 0 to g.p.Profile.n_parsers - 1 do
+    if k = 0 then line g "  acc += parse_0(buf, len, 1);"
+    else
+      line g "  if (%s %% %d == %d) acc ^= parse_%d(buf, len, %d);"
+        (buf_byte (string_of_int (k mod 7)))
+        (k + 2) (k mod (k + 2)) k (1 + (k mod 4))
+  done;
+  (match g.p.Profile.opcode_switch with
+  | Some _ -> line g "  acc += vdbe_exec(buf, len);"
+  | None -> ());
+  (* a final mixing round through the helpers keeps them all reachable *)
+  for k = 0 to g.p.Profile.n_helpers - 1 do
+    if k mod 4 = 0 then
+      line g "  if (%s > %d) acc += helper_%d(acc, %s);"
+        (buf_byte (string_of_int (3 + (k mod 5))))
+        (64 + (17 * k mod 128))
+        k
+        (buf_byte (string_of_int (k mod 8)))
+  done;
+  line g "  return acc;";
+  line g "}"
+
+(** Generate the program source for a profile. *)
+let source (p : Profile.t) =
+  let g = { b = Buffer.create 8192; rng = Support.Rng.create p.Profile.seed; p } in
+  line g "/* synthetic workload: %s (seed %d) */" p.Profile.name p.Profile.seed;
+  gen_tables g;
+  gen_report g;
+  gen_tiny g;
+  gen_helpers g;
+  gen_parsers g;
+  (match p.Profile.opcode_switch with
+  | Some n -> gen_interpreter g n
+  | None -> ());
+  gen_main g;
+  Buffer.contents g.b
+
+(** Compile a profile to IR. *)
+let compile (p : Profile.t) =
+  Minic.Lower.compile ~name:p.Profile.name (source p)
+
+(** Deterministic seed inputs for a profile (pre-fuzzing corpus). *)
+let seed_inputs ?(count = 4) ?(len = 48) (p : Profile.t) =
+  let rng = Support.Rng.create (p.Profile.seed * 7919) in
+  List.init count (fun _ ->
+      String.init len (fun _ -> Char.chr (Support.Rng.int rng 256)))

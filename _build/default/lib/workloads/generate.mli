@@ -1,0 +1,18 @@
+(** Synthetic mini-C program generator: deterministically produces, from
+    a profile, a whole program with entry point
+    [int target_main(char *buf, int len)] — constant tables, arithmetic
+    helpers with unrollable inner loops, tiny inline-fodder functions,
+    switch-dispatch parsers, optionally a giant opcode interpreter,
+    magic-byte roadblocks, and a rare printf reporting path. *)
+
+(** Host functions every workload expects the VM to provide. *)
+val host_functions : string list
+
+(** The program source for a profile (deterministic). *)
+val source : Profile.t -> string
+
+(** Compile a profile to verified IR. *)
+val compile : Profile.t -> Ir.Modul.t
+
+(** Deterministic random seed inputs for the pre-fuzzing corpus. *)
+val seed_inputs : ?count:int -> ?len:int -> Profile.t -> string list

@@ -1,0 +1,31 @@
+(** Workload profiles: one synthetic stand-in per benchmark target (the
+    FuzzBench ∩ fuzzer-test-suite programs of paper Section 5), each
+    parameterizing the generator to match the shape that drives the
+    figures — function size distribution, interprocedural coupling,
+    comparison density, and (for sqlite) the one enormous interpreter
+    function. *)
+
+type t = {
+  name : string;
+  seed : int;
+  n_helpers : int;  (** mid-size arithmetic helper functions *)
+  helper_stmts : int;
+  n_tiny : int;  (** tiny inline-friendly functions *)
+  n_parsers : int;  (** byte-consuming parser functions *)
+  parser_cases : int;
+  opcode_switch : int option;  (** giant interpreter: number of opcodes *)
+  coupling : int;  (** 0 = independent functions .. 3 = dense call graph *)
+  const_tables : int;
+  magic_checks : int;  (** comparison roadblocks in the header check *)
+}
+
+(** The 13 benchmark profiles, in the paper's order. *)
+val all : t list
+
+val find : string -> t option
+
+(** @raise Invalid_argument for unknown names. *)
+val find_exn : string -> t
+
+(** A smaller profile for unit tests and the quickstart example. *)
+val tiny : t

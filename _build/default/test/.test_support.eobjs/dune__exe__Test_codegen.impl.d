@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Int64 Ir Link List Minic Opt Printf QCheck2 QCheck_alcotest String Vm

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Array Baselines Buildsim Char Fuzzer Hashtbl Int64 Ir Lazy List Minic Odin Opt Option String Support Vm Workloads

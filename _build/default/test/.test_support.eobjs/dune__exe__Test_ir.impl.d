@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Int64 Ir List Option QCheck2 QCheck_alcotest

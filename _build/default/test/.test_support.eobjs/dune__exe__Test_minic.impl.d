@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Char Int64 Ir List Minic QCheck2 QCheck_alcotest

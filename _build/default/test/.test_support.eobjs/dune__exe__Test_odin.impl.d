@@ -1,0 +1,1 @@
+test/test_odin.ml: Alcotest Array Hashtbl Int64 Ir Link List Minic Odin Opt Option Printf QCheck2 QCheck_alcotest Set String Vm

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Int64 Ir List Minic Opt Option Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Baselines Char Instr Int64 Ir Link List Minic Odin Opt Option Printf QCheck2 QCheck_alcotest String Support Vm Workloads

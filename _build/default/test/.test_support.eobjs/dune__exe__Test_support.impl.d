@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Int64 List QCheck2 QCheck_alcotest String Support

@@ -1,0 +1,393 @@
+(* Tests for the mini-C frontend: lexer, parser, type checker, and
+   end-to-end semantics via the reference interpreter. *)
+
+let compile src = Minic.Lower.compile src
+
+let run ?(host = []) src fname args =
+  let m = compile src in
+  let st = Ir.Interp.create m in
+  List.iter (fun (n, f) -> Ir.Interp.register_host st n f) host;
+  Ir.Interp.run st fname args
+
+(* ---------------- lexer ---------------- *)
+
+let toks src =
+  List.map (fun l -> l.Minic.Lexer.tok) (Minic.Lexer.tokenize src)
+
+let test_lex_basic () =
+  match toks "int x = 42;" with
+  | [ KW "int"; IDENT "x"; PUNCT "="; INT 42L; PUNCT ";"; EOF ] -> ()
+  | _ -> Alcotest.fail "unexpected tokens"
+
+let test_lex_operators () =
+  match toks "a<<=" with
+  | [ IDENT "a"; PUNCT "<<"; PUNCT "="; EOF ] -> ()
+  | _ -> Alcotest.fail "longest match failed"
+
+let test_lex_char_literals () =
+  match toks "'a' '\\n' '\\0'" with
+  | [ INT 97L; INT 10L; INT 0L; EOF ] -> ()
+  | _ -> Alcotest.fail "char literals"
+
+let test_lex_string_escape () =
+  match toks {|"hi\n"|} with
+  | [ STRING "hi\n"; EOF ] -> ()
+  | _ -> Alcotest.fail "string escape"
+
+let test_lex_comments () =
+  match toks "x // comment\n /* block */ y" with
+  | [ IDENT "x"; IDENT "y"; EOF ] -> ()
+  | _ -> Alcotest.fail "comments"
+
+let test_lex_hex () =
+  match toks "0xFF" with
+  | [ INT 255L; EOF ] -> ()
+  | _ -> Alcotest.fail "hex literal"
+
+(* ---------------- parser ---------------- *)
+
+let test_parse_precedence () =
+  (* 2+3*4 = 14, not 20 *)
+  Alcotest.(check int64) "prec" 14L (run "int f(void) { return 2 + 3 * 4; }" "f" [])
+
+let test_parse_assoc () =
+  (* 10-3-2 = 5 (left assoc) *)
+  Alcotest.(check int64) "assoc" 5L (run "int f(void) { return 10 - 3 - 2; }" "f" [])
+
+let test_parse_error_reported () =
+  Alcotest.check_raises "missing semicolon"
+    (Minic.Parser.Parse_error "line 1: expected \";\"")
+    (fun () -> ignore (Minic.Parser.parse_program "int f(void) { return 1 }"))
+
+(* ---------------- typecheck ---------------- *)
+
+let check_errors src = Minic.Typecheck.check (Minic.Parser.parse_program src)
+
+let test_tc_ok () =
+  Alcotest.(check int) "no errors" 0
+    (List.length (check_errors "int f(int x) { return x + 1; }"))
+
+let test_tc_undeclared () =
+  Alcotest.(check bool) "undeclared caught" true
+    (check_errors "int f(void) { return y; }" <> [])
+
+let test_tc_arity () =
+  Alcotest.(check bool) "arity caught" true
+    (check_errors "int g(int a, int b) { return a; } int f(void) { return g(1); }" <> [])
+
+let test_tc_break_outside_loop () =
+  Alcotest.(check bool) "break caught" true
+    (check_errors "int f(void) { break; return 0; }" <> [])
+
+let test_tc_lvalue () =
+  Alcotest.(check bool) "non-lvalue assignment caught" true
+    (check_errors "int f(void) { 3 = 4; return 0; }" <> [])
+
+let test_tc_duplicate_case () =
+  Alcotest.(check bool) "duplicate case caught" true
+    (check_errors
+       "int f(int x) { switch (x) { case 1: return 1; case 1: return 2; } return 0; }"
+     <> [])
+
+(* ---------------- semantics ---------------- *)
+
+let test_sem_factorial () =
+  let src =
+    {|
+int fact(int n) {
+  if (n <= 1) return 1;
+  return n * fact(n - 1);
+}
+|}
+  in
+  Alcotest.(check int64) "5!" 120L (run src "fact" [ 5L ])
+
+let test_sem_loops () =
+  let src =
+    {|
+int sum_to(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; i++) acc += i;
+  return acc;
+}
+int count_down(int n) {
+  int steps = 0;
+  while (n > 0) { n--; steps++; }
+  return steps;
+}
+int do_once(void) {
+  int x = 0;
+  do { x = x + 7; } while (0);
+  return x;
+}
+|}
+  in
+  Alcotest.(check int64) "for" 45L (run src "sum_to" [ 10L ]);
+  Alcotest.(check int64) "while" 5L (run src "count_down" [ 5L ]);
+  Alcotest.(check int64) "do" 7L (run src "do_once" [])
+
+let test_sem_break_continue () =
+  let src =
+    {|
+int f(void) {
+  int acc = 0;
+  for (int i = 0; i < 10; i++) {
+    if (i == 3) continue;
+    if (i == 6) break;
+    acc += i;
+  }
+  return acc;
+}
+|}
+  in
+  (* 0+1+2+4+5 = 12 *)
+  Alcotest.(check int64) "break/continue" 12L (run src "f" [])
+
+let test_sem_short_circuit () =
+  let src =
+    {|
+int calls;
+int bump(void) { calls = calls + 1; return 1; }
+int andf(int x) { return x && bump(); }
+int orf(int x) { return x || bump(); }
+int get_calls(void) { return calls; }
+|}
+  in
+  let m = compile src in
+  let st = Ir.Interp.create m in
+  Alcotest.(check int64) "0 && f() = 0" 0L (Ir.Interp.run st "andf" [ 0L ]);
+  Alcotest.(check int64) "no call" 0L (Ir.Interp.run st "get_calls" []);
+  Alcotest.(check int64) "1 || f() = 1" 1L (Ir.Interp.run st "orf" [ 1L ]);
+  Alcotest.(check int64) "still no call" 0L (Ir.Interp.run st "get_calls" []);
+  Alcotest.(check int64) "1 && f() = 1" 1L (Ir.Interp.run st "andf" [ 1L ]);
+  Alcotest.(check int64) "one call" 1L (Ir.Interp.run st "get_calls" [])
+
+let test_sem_switch_fallthrough () =
+  let src =
+    {|
+int f(int x) {
+  int r = 0;
+  switch (x) {
+    case 1: r += 1;
+    case 2: r += 2; break;
+    case 3: r += 4; break;
+    default: r = 100;
+  }
+  return r;
+}
+|}
+  in
+  Alcotest.(check int64) "case 1 falls into 2" 3L (run src "f" [ 1L ]);
+  Alcotest.(check int64) "case 2" 2L (run src "f" [ 2L ]);
+  Alcotest.(check int64) "case 3" 4L (run src "f" [ 3L ]);
+  Alcotest.(check int64) "default" 100L (run src "f" [ 9L ])
+
+let test_sem_pointers () =
+  let src =
+    {|
+int swap_and_sum(void) {
+  int a = 3;
+  int b = 4;
+  int *pa = &a;
+  int *pb = &b;
+  int t = *pa;
+  *pa = *pb;
+  *pb = t;
+  return a * 10 + b;
+}
+|}
+  in
+  Alcotest.(check int64) "swap" 43L (run src "swap_and_sum" [])
+
+let test_sem_arrays () =
+  let src =
+    {|
+int f(void) {
+  int xs[5];
+  for (int i = 0; i < 5; i++) xs[i] = i * i;
+  int acc = 0;
+  for (int i = 0; i < 5; i++) acc += xs[i];
+  return acc;
+}
+|}
+  in
+  Alcotest.(check int64) "array sum of squares" 30L (run src "f" [])
+
+let test_sem_global_state () =
+  let src =
+    {|
+static int counter = 10;
+int next(void) { counter = counter + 1; return counter; }
+|}
+  in
+  let m = compile src in
+  let st = Ir.Interp.create m in
+  Alcotest.(check int64) "11" 11L (Ir.Interp.run st "next" []);
+  Alcotest.(check int64) "12" 12L (Ir.Interp.run st "next" [])
+
+let test_sem_global_table () =
+  let src =
+    {|
+static const int primes[5] = {2, 3, 5, 7, 11};
+int nth(int i) { return primes[i]; }
+|}
+  in
+  Alcotest.(check int64) "primes[3]" 7L (run src "nth" [ 3L ])
+
+let test_sem_string () =
+  let src =
+    {|
+static const char msg[] = "abc";
+int f(int i) { return msg[i]; }
+|}
+  in
+  Alcotest.(check int64) "'b'" 98L (run src "f" [ 1L ]);
+  Alcotest.(check int64) "NUL" 0L (run src "f" [ 3L ])
+
+let test_sem_char_narrowing () =
+  let src =
+    {|
+int f(void) {
+  char c = 200;
+  return c;
+}
+|}
+  in
+  (* char is signed: 200 wraps to -56 *)
+  Alcotest.(check int64) "signed char" (-56L) (run src "f" [])
+
+let test_sem_islower_paper_example () =
+  (* Figure 2 of the paper *)
+  let src = {|
+int islower(char chr) {
+  if (chr >= 'a') {
+    if (chr <= 'z') return 1;
+    return 0;
+  }
+  return 0;
+}
+|} in
+  Alcotest.(check int64) "'m' is lower" 1L (run src "islower" [ Int64.of_int (Char.code 'm') ]);
+  Alcotest.(check int64) "'A' is not" 0L (run src "islower" [ Int64.of_int (Char.code 'A') ]);
+  Alcotest.(check int64) "'{' is not" 0L (run src "islower" [ Int64.of_int (Char.code '{') ])
+
+let test_sem_ternary () =
+  let src = "int mx(int a, int b) { return a > b ? a : b; }" in
+  Alcotest.(check int64) "max" 9L (run src "mx" [ 4L; 9L ]);
+  Alcotest.(check int64) "max'" 9L (run src "mx" [ 9L; 4L ])
+
+let test_sem_function_pointers () =
+  let src =
+    {|
+static int inc(int x) { return x + 1; }
+static int dbl(int x) { return x * 2; }
+static int *ops[2] = {inc, dbl};
+int apply(int i, int x) {
+  int *f = ops[i];
+  return f(x);
+}
+|}
+  in
+  Alcotest.(check int64) "ops[0]" 8L (run src "apply" [ 0L; 7L ]);
+  Alcotest.(check int64) "ops[1]" 14L (run src "apply" [ 1L; 7L ])
+
+let test_sem_shift_and_mask () =
+  let src =
+    {|
+long mix(long x) {
+  long h = x;
+  h = h ^ (h >> 4);
+  h = (h << 3) | (h & 7);
+  return h;
+}
+|}
+  in
+  let reference x =
+    let open Int64 in
+    let h = x in
+    let h = logxor h (shift_right h 4) in
+    logor (shift_left h 3) (logand h 7L)
+  in
+  List.iter
+    (fun x -> Alcotest.(check int64) "mix" (reference x) (run src "mix" [ x ]))
+    [ 0L; 1L; 255L; 123456789L ]
+
+let test_sem_host_call () =
+  let src =
+    {|
+extern int observe(int x);
+int f(int x) { return observe(x * 2); }
+|}
+  in
+  (* extern prototype: parses as a declaration *)
+  let seen = ref 0L in
+  let v =
+    run
+      ~host:[ ("observe", fun _ args -> (seen := List.hd args); 7L) ]
+      src "f" [ 21L ]
+  in
+  Alcotest.(check int64) "host result" 7L v;
+  Alcotest.(check int64) "host saw doubled arg" 42L !seen
+
+(* property: frontend + interpreter compute the same arithmetic as OCaml *)
+let prop_arith_matches =
+  QCheck2.Test.make ~name:"mini-C arithmetic matches OCaml semantics" ~count:100
+    QCheck2.Gen.(pair (int_range (-10000) 10000) (int_range 1 1000))
+    (fun (a, b) ->
+      let src = "int f(int a, int b) { return (a + b) * 3 - a / b + (a % b); }" in
+      let expected =
+        let open Int64 in
+        let a64 = of_int a and b64 = of_int b in
+        Ir.Types.normalize Ir.Types.I32
+          (add (sub (mul (add a64 b64) 3L) (div a64 b64)) (rem a64 b64))
+      in
+      run src "f" [ Int64.of_int a; Int64.of_int b ] = expected)
+
+let () =
+  Alcotest.run "minic"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basic" `Quick test_lex_basic;
+          Alcotest.test_case "operators" `Quick test_lex_operators;
+          Alcotest.test_case "char literals" `Quick test_lex_char_literals;
+          Alcotest.test_case "string escapes" `Quick test_lex_string_escape;
+          Alcotest.test_case "comments" `Quick test_lex_comments;
+          Alcotest.test_case "hex" `Quick test_lex_hex;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "associativity" `Quick test_parse_assoc;
+          Alcotest.test_case "error reporting" `Quick test_parse_error_reported;
+        ] );
+      ( "typecheck",
+        [
+          Alcotest.test_case "ok" `Quick test_tc_ok;
+          Alcotest.test_case "undeclared" `Quick test_tc_undeclared;
+          Alcotest.test_case "arity" `Quick test_tc_arity;
+          Alcotest.test_case "break placement" `Quick test_tc_break_outside_loop;
+          Alcotest.test_case "lvalue" `Quick test_tc_lvalue;
+          Alcotest.test_case "duplicate case" `Quick test_tc_duplicate_case;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "factorial" `Quick test_sem_factorial;
+          Alcotest.test_case "loops" `Quick test_sem_loops;
+          Alcotest.test_case "break/continue" `Quick test_sem_break_continue;
+          Alcotest.test_case "short circuit" `Quick test_sem_short_circuit;
+          Alcotest.test_case "switch fallthrough" `Quick test_sem_switch_fallthrough;
+          Alcotest.test_case "pointers" `Quick test_sem_pointers;
+          Alcotest.test_case "arrays" `Quick test_sem_arrays;
+          Alcotest.test_case "global state" `Quick test_sem_global_state;
+          Alcotest.test_case "global table" `Quick test_sem_global_table;
+          Alcotest.test_case "string" `Quick test_sem_string;
+          Alcotest.test_case "char narrowing" `Quick test_sem_char_narrowing;
+          Alcotest.test_case "islower (Fig. 2)" `Quick test_sem_islower_paper_example;
+          Alcotest.test_case "ternary" `Quick test_sem_ternary;
+          Alcotest.test_case "function pointers" `Quick test_sem_function_pointers;
+          Alcotest.test_case "shift and mask" `Quick test_sem_shift_and_mask;
+          Alcotest.test_case "host call" `Quick test_sem_host_call;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_arith_matches ]);
+    ]

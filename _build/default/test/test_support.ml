@@ -1,0 +1,164 @@
+(* Tests for the support library: RNG determinism, union-find, statistics. *)
+
+let test_rng_deterministic () =
+  let a = Support.Rng.create 42 in
+  let b = Support.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64)
+      "same stream" (Support.Rng.next_int64 a) (Support.Rng.next_int64 b)
+  done
+
+let test_rng_bounds () =
+  let r = Support.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Support.Rng.int r 13 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 13)
+  done
+
+let test_rng_range () =
+  let r = Support.Rng.create 9 in
+  for _ = 1 to 1000 do
+    let v = Support.Rng.range r (-5) 5 in
+    Alcotest.(check bool) "in range" true (v >= -5 && v <= 5)
+  done
+
+let test_rng_split_independent () =
+  let r = Support.Rng.create 1 in
+  let s = Support.Rng.split r in
+  let v1 = Support.Rng.next_int64 s in
+  let v2 = Support.Rng.next_int64 r in
+  Alcotest.(check bool) "streams differ" true (not (Int64.equal v1 v2))
+
+let test_uf_basic () =
+  let u = Support.Union_find.create () in
+  Support.Union_find.union u "a" "b";
+  Support.Union_find.union u "b" "c";
+  Alcotest.(check bool) "a~c" true (Support.Union_find.same u "a" "c");
+  Alcotest.(check bool) "a!~d" false (Support.Union_find.same u "a" "d")
+
+let test_uf_clusters () =
+  let u = Support.Union_find.create () in
+  Support.Union_find.union u "a" "b";
+  Support.Union_find.add u "z";
+  let clusters = Support.Union_find.clusters u in
+  Alcotest.(check int) "two clusters" 2 (List.length clusters);
+  let sizes = List.map List.length clusters |> List.sort compare in
+  Alcotest.(check (list int)) "sizes" [ 1; 2 ] sizes
+
+let test_uf_idempotent_union () =
+  let u = Support.Union_find.create () in
+  Support.Union_find.union u "a" "b";
+  Support.Union_find.union u "a" "b";
+  Support.Union_find.union u "b" "a";
+  let clusters = Support.Union_find.clusters u in
+  Alcotest.(check int) "one cluster" 1 (List.length clusters)
+
+let feq = Alcotest.float 1e-9
+
+let test_stats_median_odd () =
+  Alcotest.(check feq) "median" 2. (Support.Stats.median [ 3.; 1.; 2. ])
+
+let test_stats_median_even () =
+  Alcotest.(check feq) "median" 1.5 (Support.Stats.median [ 1.; 2. ])
+
+let test_stats_mean () =
+  Alcotest.(check feq) "mean" 2. (Support.Stats.mean [ 1.; 2.; 3. ])
+
+let test_stats_geomean () =
+  Alcotest.(check feq) "geomean" 2. (Support.Stats.geomean [ 1.; 4. ])
+
+let test_stats_percentile () =
+  let xs = [ 10.; 20.; 30.; 40. ] in
+  Alcotest.(check feq) "p0" 10. (Support.Stats.percentile 0. xs);
+  Alcotest.(check feq) "p100" 40. (Support.Stats.percentile 100. xs);
+  Alcotest.(check feq) "p50" 25. (Support.Stats.percentile 50. xs)
+
+let test_stats_summary () =
+  let s = Support.Stats.summarize [ 1.; 2.; 3.; 4. ] in
+  Alcotest.(check int) "n" 4 s.Support.Stats.n;
+  Alcotest.(check feq) "min" 1. s.Support.Stats.min;
+  Alcotest.(check feq) "max" 4. s.Support.Stats.max
+
+(* property: union-find clusters partition the member set *)
+let prop_uf_partition =
+  QCheck2.Test.make ~name:"union-find clusters partition members" ~count:100
+    QCheck2.Gen.(list (pair (int_bound 20) (int_bound 20)))
+    (fun pairs ->
+      let u = Support.Union_find.create () in
+      List.iter
+        (fun (a, b) ->
+          Support.Union_find.union u (string_of_int a) (string_of_int b))
+        pairs;
+      let clusters = Support.Union_find.clusters u in
+      let all = List.concat clusters in
+      let sorted = List.sort_uniq String.compare all in
+      List.length all = List.length sorted
+      && List.length all = List.length (Support.Union_find.members u))
+
+let prop_median_between_min_max =
+  QCheck2.Test.make ~name:"median lies within [min,max]" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (float_bound_inclusive 1000.))
+    (fun xs ->
+      let m = Support.Stats.median xs in
+      m >= Support.Stats.min_l xs -. 1e-9 && m <= Support.Stats.max_l xs +. 1e-9)
+
+
+let test_tab_render_alignment () =
+  let out =
+    Support.Tab.render ~header:[ "name"; "value" ]
+      [ [ "a"; "1" ]; [ "longer"; "12345" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "header + sep + 2 rows" 4 (List.length lines);
+  (* all lines share a width (right-aligned numeric column) *)
+  let widths = List.map String.length lines in
+  Alcotest.(check bool) "aligned" true
+    (List.for_all (fun w -> w = List.hd widths) widths)
+
+let test_tab_bar_chart_scales () =
+  let chart = Support.Tab.bar_chart ~width:10 [ ("a", 1.0); ("b", 2.0) ] in
+  let lines = String.split_on_char '\n' chart in
+  let hashes s = String.fold_left (fun n c -> if c = '#' then n + 1 else n) 0 s in
+  match lines with
+  | [ la; lb ] ->
+    Alcotest.(check int) "max fills width" 10 (hashes lb);
+    Alcotest.(check int) "half for half" 5 (hashes la)
+  | _ -> Alcotest.fail "two lines expected"
+
+let test_tab_pct_format () =
+  Alcotest.(check string) "pct" "12.50%" (Support.Tab.pct 0.125)
+
+let () =
+  Alcotest.run "support"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "int bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "range bounds" `Quick test_rng_range;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+        ] );
+      ( "union-find",
+        [
+          Alcotest.test_case "basic" `Quick test_uf_basic;
+          Alcotest.test_case "clusters" `Quick test_uf_clusters;
+          Alcotest.test_case "idempotent union" `Quick test_uf_idempotent_union;
+          QCheck_alcotest.to_alcotest prop_uf_partition;
+        ] );
+      ( "tab",
+        [
+          Alcotest.test_case "render alignment" `Quick test_tab_render_alignment;
+          Alcotest.test_case "bar chart scaling" `Quick test_tab_bar_chart_scales;
+          Alcotest.test_case "pct format" `Quick test_tab_pct_format;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "median odd" `Quick test_stats_median_odd;
+          Alcotest.test_case "median even" `Quick test_stats_median_even;
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "geomean" `Quick test_stats_geomean;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          QCheck_alcotest.to_alcotest prop_median_between_min_max;
+        ] );
+    ]
