@@ -528,6 +528,36 @@ let ablation cfg =
     (100. *. (float_of_int cycles_nocou /. float_of_int cycles_cou -. 1.))
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: per-stage breakdown of a full campaign                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Where does the wall-clock of one campaign go? Runs prepare + an
+    OdinCov replay for one workload with a telemetry recorder attached
+    and prints the per-stage aggregation (the -ftime-report analogue of
+    the figures above, which only show per-event sums). *)
+let timereport cfg =
+  print_endline "\n== Telemetry: per-stage time breakdown (one campaign) ==";
+  let p = List.hd cfg.programs in
+  let r = Telemetry.Recorder.create () in
+  let prep =
+    Fuzzer.Campaign.prepare ~telemetry:r ~fuzz_execs:cfg.fuzz_execs
+      ~rounds:cfg.rounds p
+  in
+  let odin = Fuzzer.Campaign.replay_odincov ~telemetry:r prep in
+  Telemetry.Report.print
+    ~title:(Printf.sprintf "campaign %s" p.Workloads.Profile.name)
+    r;
+  (* cross-check: the report's compile/link stage totals are the same
+     numbers the Session exposes as recompile events (one timing source) *)
+  let events = Odin.Session.events odin.Fuzzer.Campaign.o_session in
+  let sum f = List.fold_left (fun a e -> a +. f e) 0. events in
+  Printf.printf
+    "  cross-check vs Session events: %d events, compile %.3f ms, link %.3f ms\n"
+    (List.length events)
+    (1000. *. sum (fun e -> e.Odin.Session.ev_compile_time))
+    (1000. *. sum (fun e -> e.Odin.Session.ev_link_time))
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core operations                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -606,5 +636,6 @@ let () =
   if wants "fig11" then fig11 cfg;
   if wants "fig12" then fig12 cfg;
   if wants "ablation" then ablation cfg;
+  if wants "timereport" then timereport cfg;
   if wants "micro" then micro cfg;
   Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

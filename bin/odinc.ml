@@ -5,6 +5,11 @@
      odinc partition file.c [--mode one|odin|max]
      odinc fuzz file.c [--execs N] [--no-prune]
      odinc workload NAME          (print a generated benchmark program)
+
+   compile/run/fuzz accept --time-report (per-stage text report on
+   stderr-free stdout) and --trace-out FILE (Chrome trace_event JSON for
+   chrome://tracing / Perfetto). Telemetry observes only: results are
+   identical with and without the flags.
 *)
 
 open Cmdliner
@@ -18,6 +23,34 @@ let read_file path =
 
 let compile_source path = Minic.Lower.compile ~name:(Filename.basename path) (read_file path)
 
+(* ---------------- shared telemetry flags ---------------- *)
+
+let time_report_arg =
+  Arg.(
+    value & flag
+    & info [ "time-report" ]
+        ~doc:"Print an LLVM -ftime-report-style per-stage breakdown.")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write a Chrome trace_event JSON trace (chrome://tracing).")
+
+(* export the recorder according to the flags; no flags, no output *)
+let export ~time_report ~trace_out ~title (r : Telemetry.Recorder.t) =
+  if time_report then Telemetry.Report.print ~title r;
+  match trace_out with
+  | Some path -> (
+    try
+      Telemetry.Trace.write ~process_name:title r path;
+      Printf.printf "trace written to %s\n" path
+    with Sys_error msg ->
+      Printf.eprintf "odinc: cannot write trace: %s\n" msg;
+      exit 1)
+  | None -> ()
+
 (* ---------------- compile ---------------- *)
 
 let emit_conv = Arg.enum [ ("ir", `Ir); ("asm", `Asm) ]
@@ -30,22 +63,29 @@ let compile_cmd =
   let emit =
     Arg.(value & opt emit_conv `Ir & info [ "emit" ] ~doc:"Output: ir or asm.")
   in
-  let run file optimize emit =
-    let m = compile_source file in
-    if optimize then ignore (Opt.Pipeline.run m);
-    Ir.Verify.run_exn m;
-    match emit with
+  let run file optimize emit time_report trace_out =
+    let r = Telemetry.Recorder.create () in
+    let span name f = Telemetry.Recorder.with_span r ~cat:"compile" name f in
+    let m = span "frontend" (fun () -> compile_source file) in
+    if optimize then ignore (Opt.Pipeline.run ~recorder:r m);
+    span "verify" (fun () -> Ir.Verify.run_exn m);
+    (match emit with
     | `Ir -> print_string (Ir.Print.module_to_string m)
     | `Asm ->
-      List.iter
-        (fun f ->
-          if not (Ir.Func.is_declaration f) then
-            print_string (Codegen.Emit.func_to_string (Codegen.Emit.compile_func f)))
-        (Ir.Modul.functions m)
+      let compiled =
+        span "codegen" (fun () ->
+            List.filter_map
+              (fun f ->
+                if Ir.Func.is_declaration f then None
+                else Some (Codegen.Emit.compile_func f))
+              (Ir.Modul.functions m))
+      in
+      List.iter (fun mf -> print_string (Codegen.Emit.func_to_string mf)) compiled);
+    export ~time_report ~trace_out ~title:"odinc compile" r
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a mini-C file and print IR or machine code.")
-    Term.(const run $ file $ optimize $ emit)
+    Term.(const run $ file $ optimize $ emit $ time_report_arg $ trace_out_arg)
 
 (* ---------------- run ---------------- *)
 
@@ -58,25 +98,50 @@ let run_cmd =
     Arg.(value & opt string "" & info [ "args" ] ~doc:"Comma-separated integers.")
   in
   let optimize = Arg.(value & flag & info [ "optimize"; "O" ] ~doc:"O2 first.") in
-  let run file entry args optimize =
-    let m = compile_source file in
-    if optimize then ignore (Opt.Pipeline.run ~keep:[ entry ] m);
-    Ir.Verify.run_exn m;
-    let obj = Link.Objfile.of_module m in
-    let exe = Link.Linker.link ~host:[ "printf"; "puts" ] [ obj ] in
+  let run file entry args optimize time_report trace_out =
+    let r = Telemetry.Recorder.create () in
+    let span name f = Telemetry.Recorder.with_span r ~cat:"run" name f in
+    let m = span "frontend" (fun () -> compile_source file) in
+    if optimize then ignore (Opt.Pipeline.run ~recorder:r ~keep:[ entry ] m);
+    span "verify" (fun () -> Ir.Verify.run_exn m);
+    let obj = span "codegen" (fun () -> Link.Objfile.of_module m) in
+    let exe =
+      span "link" (fun () -> Link.Linker.link ~host:[ "printf"; "puts" ] [ obj ])
+    in
     let vm = Vm.create exe in
+    let prof = Vm.enable_profile vm in
     List.iter (fun n -> Vm.register_host vm n (fun _ -> 0L)) [ "printf"; "puts" ];
     let int_args =
       if args = "" then []
       else List.map Int64.of_string (String.split_on_char ',' args)
     in
-    let r = Vm.call vm entry int_args in
-    Printf.printf "%s(%s) = %Ld   [%d cycles, %d instructions]\n" entry args r
-      vm.Vm.cycles vm.Vm.steps
+    let ret = span "execute" (fun () -> Vm.call vm entry int_args) in
+    Printf.printf "%s(%s) = %Ld   [%d cycles, %d instructions]\n" entry args ret
+      vm.Vm.cycles vm.Vm.steps;
+    if time_report then begin
+      (* VM profile: where did the cycles go? *)
+      Support.Tab.print ~title:"VM cycle profile"
+        ~header:[ "function"; "cycles"; "blocks entered" ]
+        (List.map
+           (fun (fn, cycles) ->
+             let blocks =
+               Option.value ~default:0
+                 (List.assoc_opt fn (Vm.profile_blocks prof))
+             in
+             [ fn; string_of_int cycles; string_of_int blocks ])
+           (Vm.profile_top prof));
+      Printf.printf
+        "block entries: %d  probe hits: %d  calls: %d  host calls: %d\n"
+        prof.Vm.pr_block_hits prof.Vm.pr_probe_hits prof.Vm.pr_calls
+        prof.Vm.pr_host_calls
+    end;
+    export ~time_report ~trace_out ~title:"odinc run" r
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Compile, link and execute a mini-C file on the VM.")
-    Term.(const run $ file $ entry $ args $ optimize)
+    Term.(
+      const run $ file $ entry $ args $ optimize $ time_report_arg
+      $ trace_out_arg)
 
 (* ---------------- partition ---------------- *)
 
@@ -138,25 +203,47 @@ let fuzz_cmd =
   let no_prune =
     Arg.(value & flag & info [ "no-prune" ] ~doc:"Disable probe pruning.")
   in
-  let run file entry execs no_prune =
-    let m = compile_source file in
+  let run file entry execs no_prune time_report trace_out =
+    let r = Telemetry.Recorder.create () in
+    let metrics = r.Telemetry.Recorder.metrics in
+    let m =
+      Telemetry.Recorder.with_span r ~cat:"campaign" "frontend" (fun () ->
+          compile_source file)
+    in
     let session =
       Odin.Session.create ~keep:[ entry ]
         ~runtime_globals:[ Odin.Cov.runtime_global m ]
-        ~host:[ "printf"; "puts" ] m
+        ~host:[ "printf"; "puts" ] ~telemetry:r m
     in
     let cov = Odin.Cov.setup session in
     ignore (Odin.Session.build session);
     let recompiles = ref 0 in
+    let exec_counter = Telemetry.Metrics.counter metrics "campaign.execs" in
+    let cov_counter =
+      Telemetry.Metrics.counter metrics ~series:true "campaign.coverage"
+    in
     let target =
       {
         Fuzzer.Fuzz.run =
           (fun input ->
-            let vm = Vm.create (Odin.Session.executable session) in
-            List.iter (fun n -> Vm.register_host vm n (fun _ -> 0L)) [ "printf"; "puts" ];
-            let addr = Vm.write_buffer vm input in
-            ignore (Vm.call vm entry [ addr; Int64.of_int (String.length input) ]);
+            let vm =
+              Telemetry.Recorder.with_span r ~cat:"campaign" "execute"
+                (fun () ->
+                  let vm = Vm.create (Odin.Session.executable session) in
+                  List.iter
+                    (fun n -> Vm.register_host vm n (fun _ -> 0L))
+                    [ "printf"; "puts" ];
+                  let addr = Vm.write_buffer vm input in
+                  ignore
+                    (Vm.call vm entry [ addr; Int64.of_int (String.length input) ]);
+                  vm)
+            in
+            Telemetry.Metrics.incr exec_counter;
+            Telemetry.Metrics.observe metrics "campaign.exec_cycles"
+              (float_of_int vm.Vm.cycles);
             let fresh = Odin.Cov.harvest cov vm in
+            if fresh <> [] then
+              Telemetry.Metrics.incr ~by:(List.length fresh) cov_counter;
             if not no_prune then
               if Odin.Cov.prune_fired cov > 0 then
                 (match Odin.Session.refresh session with
@@ -167,16 +254,33 @@ let fuzz_cmd =
     in
     let rng = Support.Rng.create 42 in
     let seeds = [ String.init 48 (fun i -> Char.chr ((i * 37) land 255)) ] in
-    let corpus, stats = Fuzzer.Fuzz.collect_corpus ~rng ~seeds ~execs target in
+    let corpus, stats =
+      Telemetry.Recorder.with_span r ~cat:"campaign" "fuzz" (fun () ->
+          Fuzzer.Fuzz.collect_corpus ~rng ~seeds ~execs target)
+    in
     Printf.printf "executions : %d\n" stats.Fuzzer.Fuzz.executions;
     Printf.printf "corpus     : %d inputs\n" (Fuzzer.Corpus.size corpus);
     Printf.printf "coverage   : %d / %d blocks\n" (Odin.Cov.covered cov)
       cov.Odin.Cov.total_probes;
-    Printf.printf "recompiles : %d\n" !recompiles
+    Printf.printf "recompiles : %d\n" !recompiles;
+    if time_report then begin
+      (* the recompile events are a view over the same span tree the
+         report renders, so these sums equal the report's stage totals *)
+      let events = Odin.Session.events session in
+      let sum f = List.fold_left (fun a e -> a +. f e) 0. events in
+      Printf.printf
+        "recompile events: %d  compile total %.3f ms  link total %.3f ms\n"
+        (List.length events)
+        (1000. *. sum (fun e -> e.Odin.Session.ev_compile_time))
+        (1000. *. sum (fun e -> e.Odin.Session.ev_link_time))
+    end;
+    export ~time_report ~trace_out ~title:"odinc fuzz" r
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Fuzz a mini-C target with OdinCov (live pruning).")
-    Term.(const run $ file $ entry $ execs $ no_prune)
+    Term.(
+      const run $ file $ entry $ execs $ no_prune $ time_report_arg
+      $ trace_out_arg)
 
 (* ---------------- workload ---------------- *)
 

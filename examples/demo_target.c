@@ -1,0 +1,58 @@
+/* Small mini-C fuzz target for the odinc CLI demos:
+
+     odinc fuzz examples/demo_target.c --execs 200 --time-report \
+         --trace-out /tmp/odin-trace.json
+     odinc run examples/demo_target.c --entry target_main --time-report
+
+   Shape mirrors the generated workloads: a magic-byte roadblock, a
+   byte-consuming switch parser, and a couple of helpers so the
+   partitioner has symbols to split. */
+
+extern int printf(char *fmt);
+
+int g_state;
+
+static int mix(int a, int b) {
+  int r = 0;
+  do {
+    r = r + ((a ^ b) & 255);
+    a = a * 3 + 1;
+    b = b >> 1;
+  } while (r < 96);
+  return r + (a & 15);
+}
+
+static int score(int x) { return (x << 1) ^ (x >> 3); }
+
+static int parse(char *buf, int len, int pos) {
+  int acc = 17;
+  int guard = 0;
+  while (pos + 2 < len && guard < 48) {
+    int tag = (buf[pos] & 255) % 4;
+    guard++;
+    switch (tag) {
+      case 0: acc += mix(buf[pos + 1] & 255, acc); pos += 2; break;
+      case 1: acc ^= score(buf[pos + 1] & 255) + 41; pos += 1; break;
+      case 2:
+        if ((buf[pos + 1] & 255) > 96) { acc += score(acc); } else { acc -= 13; }
+        pos += 2;
+        break;
+      default: acc = acc * 31 + (buf[pos] & 255); pos += 3; break;
+    }
+    g_state = g_state + (acc & 7);
+  }
+  return acc + g_state;
+}
+
+int target_main(char *buf, int len) {
+  if (len < 8) return -1;
+  int acc = 0;
+  if (buf[0] == 79) {
+    if (buf[1] == 68) {
+      acc += 7777;
+      printf("magic found\n");
+    }
+  }
+  acc += parse(buf, len, 2);
+  return acc;
+}

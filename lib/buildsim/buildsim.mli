@@ -1,0 +1,47 @@
+(** Build-time cost model for the Figure 3 motivation experiment:
+    stage-by-stage cost of a from-scratch target build, calibrated so
+    the synthetic libxml2 workload reproduces the paper's measured
+    breakdown, and the fraction of it that bitcode caching eliminates. *)
+
+(** Program statistics that drive the model. *)
+type stats = {
+  source_bytes : int;
+  source_lines : int;
+  functions : int;  (** defined functions *)
+  blocks : int;
+  instructions : int;
+  globals : int;  (** all global values, including data *)
+}
+
+val stats_of_module : string -> Ir.Modul.t -> stats
+
+(** Per-unit stage rates (seconds per driving unit). *)
+type rates = {
+  r_autogen : float;
+  r_configure : float;
+  r_frontend : float;
+  r_optimize : float;
+  r_codegen : float;
+  r_link : float;
+}
+
+(** Modelled build-time breakdown, in seconds (Figure 3 columns). *)
+type t = {
+  autogen : float;
+  configure : float;
+  frontend : float;
+  optimize : float;
+  codegen : float;
+  link : float;
+}
+
+val model : rates -> stats -> t
+val total : t -> float
+
+(** Fraction of {!total} eliminated by caching the pristine bitcode
+    (build system + frontend never rerun) — the paper's "up to 45%". *)
+val savings_from_caching : t -> float
+
+(** Fit the rates against the libxml2 workload and the paper's measured
+    Figure 3 numbers. *)
+val calibrate : unit -> rates

@@ -50,16 +50,59 @@ type prepared = {
   fuzz_stats : Fuzz.stats;
 }
 
+(* When a recorder is present, wrap the fuzzing target so every
+   execution bumps the exec counter and coverage discoveries accumulate
+   into a time-series counter (a coverage-over-time track in the Chrome
+   trace export). The wrapped target runs the exact same executions. *)
+let observed_target telemetry (target : Fuzz.target) =
+  match telemetry with
+  | None -> target
+  | Some (r : Telemetry.Recorder.t) ->
+    let execs =
+      Telemetry.Metrics.counter r.Telemetry.Recorder.metrics "campaign.execs"
+    in
+    let coverage =
+      Telemetry.Metrics.counter r.Telemetry.Recorder.metrics ~series:true
+        "campaign.coverage"
+    in
+    {
+      Fuzz.run =
+        (fun input ->
+          let e = target.Fuzz.run input in
+          Telemetry.Metrics.incr execs;
+          if e.Fuzz.ex_new_blocks > 0 then
+            Telemetry.Metrics.incr ~by:e.Fuzz.ex_new_blocks coverage;
+          e);
+    }
+
 (** Compile a workload and fuzz it to collect the replay corpus.
     [rounds] repeats the corpus during replay (steady-state throughput,
-    like replaying the seeds of a long campaign several times). *)
-let prepare ?(fuzz_execs = 400) ?(rounds = 1) (profile : Workloads.Profile.t) =
-  let source = Workloads.Generate.source profile in
-  let modul = Minic.Lower.compile ~name:profile.Workloads.Profile.name source in
-  let target = sancov_target modul in
+    like replaying the seeds of a long campaign several times).
+    [telemetry] records frontend/fuzz spans plus exec and
+    coverage-over-time counters; observation only. *)
+let prepare ?telemetry ?(fuzz_execs = 400) ?(rounds = 1)
+    (profile : Workloads.Profile.t) =
+  Telemetry.Recorder.span_opt telemetry ~cat:"campaign"
+    ~args:[ ("program", profile.Workloads.Profile.name) ]
+    "prepare"
+  @@ fun () ->
+  let source =
+    Telemetry.Recorder.span_opt telemetry ~cat:"campaign" "generate" (fun () ->
+        Workloads.Generate.source profile)
+  in
+  let modul =
+    Telemetry.Recorder.span_opt telemetry ~cat:"campaign" "frontend" (fun () ->
+        Minic.Lower.compile ~name:profile.Workloads.Profile.name source)
+  in
+  let target = observed_target telemetry (sancov_target modul) in
   let rng = Support.Rng.create (profile.Workloads.Profile.seed * 31 + 7) in
   let seeds = Workloads.Generate.seed_inputs profile in
-  let corpus, fuzz_stats = Fuzz.collect_corpus ~rng ~seeds ~execs:fuzz_execs target in
+  let corpus, fuzz_stats =
+    Telemetry.Recorder.span_opt telemetry ~cat:"campaign" "fuzz" (fun () ->
+        Fuzz.collect_corpus ~rng ~seeds ~execs:fuzz_execs target)
+  in
+  Telemetry.Recorder.count telemetry ~by:(Corpus.size corpus)
+    "campaign.corpus_inputs";
   let base_inputs = Corpus.inputs corpus in
   let replay_inputs =
     List.concat (List.init (max 1 rounds) (fun _ -> base_inputs))
@@ -121,13 +164,16 @@ type odin_replay = {
 (** OdinCov: instrument-first coverage with (optionally) on-the-fly probe
     pruning and recompilation between executions. The reported cycles are
     execution-only; recompilation overhead is recorded separately in the
-    session's events (Figures 11/12 and the 82 ms claim). *)
-let replay_odincov ?(prune = true) ?(mode = Odin.Partition.Auto) (p : prepared) =
+    session's events (Figures 11/12 and the 82 ms claim). When
+    [telemetry] is given the session records its build spans on it, and
+    the replay adds exec-cycle histograms plus recompile/prune counters. *)
+let replay_odincov ?telemetry ?(prune = true) ?(mode = Odin.Partition.Auto)
+    (p : prepared) =
   let base = Ir.Clone.clone_module p.modul in
   let session =
     Odin.Session.create ~mode ~keep:[ entry ]
       ~runtime_globals:[ Odin.Cov.runtime_global base ]
-      ~host:Workloads.Generate.host_functions base
+      ~host:Workloads.Generate.host_functions ?telemetry base
   in
   let cov = Odin.Cov.setup session in
   ignore (Odin.Session.build session);
@@ -137,14 +183,22 @@ let replay_odincov ?(prune = true) ?(mode = Odin.Partition.Auto) (p : prepared) 
     List.map
       (fun input ->
         let exe = Odin.Session.executable session in
-        let vm = run_once exe input in
+        let vm =
+          Telemetry.Recorder.span_opt telemetry ~cat:"campaign" "execute"
+            (fun () -> run_once exe input)
+        in
+        Telemetry.Recorder.observe telemetry "campaign.exec_cycles"
+          (float_of_int vm.Vm.cycles);
         ignore (Odin.Cov.harvest cov vm);
         if prune then begin
           let n = Odin.Cov.prune_fired cov in
           if n > 0 then begin
             pruned := !pruned + n;
+            Telemetry.Recorder.count telemetry ~by:n "campaign.probes_pruned";
             match Odin.Session.refresh session with
-            | Some _ -> incr recompiles
+            | Some _ ->
+              incr recompiles;
+              Telemetry.Recorder.count telemetry "campaign.recompiles"
             | None -> ()
           end
         end;

@@ -31,8 +31,16 @@ type prepared = {
 }
 
 (** Compile a workload and fuzz it to collect the replay corpus;
-    [rounds] repeats the corpus during replay (steady-state throughput). *)
-val prepare : ?fuzz_execs:int -> ?rounds:int -> Workloads.Profile.t -> prepared
+    [rounds] repeats the corpus during replay (steady-state throughput).
+    [telemetry] records generate/frontend/fuzz spans plus exec and
+    coverage-over-time counters (observation only — the same executions
+    run either way). *)
+val prepare :
+  ?telemetry:Telemetry.Recorder.t ->
+  ?fuzz_execs:int ->
+  ?rounds:int ->
+  Workloads.Profile.t ->
+  prepared
 
 type replay = { r_tool : string; r_total_cycles : int; r_per_input : int list }
 
@@ -50,5 +58,11 @@ type odin_replay = {
 (** OdinCov replay: instrument-first coverage with (by default)
     Untracer-style pruning and on-the-fly recompilation between
     executions. Cycles are execution-only; recompile costs live in the
-    session's events. *)
-val replay_odincov : ?prune:bool -> ?mode:Odin.Partition.mode -> prepared -> odin_replay
+    session's events. [telemetry] receives the session's build spans
+    plus exec-cycle histograms and recompile/prune counters. *)
+val replay_odincov :
+  ?telemetry:Telemetry.Recorder.t ->
+  ?prune:bool ->
+  ?mode:Odin.Partition.mode ->
+  prepared ->
+  odin_replay

@@ -3,9 +3,13 @@
     executable. Implements the recompilation scheduler (paper Section
     3.3, Algorithm 2) and the copy-instrument-split flow of Figure 7.
 
-    Timing: every fragment recompilation and every link is measured with
-    the process clock and recorded in [stats]; the benchmark harness
-    reproduces Figures 11/12 and the 82 ms average from these records. *)
+    Timing: every rebuild is recorded as a tree of telemetry spans
+    (schedule → patch → per-fragment materialize/verify/optimize/codegen
+    → link) on the session's recorder; [recompile_event] is a thin view
+    over that span tree, and the benchmark harness reproduces Figures
+    11/12 and the 82 ms average from these records. The recorder only
+    observes — build results are bit-identical whether or not anyone
+    ever exports a report or trace from it. *)
 
 module SSet = Set.Make (String)
 
@@ -30,6 +34,8 @@ type t = {
           schemes compose (coverage + CmpLog + checks in one session) *)
   mutable events : recompile_event list;  (** newest first *)
   opt_rounds : int;
+  telemetry : Telemetry.Recorder.t;
+      (** spans/counters for every build; the timing source of [events] *)
 }
 
 (** Scheduler handle passed to patch logic (paper Section 4): exposes the
@@ -58,10 +64,17 @@ let map_func sched name = Ir.Modul.find_func sched.temp name
     runtime (e.g. coverage counter arrays), linked as a separate object;
     [host] names functions provided by the host/fuzzer at run time. *)
 let create ?(mode = Partition.Auto) ?(copy_on_use = true) ?(keep = [ "main" ])
-    ?(runtime_globals = []) ?(host = []) ?(opt_rounds = 2) (base : Ir.Modul.t) =
+    ?(runtime_globals = []) ?(host = []) ?(opt_rounds = 2)
+    ?(telemetry = Telemetry.Recorder.create ()) (base : Ir.Modul.t) =
   Ir.Verify.run_exn base;
-  let cls = Classify.classify ~keep base in
-  let plan = Partition.plan ~mode ~copy_on_use ~keep base cls in
+  let cls =
+    Telemetry.Recorder.with_span telemetry ~cat:"session" "classify" (fun () ->
+        Classify.classify ~keep base)
+  in
+  let plan =
+    Telemetry.Recorder.with_span telemetry ~cat:"session" "partition" (fun () ->
+        Partition.plan ~mode ~copy_on_use ~keep base cls)
+  in
   (* runtime object: plain data symbols, always linked *)
   let runtime_module = Ir.Modul.create ~name:"odin.runtime" () in
   List.iter
@@ -89,6 +102,7 @@ let create ?(mode = Partition.Auto) ?(copy_on_use = true) ?(keep = [ "main" ])
     patchers = [];
     events = [];
     opt_rounds;
+    telemetry;
   }
 
 (** Replace all patch logic with [patcher]. *)
@@ -192,35 +206,69 @@ let schedule ?(initial = false) ?(backprop = true) t =
 
 exception Build_error of string
 
+(* Every stage of the copy-instrument-split flow runs inside a telemetry
+   span; the recompile_event returned to callers is a view over the span
+   durations (one source of timing truth — reports derived from the span
+   tree always agree with the events). *)
 let rebuild (sched : sched) =
   let t = sched.session in
+  let r = t.telemetry in
+  let spans = r.Telemetry.Recorder.spans in
+  let rebuild_sp =
+    Telemetry.Span.enter spans ~cat:"session"
+      ~args:
+        [
+          ("fragments", string_of_int (List.length sched.changed_fragments));
+          ("probes", string_of_int (List.length sched.active));
+        ]
+      "rebuild"
+  in
+  Fun.protect ~finally:(fun () -> Telemetry.Span.exit spans rebuild_sp)
+  @@ fun () ->
   (* the user's patch logic instruments the temporary IR *)
-  List.iter (fun patch -> patch sched) t.patchers;
+  Telemetry.Span.with_span spans ~cat:"session" "patch" (fun () ->
+      List.iter (fun patch -> patch sched) t.patchers);
   let source s =
     if SSet.mem s sched.changed_symbols then Ir.Modul.find sched.temp s else None
   in
-  let per_fragment = ref [] in
-  let compile_t0 = Unix.gettimeofday () in
+  let frag_spans = ref [] in
+  let compile_sp = Telemetry.Span.enter spans ~cat:"session" "compile" in
   List.iter
     (fun fid ->
-      let t0 = Unix.gettimeofday () in
+      let fsp =
+        Telemetry.Span.enter spans ~cat:"session"
+          ~args:[ ("fid", string_of_int fid) ]
+          "fragment"
+      in
       let f = t.plan.Partition.fragments.(fid) in
-      let frag_module = Partition.materialize t.plan f ~source ~base:t.base in
-      (match Ir.Verify.check_module frag_module with
-      | [] -> ()
-      | errors ->
-        raise
-          (Build_error
-             (Printf.sprintf "fragment %d does not verify:\n%s" fid
-                (Ir.Verify.errors_to_string errors))));
-      ignore (Opt.Pipeline.run_fragment ~max_rounds:t.opt_rounds frag_module);
-      let obj = Link.Objfile.of_module frag_module in
+      let frag_module =
+        Telemetry.Span.with_span spans ~cat:"session" "materialize" (fun () ->
+            Partition.materialize t.plan f ~source ~base:t.base)
+      in
+      Telemetry.Span.with_span spans ~cat:"session" "verify" (fun () ->
+          match Ir.Verify.check_module frag_module with
+          | [] -> ()
+          | errors ->
+            raise
+              (Build_error
+                 (Printf.sprintf "fragment %d does not verify:\n%s" fid
+                    (Ir.Verify.errors_to_string errors))));
+      ignore
+        (Opt.Pipeline.run_fragment ~recorder:r ~max_rounds:t.opt_rounds
+           frag_module);
+      let obj =
+        Telemetry.Span.with_span spans ~cat:"session" "codegen" (fun () ->
+            Link.Objfile.of_module frag_module)
+      in
       Hashtbl.replace t.cache fid obj;
-      per_fragment := (fid, Unix.gettimeofday () -. t0) :: !per_fragment)
+      Telemetry.Span.exit spans fsp;
+      Telemetry.Recorder.observe (Some r) "session.fragment_ms"
+        (1000. *. Telemetry.Span.duration fsp);
+      frag_spans := (fid, fsp) :: !frag_spans)
     sched.changed_fragments;
-  let compile_time = Unix.gettimeofday () -. compile_t0 in
+  Telemetry.Span.exit spans compile_sp;
   (* link all cached fragments + the runtime *)
-  let link_t0 = Unix.gettimeofday () in
+  let link_sp = Telemetry.Span.enter spans ~cat:"session" "link" in
   let objs =
     t.runtime
     :: (Array.to_list t.plan.Partition.fragments
@@ -228,16 +276,27 @@ let rebuild (sched : sched) =
               Hashtbl.find_opt t.cache f.Partition.fid))
   in
   let exe = Link.Linker.link ~host:t.host objs in
-  let link_time = Unix.gettimeofday () -. link_t0 in
+  Telemetry.Span.exit spans link_sp;
   t.exe <- Some exe;
   Instr.Manager.clear_changes t.manager;
+  let some_r = Some r in
+  Telemetry.Recorder.count some_r "session.rebuilds";
+  Telemetry.Recorder.count some_r
+    ~by:(List.length sched.changed_fragments)
+    "session.fragments_recompiled";
+  Telemetry.Recorder.count some_r
+    ~by:(List.length sched.active)
+    "session.probes_applied";
   let event =
     {
       ev_fragments = sched.changed_fragments;
       ev_probes_applied = List.length sched.active;
-      ev_compile_time = compile_time;
-      ev_link_time = link_time;
-      ev_per_fragment = List.rev !per_fragment;
+      ev_compile_time = Telemetry.Span.duration compile_sp;
+      ev_link_time = Telemetry.Span.duration link_sp;
+      ev_per_fragment =
+        List.rev_map
+          (fun (fid, sp) -> (fid, Telemetry.Span.duration sp))
+          !frag_spans;
     }
   in
   t.events <- event :: t.events;
@@ -245,15 +304,22 @@ let rebuild (sched : sched) =
 
 (** Initial build: schedule every fragment and build the executable. *)
 let build t =
-  let sched = schedule ~initial:true t in
-  rebuild sched
+  Telemetry.Recorder.with_span t.telemetry ~cat:"session" "build" (fun () ->
+      let sched =
+        Telemetry.Recorder.with_span t.telemetry ~cat:"session" "schedule"
+          (fun () -> schedule ~initial:true t)
+      in
+      rebuild sched)
 
 (** Incremental rebuild after probe changes; no-op when nothing changed. *)
 let refresh ?(backprop = true) t =
-  if Instr.Manager.has_changes t.manager then begin
-    let sched = schedule ~backprop t in
-    Some (rebuild sched)
-  end
+  if Instr.Manager.has_changes t.manager then
+    Telemetry.Recorder.with_span t.telemetry ~cat:"session" "refresh" (fun () ->
+        let sched =
+          Telemetry.Recorder.with_span t.telemetry ~cat:"session" "schedule"
+            (fun () -> schedule ~backprop t)
+        in
+        Some (rebuild sched))
   else None
 
 let executable t =

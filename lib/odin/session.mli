@@ -22,7 +22,8 @@
 module SSet : Set.S with type elt = string
 
 (** One (re)compilation: which fragments, how many probes applied, and
-    measured wall-clock durations. *)
+    measured wall-clock durations. A thin view over the telemetry span
+    tree recorded during {!rebuild}. *)
 type recompile_event = {
   ev_fragments : int list;
   ev_probes_applied : int;
@@ -42,6 +43,11 @@ type t = {
   mutable patchers : (sched -> unit) list;
   mutable events : recompile_event list;
   opt_rounds : int;
+  telemetry : Telemetry.Recorder.t;
+      (** every build/refresh records schedule → patch → per-fragment
+          materialize/verify/optimize/codegen → link spans here; export
+          with [Telemetry.Report] / [Telemetry.Trace]. Observation only:
+          build results are identical whether or not it is ever read. *)
 }
 
 (** Scheduler handle passed to patch logic (the paper's [Scheduler]):
@@ -70,7 +76,9 @@ val map_func : sched -> string -> Ir.Func.t option
     @param runtime_globals data symbols owned by the instrumentation
       runtime (e.g. counter arrays), linked as a separate object
     @param host functions resolved to the fuzzer/VM at run time
-    @param opt_rounds fixpoint bound for fragment re-optimization *)
+    @param opt_rounds fixpoint bound for fragment re-optimization
+    @param telemetry recorder for build spans/counters (fresh monotonic
+      recorder by default; tests inject a virtual-clock recorder) *)
 val create :
   ?mode:Partition.mode ->
   ?copy_on_use:bool ->
@@ -78,6 +86,7 @@ val create :
   ?runtime_globals:(string * int) list ->
   ?host:string list ->
   ?opt_rounds:int ->
+  ?telemetry:Telemetry.Recorder.t ->
   Ir.Modul.t ->
   t
 

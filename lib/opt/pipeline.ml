@@ -3,7 +3,13 @@
 
     Pipeline shape follows the classic middle-end recipe: put the program
     into SSA form, simplify locally, then alternate interprocedural and
-    local passes to a fixpoint (bounded). *)
+    local passes to a fixpoint (bounded).
+
+    When a {!Telemetry.Recorder.t} is supplied, every pass execution is
+    wrapped in a span (the LLVM PassInstrumentation analogue) and the
+    registry gains [opt.rounds] and per-pass [opt.pass.changed]
+    counters. Telemetry only observes: pass order, fixpoint behavior and
+    the resulting IR are identical with and without a recorder. *)
 
 let standard_passes ?(keep = [ "main" ]) () =
   [
@@ -25,57 +31,65 @@ let standard_passes ?(keep = [ "main" ]) () =
     Dce.pass;
   ]
 
-(** Run a list of passes to a bounded fixpoint. Returns the pass context
-    (which carries the requirement log when [trial] is set). *)
-let run ?(trial = false) ?(max_rounds = 5) ?(keep = [ "main" ]) modul =
-  let ctx = Pass.make_ctx ~trial modul in
-  let passes = standard_passes ~keep () in
+(* passes used for fragment recompilation: Internalize is *not* run —
+   fragment symbol visibility was already decided by the partitioner, and
+   demoting an exported symbol would break cross-fragment links *)
+let fragment_passes () =
+  [
+    Mem2reg.pass;
+    Constfold.pass;
+    Instcombine.pass;
+    Simplifycfg.pass;
+    Gvn.pass;
+    Dce.pass;
+    Inline.pass;
+    Dead_arg_elim.pass;
+    Constfold.pass;
+    Instcombine.pass;
+    Jump_threading.pass;
+    Loop_unroll.pass;
+    Simplifycfg.pass;
+    Gvn.pass;
+    Dce.pass;
+  ]
+
+(* One pass execution, timed and counted when [recorder] is present. *)
+let run_pass recorder ctx (p : Pass.t) =
+  let changed =
+    Telemetry.Recorder.span_opt recorder ~cat:"pass" p.Pass.name (fun () ->
+        p.Pass.run ctx)
+  in
+  if changed then
+    Telemetry.Recorder.count recorder ~labels:[ ("pass", p.Pass.name) ]
+      "opt.pass.changed";
+  changed
+
+(* Bounded-fixpoint driver shared by [run] and [run_fragment]; [track]
+   additionally advances [ctx.rounds] (the survey's round log). *)
+let fixpoint ?recorder ~max_rounds ~track ctx passes =
   let rec go round =
-    if round >= max_rounds then ()
-    else begin
-      ctx.Pass.rounds <- round + 1;
+    if round < max_rounds then begin
+      if track then ctx.Pass.rounds <- round + 1;
+      Telemetry.Recorder.count recorder "opt.rounds";
       let changed =
-        List.fold_left (fun acc p -> p.Pass.run ctx || acc) false passes
+        List.fold_left (fun acc p -> run_pass recorder ctx p || acc) false passes
       in
       if changed then go (round + 1)
     end
   in
-  go 0;
+  go 0
+
+(** Run the O2 pipeline to a bounded fixpoint. Returns the pass context
+    (which carries the requirement log when [trial] is set). *)
+let run ?recorder ?(trial = false) ?(max_rounds = 5) ?(keep = [ "main" ]) modul =
+  let ctx = Pass.make_ctx ~trial modul in
+  Telemetry.Recorder.span_opt recorder ~cat:"opt" "optimize" (fun () ->
+      fixpoint ?recorder ~max_rounds ~track:true ctx (standard_passes ~keep ()));
   ctx
 
-(** Optimize a single fragment module during recompilation. Internalize is
-    *not* run here: fragment symbol visibility was already decided by the
-    partitioner, and demoting an exported symbol would break cross-fragment
-    links. *)
-let run_fragment ?(max_rounds = 2) modul =
+(** Optimize a single fragment module during recompilation. *)
+let run_fragment ?recorder ?(max_rounds = 2) modul =
   let ctx = Pass.make_ctx ~trial:false modul in
-  let passes =
-    [
-      Mem2reg.pass;
-      Constfold.pass;
-      Instcombine.pass;
-      Simplifycfg.pass;
-      Gvn.pass;
-      Dce.pass;
-      Inline.pass;
-      Dead_arg_elim.pass;
-      Constfold.pass;
-      Instcombine.pass;
-      Jump_threading.pass;
-      Loop_unroll.pass;
-      Simplifycfg.pass;
-      Gvn.pass;
-      Dce.pass;
-    ]
-  in
-  let rec go round =
-    if round >= max_rounds then ()
-    else begin
-      let changed =
-        List.fold_left (fun acc p -> p.Pass.run ctx || acc) false passes
-      in
-      if changed then go (round + 1)
-    end
-  in
-  go 0;
+  Telemetry.Recorder.span_opt recorder ~cat:"opt" "optimize" (fun () ->
+      fixpoint ?recorder ~max_rounds ~track:false ctx (fragment_passes ()));
   ctx

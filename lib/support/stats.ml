@@ -31,6 +31,8 @@ let percentile p xs =
     end
 
 let median xs = percentile 50. xs
+let p90 xs = percentile 90. xs
+let p99 xs = percentile 99. xs
 let min_l xs = List.fold_left min infinity xs
 let max_l xs = List.fold_left max neg_infinity xs
 

@@ -9,6 +9,11 @@ val geomean : float list -> float
 val percentile : float -> float list -> float
 
 val median : float list -> float
+
+(** Tail-latency convenience wrappers: [percentile 90.] / [percentile 99.]. *)
+val p90 : float list -> float
+
+val p99 : float list -> float
 val min_l : float list -> float
 val max_l : float list -> float
 

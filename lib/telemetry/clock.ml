@@ -1,0 +1,23 @@
+(** Time sources for the telemetry layer.
+
+    Every span and counter sample is stamped by a [t]. Production code
+    uses {!monotonic}; tests inject a {!virtual_clock} so durations are
+    deterministic and assertions exact. *)
+
+type t = unit -> float
+
+(* [Unix.gettimeofday] is what the rest of the toolchain already uses
+   for wall-clock measurement; keeping the same source means telemetry
+   spans agree with any remaining ad-hoc timers. *)
+let monotonic : t = Unix.gettimeofday
+
+let fixed v : t = fun () -> v
+
+(** A deterministic clock that advances by [step] seconds on every read,
+    starting at [start]. Two runs that read the clock the same number of
+    times observe identical timestamps. *)
+let virtual_clock ?(start = 0.) ~step () : t =
+  let now = ref (start -. step) in
+  fun () ->
+    now := !now +. step;
+    !now

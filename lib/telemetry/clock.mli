@@ -1,0 +1,14 @@
+(** Time sources for the telemetry layer: a real monotonic wall clock
+    for production, an injectable virtual clock for deterministic tests. *)
+
+type t = unit -> float
+
+(** Wall-clock seconds (the same source as the rest of the toolchain). *)
+val monotonic : t
+
+(** Always returns the given instant. *)
+val fixed : float -> t
+
+(** Advances by [step] seconds on every read; first read returns
+    [start]. Deterministic across runs. *)
+val virtual_clock : ?start:float -> step:float -> unit -> t

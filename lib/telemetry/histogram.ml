@@ -1,0 +1,34 @@
+(** Streaming histogram: accumulates float samples and answers the
+    percentile questions the reports ask (p50/p90/p99). Samples are kept
+    exactly — campaign sizes here are thousands of observations, far
+    below the point where sketching would pay off. *)
+
+type t = {
+  mutable samples : float list;  (** newest first *)
+  mutable count : int;
+  mutable sum : float;
+}
+
+let create () = { samples = []; count = 0; sum = 0. }
+
+let observe h v =
+  h.samples <- v :: h.samples;
+  h.count <- h.count + 1;
+  h.sum <- h.sum +. v
+
+let count h = h.count
+let sum h = h.sum
+
+(** Samples in observation order. *)
+let samples h = List.rev h.samples
+
+let mean h = if h.count = 0 then nan else h.sum /. float_of_int h.count
+
+(** Percentile with linear interpolation; [nan] when empty. *)
+let percentile h p = Support.Stats.percentile p h.samples
+
+let p50 h = percentile h 50.
+let p90 h = Support.Stats.p90 h.samples
+let p99 h = Support.Stats.p99 h.samples
+let min_v h = if h.count = 0 then nan else Support.Stats.min_l h.samples
+let max_v h = if h.count = 0 then nan else Support.Stats.max_l h.samples

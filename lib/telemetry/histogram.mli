@@ -1,0 +1,23 @@
+(** Streaming histogram over float samples with exact percentiles.
+    All statistics return [nan] on an empty histogram. *)
+
+type t
+
+val create : unit -> t
+val observe : t -> float -> unit
+val count : t -> int
+val sum : t -> float
+
+(** Samples in observation order. *)
+val samples : t -> float list
+
+val mean : t -> float
+
+(** Percentile with linear interpolation; [p] in [0, 100]. *)
+val percentile : t -> float -> float
+
+val p50 : t -> float
+val p90 : t -> float
+val p99 : t -> float
+val min_v : t -> float
+val max_v : t -> float

@@ -1,0 +1,138 @@
+(** Labeled metric registry: monotonic counters and histograms, keyed by
+    (name, labels). Registration order is preserved so every rendering
+    of the registry is deterministic — a requirement for the test that
+    two identical builds produce byte-identical counter output. *)
+
+type labels = (string * string) list
+
+type counter = {
+  c_name : string;
+  c_labels : labels;
+  c_clock : Clock.t;
+  c_track_series : bool;
+  mutable c_value : int;
+  mutable c_series : (float * int) list;  (** (timestamp, value), newest first *)
+}
+
+type registered =
+  | Counter of counter
+  | Histo of string * labels * Histogram.t
+
+type t = {
+  clock : Clock.t;
+  table : (string, registered) Hashtbl.t;  (** keyed by name+labels *)
+  mutable order : string list;  (** registration order, newest first *)
+}
+
+let create ?(clock = Clock.monotonic) () =
+  { clock; table = Hashtbl.create 32; order = [] }
+
+let key name labels =
+  String.concat "\x00" (name :: List.concat_map (fun (k, v) -> [ k; v ]) labels)
+
+(* canonical label order so ("a","1"),("b","2") and its permutation are
+   the same metric *)
+let normalize labels = List.sort compare labels
+
+let register t k r =
+  Hashtbl.replace t.table k r;
+  t.order <- k :: t.order
+
+(** Find-or-create a counter. [series] additionally records a
+    (timestamp, value) point on every update, for counter tracks in the
+    Chrome trace export (e.g. coverage over time). *)
+let counter t ?(labels = []) ?(series = false) name =
+  let labels = normalize labels in
+  let k = key name labels in
+  match Hashtbl.find_opt t.table k with
+  | Some (Counter c) -> c
+  | Some (Histo _) -> invalid_arg ("Metrics.counter: " ^ name ^ " is a histogram")
+  | None ->
+    let c =
+      {
+        c_name = name;
+        c_labels = labels;
+        c_clock = t.clock;
+        c_track_series = series;
+        c_value = 0;
+        c_series = [];
+      }
+    in
+    register t k (Counter c);
+    c
+
+let incr ?(by = 1) c =
+  c.c_value <- c.c_value + by;
+  if c.c_track_series then c.c_series <- (c.c_clock (), c.c_value) :: c.c_series
+
+let set c v =
+  c.c_value <- v;
+  if c.c_track_series then c.c_series <- (c.c_clock (), c.c_value) :: c.c_series
+
+let value c = c.c_value
+
+(** Counter samples in chronological order (empty unless created with
+    [~series:true]). *)
+let series c = List.rev c.c_series
+
+let counter_name c = c.c_name
+let counter_labels c = c.c_labels
+
+(** Find-or-create a histogram. *)
+let histogram t ?(labels = []) name =
+  let labels = normalize labels in
+  let k = key name labels in
+  match Hashtbl.find_opt t.table k with
+  | Some (Histo (_, _, h)) -> h
+  | Some (Counter _) -> invalid_arg ("Metrics.histogram: " ^ name ^ " is a counter")
+  | None ->
+    let h = Histogram.create () in
+    register t k (Histo (name, labels, h));
+    h
+
+let observe t ?labels name v = Histogram.observe (histogram t ?labels name) v
+
+let fold t f acc =
+  List.fold_left
+    (fun acc k ->
+      match Hashtbl.find_opt t.table k with
+      | Some r -> f acc r
+      | None -> acc)
+    acc (List.rev t.order)
+
+(** All counters, in registration order. *)
+let counters t =
+  List.rev
+    (fold t (fun acc r -> match r with Counter c -> c :: acc | _ -> acc) [])
+
+(** All histograms, in registration order. *)
+let histograms t =
+  List.rev
+    (fold t
+       (fun acc r -> match r with Histo (n, l, h) -> (n, l, h) :: acc | _ -> acc)
+       [])
+
+let label_string labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+    "{"
+    ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+    ^ "}"
+
+(** Deterministic one-line-per-metric dump (counters as integers,
+    histograms as count/sum). Used by the determinism test. *)
+let render t =
+  let lines =
+    fold t
+      (fun acc r ->
+        (match r with
+        | Counter c ->
+          Printf.sprintf "%s%s %d" c.c_name (label_string c.c_labels) c.c_value
+        | Histo (n, l, h) ->
+          Printf.sprintf "%s%s count=%d sum=%.6f" n (label_string l)
+            (Histogram.count h) (Histogram.sum h))
+        :: acc)
+      []
+  in
+  String.concat "\n" (List.rev lines)

@@ -1,0 +1,42 @@
+(** Labeled metric registry: monotonic counters and histograms keyed by
+    (name, labels), with deterministic (registration-order) iteration. *)
+
+type labels = (string * string) list
+
+type counter
+
+type t
+
+val create : ?clock:Clock.t -> unit -> t
+
+(** Find-or-create. [series] records a (timestamp, value) point per
+    update, for counter tracks in the Chrome trace export. *)
+val counter : t -> ?labels:labels -> ?series:bool -> string -> counter
+
+val incr : ?by:int -> counter -> unit
+val set : counter -> int -> unit
+val value : counter -> int
+
+(** Chronological (timestamp, value) samples; empty unless the counter
+    was created with [~series:true]. *)
+val series : counter -> (float * int) list
+
+val counter_name : counter -> string
+val counter_labels : counter -> labels
+
+(** Find-or-create. *)
+val histogram : t -> ?labels:labels -> string -> Histogram.t
+
+(** Observe into the named histogram (find-or-create). *)
+val observe : t -> ?labels:labels -> string -> float -> unit
+
+(** All counters / histograms in registration order. *)
+val counters : t -> counter list
+
+val histograms : t -> (string * labels * Histogram.t) list
+
+(** ["{k=v,...}"], empty string for no labels. *)
+val label_string : labels -> string
+
+(** Deterministic one-line-per-metric dump. *)
+val render : t -> string

@@ -1,0 +1,33 @@
+(** A recorder bundles the three telemetry facilities behind one handle:
+    a span tree, a metric registry, and the clock that stamps both.
+    Every instrumented subsystem takes an optional recorder; [None]
+    means "observe nothing" and costs one branch. *)
+
+type t = {
+  clock : Clock.t;
+  spans : Span.t;
+  metrics : Metrics.t;
+}
+
+let create ?(clock = Clock.monotonic) () =
+  { clock; spans = Span.create ~clock (); metrics = Metrics.create ~clock () }
+
+let with_span t ?cat ?args name f = Span.with_span t.spans ?cat ?args name f
+
+(** [span_opt (Some r) name f] times [f]; [span_opt None name f] is
+    [f ()]. The helper instrumented code paths use so that disabled
+    telemetry cannot perturb behavior. *)
+let span_opt t ?cat ?args name f =
+  match t with
+  | None -> f ()
+  | Some r -> Span.with_span r.spans ?cat ?args name f
+
+let count t ?labels ?(by = 1) name =
+  match t with
+  | None -> ()
+  | Some r -> Metrics.incr ~by (Metrics.counter r.metrics ?labels name)
+
+let observe t ?labels name v =
+  match t with
+  | None -> ()
+  | Some r -> Metrics.observe r.metrics ?labels name v

@@ -1,0 +1,29 @@
+(** One handle for the whole telemetry layer: span tree + metric
+    registry + the clock stamping both. The [_opt] helpers take an
+    [option] so instrumented code pays one branch when telemetry is off. *)
+
+type t = {
+  clock : Clock.t;
+  spans : Span.t;
+  metrics : Metrics.t;
+}
+
+val create : ?clock:Clock.t -> unit -> t
+
+val with_span :
+  t -> ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Times [f] when a recorder is present; plain [f ()] otherwise. *)
+val span_opt :
+  t option ->
+  ?cat:string ->
+  ?args:(string * string) list ->
+  string ->
+  (unit -> 'a) ->
+  'a
+
+(** Increment a counter (find-or-create) when a recorder is present. *)
+val count : t option -> ?labels:Metrics.labels -> ?by:int -> string -> unit
+
+(** Observe into a histogram (find-or-create) when a recorder is present. *)
+val observe : t option -> ?labels:Metrics.labels -> string -> float -> unit

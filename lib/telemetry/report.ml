@@ -1,0 +1,107 @@
+(** LLVM [-ftime-report]-style text rendering of a recorder: an indented
+    span tree, a flat per-stage aggregate (count, total, avg, share of
+    wall time), counters, and histogram percentiles — all as aligned
+    tables via {!Support.Tab}. *)
+
+let ms x = Printf.sprintf "%.3f" (1000. *. x)
+
+(* wall time = sum of root spans; the denominator of the "%" column *)
+let wall spans =
+  List.fold_left (fun a sp -> a +. Span.duration sp) 0. (Span.roots spans)
+
+let tree_rows spans =
+  let rows = ref [] in
+  Span.iter spans (fun ~depth sp ->
+      let indent = String.make (2 * depth) ' ' in
+      let args = Span.args sp in
+      let arg_str =
+        if args = [] then ""
+        else
+          "(" ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) args) ^ ")"
+      in
+      rows :=
+        [ indent ^ Span.name sp; ms (Span.duration sp); arg_str ] :: !rows);
+  List.rev !rows
+
+(** Per-stage aggregate over every span of the same name: the
+    [-ftime-report] table. Sorted by total time, descending (ties by
+    name, for determinism). *)
+let aggregate_rows spans =
+  let order = ref [] in
+  let table : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 32 in
+  Span.iter spans (fun ~depth:_ sp ->
+      let n = Span.name sp in
+      let count, total =
+        match Hashtbl.find_opt table n with
+        | Some cell -> cell
+        | None ->
+          let cell = (ref 0, ref 0.) in
+          Hashtbl.replace table n cell;
+          order := n :: !order;
+          cell
+      in
+      incr count;
+      total := !total +. Span.duration sp);
+  let w = wall spans in
+  List.rev !order
+  |> List.map (fun n ->
+         let count, total = Hashtbl.find table n in
+         (n, !count, !total))
+  |> List.sort (fun (n1, _, t1) (n2, _, t2) ->
+         match compare t2 t1 with 0 -> compare n1 n2 | c -> c)
+  |> List.map (fun (n, count, total) ->
+         [
+           n;
+           string_of_int count;
+           ms total;
+           ms (total /. float_of_int count);
+           (if w > 0. then Printf.sprintf "%.1f%%" (100. *. total /. w) else "-");
+         ])
+
+let counter_rows metrics =
+  List.map
+    (fun c ->
+      [
+        Metrics.counter_name c ^ Metrics.label_string (Metrics.counter_labels c);
+        string_of_int (Metrics.value c);
+      ])
+    (Metrics.counters metrics)
+
+let histogram_rows metrics =
+  let cell v = if Float.is_nan v then "-" else Printf.sprintf "%.3f" v in
+  List.map
+    (fun (n, l, h) ->
+      [
+        n ^ Metrics.label_string l;
+        string_of_int (Histogram.count h);
+        cell (Histogram.p50 h);
+        cell (Histogram.p90 h);
+        cell (Histogram.p99 h);
+        cell (Histogram.max_v h);
+      ])
+    (Metrics.histograms metrics)
+
+(** Render the full report. [title] heads the output (e.g. the command
+    that was timed). *)
+let render ?(title = "time report") (r : Recorder.t) =
+  let b = Buffer.create 1024 in
+  let section name header rows =
+    if rows <> [] then begin
+      Buffer.add_string b (Printf.sprintf "\n== %s ==\n" name);
+      Buffer.add_string b (Support.Tab.render ~header rows);
+      Buffer.add_char b '\n'
+    end
+  in
+  Buffer.add_string b
+    (Printf.sprintf "=== %s (wall %s ms) ===\n" title (ms (wall r.Recorder.spans)));
+  section "span tree" [ "span"; "ms"; "args" ] (tree_rows r.Recorder.spans);
+  section "per-stage totals"
+    [ "stage"; "count"; "total ms"; "avg ms"; "% wall" ]
+    (aggregate_rows r.Recorder.spans);
+  section "counters" [ "counter"; "value" ] (counter_rows r.Recorder.metrics);
+  section "histograms"
+    [ "histogram"; "n"; "p50"; "p90"; "p99"; "max" ]
+    (histogram_rows r.Recorder.metrics);
+  Buffer.contents b
+
+let print ?title r = print_string (render ?title r)

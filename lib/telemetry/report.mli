@@ -1,0 +1,9 @@
+(** LLVM [-ftime-report]-style text report over a recorder: span tree,
+    per-stage aggregates, counters and histogram percentiles. *)
+
+(** Sum of root-span durations — the "% wall" denominator. *)
+val wall : Span.t -> float
+
+val render : ?title:string -> Recorder.t -> string
+
+val print : ?title:string -> Recorder.t -> unit

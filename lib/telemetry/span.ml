@@ -1,0 +1,93 @@
+(** Hierarchical spans: the timing backbone of the pipeline.
+
+    A recorder keeps a stack of open spans; [enter]/[exit] (or the
+    exception-safe [with_span]) build a tree of timed regions. The
+    session's recompilation flow, the optimizer's per-pass timing and
+    the CLI's --time-report all read this tree — there is exactly one
+    source of timing truth, so a report's stage totals always agree
+    with the recompile events derived from the same spans. *)
+
+type span = {
+  sp_name : string;
+  sp_cat : string;  (** category, e.g. "session", "pass" — trace "cat" field *)
+  mutable sp_args : (string * string) list;
+  sp_start : float;
+  mutable sp_dur : float;  (** seconds; negative while the span is open *)
+  mutable sp_children : span list;
+      (** newest first while open; chronological once closed *)
+}
+
+type t = {
+  clock : Clock.t;
+  mutable roots : span list;  (** newest first *)
+  mutable stack : span list;  (** innermost open span first *)
+}
+
+let create ?(clock = Clock.monotonic) () = { clock; roots = []; stack = [] }
+
+let enter t ?(cat = "") ?(args = []) name =
+  let sp =
+    {
+      sp_name = name;
+      sp_cat = cat;
+      sp_args = args;
+      sp_start = t.clock ();
+      sp_dur = -1.;
+      sp_children = [];
+    }
+  in
+  (match t.stack with
+  | parent :: _ -> parent.sp_children <- sp :: parent.sp_children
+  | [] -> t.roots <- sp :: t.roots);
+  t.stack <- sp :: t.stack;
+  sp
+
+let close t sp =
+  sp.sp_dur <- t.clock () -. sp.sp_start;
+  sp.sp_children <- List.rev sp.sp_children
+
+(** Close [sp]. Any spans opened inside it and not yet exited are closed
+    with it (defensive: a forgotten exit cannot corrupt the tree). *)
+let exit t sp =
+  let rec pop = function
+    | [] -> []  (* sp not on the stack: already closed; nothing to do *)
+    | top :: rest ->
+      close t top;
+      if top == sp then rest else pop rest
+  in
+  t.stack <- pop t.stack
+
+let add_arg sp k v = sp.sp_args <- sp.sp_args @ [ (k, v) ]
+
+let with_span t ?cat ?args name f =
+  let sp = enter t ?cat ?args name in
+  Fun.protect ~finally:(fun () -> exit t sp) f
+
+let duration sp = if sp.sp_dur < 0. then 0. else sp.sp_dur
+let name sp = sp.sp_name
+let cat sp = sp.sp_cat
+let args sp = sp.sp_args
+let start sp = sp.sp_start
+
+(** Children in chronological order (valid once the span is closed). *)
+let children sp = if sp.sp_dur < 0. then List.rev sp.sp_children else sp.sp_children
+
+(** Root spans in chronological order. *)
+let roots t = List.rev t.roots
+
+(** Preorder walk of every recorded span with its nesting depth. *)
+let iter t f =
+  let rec walk depth sp =
+    f ~depth sp;
+    List.iter (walk (depth + 1)) (children sp)
+  in
+  List.iter (walk 0) (roots t)
+
+(** Every span named [n], in preorder. *)
+let find_all t n =
+  let acc = ref [] in
+  iter t (fun ~depth:_ sp -> if String.equal sp.sp_name n then acc := sp :: !acc);
+  List.rev !acc
+
+(** Summed duration of every span named [n]. *)
+let total t n = List.fold_left (fun a sp -> a +. duration sp) 0. (find_all t n)

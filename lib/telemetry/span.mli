@@ -1,0 +1,43 @@
+(** Hierarchical timed spans — the single source of timing truth for the
+    compile/recompile/execute pipeline. *)
+
+type span
+
+type t
+
+val create : ?clock:Clock.t -> unit -> t
+
+(** Open a span as a child of the innermost open span (or as a root). *)
+val enter : t -> ?cat:string -> ?args:(string * string) list -> string -> span
+
+(** Close a span; also closes any still-open descendants. *)
+val exit : t -> span -> unit
+
+val add_arg : span -> string -> string -> unit
+
+(** Exception-safe [enter]/[exit] around [f]. *)
+val with_span :
+  t -> ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Seconds; 0 while the span is still open. *)
+val duration : span -> float
+
+val name : span -> string
+val cat : span -> string
+val args : span -> (string * string) list
+val start : span -> float
+
+(** Children in chronological order (valid once closed). *)
+val children : span -> span list
+
+(** Root spans in chronological order. *)
+val roots : t -> span list
+
+(** Preorder walk with nesting depth. *)
+val iter : t -> (depth:int -> span -> unit) -> unit
+
+(** Every span named [n], in preorder. *)
+val find_all : t -> string -> span list
+
+(** Summed duration of every span named [n]. *)
+val total : t -> string -> float

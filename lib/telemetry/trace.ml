@@ -1,0 +1,100 @@
+(** Chrome [trace_event]-format JSON exporter. The output loads directly
+    in [chrome://tracing] and Perfetto:
+
+    - every span becomes a complete event ([ph:"X"]) with microsecond
+      [ts]/[dur]; nesting is implied by interval containment,
+    - every series counter becomes a stream of counter events ([ph:"C"])
+      so e.g. coverage-over-time renders as a track,
+    - a metadata event names the process.
+
+    Only the official four keys of the format are assumed by consumers;
+    everything else rides in [args]. *)
+
+let buf_add_json_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let add_args b args =
+  Buffer.add_string b "{";
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_string b ",";
+      buf_add_json_string b k;
+      Buffer.add_string b ":";
+      buf_add_json_string b v)
+    args;
+  Buffer.add_string b "}"
+
+(* timestamps are relative to the earliest span so traces start at ~0
+   regardless of the clock's epoch *)
+let epoch spans =
+  match Span.roots spans with
+  | [] -> 0.
+  | sp :: _ -> Span.start sp
+
+let us t0 t = (t -. t0) *. 1e6
+
+let add_event b ~first ~name ~cat ~ph ~ts ?dur ?args ?(pid = 1) ?(tid = 1) () =
+  if not !first then Buffer.add_string b ",\n";
+  first := false;
+  Buffer.add_string b "{\"name\":";
+  buf_add_json_string b name;
+  Buffer.add_string b ",\"cat\":";
+  buf_add_json_string b (if cat = "" then "default" else cat);
+  Buffer.add_string b (Printf.sprintf ",\"ph\":\"%s\"" ph);
+  Buffer.add_string b (Printf.sprintf ",\"ts\":%.3f" ts);
+  (match dur with
+  | Some d -> Buffer.add_string b (Printf.sprintf ",\"dur\":%.3f" d)
+  | None -> ());
+  Buffer.add_string b (Printf.sprintf ",\"pid\":%d,\"tid\":%d" pid tid);
+  (match args with
+  | Some a ->
+    Buffer.add_string b ",\"args\":";
+    add_args b a
+  | None -> ());
+  Buffer.add_string b "}"
+
+(** Serialize a recorder to a [trace_event] JSON document. *)
+let to_json ?(process_name = "odin") (r : Recorder.t) =
+  let b = Buffer.create 4096 in
+  let first = ref true in
+  let t0 = epoch r.Recorder.spans in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  add_event b ~first ~name:"process_name" ~cat:"__metadata" ~ph:"M" ~ts:0.
+    ~args:[ ("name", process_name) ] ();
+  Span.iter r.Recorder.spans (fun ~depth:_ sp ->
+      add_event b ~first ~name:(Span.name sp) ~cat:(Span.cat sp) ~ph:"X"
+        ~ts:(us t0 (Span.start sp))
+        ~dur:(Span.duration sp *. 1e6)
+        ~args:(Span.args sp) ());
+  List.iter
+    (fun c ->
+      let name =
+        Metrics.counter_name c ^ Metrics.label_string (Metrics.counter_labels c)
+      in
+      List.iter
+        (fun (ts, v) ->
+          add_event b ~first ~name ~cat:"counter" ~ph:"C" ~ts:(us t0 ts)
+            ~args:[ ("value", string_of_int v) ] ())
+        (Metrics.series c))
+    (Metrics.counters r.Recorder.metrics);
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+(** Write {!to_json} to [path]. *)
+let write ?process_name (r : Recorder.t) path =
+  let oc = open_out path in
+  output_string oc (to_json ?process_name r);
+  close_out oc

@@ -1,0 +1,7 @@
+(** Chrome [trace_event]-format JSON exporter: spans as complete events
+    ([ph:"X"], microsecond ts/dur), series counters as counter events
+    ([ph:"C"]). Loadable in [chrome://tracing] / Perfetto. *)
+
+val to_json : ?process_name:string -> Recorder.t -> string
+
+val write : ?process_name:string -> Recorder.t -> string -> unit

@@ -13,6 +13,19 @@ exception Fault of string
 
 let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
 
+(** Optional execution profile: cycle attribution per function plus
+    block/probe/call hit counts. Pure observation — enabling a profile
+    never changes [cycles], [steps] or execution results; the same
+    cycle increments are simply mirrored into the per-function table. *)
+type profile = {
+  mutable pr_block_hits : int;  (** basic-block entries *)
+  mutable pr_probe_hits : int;  (** inline counter increments executed *)
+  mutable pr_calls : int;  (** guest-to-guest calls dispatched *)
+  mutable pr_host_calls : int;  (** host function calls *)
+  pr_fn_cycles : (string, int ref) Hashtbl.t;  (** cycles per function *)
+  pr_fn_blocks : (string, int ref) Hashtbl.t;  (** block entries per function *)
+}
+
 type t = {
   exe : Link.Linker.exe;
   mem : Bytes.t;
@@ -26,6 +39,7 @@ type t = {
   mutable block_hook : (t -> string -> int -> unit) option;
       (** called on block entry with (function name, block index) *)
   mutable stack_base : int;
+  mutable prof : profile option;
 }
 
 let mem_size = 1 lsl 20 (* 1 MiB; data starts at 256 KiB, stack at the top *)
@@ -43,6 +57,7 @@ let create ?(max_steps = 200_000_000) exe =
       host_cost = 10;
       block_hook = None;
       stack_base = mem_size - 16;
+      prof = None;
     }
   in
   (* load the data image *)
@@ -56,6 +71,46 @@ let create ?(max_steps = 200_000_000) exe =
 let register_host vm name fn = Hashtbl.replace vm.host name fn
 let set_block_hook vm hook = vm.block_hook <- Some hook
 let add_cycles vm n = vm.cycles <- vm.cycles + n
+
+(* ------------------------------------------------------------------ *)
+(* Profiling                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let enable_profile vm =
+  match vm.prof with
+  | Some p -> p
+  | None ->
+    let p =
+      {
+        pr_block_hits = 0;
+        pr_probe_hits = 0;
+        pr_calls = 0;
+        pr_host_calls = 0;
+        pr_fn_cycles = Hashtbl.create 32;
+        pr_fn_blocks = Hashtbl.create 32;
+      }
+    in
+    vm.prof <- Some p;
+    p
+
+let profile vm = vm.prof
+
+let bump table key n =
+  match Hashtbl.find_opt table key with
+  | Some cell -> cell := !cell + n
+  | None -> Hashtbl.replace table key (ref n)
+
+(** Per-function cycle attribution, heaviest first (ties by name). *)
+let profile_top p =
+  Hashtbl.fold (fun fn c acc -> (fn, !c) :: acc) p.pr_fn_cycles []
+  |> List.sort (fun (n1, c1) (n2, c2) ->
+         match compare c2 c1 with 0 -> compare n1 n2 | c -> c)
+
+(** Per-function block-entry counts, busiest first (ties by name). *)
+let profile_blocks p =
+  Hashtbl.fold (fun fn c acc -> (fn, !c) :: acc) p.pr_fn_blocks []
+  |> List.sort (fun (n1, c1) (n2, c2) ->
+         match compare c2 c1 with 0 -> compare n1 n2 | c -> c)
 
 let addr_of vm name = Link.Linker.addr_of vm.exe name
 
@@ -125,6 +180,11 @@ let block_at (mf : mfunc) pc =
   go 0
 
 let enter_block vm (mf : mfunc) pc =
+  (match vm.prof with
+  | Some p when block_at mf pc <> None ->
+    p.pr_block_hits <- p.pr_block_hits + 1;
+    bump p.pr_fn_blocks mf.mf_name 1
+  | _ -> ());
   match vm.block_hook with
   | None -> ()
   | Some hook -> (
@@ -154,6 +214,7 @@ let call vm fname args =
     | Some mf ->
       stack := { fr_fn = !cur; fr_pc = ret_pc } :: !stack;
       if List.length !stack > 4096 then fault "call stack overflow";
+      (match vm.prof with Some p -> p.pr_calls <- p.pr_calls + 1 | None -> ());
       cur := mf;
       pc := 0;
       enter_block vm mf 0
@@ -161,6 +222,12 @@ let call vm fname args =
       match Hashtbl.find_opt vm.host name with
       | Some h ->
         vm.cycles <- vm.cycles + vm.host_cost;
+        (match vm.prof with
+        | Some p ->
+          p.pr_host_calls <- p.pr_host_calls + 1;
+          (* the host call's cycles are charged to the calling function *)
+          bump p.pr_fn_cycles (!cur).mf_name vm.host_cost
+        | None -> ());
         vm.regs.(reg_ret) <- h vm;
         pc := ret_pc
       | None -> fault "call to undefined symbol @%s" name)
@@ -174,6 +241,14 @@ let call vm fname args =
     vm.steps <- vm.steps + 1;
     if vm.steps > vm.max_steps then fault "cycle budget exhausted";
     vm.cycles <- vm.cycles + cost inst;
+    (match vm.prof with
+    | Some p ->
+      bump p.pr_fn_cycles mf.mf_name (cost inst);
+      (* inline counter increments are the compiled form of probes *)
+      (match inst with
+      | Mincmem _ -> p.pr_probe_hits <- p.pr_probe_hits + 1
+      | _ -> ())
+    | None -> ());
     (match inst with
     | Mmov (d, o) ->
       vm.regs.(d) <- operand vm o;

@@ -9,6 +9,18 @@
 
 exception Fault of string
 
+(** Optional execution profile: per-function cycle attribution plus
+    block/probe/call hit counts. Pure observation — enabling it never
+    changes [cycles], [steps] or results. *)
+type profile = {
+  mutable pr_block_hits : int;  (** basic-block entries *)
+  mutable pr_probe_hits : int;  (** inline counter increments executed *)
+  mutable pr_calls : int;  (** guest-to-guest calls dispatched *)
+  mutable pr_host_calls : int;  (** host function calls *)
+  pr_fn_cycles : (string, int ref) Hashtbl.t;
+  pr_fn_blocks : (string, int ref) Hashtbl.t;
+}
+
 type t = {
   exe : Link.Linker.exe;
   mem : Bytes.t;
@@ -20,6 +32,7 @@ type t = {
   mutable host_cost : int;  (** cycles charged per host call *)
   mutable block_hook : (t -> string -> int -> unit) option;
   mutable stack_base : int;
+  mutable prof : profile option;
 }
 
 val mem_size : int
@@ -37,6 +50,17 @@ val set_block_hook : t -> (t -> string -> int -> unit) -> unit
 
 (** Charge extra cycles (instrumentation-engine overhead models). *)
 val add_cycles : t -> int -> unit
+
+(** Attach (or return the already-attached) execution profile. *)
+val enable_profile : t -> profile
+
+val profile : t -> profile option
+
+(** Per-function cycle attribution, heaviest first (ties by name). *)
+val profile_top : profile -> (string * int) list
+
+(** Per-function block-entry counts, busiest first (ties by name). *)
+val profile_blocks : profile -> (string * int) list
 
 (** @raise Link.Linker.Link_error for unknown symbols. *)
 val addr_of : t -> string -> int64

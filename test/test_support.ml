@@ -73,6 +73,14 @@ let test_stats_percentile () =
   Alcotest.(check feq) "p100" 40. (Support.Stats.percentile 100. xs);
   Alcotest.(check feq) "p50" 25. (Support.Stats.percentile 50. xs)
 
+let test_stats_p90_p99 () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  (* linear interpolation over 1..100: p90 = 90.1, p99 = 99.01 *)
+  Alcotest.(check (Alcotest.float 1e-6)) "p90" 90.1 (Support.Stats.p90 xs);
+  Alcotest.(check (Alcotest.float 1e-6)) "p99" 99.01 (Support.Stats.p99 xs);
+  Alcotest.(check feq) "p90 singleton" 5. (Support.Stats.p90 [ 5. ]);
+  Alcotest.(check feq) "p99 singleton" 5. (Support.Stats.p99 [ 5. ])
+
 let test_stats_summary () =
   let s = Support.Stats.summarize [ 1.; 2.; 3.; 4. ] in
   Alcotest.(check int) "n" 4 s.Support.Stats.n;
@@ -158,6 +166,7 @@ let () =
           Alcotest.test_case "mean" `Quick test_stats_mean;
           Alcotest.test_case "geomean" `Quick test_stats_geomean;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "p90/p99" `Quick test_stats_p90_p99;
           Alcotest.test_case "summary" `Quick test_stats_summary;
           QCheck_alcotest.to_alcotest prop_median_between_min_max;
         ] );

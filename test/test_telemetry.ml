@@ -1,0 +1,454 @@
+(* Tests for the telemetry subsystem: span nesting/ordering under an
+   injectable virtual clock, histogram percentile edge cases, a Chrome
+   trace_event JSON round-trip through a minimal parser, and the
+   determinism of counter output across identical Session builds. *)
+
+let feq = Alcotest.float 1e-9
+
+let virtual_recorder ?(step = 1.0) () =
+  Telemetry.Recorder.create ~clock:(Telemetry.Clock.virtual_clock ~step ()) ()
+
+(* ---------------- clock ---------------- *)
+
+let test_virtual_clock_steps () =
+  let c = Telemetry.Clock.virtual_clock ~start:10. ~step:0.5 () in
+  Alcotest.(check feq) "first" 10. (c ());
+  Alcotest.(check feq) "second" 10.5 (c ());
+  Alcotest.(check feq) "third" 11. (c ())
+
+let test_fixed_clock () =
+  let c = Telemetry.Clock.fixed 3. in
+  Alcotest.(check feq) "always" 3. (c ());
+  Alcotest.(check feq) "still" 3. (c ())
+
+(* ---------------- spans ---------------- *)
+
+(* Clock reads are one per enter and one per exit, so with step=1 the
+   timeline is fully predictable: outer opens at 0, inner spans 1..2,
+   outer closes at 3. *)
+let test_span_nesting_and_durations () =
+  let r = virtual_recorder () in
+  Telemetry.Recorder.with_span r "outer" (fun () ->
+      Telemetry.Recorder.with_span r "inner" (fun () -> ()));
+  match Telemetry.Span.roots r.Telemetry.Recorder.spans with
+  | [ outer ] ->
+    Alcotest.(check string) "root name" "outer" (Telemetry.Span.name outer);
+    Alcotest.(check feq) "outer start" 0. (Telemetry.Span.start outer);
+    Alcotest.(check feq) "outer dur" 3. (Telemetry.Span.duration outer);
+    (match Telemetry.Span.children outer with
+    | [ inner ] ->
+      Alcotest.(check string) "child name" "inner" (Telemetry.Span.name inner);
+      Alcotest.(check feq) "inner start" 1. (Telemetry.Span.start inner);
+      Alcotest.(check feq) "inner dur" 1. (Telemetry.Span.duration inner)
+    | l -> Alcotest.failf "one child expected, got %d" (List.length l))
+  | l -> Alcotest.failf "one root expected, got %d" (List.length l)
+
+let test_span_sibling_order () =
+  let r = virtual_recorder () in
+  Telemetry.Recorder.with_span r "parent" (fun () ->
+      List.iter
+        (fun n -> Telemetry.Recorder.with_span r n (fun () -> ()))
+        [ "a"; "b"; "c" ]);
+  let parent = List.hd (Telemetry.Span.roots r.Telemetry.Recorder.spans) in
+  Alcotest.(check (list string)) "chronological children" [ "a"; "b"; "c" ]
+    (List.map Telemetry.Span.name (Telemetry.Span.children parent));
+  (* preorder iteration visits parent then children, depths 0/1 *)
+  let visited = ref [] in
+  Telemetry.Span.iter r.Telemetry.Recorder.spans (fun ~depth sp ->
+      visited := (depth, Telemetry.Span.name sp) :: !visited);
+  Alcotest.(check (list (pair int string)))
+    "preorder"
+    [ (0, "parent"); (1, "a"); (1, "b"); (1, "c") ]
+    (List.rev !visited)
+
+let test_span_exception_safety () =
+  let r = virtual_recorder () in
+  (try
+     Telemetry.Recorder.with_span r "boom" (fun () -> failwith "expected")
+   with Failure _ -> ());
+  match Telemetry.Span.roots r.Telemetry.Recorder.spans with
+  | [ sp ] ->
+    Alcotest.(check bool) "closed despite raise" true
+      (Telemetry.Span.duration sp > 0.)
+  | _ -> Alcotest.fail "span not recorded"
+
+let test_span_exit_closes_descendants () =
+  let r = virtual_recorder () in
+  let spans = r.Telemetry.Recorder.spans in
+  let outer = Telemetry.Span.enter spans "outer" in
+  let _inner = Telemetry.Span.enter spans "inner" in
+  (* exiting the outer span must defensively close the forgotten inner *)
+  Telemetry.Span.exit spans outer;
+  let inner = List.hd (Telemetry.Span.children outer) in
+  Alcotest.(check bool) "inner closed" true (Telemetry.Span.duration inner > 0.);
+  Alcotest.(check bool) "inner within outer" true
+    (Telemetry.Span.duration inner <= Telemetry.Span.duration outer)
+
+let test_span_total_aggregates () =
+  let r = virtual_recorder () in
+  Telemetry.Recorder.with_span r "pass" (fun () -> ());
+  Telemetry.Recorder.with_span r "pass" (fun () -> ());
+  let spans = r.Telemetry.Recorder.spans in
+  Alcotest.(check int) "find_all" 2
+    (List.length (Telemetry.Span.find_all spans "pass"));
+  Alcotest.(check feq) "total" 2. (Telemetry.Span.total spans "pass")
+
+(* ---------------- histograms ---------------- *)
+
+let test_histogram_empty () =
+  let h = Telemetry.Histogram.create () in
+  Alcotest.(check int) "count" 0 (Telemetry.Histogram.count h);
+  Alcotest.(check bool) "p50 nan" true
+    (Float.is_nan (Telemetry.Histogram.p50 h));
+  Alcotest.(check bool) "p99 nan" true
+    (Float.is_nan (Telemetry.Histogram.p99 h));
+  Alcotest.(check bool) "mean nan" true
+    (Float.is_nan (Telemetry.Histogram.mean h))
+
+let test_histogram_single_sample () =
+  let h = Telemetry.Histogram.create () in
+  Telemetry.Histogram.observe h 7.;
+  List.iter
+    (fun p ->
+      Alcotest.(check feq)
+        (Printf.sprintf "p%.0f" p)
+        7.
+        (Telemetry.Histogram.percentile h p))
+    [ 0.; 50.; 90.; 99.; 100. ]
+
+let test_histogram_percentiles () =
+  let h = Telemetry.Histogram.create () in
+  List.iter (Telemetry.Histogram.observe h) [ 40.; 10.; 30.; 20. ];
+  Alcotest.(check feq) "p50 interpolates" 25. (Telemetry.Histogram.p50 h);
+  Alcotest.(check feq) "min" 10. (Telemetry.Histogram.min_v h);
+  Alcotest.(check feq) "max" 40. (Telemetry.Histogram.max_v h);
+  Alcotest.(check feq) "mean" 25. (Telemetry.Histogram.mean h);
+  Alcotest.(check feq) "sum" 100. (Telemetry.Histogram.sum h);
+  Alcotest.(check (list feq)) "observation order" [ 40.; 10.; 30.; 20. ]
+    (Telemetry.Histogram.samples h)
+
+(* ---------------- minimal JSON parser (for the round-trip test) ----- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at %d" msg !pos)) in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    if peek () = Some c then advance () else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then (pos := !pos + String.length word; v)
+    else fail ("bad literal " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some 'n' -> Buffer.add_char b '\n'; advance ()
+        | Some 't' -> Buffer.add_char b '\t'; advance ()
+        | Some 'r' -> Buffer.add_char b '\r'; advance ()
+        | Some 'u' ->
+          advance ();
+          let hex = String.sub s !pos 4 in
+          pos := !pos + 4;
+          Buffer.add_char b (Char.chr (int_of_string ("0x" ^ hex) land 0xff))
+        | Some c -> Buffer.add_char b c; advance ()
+        | None -> fail "bad escape");
+        go ()
+      | Some c -> Buffer.add_char b c; advance (); go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      && (match s.[!pos] with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      advance ()
+    done;
+    Num (float_of_string (String.sub s start (!pos - start)))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then (advance (); Obj [])
+      else
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); members ((k, v) :: acc)
+          | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "bad object"
+        in
+        members []
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then (advance (); List [])
+      else
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); elements (v :: acc)
+          | Some ']' -> advance (); List (List.rev (v :: acc))
+          | _ -> fail "bad array"
+        in
+        elements []
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> fail "eof"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member k = function
+  | Obj kvs -> List.assoc k kvs
+  | _ -> raise (Parse_error ("no member " ^ k))
+
+let member_opt k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+let str = function Str s -> s | _ -> raise (Parse_error "not a string")
+let num = function Num f -> f | _ -> raise (Parse_error "not a number")
+
+(* ---------------- Chrome trace round-trip ---------------- *)
+
+let test_trace_round_trip () =
+  let r = virtual_recorder () in
+  let cov =
+    Telemetry.Metrics.counter r.Telemetry.Recorder.metrics ~series:true
+      "coverage"
+  in
+  Telemetry.Recorder.with_span r ~cat:"session" "rebuild" (fun () ->
+      Telemetry.Recorder.with_span r ~cat:"session"
+        ~args:[ ("fid", "0") ]
+        "fragment"
+        (fun () -> Telemetry.Metrics.incr ~by:3 cov));
+  let doc = parse_json (Telemetry.Trace.to_json ~process_name:"test" r) in
+  let events =
+    match member "traceEvents" doc with
+    | List l -> l
+    | _ -> Alcotest.fail "traceEvents not a list"
+  in
+  let with_ph p =
+    List.filter (fun e -> str (member "ph" e) = p) events
+  in
+  (* metadata names the process *)
+  (match with_ph "M" with
+  | [ m ] ->
+    Alcotest.(check string) "process_name" "process_name" (str (member "name" m));
+    Alcotest.(check string) "process" "test"
+      (str (member "name" (member "args" m)))
+  | _ -> Alcotest.fail "exactly one metadata event expected");
+  (* complete events: every span, with microsecond ts/dur and interval
+     containment expressing the nesting *)
+  (match with_ph "X" with
+  | [ rebuild; fragment ] ->
+    Alcotest.(check string) "outer first" "rebuild" (str (member "name" rebuild));
+    Alcotest.(check string) "inner second" "fragment"
+      (str (member "name" fragment));
+    Alcotest.(check string) "cat" "session" (str (member "cat" rebuild));
+    Alcotest.(check string) "args survive" "0"
+      (str (member "fid" (member "args" fragment)));
+    let t0 = num (member "ts" rebuild) and d0 = num (member "dur" rebuild) in
+    let t1 = num (member "ts" fragment) and d1 = num (member "dur" fragment) in
+    Alcotest.(check feq) "trace starts at 0" 0. t0;
+    Alcotest.(check bool) "child starts inside parent" true (t1 >= t0);
+    Alcotest.(check bool) "child ends inside parent" true (t1 +. d1 <= t0 +. d0);
+    (* virtual clock: child opened one tick after parent *)
+    Alcotest.(check feq) "microseconds" 1e6 t1
+  | l -> Alcotest.failf "two complete events expected, got %d" (List.length l));
+  (* the series counter renders as a counter track *)
+  (match with_ph "C" with
+  | [ c ] ->
+    Alcotest.(check string) "counter name" "coverage" (str (member "name" c));
+    Alcotest.(check string) "counter value" "3"
+      (str (member "value" (member "args" c)))
+  | l -> Alcotest.failf "one counter event expected, got %d" (List.length l));
+  (* every event carries the four official keys *)
+  List.iter
+    (fun e ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) ("has " ^ k) true (member_opt k e <> None))
+        [ "name"; "ph"; "ts"; "pid" ])
+    events
+
+(* ---------------- determinism across identical builds ---------------- *)
+
+let session_src =
+  {|
+extern int printf(char *fmt);
+static int n;
+static int add(int x) { n = n + x; return n; }
+static int twice(int x) { return add(x) + add(x); }
+int main(void) { printf("go\n"); return twice(3); }
+|}
+
+let build_once () =
+  let r = virtual_recorder () in
+  let m = Minic.Lower.compile session_src in
+  let session =
+    Odin.Session.create ~keep:[ "main" ] ~host:[ "printf"; "puts" ] ~telemetry:r m
+  in
+  ignore (Odin.Session.build session);
+  (r, session)
+
+let test_session_build_deterministic () =
+  let r1, s1 = build_once () in
+  let r2, s2 = build_once () in
+  (* counters: same registry, same values, same render *)
+  Alcotest.(check string) "metrics render"
+    (Telemetry.Metrics.render r1.Telemetry.Recorder.metrics)
+    (Telemetry.Metrics.render r2.Telemetry.Recorder.metrics);
+  (* spans: identical tree under the virtual clock, so the whole trace
+     export is byte-identical *)
+  Alcotest.(check string) "trace json"
+    (Telemetry.Trace.to_json r1)
+    (Telemetry.Trace.to_json r2);
+  (* and telemetry never perturbs the build: same executables *)
+  let run s =
+    let vm = Vm.create (Odin.Session.executable s) in
+    List.iter (fun n -> Vm.register_host vm n (fun _ -> 0L)) [ "printf"; "puts" ];
+    let ret = Vm.call vm "main" [] in
+    (ret, vm.Vm.cycles)
+  in
+  let ret1, cyc1 = run s1 and ret2, cyc2 = run s2 in
+  Alcotest.(check int64) "same result" ret1 ret2;
+  Alcotest.(check int) "same cycles" cyc1 cyc2
+
+let test_telemetry_does_not_perturb () =
+  (* a session with no recorder produces the same executable behaviour *)
+  let with_t =
+    let r = virtual_recorder () in
+    let m = Minic.Lower.compile session_src in
+    let s =
+      Odin.Session.create ~keep:[ "main" ] ~host:[ "printf"; "puts" ] ~telemetry:r m
+    in
+    ignore (Odin.Session.build s);
+    s
+  in
+  let without_t =
+    let m = Minic.Lower.compile session_src in
+    let s = Odin.Session.create ~keep:[ "main" ] ~host:[ "printf"; "puts" ] m in
+    ignore (Odin.Session.build s);
+    s
+  in
+  let run s =
+    let vm = Vm.create (Odin.Session.executable s) in
+    List.iter (fun n -> Vm.register_host vm n (fun _ -> 0L)) [ "printf"; "puts" ];
+    let ret = Vm.call vm "main" [] in
+    (ret, vm.Vm.cycles)
+  in
+  let ret_t, cyc_t = run with_t and ret_n, cyc_n = run without_t in
+  Alcotest.(check int64) "same result" ret_t ret_n;
+  Alcotest.(check int) "same cycles" cyc_t cyc_n
+
+(* ---------------- metrics ---------------- *)
+
+let test_counter_find_or_create () =
+  let m = Telemetry.Metrics.create () in
+  let a = Telemetry.Metrics.counter m ~labels:[ ("pass", "dce") ] "changed" in
+  let b = Telemetry.Metrics.counter m ~labels:[ ("pass", "dce") ] "changed" in
+  let c = Telemetry.Metrics.counter m ~labels:[ ("pass", "gvn") ] "changed" in
+  Telemetry.Metrics.incr a;
+  Telemetry.Metrics.incr ~by:2 b;
+  Telemetry.Metrics.incr c;
+  Alcotest.(check int) "same handle accumulates" 3 (Telemetry.Metrics.value a);
+  Alcotest.(check int) "labels distinguish" 1 (Telemetry.Metrics.value c);
+  Alcotest.(check int) "registry size" 2
+    (List.length (Telemetry.Metrics.counters m))
+
+let test_counter_series () =
+  let m = Telemetry.Metrics.create ~clock:(Telemetry.Clock.virtual_clock ~step:1. ()) () in
+  let c = Telemetry.Metrics.counter m ~series:true "cov" in
+  Telemetry.Metrics.incr ~by:2 c;
+  Telemetry.Metrics.incr ~by:3 c;
+  match Telemetry.Metrics.series c with
+  | [ (t1, v1); (t2, v2) ] ->
+    Alcotest.(check bool) "chronological" true (t1 < t2);
+    Alcotest.(check int) "cumulative first" 2 v1;
+    Alcotest.(check int) "cumulative second" 5 v2
+  | l -> Alcotest.failf "two samples expected, got %d" (List.length l)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "virtual steps" `Quick test_virtual_clock_steps;
+          Alcotest.test_case "fixed" `Quick test_fixed_clock;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "nesting + durations" `Quick
+            test_span_nesting_and_durations;
+          Alcotest.test_case "sibling order" `Quick test_span_sibling_order;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safety;
+          Alcotest.test_case "exit closes descendants" `Quick
+            test_span_exit_closes_descendants;
+          Alcotest.test_case "find_all/total" `Quick test_span_total_aggregates;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "single sample" `Quick test_histogram_single_sample;
+          Alcotest.test_case "percentiles" `Quick test_histogram_percentiles;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "find-or-create" `Quick test_counter_find_or_create;
+          Alcotest.test_case "series" `Quick test_counter_series;
+        ] );
+      ( "trace",
+        [ Alcotest.test_case "chrome round-trip" `Quick test_trace_round_trip ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "identical builds, identical telemetry" `Quick
+            test_session_build_deterministic;
+          Alcotest.test_case "telemetry does not perturb" `Quick
+            test_telemetry_does_not_perturb;
+        ] );
+    ]
