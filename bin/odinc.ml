@@ -3,13 +3,18 @@
      odinc compile file.c [--optimize] [--emit ir|asm]
      odinc run file.c [--entry main] [--args 1,2,...] [--optimize]
      odinc partition file.c [--mode one|odin|max]
-     odinc fuzz file.c [--execs N] [--no-prune]
+     odinc fuzz file.c [--execs N] [--no-prune] [--jobs N]
+                       [--metrics-csv FILE] [--span-limit N]
      odinc workload NAME          (print a generated benchmark program)
 
    compile/run/fuzz accept --time-report (per-stage text report on
    stderr-free stdout) and --trace-out FILE (Chrome trace_event JSON for
    chrome://tracing / Perfetto). Telemetry observes only: results are
-   identical with and without the flags.
+   identical with and without the flags. fuzz additionally accepts
+   --jobs N (fragment-compile parallelism; default ODIN_JOBS or the
+   machine), --metrics-csv FILE (campaign series/histograms/recompile
+   events as CSV) and --span-limit N (span retention bound for long
+   campaigns; counters stay exact).
 *)
 
 open Cmdliner
@@ -203,8 +208,43 @@ let fuzz_cmd =
   let no_prune =
     Arg.(value & flag & info [ "no-prune" ] ~doc:"Disable probe pruning.")
   in
-  let run file entry execs no_prune time_report trace_out =
-    let r = Telemetry.Recorder.create () in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"N"
+          ~doc:
+            "Fragment-compile parallelism (default: \\$(b,ODIN_JOBS) or the \
+             machine's recommended domain count). Output is bit-identical \
+             for any value.")
+  in
+  let metrics_csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-csv" ] ~docv:"FILE"
+          ~doc:
+            "Write campaign metrics (coverage-over-time series, exec-cycle \
+             histogram buckets, per-recompile events) as CSV.")
+  in
+  let span_limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "span-limit" ] ~docv:"N"
+          ~doc:
+            "Retain at most N child spans per parent (oldest dropped, \
+             drop counts kept); bounds trace memory on long campaigns. \
+             Counters stay exact.")
+  in
+  let run file entry execs no_prune jobs metrics_csv span_limit time_report
+      trace_out =
+    let r = Telemetry.Recorder.create ?span_limit () in
+    let pool =
+      match jobs with
+      | Some n -> Support.Pool.create ~size:n ()
+      | None -> Support.Pool.default ()
+    in
     let metrics = r.Telemetry.Recorder.metrics in
     let m =
       Telemetry.Recorder.with_span r ~cat:"campaign" "frontend" (fun () ->
@@ -213,7 +253,7 @@ let fuzz_cmd =
     let session =
       Odin.Session.create ~keep:[ entry ]
         ~runtime_globals:[ Odin.Cov.runtime_global m ]
-        ~host:[ "printf"; "puts" ] ~telemetry:r m
+        ~host:[ "printf"; "puts" ] ~pool ~telemetry:r m
     in
     let cov = Odin.Cov.setup session in
     ignore (Odin.Session.build session);
@@ -268,19 +308,50 @@ let fuzz_cmd =
          report renders, so these sums equal the report's stage totals *)
       let events = Odin.Session.events session in
       let sum f = List.fold_left (fun a e -> a +. f e) 0. events in
+      let isum f = List.fold_left (fun a e -> a + f e) 0 events in
       Printf.printf
-        "recompile events: %d  compile total %.3f ms  link total %.3f ms\n"
+        "recompile events: %d  compile total %.3f ms  link total %.3f ms  \
+         cache hits %d/%d fragments\n"
         (List.length events)
         (1000. *. sum (fun e -> e.Odin.Session.ev_compile_time))
         (1000. *. sum (fun e -> e.Odin.Session.ev_link_time))
+        (isum (fun e -> e.Odin.Session.ev_cache_hits))
+        (isum (fun e -> List.length e.Odin.Session.ev_fragments))
     end;
+    (match metrics_csv with
+    | Some path -> (
+      (* one row group per recompile event, alongside the campaign
+         series/histograms — everything a coverage/latency plot needs *)
+      let extra_rows =
+        List.concat
+          (List.mapi
+             (fun i (e : Odin.Session.recompile_event) ->
+               let row name v = Telemetry.Csv.row [ "recompile"; name; string_of_int i; v ] in
+               [
+                 row "fragments"
+                   (string_of_int (List.length e.Odin.Session.ev_fragments));
+                 row "cache_hits" (string_of_int e.Odin.Session.ev_cache_hits);
+                 row "compile_ms"
+                   (Printf.sprintf "%.6f" (1000. *. e.Odin.Session.ev_compile_time));
+                 row "link_ms"
+                   (Printf.sprintf "%.6f" (1000. *. e.Odin.Session.ev_link_time));
+               ])
+             (Odin.Session.events session))
+      in
+      try
+        Telemetry.Csv.write ~extra_rows r path;
+        Printf.printf "metrics csv written to %s\n" path
+      with Sys_error msg ->
+        Printf.eprintf "odinc: cannot write metrics csv: %s\n" msg;
+        exit 1)
+    | None -> ());
     export ~time_report ~trace_out ~title:"odinc fuzz" r
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Fuzz a mini-C target with OdinCov (live pruning).")
     Term.(
-      const run $ file $ entry $ execs $ no_prune $ time_report_arg
-      $ trace_out_arg)
+      const run $ file $ entry $ execs $ no_prune $ jobs $ metrics_csv
+      $ span_limit $ time_report_arg $ trace_out_arg)
 
 (* ---------------- workload ---------------- *)
 

@@ -16,30 +16,28 @@ type t = {
   log : record Queue.t;
 }
 
-let gensym_counter = ref 0
-
-let gensym fn hint =
-  incr gensym_counter;
-  Ir.Func.fresh_name fn (Printf.sprintf "%s%d" hint !gensym_counter)
+(* Names derive from the probe id, not a mutable counter, mirroring
+   Odin.Cmplog: deterministic output for identical input. *)
+let gensym fn ~pid hint = Ir.Func.fresh_name fn (Printf.sprintf "%s.p%d" hint pid)
 
 (* Insert a logging call before [cmp] (mirrors Odin's CmpLog insertion,
    but on the post-optimization IR). *)
 let insert_log (fn : Ir.Func.t) (blk : Ir.Func.block) (cmp : Ir.Ins.ins) pid =
   match cmp.Ir.Ins.kind with
   | Ir.Ins.Icmp (_, lhs, rhs) ->
-    let widen v tail =
+    let widen hint v tail =
       match Ir.Ins.value_ty v with
       | Ir.Types.I64 | Ir.Types.Ptr -> (v, tail)
       | _ ->
-        let name = gensym fn "scmparg" in
+        let name = gensym fn ~pid hint in
         let cast =
           Ir.Ins.mk ~volatile:true ~id:name ~ty:Ir.Types.I64
             (Ir.Ins.Cast (Ir.Ins.Sext, v))
         in
         (Ir.Ins.Reg (Ir.Types.I64, name), cast :: tail)
     in
-    let lhs64, pre = widen lhs [] in
-    let rhs64, pre = widen rhs pre in
+    let lhs64, pre = widen "scmpargl" lhs [] in
+    let rhs64, pre = widen "scmpargr" rhs pre in
     let call =
       Ir.Ins.mk ~volatile:true ~id:"" ~ty:Ir.Types.Void
         (Ir.Ins.Call

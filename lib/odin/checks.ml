@@ -43,7 +43,7 @@ let insert_check (fn : Ir.Func.t) (cloned : Ir.Ins.ins) pid =
         match Ir.Ins.value_ty watched with
         | Ir.Types.I64 | Ir.Types.Ptr -> (watched, [])
         | _ ->
-          let name = Cmplog.gensym fn "chkarg" in
+          let name = Cmplog.gensym fn ~pid "chkarg" in
           ( Ir.Ins.Reg (Ir.Types.I64, name),
             [
               Ir.Ins.mk ~volatile:true ~id:name ~ty:Ir.Types.I64

@@ -13,13 +13,15 @@ let runtime_fn = "__odin_on_cmp"
 
 type record = { rec_pid : int; rec_lhs : int64; rec_rhs : int64 }
 
-(* fresh names must be unique even before the new instructions are
-   spliced into the function, so a session-global counter disambiguates *)
-let gensym_counter = ref 0
-
-let gensym fn hint =
-  incr gensym_counter;
-  Ir.Func.fresh_name fn (Printf.sprintf "%s%d" hint !gensym_counter)
+(* Fresh names must be unique even before the new instructions are
+   spliced into the function, so [Ir.Func.fresh_name] alone is not
+   enough — it cannot see names that are not inserted yet. Deriving the
+   name from the probe id (callers use distinct hints per operand)
+   keeps it unique AND a pure function of the probe, never of campaign
+   history: the printed fragment IR is the object-cache key and must be
+   identical whenever the same probe set is applied, and fragment
+   compiles run concurrently, so a shared counter is off the table. *)
+let gensym fn ~pid hint = Ir.Func.fresh_name fn (Printf.sprintf "%s.p%d" hint pid)
 
 type t = {
   session : Session.t;
@@ -40,18 +42,18 @@ let insert_log (fn : Ir.Func.t) (cloned : Ir.Ins.ins) pid =
     (match host with
     | None -> ()
     | Some blk ->
-      let widen v tail =
+      let widen hint v tail =
         match Ir.Ins.value_ty v with
         | Ir.Types.I64 | Ir.Types.Ptr -> (v, tail)
         | _ ->
-          let name = gensym fn "cmparg" in
+          let name = gensym fn ~pid hint in
           let cast =
             Ir.Ins.mk ~volatile:true ~id:name ~ty:Ir.Types.I64 (Ir.Ins.Cast (Ir.Ins.Sext, v))
           in
           (Ir.Ins.Reg (Ir.Types.I64, name), cast :: tail)
       in
-      let lhs64, pre = widen lhs [] in
-      let rhs64, pre = widen rhs pre in
+      let lhs64, pre = widen "cmpargl" lhs [] in
+      let rhs64, pre = widen "cmpargr" rhs pre in
       let call =
         Ir.Ins.mk ~volatile:true ~id:"" ~ty:Ir.Types.Void
           (Ir.Ins.Call

@@ -9,12 +9,19 @@
     over that span tree, and the benchmark harness reproduces Figures
     11/12 and the 82 ms average from these records. The recorder only
     observes — build results are bit-identical whether or not anyone
-    ever exports a report or trace from it. *)
+    ever exports a report or trace from it.
+
+    Concurrency: scheduled fragments compile in parallel on a
+    [Support.Pool] (the link step stays a serial barrier), and a
+    content-addressed LRU object cache in front of codegen turns probe
+    toggle round-trips into relink-only refreshes. Both are invisible
+    to correctness: output is bit-identical for any pool size. *)
 
 module SSet = Set.Make (String)
 
 type recompile_event = {
-  ev_fragments : int list;  (** fragment ids recompiled *)
+  ev_fragments : int list;  (** fragment ids scheduled *)
+  ev_cache_hits : int;  (** of those, served from the object cache *)
   ev_probes_applied : int;
   ev_compile_time : float;  (** seconds, middle end + back end *)
   ev_link_time : float;  (** seconds *)
@@ -26,6 +33,13 @@ type t = {
   plan : Partition.plan;
   manager : Instr.Manager.t;
   cache : (int, Link.Objfile.t) Hashtbl.t;
+  obj_cache : Link.Objfile.t Support.Lru.t;
+      (** content-addressed: digest of printed instrumented fragment IR
+          (plus opt config) -> finished object. A hit skips
+          optimize+codegen — probe sets toggled off and on again relink
+          the cached object instead of recompiling. *)
+  obj_lock : Mutex.t;  (** guards [obj_cache] during parallel compiles *)
+  pool : Support.Pool.t;  (** fragment compile executor *)
   runtime : Link.Objfile.t;  (** runtime globals (counter arrays, ...) *)
   mutable host : string list;
   mutable exe : Link.Linker.exe option;
@@ -33,7 +47,7 @@ type t = {
       (** user patch logic: applies active probes to the temporary IR;
           schemes compose (coverage + CmpLog + checks in one session) *)
   mutable events : recompile_event list;  (** newest first *)
-  opt_rounds : int;
+  mutable opt_rounds : int;
   telemetry : Telemetry.Recorder.t;
       (** spans/counters for every build; the timing source of [events] *)
 }
@@ -64,8 +78,9 @@ let map_func sched name = Ir.Modul.find_func sched.temp name
     runtime (e.g. coverage counter arrays), linked as a separate object;
     [host] names functions provided by the host/fuzzer at run time. *)
 let create ?(mode = Partition.Auto) ?(copy_on_use = true) ?(keep = [ "main" ])
-    ?(runtime_globals = []) ?(host = []) ?(opt_rounds = 2)
-    ?(telemetry = Telemetry.Recorder.create ()) (base : Ir.Modul.t) =
+    ?(runtime_globals = []) ?(host = []) ?(opt_rounds = 2) ?pool
+    ?(cache_size = 256) ?(telemetry = Telemetry.Recorder.create ())
+    (base : Ir.Modul.t) =
   Ir.Verify.run_exn base;
   let cls =
     Telemetry.Recorder.with_span telemetry ~cat:"session" "classify" (fun () ->
@@ -96,6 +111,9 @@ let create ?(mode = Partition.Auto) ?(copy_on_use = true) ?(keep = [ "main" ])
     plan;
     manager = Instr.Manager.create ();
     cache = Hashtbl.create 32;
+    obj_cache = Support.Lru.create cache_size;
+    obj_lock = Mutex.create ();
+    pool = (match pool with Some p -> p | None -> Support.Pool.default ());
     runtime;
     host;
     exe = None;
@@ -104,6 +122,11 @@ let create ?(mode = Partition.Auto) ?(copy_on_use = true) ?(keep = [ "main" ])
     opt_rounds;
     telemetry;
   }
+
+(** Change the fragment re-optimization bound. Takes effect on the next
+    rebuild; cached objects compiled under the old setting are not
+    reused (the bound is part of the cache key). *)
+let set_opt_rounds t rounds = t.opt_rounds <- max 0 rounds
 
 (** Replace all patch logic with [patcher]. *)
 let set_patcher t patcher = t.patchers <- [ patcher ]
@@ -231,41 +254,81 @@ let rebuild (sched : sched) =
   let source s =
     if SSet.mem s sched.changed_symbols then Ir.Modul.find sched.temp s else None
   in
-  let frag_spans = ref [] in
+  (* Fragment compiles are independent: the patch phase above was the
+     last write to the shared temporary IR, and materialize only clones
+     out of it. Each job runs materialize → verify → digest →
+     (optimize → codegen | cache hit) on a pool domain with a forked
+     recorder; results join below in fragment order, so spans, metrics,
+     the fid cache and the recompile event are deterministic for any
+     pool size. *)
+  let jclock = Telemetry.Clock.synchronized r.Telemetry.Recorder.clock in
   let compile_sp = Telemetry.Span.enter spans ~cat:"session" "compile" in
-  List.iter
-    (fun fid ->
-      let fsp =
-        Telemetry.Span.enter spans ~cat:"session"
-          ~args:[ ("fid", string_of_int fid) ]
-          "fragment"
-      in
-      let f = t.plan.Partition.fragments.(fid) in
-      let frag_module =
-        Telemetry.Span.with_span spans ~cat:"session" "materialize" (fun () ->
-            Partition.materialize t.plan f ~source ~base:t.base)
-      in
-      Telemetry.Span.with_span spans ~cat:"session" "verify" (fun () ->
-          match Ir.Verify.check_module frag_module with
-          | [] -> ()
-          | errors ->
-            raise
-              (Build_error
-                 (Printf.sprintf "fragment %d does not verify:\n%s" fid
-                    (Ir.Verify.errors_to_string errors))));
+  let evictions_before = Support.Lru.evictions t.obj_cache in
+  let compile_fragment fid =
+    let jr = Telemetry.Recorder.fork ~clock:jclock r in
+    let jspans = jr.Telemetry.Recorder.spans in
+    let fsp =
+      Telemetry.Span.enter jspans ~cat:"session"
+        ~args:[ ("fid", string_of_int fid) ]
+        "fragment"
+    in
+    Fun.protect ~finally:(fun () -> Telemetry.Span.exit jspans fsp)
+    @@ fun () ->
+    let f = t.plan.Partition.fragments.(fid) in
+    let frag_module =
+      Telemetry.Span.with_span jspans ~cat:"session" "materialize" (fun () ->
+          Partition.materialize t.plan f ~source ~base:t.base)
+    in
+    Telemetry.Span.with_span jspans ~cat:"session" "verify" (fun () ->
+        match Ir.Verify.check_module frag_module with
+        | [] -> ()
+        | errors ->
+          raise
+            (Build_error
+               (Printf.sprintf "fragment %d does not verify:\n%s" fid
+                  (Ir.Verify.errors_to_string errors))));
+    (* content address: the printed instrumented IR is the complete
+       compiler input, and the opt bound is the only config that alters
+       the output for equal input *)
+    let key =
+      Telemetry.Span.with_span jspans ~cat:"session" "digest" (fun () ->
+          Digest.string
+            (Printf.sprintf "fid=%d;rounds=%d;%s" fid t.opt_rounds
+               (Ir.Print.module_to_string frag_module)))
+    in
+    let cached =
+      Mutex.lock t.obj_lock;
+      let v = Support.Lru.find t.obj_cache key in
+      Mutex.unlock t.obj_lock;
+      v
+    in
+    match cached with
+    | Some obj ->
+      Telemetry.Span.add_arg fsp "cache" "hit";
+      (fid, obj, true, jr, fsp)
+    | None ->
       ignore
-        (Opt.Pipeline.run_fragment ~recorder:r ~max_rounds:t.opt_rounds
+        (Opt.Pipeline.run_fragment ~recorder:jr ~max_rounds:t.opt_rounds
            frag_module);
       let obj =
-        Telemetry.Span.with_span spans ~cat:"session" "codegen" (fun () ->
+        Telemetry.Span.with_span jspans ~cat:"session" "codegen" (fun () ->
             Link.Objfile.of_module frag_module)
       in
+      Mutex.lock t.obj_lock;
+      Support.Lru.add t.obj_cache key obj;
+      Mutex.unlock t.obj_lock;
+      (fid, obj, false, jr, fsp)
+  in
+  let results = Support.Pool.map t.pool compile_fragment sched.changed_fragments in
+  let cache_hits = ref 0 in
+  List.iter
+    (fun (fid, obj, hit, jr, fsp) ->
       Hashtbl.replace t.cache fid obj;
-      Telemetry.Span.exit spans fsp;
+      if hit then incr cache_hits;
+      Telemetry.Recorder.merge ~into:r ~parent:compile_sp jr;
       Telemetry.Recorder.observe (Some r) "session.fragment_ms"
-        (1000. *. Telemetry.Span.duration fsp);
-      frag_spans := (fid, fsp) :: !frag_spans)
-    sched.changed_fragments;
+        (1000. *. Telemetry.Span.duration fsp))
+    results;
   Telemetry.Span.exit spans compile_sp;
   (* link all cached fragments + the runtime *)
   let link_sp = Telemetry.Span.enter spans ~cat:"session" "link" in
@@ -283,20 +346,28 @@ let rebuild (sched : sched) =
   Telemetry.Recorder.count some_r "session.rebuilds";
   Telemetry.Recorder.count some_r
     ~by:(List.length sched.changed_fragments)
+    "session.fragments_scheduled";
+  Telemetry.Recorder.count some_r
+    ~by:(List.length sched.changed_fragments - !cache_hits)
     "session.fragments_recompiled";
+  Telemetry.Recorder.count some_r ~by:!cache_hits "session.fragment_cache_hits";
+  Telemetry.Recorder.count some_r
+    ~by:(Support.Lru.evictions t.obj_cache - evictions_before)
+    "session.fragment_cache_evictions";
   Telemetry.Recorder.count some_r
     ~by:(List.length sched.active)
     "session.probes_applied";
   let event =
     {
       ev_fragments = sched.changed_fragments;
+      ev_cache_hits = !cache_hits;
       ev_probes_applied = List.length sched.active;
       ev_compile_time = Telemetry.Span.duration compile_sp;
       ev_link_time = Telemetry.Span.duration link_sp;
       ev_per_fragment =
-        List.rev_map
-          (fun (fid, sp) -> (fid, Telemetry.Span.duration sp))
-          !frag_spans;
+        List.map
+          (fun (fid, _, _, _, fsp) -> (fid, Telemetry.Span.duration fsp))
+          results;
     }
   in
   t.events <- event :: t.events;

@@ -25,7 +25,8 @@ module SSet : Set.S with type elt = string
     measured wall-clock durations. A thin view over the telemetry span
     tree recorded during {!rebuild}. *)
 type recompile_event = {
-  ev_fragments : int list;
+  ev_fragments : int list;  (** fragment ids scheduled *)
+  ev_cache_hits : int;  (** of those, served from the object cache *)
   ev_probes_applied : int;
   ev_compile_time : float;  (** seconds, middle end + back end *)
   ev_link_time : float;  (** seconds *)
@@ -37,12 +38,17 @@ type t = {
   plan : Partition.plan;
   manager : Instr.Manager.t;
   cache : (int, Link.Objfile.t) Hashtbl.t;  (** fragment id -> object *)
+  obj_cache : Link.Objfile.t Support.Lru.t;
+      (** content-addressed object cache: digest of the printed
+          instrumented fragment IR (plus opt config) -> finished object *)
+  obj_lock : Mutex.t;
+  pool : Support.Pool.t;  (** executor for per-fragment compiles *)
   runtime : Link.Objfile.t;
   mutable host : string list;
   mutable exe : Link.Linker.exe option;
   mutable patchers : (sched -> unit) list;
   mutable events : recompile_event list;
-  opt_rounds : int;
+  mutable opt_rounds : int;
   telemetry : Telemetry.Recorder.t;
       (** every build/refresh records schedule → patch → per-fragment
           materialize/verify/optimize/codegen → link spans here; export
@@ -77,6 +83,11 @@ val map_func : sched -> string -> Ir.Func.t option
       runtime (e.g. counter arrays), linked as a separate object
     @param host functions resolved to the fuzzer/VM at run time
     @param opt_rounds fixpoint bound for fragment re-optimization
+    @param pool executor for per-fragment compiles (default: the
+      process-wide [Support.Pool.default ()], sized by [ODIN_JOBS]).
+      Build output is bit-identical for any pool size, including 1.
+    @param cache_size LRU bound (entries) of the content-addressed
+      object cache (default 256)
     @param telemetry recorder for build spans/counters (fresh monotonic
       recorder by default; tests inject a virtual-clock recorder) *)
 val create :
@@ -86,9 +97,16 @@ val create :
   ?runtime_globals:(string * int) list ->
   ?host:string list ->
   ?opt_rounds:int ->
+  ?pool:Support.Pool.t ->
+  ?cache_size:int ->
   ?telemetry:Telemetry.Recorder.t ->
   Ir.Modul.t ->
   t
+
+(** Change the fragment re-optimization bound for subsequent rebuilds.
+    The bound is part of the object-cache key, so cached objects from
+    the old setting are never reused. *)
+val set_opt_rounds : t -> int -> unit
 
 (** Replace all patch logic (applies active probes to [sched.temp]). *)
 val set_patcher : t -> (sched -> unit) -> unit

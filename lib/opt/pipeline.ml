@@ -9,7 +9,16 @@
     wrapped in a span (the LLVM PassInstrumentation analogue) and the
     registry gains [opt.rounds] and per-pass [opt.pass.changed]
     counters. Telemetry only observes: pass order, fixpoint behavior and
-    the resulting IR are identical with and without a recorder. *)
+    the resulting IR are identical with and without a recorder.
+
+    Re-entrancy contract: [run] / [run_fragment] may execute
+    concurrently from multiple domains on DISTINCT modules. Pass values
+    are built fresh per invocation and all analysis state lives in the
+    per-call [Pass.make_ctx]; nothing in the pass set may introduce
+    top-level mutable state (gensym counters, scratch tables, memo
+    caches) — Session.rebuild depends on this to compile fragments in
+    parallel. Callers running concurrently must pass distinct
+    recorders (see [Telemetry.Recorder.fork]). *)
 
 let standard_passes ?(keep = [ "main" ]) () =
   [

@@ -1,0 +1,145 @@
+type t = {
+  psize : int;
+  lock : Mutex.t;
+  work : Condition.t;  (* signalled when a job is queued *)
+  idle : Condition.t;  (* signalled when outstanding hits 0 *)
+  mutable jobs : (unit -> unit) list;
+  mutable outstanding : int;  (* queued + running jobs *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Set inside worker domains so a nested [map] (e.g. a job that itself
+   builds a session) cannot block on the queue it is supposed to drain. *)
+let in_worker : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let serial =
+  {
+    psize = 1;
+    lock = Mutex.create ();
+    work = Condition.create ();
+    idle = Condition.create ();
+    jobs = [];
+    outstanding = 0;
+    stop = false;
+    workers = [];
+  }
+
+let size t = t.psize
+
+let default_size () =
+  match Sys.getenv_opt "ODIN_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> min n 64
+      | _ -> 1)
+  | None -> min (Domain.recommended_domain_count ()) 8
+
+(* Pop a job or block until one arrives / the pool stops. Caller holds
+   the lock; it is held again on return. *)
+let rec next_job t =
+  match t.jobs with
+  | j :: rest ->
+      t.jobs <- rest;
+      Some j
+  | [] ->
+      if t.stop then None
+      else (
+        Condition.wait t.work t.lock;
+        next_job t)
+
+let finish_job t =
+  Mutex.lock t.lock;
+  t.outstanding <- t.outstanding - 1;
+  if t.outstanding = 0 then Condition.broadcast t.idle;
+  Mutex.unlock t.lock
+
+let worker_loop t () =
+  Domain.DLS.set in_worker true;
+  let rec loop () =
+    Mutex.lock t.lock;
+    match next_job t with
+    | None -> Mutex.unlock t.lock
+    | Some job ->
+        Mutex.unlock t.lock;
+        (* Jobs queued by [map] never raise: they store results/exns. *)
+        (try job () with _ -> ());
+        finish_job t;
+        loop ()
+  in
+  loop ()
+
+let create ?size () =
+  let psize =
+    match size with Some n -> max 1 n | None -> default_size ()
+  in
+  let t = { serial with psize; lock = Mutex.create (); work = Condition.create (); idle = Condition.create () } in
+  if psize > 1 then
+    t.workers <- List.init (psize - 1) (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let default_pool = ref None
+
+let default () =
+  match !default_pool with
+  | Some p -> p
+  | None ->
+      let p = create () in
+      default_pool := Some p;
+      p
+
+let map t f xs =
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | _ when t.psize <= 1 || Domain.DLS.get in_worker -> List.map f xs
+  | _ ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let results = Array.make n None in
+      let job i () =
+        results.(i) <-
+          Some
+            (try Ok (f arr.(i))
+             with e -> Error (e, Printexc.get_raw_backtrace ()))
+      in
+      Mutex.lock t.lock;
+      (* Queue in order; workers take from the head, the caller drains
+         alongside them. *)
+      t.jobs <- t.jobs @ List.init n (fun i -> job i);
+      t.outstanding <- t.outstanding + n;
+      Condition.broadcast t.work;
+      let rec drain () =
+        match t.jobs with
+        | j :: rest ->
+            t.jobs <- rest;
+            Mutex.unlock t.lock;
+            (try j () with _ -> ());
+            Mutex.lock t.lock;
+            t.outstanding <- t.outstanding - 1;
+            if t.outstanding = 0 then Condition.broadcast t.idle;
+            drain ()
+        | [] ->
+            if t.outstanding > 0 then (
+              Condition.wait t.idle t.lock;
+              drain ())
+      in
+      drain ();
+      Mutex.unlock t.lock;
+      Array.to_list
+        (Array.map
+           (function
+             | Some (Ok v) -> v
+             | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+             | None -> assert false)
+           results)
+
+let shutdown t =
+  if t.psize > 1 then begin
+    Mutex.lock t.lock;
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end

@@ -21,3 +21,15 @@ let virtual_clock ?(start = 0.) ~step () : t =
   fun () ->
     now := !now +. step;
     !now
+
+(** Wrap a clock so concurrent reads from multiple domains are safe.
+    [monotonic] doesn't need this, but [virtual_clock] is a mutable
+    closure; forked recorders used by pool workers share one
+    synchronized view of the parent clock. *)
+let synchronized (c : t) : t =
+  let m = Mutex.create () in
+  fun () ->
+    Mutex.lock m;
+    let v = c () in
+    Mutex.unlock m;
+    v

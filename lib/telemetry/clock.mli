@@ -12,3 +12,7 @@ val fixed : float -> t
 (** Advances by [step] seconds on every read; first read returns
     [start]. Deterministic across runs. *)
 val virtual_clock : ?start:float -> step:float -> unit -> t
+
+(** Mutex-protect a clock so multiple domains can read it concurrently
+    (stateful clocks like {!virtual_clock} are not otherwise safe). *)
+val synchronized : t -> t

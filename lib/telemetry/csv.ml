@@ -1,0 +1,87 @@
+(** CSV export of campaign metrics — see the interface for the schema.
+    Rows come out in metric registration order, so the document is as
+    deterministic as the recorder it renders. *)
+
+let header = "kind,name,x,value"
+
+let field s =
+  if
+    String.exists
+      (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r')
+      s
+  then begin
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+  else s
+
+let row fields = String.concat "," (List.map field fields)
+
+let fmt_float v =
+  if Float.is_nan v then "" else Printf.sprintf "%.6f" v
+
+(* Power-of-two bucket floor: 0 -> 0, otherwise the largest 2^k <= v.
+   Cycle counts and millisecond latencies both spread nicely on it. *)
+let bucket_lo v =
+  if v < 1. then 0.
+  else Float.of_int (1 lsl int_of_float (Float.log2 v))
+
+let histogram_rows name h =
+  let buckets = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      let lo = bucket_lo v in
+      Hashtbl.replace buckets lo
+        (1 + Option.value ~default:0 (Hashtbl.find_opt buckets lo)))
+    (Histogram.samples h);
+  let bucket_rows =
+    Hashtbl.fold (fun lo n acc -> (lo, n) :: acc) buckets []
+    |> List.sort compare
+    |> List.map (fun (lo, n) ->
+           row [ "histogram"; name; fmt_float lo; string_of_int n ])
+  in
+  let summary stat v = row [ "summary"; name; stat; fmt_float v ] in
+  bucket_rows
+  @ [
+      row [ "summary"; name; "count"; string_of_int (Histogram.count h) ];
+      summary "sum" (Histogram.sum h);
+      summary "mean" (Histogram.mean h);
+      summary "p50" (Histogram.p50 h);
+      summary "p90" (Histogram.p90 h);
+      summary "p99" (Histogram.p99 h);
+    ]
+
+let render ?(extra_rows = []) (r : Recorder.t) =
+  let m = r.Recorder.metrics in
+  let counter_rows =
+    List.concat_map
+      (fun c ->
+        let name =
+          Metrics.counter_name c
+          ^ Metrics.label_string (Metrics.counter_labels c)
+        in
+        row [ "counter"; name; ""; string_of_int (Metrics.value c) ]
+        :: List.map
+             (fun (ts, v) ->
+               row [ "series"; name; fmt_float ts; string_of_int v ])
+             (Metrics.series c))
+      (Metrics.counters m)
+  in
+  let histo_rows =
+    List.concat_map
+      (fun (n, l, h) -> histogram_rows (n ^ Metrics.label_string l) h)
+      (Metrics.histograms m)
+  in
+  String.concat "\n" ((header :: counter_rows) @ histo_rows @ extra_rows)
+  ^ "\n"
+
+let write ?extra_rows r path =
+  let oc = open_out path in
+  output_string oc (render ?extra_rows r);
+  close_out oc

@@ -1,0 +1,27 @@
+(** CSV export of a recorder's metrics for plotting.
+
+    One flat 4-column table, [kind,name,x,value]:
+    - [counter,<name>,,<final value>] — one row per counter,
+    - [series,<name>,<timestamp s>,<value>] — one row per sample of a
+      series-tracked counter (e.g. coverage over time),
+    - [histogram,<name>,<bucket lo>,<count>] — power-of-two bucket
+      counts per histogram (bucket lo = 0, 1, 2, 4, 8, …),
+    - [summary,<name>,<stat>,<value>] — count/sum/mean/p50/p90/p99 per
+      histogram.
+
+    Callers may append extra rows (e.g. per-recompile events) via
+    [extra_rows]; {!row} quotes fields for them. *)
+
+val header : string
+
+(** Quote-escape one field for a CSV row. *)
+val field : string -> string
+
+(** Build one well-formed row from raw fields. *)
+val row : string list -> string
+
+(** The full document, header first, newline-terminated. *)
+val render : ?extra_rows:string list -> Recorder.t -> string
+
+(** Write {!render} to [path]. *)
+val write : ?extra_rows:string list -> Recorder.t -> string -> unit

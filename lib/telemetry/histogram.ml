@@ -32,3 +32,11 @@ let p90 h = Support.Stats.p90 h.samples
 let p99 h = Support.Stats.p99 h.samples
 let min_v h = if h.count = 0 then nan else Support.Stats.min_l h.samples
 let max_v h = if h.count = 0 then nan else Support.Stats.max_l h.samples
+
+(** Fold [src]'s samples into [dst]. Percentiles and count/sum behave
+    as if every sample had been observed on [dst]; sample order is
+    dst-then-src. *)
+let merge ~into:(dst : t) (src : t) =
+  dst.samples <- src.samples @ dst.samples;
+  dst.count <- dst.count + src.count;
+  dst.sum <- dst.sum +. src.sum

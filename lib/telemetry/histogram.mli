@@ -21,3 +21,7 @@ val p90 : t -> float
 val p99 : t -> float
 val min_v : t -> float
 val max_v : t -> float
+
+(** Fold [src]'s samples into the first histogram (counts and sums add;
+    percentiles see the union of samples). *)
+val merge : into:t -> t -> unit

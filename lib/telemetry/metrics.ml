@@ -112,6 +112,33 @@ let histograms t =
        (fun acc r -> match r with Histo (n, l, h) -> (n, l, h) :: acc | _ -> acc)
        [])
 
+(* Merge two newest-first timestamped sample lists, newest first. *)
+let rec merge_series a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | (ta, _) :: _, ((tb, _) as hb) :: rb when tb >= ta -> hb :: merge_series a rb
+  | ha :: ra, _ -> ha :: merge_series ra b
+
+(** Fold every metric of [src] into [into]: counter values add (series
+    samples interleave by timestamp), histogram samples union. Metrics
+    new to [into] register in [src]'s registration order, so merging
+    forked recorders in a fixed join order keeps [into]'s iteration
+    order deterministic regardless of worker scheduling. *)
+let merge ~into src =
+  fold src
+    (fun () r ->
+      match r with
+      | Counter c ->
+        let dst =
+          counter into ~labels:c.c_labels ~series:c.c_track_series c.c_name
+        in
+        dst.c_value <- dst.c_value + c.c_value;
+        if dst.c_track_series then
+          dst.c_series <- merge_series dst.c_series c.c_series
+      | Histo (n, l, h) ->
+        Histogram.merge ~into:(histogram into ~labels:l n) h)
+    ()
+
 let label_string labels =
   match labels with
   | [] -> ""

@@ -35,6 +35,11 @@ val counters : t -> counter list
 
 val histograms : t -> (string * labels * Histogram.t) list
 
+(** Fold every metric of [src] into [into] (counter values add,
+    histogram samples union); deterministic registration order when
+    sources are merged in a fixed order. *)
+val merge : into:t -> t -> unit
+
 (** ["{k=v,...}"], empty string for no labels. *)
 val label_string : labels -> string
 

@@ -9,8 +9,34 @@ type t = {
   metrics : Metrics.t;
 }
 
-let create ?(clock = Clock.monotonic) () =
-  { clock; spans = Span.create ~clock (); metrics = Metrics.create ~clock () }
+let create ?(clock = Clock.monotonic) ?(span_limit = max_int) () =
+  {
+    clock;
+    spans = Span.create ~clock ~limit:span_limit ();
+    metrics = Metrics.create ~clock ();
+  }
+
+(** A fresh recorder for a concurrent producer (e.g. one pool job). It
+    inherits the parent's span retention limit and, by default, its
+    clock — pass [~clock:(Clock.synchronized parent.clock)] (one shared
+    wrapper for the whole batch!) when the parent clock is stateful.
+    Record into the fork from exactly one domain, then graft it back
+    with {!merge} at the join. *)
+let fork ?clock parent =
+  let clock = Option.value clock ~default:parent.clock in
+  {
+    clock;
+    spans = Span.create ~clock ~limit:(Span.limit parent.spans) ();
+    metrics = Metrics.create ~clock ();
+  }
+
+(** Graft a forked recorder back: its root spans become children of
+    [parent] (or roots of [into]), its metrics fold into [into]'s
+    registry. Call from the owning domain only, in a deterministic
+    order across forks. *)
+let merge ~into ?parent child =
+  Span.adopt into.spans ?into:parent (Span.roots child.spans);
+  Metrics.merge ~into:into.metrics child.metrics
 
 let with_span t ?cat ?args name f = Span.with_span t.spans ?cat ?args name f
 

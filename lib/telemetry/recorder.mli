@@ -8,7 +8,18 @@ type t = {
   metrics : Metrics.t;
 }
 
-val create : ?clock:Clock.t -> unit -> t
+(** [span_limit] bounds spans retained per parent (see [Span.create]);
+    counters are never dropped. *)
+val create : ?clock:Clock.t -> ?span_limit:int -> unit -> t
+
+(** Fresh recorder for one concurrent producer; inherits the parent's
+    span limit and (unless overridden) clock. See {!merge}. *)
+val fork : ?clock:Clock.t -> t -> t
+
+(** Graft a forked recorder's spans under [parent] (or as roots) and
+    fold its metrics into [into]. Call at the join point, from the
+    owning domain, in a deterministic order across forks. *)
+val merge : into:t -> ?parent:Span.span -> t -> unit
 
 val with_span :
   t -> ?cat:string -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a

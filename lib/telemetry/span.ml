@@ -5,40 +5,100 @@
     session's recompilation flow, the optimizer's per-pass timing and
     the CLI's --time-report all read this tree — there is exactly one
     source of timing truth, so a report's stage totals always agree
-    with the recompile events derived from the same spans. *)
+    with the recompile events derived from the same spans.
+
+    A tree is single-domain: concurrent producers each record into
+    their own tree (see [Recorder.fork]) and the owner grafts the
+    results back with [adopt] at the join point. Every span is stamped
+    with the integer id of the domain that opened it, which is what the
+    Chrome trace export reports as [tid].
+
+    Memory is bounded per parent: once a span (or the root list) has
+    accumulated [2 * limit] children, the oldest are discarded down to
+    [limit], and the count of discarded spans is kept so reports can
+    say "…and N more". Million-execute campaigns therefore hold a
+    window of recent spans, not all of them; counters are unaffected
+    and stay exact. *)
 
 type span = {
   sp_name : string;
   sp_cat : string;  (** category, e.g. "session", "pass" — trace "cat" field *)
+  sp_tid : int;  (** id of the domain that opened the span *)
   mutable sp_args : (string * string) list;
   sp_start : float;
   mutable sp_dur : float;  (** seconds; negative while the span is open *)
   mutable sp_children : span list;
       (** newest first while open; chronological once closed *)
+  mutable sp_kept : int;  (** length of sp_children (amortized bound) *)
+  mutable sp_dropped : int;  (** children discarded by the ring bound *)
 }
 
 type t = {
   clock : Clock.t;
+  limit : int;  (** max children retained per parent (and roots) *)
   mutable roots : span list;  (** newest first *)
+  mutable roots_kept : int;
+  mutable roots_dropped : int;
   mutable stack : span list;  (** innermost open span first *)
 }
 
-let create ?(clock = Clock.monotonic) () = { clock; roots = []; stack = [] }
+let create ?(clock = Clock.monotonic) ?(limit = max_int) () =
+  {
+    clock;
+    limit = max 1 limit;
+    roots = [];
+    roots_kept = 0;
+    roots_dropped = 0;
+    stack = [];
+  }
+
+let limit t = t.limit
+
+let take n l =
+  let rec go n acc = function
+    | x :: rest when n > 0 -> go (n - 1) (x :: acc) rest
+    | _ -> List.rev acc
+  in
+  go n [] l
+
+(* Amortized bound: truncate only once the list doubles past the limit,
+   so steady-state appends are O(1). The list is newest-first, so
+   [take limit] keeps the most recent spans. Open spans are never
+   dropped: an open child is always the newest entry of its parent. *)
+let bounded_add t sp parent =
+  match parent with
+  | Some p ->
+      p.sp_children <- sp :: p.sp_children;
+      p.sp_kept <- p.sp_kept + 1;
+      if t.limit <> max_int && p.sp_kept >= 2 * t.limit then begin
+        p.sp_children <- take t.limit p.sp_children;
+        p.sp_dropped <- p.sp_dropped + (p.sp_kept - t.limit);
+        p.sp_kept <- t.limit
+      end
+  | None ->
+      t.roots <- sp :: t.roots;
+      t.roots_kept <- t.roots_kept + 1;
+      if t.limit <> max_int && t.roots_kept >= 2 * t.limit then begin
+        t.roots <- take t.limit t.roots;
+        t.roots_dropped <- t.roots_dropped + (t.roots_kept - t.limit);
+        t.roots_kept <- t.limit
+      end
 
 let enter t ?(cat = "") ?(args = []) name =
   let sp =
     {
       sp_name = name;
       sp_cat = cat;
+      sp_tid = (Domain.self () :> int);
       sp_args = args;
       sp_start = t.clock ();
       sp_dur = -1.;
       sp_children = [];
+      sp_kept = 0;
+      sp_dropped = 0;
     }
   in
-  (match t.stack with
-  | parent :: _ -> parent.sp_children <- sp :: parent.sp_children
-  | [] -> t.roots <- sp :: t.roots);
+  bounded_add t sp (match t.stack with parent :: _ -> Some parent | [] -> None);
   t.stack <- sp :: t.stack;
   sp
 
@@ -66,14 +126,30 @@ let with_span t ?cat ?args name f =
 let duration sp = if sp.sp_dur < 0. then 0. else sp.sp_dur
 let name sp = sp.sp_name
 let cat sp = sp.sp_cat
+let tid sp = sp.sp_tid
 let args sp = sp.sp_args
 let start sp = sp.sp_start
+let dropped_children sp = sp.sp_dropped
 
 (** Children in chronological order (valid once the span is closed). *)
 let children sp = if sp.sp_dur < 0. then List.rev sp.sp_children else sp.sp_children
 
 (** Root spans in chronological order. *)
 let roots t = List.rev t.roots
+
+(** Graft already-closed spans (e.g. the roots of a forked worker tree)
+    under [into] when given, else as roots of [t]. [spans] must be in
+    chronological order; relative order is preserved. The ring bound is
+    not applied here — joins adopt a batch of per-fragment spans whose
+    size the caller already controls. *)
+let adopt t ?into spans =
+  match into with
+  | Some p ->
+      p.sp_children <- List.rev_append spans p.sp_children;
+      p.sp_kept <- p.sp_kept + List.length spans
+  | None ->
+      t.roots <- List.rev_append spans t.roots;
+      t.roots_kept <- t.roots_kept + List.length spans
 
 (** Preorder walk of every recorded span with its nesting depth. *)
 let iter t f =
@@ -82,6 +158,12 @@ let iter t f =
     List.iter (walk (depth + 1)) (children sp)
   in
   List.iter (walk 0) (roots t)
+
+(** Total spans discarded by the ring bound, across the whole tree. *)
+let dropped t =
+  let acc = ref t.roots_dropped in
+  iter t (fun ~depth:_ sp -> acc := !acc + sp.sp_dropped);
+  !acc
 
 (** Every span named [n], in preorder. *)
 let find_all t n =

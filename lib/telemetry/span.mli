@@ -5,7 +5,13 @@ type span
 
 type t
 
-val create : ?clock:Clock.t -> unit -> t
+(** [limit] bounds how many children any single parent (or the root
+    list) retains: once 2×limit accumulate, the oldest are dropped down
+    to [limit] and counted (see {!dropped}). Default: unbounded. *)
+val create : ?clock:Clock.t -> ?limit:int -> unit -> t
+
+(** The retention limit the tree was created with. *)
+val limit : t -> int
 
 (** Open a span as a child of the innermost open span (or as a root). *)
 val enter : t -> ?cat:string -> ?args:(string * string) list -> string -> span
@@ -24,14 +30,28 @@ val duration : span -> float
 
 val name : span -> string
 val cat : span -> string
+
+(** Id of the domain that opened the span (the trace [tid]). *)
+val tid : span -> int
+
 val args : span -> (string * string) list
 val start : span -> float
+
+(** Children of this span discarded by the retention bound. *)
+val dropped_children : span -> int
 
 (** Children in chronological order (valid once closed). *)
 val children : span -> span list
 
 (** Root spans in chronological order. *)
 val roots : t -> span list
+
+(** Graft closed spans (chronological order) under [into], or as roots.
+    Used to merge a forked worker's span tree back at a join point. *)
+val adopt : t -> ?into:span -> span list -> unit
+
+(** Total spans discarded by the retention bound across the tree. *)
+val dropped : t -> int
 
 (** Preorder walk with nesting depth. *)
 val iter : t -> (depth:int -> span -> unit) -> unit

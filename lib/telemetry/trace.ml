@@ -75,10 +75,15 @@ let to_json ?(process_name = "odin") (r : Recorder.t) =
   add_event b ~first ~name:"process_name" ~cat:"__metadata" ~ph:"M" ~ts:0.
     ~args:[ ("name", process_name) ] ();
   Span.iter r.Recorder.spans (fun ~depth:_ sp ->
+      let args =
+        match Span.dropped_children sp with
+        | 0 -> Span.args sp
+        | n -> Span.args sp @ [ ("dropped_children", string_of_int n) ]
+      in
       add_event b ~first ~name:(Span.name sp) ~cat:(Span.cat sp) ~ph:"X"
         ~ts:(us t0 (Span.start sp))
         ~dur:(Span.duration sp *. 1e6)
-        ~args:(Span.args sp) ());
+        ~tid:(Span.tid sp) ~args ());
   List.iter
     (fun c ->
       let name =

@@ -327,11 +327,16 @@ static int twice(int x) { return add(x) + add(x); }
 int main(void) { printf("go\n"); return twice(3); }
 |}
 
+(* Pinned to the serial pool: this test asserts byte-identical span
+   *timings* under a virtual clock, and with >1 domain the interleaving
+   of clock reads is scheduler-dependent. Bit-identical *executables*
+   across pool sizes are asserted by test_parallel.ml. *)
 let build_once () =
   let r = virtual_recorder () in
   let m = Minic.Lower.compile session_src in
   let session =
-    Odin.Session.create ~keep:[ "main" ] ~host:[ "printf"; "puts" ] ~telemetry:r m
+    Odin.Session.create ~keep:[ "main" ] ~host:[ "printf"; "puts" ]
+      ~pool:Support.Pool.serial ~telemetry:r m
   in
   ignore (Odin.Session.build session);
   (r, session)
