@@ -28,6 +28,55 @@ let read_file path =
 
 let compile_source path = Minic.Lower.compile ~name:(Filename.basename path) (read_file path)
 
+(* ---------------- fault injection ---------------- *)
+
+let fault_plan_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-plan" ] ~docv:"PLAN"
+        ~doc:
+          "Deterministic fault-injection plan, e.g. \
+           $(b,seed=7;opt.pipeline:transient:p=0.3;link:raise:nth=2). Kinds: \
+           raise|transient|torn|delay=SECS; triggers: always|nth=N|p=P. \
+           Overrides \\$(b,ODIN_FAULTS).")
+
+(* ODIN_FAULTS first, --fault-plan wins when both are given *)
+let install_faults plan =
+  (match Support.Fault.init_from_env () with
+  | Result.Ok _ -> ()
+  | Result.Error msg ->
+    Printf.eprintf "odinc: bad ODIN_FAULTS: %s\n" msg;
+    exit 2);
+  match plan with
+  | None -> ()
+  | Some s -> (
+    match Support.Fault.parse_plan s with
+    | Result.Ok p -> Support.Fault.install p
+    | Result.Error msg ->
+      Printf.eprintf "odinc: bad --fault-plan: %s\n" msg;
+      exit 2)
+
+(* Run [f], rendering structured build/link/fault errors as readable
+   diagnostics instead of raw backtraces. *)
+let with_diagnostics f =
+  try f () with
+  | Odin.Session.Build_error e ->
+    Printf.eprintf "odinc: %s\n" (Odin.Session.build_error_to_string e);
+    exit 1
+  | (Link.Linker.Link_error _ | Link.Linker.Duplicate_symbol _
+    | Link.Linker.Undefined_symbol _) as exn_ ->
+    let msg =
+      match Link.Linker.link_error_message exn_ with
+      | Some m -> m
+      | None -> Printexc.to_string exn_
+    in
+    Printf.eprintf "odinc: link failed: %s\n" msg;
+    exit 1
+  | Support.Fault.Injected site ->
+    Printf.eprintf "odinc: injected fault at site %s was not recovered\n" site;
+    exit 1
+
 (* ---------------- shared telemetry flags ---------------- *)
 
 let time_report_arg =
@@ -103,7 +152,9 @@ let run_cmd =
     Arg.(value & opt string "" & info [ "args" ] ~doc:"Comma-separated integers.")
   in
   let optimize = Arg.(value & flag & info [ "optimize"; "O" ] ~doc:"O2 first.") in
-  let run file entry args optimize time_report trace_out =
+  let run file entry args optimize fault_plan time_report trace_out =
+    install_faults fault_plan;
+    with_diagnostics @@ fun () ->
     let r = Telemetry.Recorder.create () in
     let span name f = Telemetry.Recorder.with_span r ~cat:"run" name f in
     let m = span "frontend" (fun () -> compile_source file) in
@@ -145,8 +196,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Compile, link and execute a mini-C file on the VM.")
     Term.(
-      const run $ file $ entry $ args $ optimize $ time_report_arg
-      $ trace_out_arg)
+      const run $ file $ entry $ args $ optimize $ fault_plan_arg
+      $ time_report_arg $ trace_out_arg)
 
 (* ---------------- partition ---------------- *)
 
@@ -237,8 +288,21 @@ let fuzz_cmd =
              drop counts kept); bounds trace memory on long campaigns. \
              Counters stay exact.")
   in
-  let run file entry execs no_prune jobs metrics_csv span_limit time_report
-      trace_out =
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persistent content-addressed object store: compiled fragment \
+             objects survive process restarts, so re-running the same \
+             campaign recompiles 0 unchanged fragments. Corrupt or torn \
+             entries are detected, quarantined and silently recompiled.")
+  in
+  let run file entry execs no_prune jobs metrics_csv span_limit cache_dir
+      fault_plan time_report trace_out =
+    install_faults fault_plan;
+    with_diagnostics @@ fun () ->
     let r = Telemetry.Recorder.create ?span_limit () in
     let pool =
       match jobs with
@@ -253,11 +317,12 @@ let fuzz_cmd =
     let session =
       Odin.Session.create ~keep:[ entry ]
         ~runtime_globals:[ Odin.Cov.runtime_global m ]
-        ~host:[ "printf"; "puts" ] ~pool ~telemetry:r m
+        ~host:[ "printf"; "puts" ] ~pool ?cache_dir ~telemetry:r m
     in
     let cov = Odin.Cov.setup session in
     ignore (Odin.Session.build session);
     let recompiles = ref 0 in
+    let rollbacks = ref 0 in
     let exec_counter = Telemetry.Metrics.counter metrics "campaign.execs" in
     let cov_counter =
       Telemetry.Metrics.counter metrics ~series:true "campaign.coverage"
@@ -284,11 +349,21 @@ let fuzz_cmd =
             let fresh = Odin.Cov.harvest cov vm in
             if fresh <> [] then
               Telemetry.Metrics.incr ~by:(List.length fresh) cov_counter;
-            if not no_prune then
-              if Odin.Cov.prune_fired cov > 0 then
-                (match Odin.Session.refresh session with
-                | Some _ -> incr recompiles
-                | None -> ());
+            if not no_prune then begin
+              let pruned = Odin.Cov.prune_fired cov in
+              (* refresh when probes were pruned, and also when a prior
+                 rebuild left fragments degraded (re-heal attempt).
+                 Transactional: a degraded refresh still produced a
+                 consistent executable; a rollback keeps the previous
+                 one — the campaign continues either way *)
+              if pruned > 0 || Odin.Session.degraded_fragments session <> []
+              then
+                match Odin.Session.try_refresh session with
+                | Some (Odin.Session.Ok | Odin.Session.Degraded _) ->
+                  incr recompiles
+                | Some (Odin.Session.Rolled_back _) -> incr rollbacks
+                | None -> ()
+            end;
             { Fuzzer.Fuzz.ex_cycles = vm.Vm.cycles; ex_new_blocks = List.length fresh });
       }
     in
@@ -303,6 +378,32 @@ let fuzz_cmd =
     Printf.printf "coverage   : %d / %d blocks\n" (Odin.Cov.covered cov)
       cov.Odin.Cov.total_probes;
     Printf.printf "recompiles : %d\n" !recompiles;
+    (* robustness summary: only printed when something interesting can
+       happen (faults installed, a store attached, or an actual event) *)
+    let degraded_now = Odin.Session.degraded_fragments session in
+    if
+      Support.Fault.installed () <> None
+      || !rollbacks > 0
+      || Odin.Session.degrade_total session > 0
+    then begin
+      Printf.printf "degraded   : %d fragments now (%d degradations total)\n"
+        (List.length degraded_now)
+        (Odin.Session.degrade_total session);
+      Printf.printf "rollbacks  : %d\n" (Odin.Session.rollbacks session);
+      match Support.Fault.installed () with
+      | Some plan ->
+        Printf.printf "faults     : %d injected (plan %s)\n"
+          (Support.Fault.total_fired ())
+          (Support.Fault.to_string plan)
+      | None -> ()
+    end;
+    (match Odin.Session.store_stats session with
+    | Some st ->
+      Printf.printf
+        "store      : %d hits, %d misses, %d writes, %d quarantined\n"
+        st.Support.Objstore.st_hits st.Support.Objstore.st_misses
+        st.Support.Objstore.st_writes st.Support.Objstore.st_quarantined
+    | None -> ());
     if time_report then begin
       (* the recompile events are a view over the same span tree the
          report renders, so these sums equal the report's stage totals *)
@@ -351,7 +452,8 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Fuzz a mini-C target with OdinCov (live pruning).")
     Term.(
       const run $ file $ entry $ execs $ no_prune $ jobs $ metrics_csv
-      $ span_limit $ time_report_arg $ trace_out_arg)
+      $ span_limit $ cache_dir $ fault_plan_arg $ time_report_arg
+      $ trace_out_arg)
 
 (* ---------------- workload ---------------- *)
 

@@ -4,8 +4,10 @@
 
 open Mach
 
-(** Compile one defined IR function to machine code. *)
+(** Compile one defined IR function to machine code. Declares the
+    ["codegen.emit"] fault site (one hit per function compiled). *)
 let compile_func (fn : Ir.Func.t) =
+  Support.Fault.hit "codegen.emit";
   let vc = Isel.select fn in
   let assignment, spill_slots, used_callee = Regalloc.allocate vc in
   Regalloc.rewrite vc assignment;

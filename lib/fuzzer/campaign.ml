@@ -159,6 +159,8 @@ type odin_replay = {
   o_session : Odin.Session.t;
   o_recompiles : int;
   o_probes_pruned : int;
+  o_degraded : int;  (** refreshes that completed with degraded fragments *)
+  o_rollbacks : int;  (** refreshes rolled back to the previous executable *)
 }
 
 (** OdinCov: instrument-first coverage with (optionally) on-the-fly probe
@@ -168,17 +170,19 @@ type odin_replay = {
     [telemetry] is given the session records its build spans on it, and
     the replay adds exec-cycle histograms plus recompile/prune counters. *)
 let replay_odincov ?telemetry ?(prune = true) ?(mode = Odin.Partition.Auto)
-    (p : prepared) =
+    ?cache_dir (p : prepared) =
   let base = Ir.Clone.clone_module p.modul in
   let session =
     Odin.Session.create ~mode ~keep:[ entry ]
       ~runtime_globals:[ Odin.Cov.runtime_global base ]
-      ~host:Workloads.Generate.host_functions ?telemetry base
+      ~host:Workloads.Generate.host_functions ?cache_dir ?telemetry base
   in
   let cov = Odin.Cov.setup session in
   ignore (Odin.Session.build session);
   let recompiles = ref 0 in
   let pruned = ref 0 in
+  let degraded = ref 0 in
+  let rollbacks = ref 0 in
   let per_input =
     List.map
       (fun input ->
@@ -195,10 +199,23 @@ let replay_odincov ?telemetry ?(prune = true) ?(mode = Odin.Partition.Auto)
           if n > 0 then begin
             pruned := !pruned + n;
             Telemetry.Recorder.count telemetry ~by:n "campaign.probes_pruned";
-            match Odin.Session.refresh session with
-            | Some _ ->
+            (* transactional refresh: a fault-degraded or rolled-back
+               rebuild must not abort the campaign — the session still
+               holds a consistent executable either way *)
+            match Odin.Session.try_refresh session with
+            | Some Odin.Session.Ok ->
               incr recompiles;
               Telemetry.Recorder.count telemetry "campaign.recompiles"
+            | Some (Odin.Session.Degraded fids) ->
+              incr recompiles;
+              degraded := !degraded + 1;
+              Telemetry.Recorder.count telemetry "campaign.recompiles";
+              Telemetry.Recorder.count telemetry
+                ~by:(List.length fids)
+                "campaign.fragments_degraded"
+            | Some (Odin.Session.Rolled_back _) ->
+              incr rollbacks;
+              Telemetry.Recorder.count telemetry "campaign.refresh_rollbacks"
             | None -> ()
           end
         end;
@@ -215,4 +232,6 @@ let replay_odincov ?telemetry ?(prune = true) ?(mode = Odin.Partition.Auto)
     o_session = session;
     o_recompiles = !recompiles;
     o_probes_pruned = !pruned;
+    o_degraded = !degraded;
+    o_rollbacks = !rollbacks;
   }

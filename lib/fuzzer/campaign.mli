@@ -53,16 +53,23 @@ type odin_replay = {
   o_session : Odin.Session.t;
   o_recompiles : int;
   o_probes_pruned : int;
+  o_degraded : int;  (** refreshes that completed with degraded fragments *)
+  o_rollbacks : int;  (** refreshes rolled back to the previous executable *)
 }
 
 (** OdinCov replay: instrument-first coverage with (by default)
     Untracer-style pruning and on-the-fly recompilation between
     executions. Cycles are execution-only; recompile costs live in the
     session's events. [telemetry] receives the session's build spans
-    plus exec-cycle histograms and recompile/prune counters. *)
+    plus exec-cycle histograms and recompile/prune counters. Refreshes
+    are transactional ({!Odin.Session.try_refresh}): a degraded or
+    rolled-back rebuild is counted, not fatal. [cache_dir] enables the
+    session's persistent object store so a restarted campaign on the
+    same workload starts warm. *)
 val replay_odincov :
   ?telemetry:Telemetry.Recorder.t ->
   ?prune:bool ->
   ?mode:Odin.Partition.mode ->
+  ?cache_dir:string ->
   prepared ->
   odin_replay

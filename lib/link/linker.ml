@@ -12,7 +12,30 @@
 
 exception Link_error of string
 
+(** Two symbols resolve to the same name outside a shared COMDAT group.
+    [in_object] is the object bringing the second definition; [prior]
+    the one that defined it first. *)
+exception
+  Duplicate_symbol of { symbol : string; in_object : string; prior : string }
+
+(** A reference could not be satisfied by any object, the host-symbol
+    list, or an alias. [referenced_from] names the referencing object
+    (or the alias / data relocation that needs the symbol). *)
+exception Undefined_symbol of { symbol : string; referenced_from : string }
+
 let error fmt = Printf.ksprintf (fun s -> raise (Link_error s)) fmt
+
+let link_error_message = function
+  | Link_error msg -> Some msg
+  | Duplicate_symbol { symbol; in_object; prior } ->
+    Some
+      (Printf.sprintf "duplicate symbol @%s: defined in %s and again in %s"
+         symbol prior in_object)
+  | Undefined_symbol { symbol; referenced_from } ->
+    Some
+      (Printf.sprintf "undefined symbol @%s (referenced from %s)" symbol
+         referenced_from)
+  | _ -> None
 
 type exe = {
   funcs : (string, Codegen.Mach.mfunc) Hashtbl.t;
@@ -35,11 +58,31 @@ let addr_of exe name =
 
 let find_func exe name = Hashtbl.find_opt exe.funcs name
 
-(** Link objects; [host] names symbols provided by the runtime. *)
+(** Link objects; [host] names symbols provided by the runtime.
+    Declares the ["link"] fault site.
+    @raise Duplicate_symbol on a strong-symbol collision
+    @raise Undefined_symbol on an unsatisfiable reference *)
 let link ?(host = []) (objs : Objfile.t list) =
+  Support.Fault.hit "link";
   let chosen : (string, Objfile.sym) Hashtbl.t = Hashtbl.create 128 in
+  let defined_in : (string, string) Hashtbl.t = Hashtbl.create 128 in
   let order = ref [] in
   let comdat_seen = Hashtbl.create 16 in
+  let choose (obj : Objfile.t) (s : Objfile.sym) =
+    if Hashtbl.mem chosen s.Objfile.s_name then
+      raise
+        (Duplicate_symbol
+           {
+             symbol = s.Objfile.s_name;
+             in_object = obj.Objfile.o_name;
+             prior =
+               Option.value ~default:"?"
+                 (Hashtbl.find_opt defined_in s.Objfile.s_name);
+           });
+    Hashtbl.replace chosen s.Objfile.s_name s;
+    Hashtbl.replace defined_in s.Objfile.s_name obj.Objfile.o_name;
+    order := s.Objfile.s_name :: !order
+  in
   List.iter
     (fun (obj : Objfile.t) ->
       List.iter
@@ -48,17 +91,9 @@ let link ?(host = []) (objs : Objfile.t list) =
           | Some key ->
             if not (Hashtbl.mem comdat_seen key) then begin
               Hashtbl.replace comdat_seen key ();
-              if Hashtbl.mem chosen s.Objfile.s_name then
-                error "duplicate symbol @%s (outside COMDAT %s)" s.Objfile.s_name key;
-              Hashtbl.replace chosen s.Objfile.s_name s;
-              order := s.Objfile.s_name :: !order
+              choose obj s
             end
-          | None ->
-            if Hashtbl.mem chosen s.Objfile.s_name then
-              error "duplicate symbol @%s (defined in %s)" s.Objfile.s_name
-                obj.Objfile.o_name;
-            Hashtbl.replace chosen s.Objfile.s_name s;
-            order := s.Objfile.s_name :: !order)
+          | None -> choose obj s)
         obj.Objfile.o_syms)
     objs;
   let order = List.rev !order in
@@ -120,7 +155,9 @@ let link ?(host = []) (objs : Objfile.t list) =
                   objs
               in
               if not is_alias then
-                error "undefined symbol @%s (referenced from %s)" u obj.Objfile.o_name
+                raise
+                  (Undefined_symbol
+                     { symbol = u; referenced_from = obj.Objfile.o_name })
             end
           end)
         obj.Objfile.o_undefined)
@@ -137,7 +174,10 @@ let link ?(host = []) (objs : Objfile.t list) =
             (match Hashtbl.find_opt exe.funcs target with
             | Some mf -> Hashtbl.replace exe.funcs alias mf
             | None -> ())
-          | None -> error "alias @%s: undefined base @%s" alias target)
+          | None ->
+            raise
+              (Undefined_symbol
+                 { symbol = target; referenced_from = "alias @" ^ alias }))
         obj.Objfile.o_aliases)
     objs;
   (* patch data relocations *)
@@ -150,7 +190,13 @@ let link ?(host = []) (objs : Objfile.t list) =
             incr resolved;
             match Hashtbl.find_opt exe.sym_addr target with
             | Some addr -> Bytes.set_int64_le bytes off addr
-            | None -> error "relocation against undefined @%s" target)
+            | None ->
+              raise
+                (Undefined_symbol
+                   {
+                     symbol = target;
+                     referenced_from = "data relocation";
+                   }))
           d.Objfile.d_relocs;
         (base, bytes))
       !datas

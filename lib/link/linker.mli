@@ -5,6 +5,21 @@
 
 exception Link_error of string
 
+(** Two symbols resolve to the same name outside a shared COMDAT group.
+    [in_object] is the object bringing the second definition; [prior]
+    the one that defined it first. *)
+exception
+  Duplicate_symbol of { symbol : string; in_object : string; prior : string }
+
+(** A reference could not be satisfied by any object, the host-symbol
+    list, or an alias. [referenced_from] names the referencing object
+    (or the alias / data relocation that needs the symbol). *)
+exception Undefined_symbol of { symbol : string; referenced_from : string }
+
+(** Render any of the three linker exceptions as a one-line diagnostic;
+    [None] for other exceptions. *)
+val link_error_message : exn -> string option
+
 type exe = {
   funcs : (string, Codegen.Mach.mfunc) Hashtbl.t;
   sym_addr : (string, int64) Hashtbl.t;
@@ -25,7 +40,9 @@ val addr_of : exe -> string -> int64
 val find_func : exe -> string -> Codegen.Mach.mfunc option
 
 (** Link objects into an executable; [host] names symbols satisfied by
-    the runtime. @raise Link_error on duplicate or undefined symbols. *)
+    the runtime. Declares the ["link"] fault site.
+    @raise Duplicate_symbol on a strong-symbol collision
+    @raise Undefined_symbol on an unsatisfiable reference *)
 val link : ?host:string list -> Objfile.t list -> exe
 
 (** Modelled linking work in cycles (symbols + relocations resolved). *)

@@ -15,18 +15,108 @@
     [Support.Pool] (the link step stays a serial barrier), and a
     content-addressed LRU object cache in front of codegen turns probe
     toggle round-trips into relink-only refreshes. Both are invisible
-    to correctness: output is bit-identical for any pool size. *)
+    to correctness: output is bit-identical for any pool size.
+
+    Fault tolerance: [build]/[refresh] are transactional. The mutable
+    session state (fragment cache, executable, degradation set) is
+    snapshotted before a rebuild. Fragment-compile failures are
+    isolated: a transient fault is retried (bounded, virtual-clock
+    backoff), a persistent one *degrades* the fragment to its last-good
+    — or pristine — object instead of killing the rebuild, and the
+    fragment is re-healed on the next refresh. Only a patch- or
+    link-stage failure rolls the whole session back to the snapshot;
+    the executable is therefore always a consistent version of every
+    fragment. The {!rebuild_outcome} reports which of the three cases
+    happened; exceptions never escape pool jobs. *)
 
 module SSet = Set.Make (String)
 
 type recompile_event = {
   ev_fragments : int list;  (** fragment ids scheduled *)
-  ev_cache_hits : int;  (** of those, served from the object cache *)
+  ev_cache_hits : int;  (** of those, served from the object cache/store *)
   ev_probes_applied : int;
   ev_compile_time : float;  (** seconds, middle end + back end *)
   ev_link_time : float;  (** seconds *)
   ev_per_fragment : (int * float) list;  (** (fragment id, seconds) *)
 }
+
+(* ------------------------------------------------------------------ *)
+(* Structured build errors and rebuild outcomes                        *)
+(* ------------------------------------------------------------------ *)
+
+type build_phase =
+  | Schedule
+  | Patch
+  | Materialize
+  | Verify
+  | Optimize
+  | Codegen
+  | Cache
+  | Store
+  | Link
+  | Lifecycle  (** API misuse, e.g. [executable] before [build] *)
+
+type build_error = {
+  err_phase : build_phase;
+  err_fragment : int option;  (** fragment being compiled, if any *)
+  err_probes : int list;  (** active probe ids in that fragment *)
+  err_exn : exn option;  (** underlying exception, when one exists *)
+  err_msg : string;
+}
+
+exception Build_error of build_error
+
+let phase_to_string = function
+  | Schedule -> "schedule"
+  | Patch -> "patch"
+  | Materialize -> "materialize"
+  | Verify -> "verify"
+  | Optimize -> "optimize"
+  | Codegen -> "codegen"
+  | Cache -> "cache"
+  | Store -> "store"
+  | Link -> "link"
+  | Lifecycle -> "lifecycle"
+
+(** Render a build error as a readable multi-line diagnostic (what
+    [odinc] prints instead of a raw backtrace). *)
+let build_error_to_string e =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "build failed in phase `%s'" (phase_to_string e.err_phase));
+  (match e.err_fragment with
+  | Some fid -> Buffer.add_string b (Printf.sprintf ", fragment #%d" fid)
+  | None -> ());
+  (match e.err_probes with
+  | [] -> ()
+  | ps ->
+    Buffer.add_string b
+      (Printf.sprintf " (probes %s)"
+         (String.concat " " (List.map (Printf.sprintf "#%d") ps))));
+  Buffer.add_string b (": " ^ e.err_msg);
+  (match e.err_exn with
+  | Some exn ->
+    Buffer.add_string b ("\n  caused by: " ^ Printexc.to_string exn)
+  | None -> ());
+  Buffer.contents b
+
+let mk_error ?fragment ?(probes = []) ?exn_ phase msg =
+  {
+    err_phase = phase;
+    err_fragment = fragment;
+    err_probes = probes;
+    err_exn = exn_;
+    err_msg = msg;
+  }
+
+(** Result of a transactional rebuild: [Ok] — every scheduled fragment
+    compiled and linked; [Degraded fids] — the listed fragments are
+    serving their last-good (or pristine) object after bounded retries
+    failed, everything else is fresh, and the fragments re-heal on the
+    next refresh; [Rolled_back err] — a patch- or link-stage failure
+    restored the pre-rebuild snapshot (previous executable, cache and
+    probe epoch intact). *)
+type rebuild_outcome = Ok | Degraded of int list | Rolled_back of build_error
 
 type t = {
   base : Ir.Modul.t;  (** pristine IR; instrumentation never touches it *)
@@ -39,6 +129,9 @@ type t = {
           optimize+codegen — probe sets toggled off and on again relink
           the cached object instead of recompiling. *)
   obj_lock : Mutex.t;  (** guards [obj_cache] during parallel compiles *)
+  store : Support.Objstore.t option;
+      (** persistent tier behind [obj_cache]: on-disk content-addressed
+          store ([--cache-dir]) so a process restart starts warm *)
   pool : Support.Pool.t;  (** fragment compile executor *)
   runtime : Link.Objfile.t;  (** runtime globals (counter arrays, ...) *)
   mutable host : string list;
@@ -48,6 +141,16 @@ type t = {
           schemes compose (coverage + CmpLog + checks in one session) *)
   mutable events : recompile_event list;  (** newest first *)
   mutable opt_rounds : int;
+  degraded : (int, unit) Hashtbl.t;
+      (** fragments currently serving a stale/pristine object; they are
+          force-scheduled (re-healed) on every refresh until clean *)
+  mutable max_retries : int;  (** bounded retries for transient faults *)
+  mutable job_timeout : float option;
+      (** cooperative per-fragment watchdog (seconds); an overrunning
+          compile job is marked degraded instead of stalling the join *)
+  mutable rollback_count : int;
+  mutable degrade_count : int;  (** total fragment degradations ever *)
+  mutable last_outcome : rebuild_outcome;
   telemetry : Telemetry.Recorder.t;
       (** spans/counters for every build; the timing source of [events] *)
 }
@@ -69,6 +172,10 @@ let map_ins sched ins = Ir.Clone.map_ins sched.map ins
 
 let map_func sched name = Ir.Modul.find_func sched.temp name
 
+(* Bump when the marshalled Objfile payload changes shape: a version
+   mismatch makes an existing on-disk store invalidate cleanly. *)
+let store_format_version = 1
+
 (* ------------------------------------------------------------------ *)
 (* Session construction                                                *)
 (* ------------------------------------------------------------------ *)
@@ -76,15 +183,23 @@ let map_func sched name = Ir.Modul.find_func sched.temp name
 (** Create a session for [base].
     [runtime_globals] are data symbols owned by the instrumentation
     runtime (e.g. coverage counter arrays), linked as a separate object;
-    [host] names functions provided by the host/fuzzer at run time. *)
+    [host] names functions provided by the host/fuzzer at run time;
+    [cache_dir] enables the persistent object store (campaign restarts
+    start warm); [max_retries] bounds per-fragment retry attempts on
+    transient faults; [job_timeout] arms the cooperative per-fragment
+    compile watchdog. *)
 let create ?(mode = Partition.Auto) ?(copy_on_use = true) ?(keep = [ "main" ])
     ?(runtime_globals = []) ?(host = []) ?(opt_rounds = 2) ?pool
-    ?(cache_size = 256) ?(telemetry = Telemetry.Recorder.create ())
-    (base : Ir.Modul.t) =
+    ?(cache_size = 256) ?cache_dir ?(max_retries = 2) ?job_timeout
+    ?(telemetry = Telemetry.Recorder.create ()) (base : Ir.Modul.t) =
   Ir.Verify.run_exn base;
+  (* session setup is not a rebuild: the classification survey runs the
+     trial O2 pipeline, which shares the opt.pipeline fault site with
+     fragment recompiles — suppress injection here so fault plans only
+     exercise the transactional build/refresh paths *)
   let cls =
     Telemetry.Recorder.with_span telemetry ~cat:"session" "classify" (fun () ->
-        Classify.classify ~keep base)
+        Support.Fault.with_suppressed (fun () -> Classify.classify ~keep base))
   in
   let plan =
     Telemetry.Recorder.with_span telemetry ~cat:"session" "partition" (fun () ->
@@ -113,6 +228,10 @@ let create ?(mode = Partition.Auto) ?(copy_on_use = true) ?(keep = [ "main" ])
     cache = Hashtbl.create 32;
     obj_cache = Support.Lru.create cache_size;
     obj_lock = Mutex.create ();
+    store =
+      Option.map
+        (fun dir -> Support.Objstore.open_store ~version:store_format_version dir)
+        cache_dir;
     pool = (match pool with Some p -> p | None -> Support.Pool.default ());
     runtime;
     host;
@@ -120,6 +239,12 @@ let create ?(mode = Partition.Auto) ?(copy_on_use = true) ?(keep = [ "main" ])
     patchers = [];
     events = [];
     opt_rounds;
+    degraded = Hashtbl.create 8;
+    max_retries = max 0 max_retries;
+    job_timeout;
+    rollback_count = 0;
+    degrade_count = 0;
+    last_outcome = Ok;
     telemetry;
   }
 
@@ -127,6 +252,12 @@ let create ?(mode = Partition.Auto) ?(copy_on_use = true) ?(keep = [ "main" ])
     rebuild; cached objects compiled under the old setting are not
     reused (the bound is part of the cache key). *)
 let set_opt_rounds t rounds = t.opt_rounds <- max 0 rounds
+
+(** Change the bounded-retry count for transient fragment faults. *)
+let set_max_retries t n = t.max_retries <- max 0 n
+
+(** Arm/disarm the cooperative per-fragment compile watchdog. *)
+let set_job_timeout t timeout = t.job_timeout <- timeout
 
 (** Replace all patch logic with [patcher]. *)
 let set_patcher t patcher = t.patchers <- [ patcher ]
@@ -144,8 +275,7 @@ let add_host_symbol t name =
 (* Algorithm 2: scheduling fragments and probes                        *)
 (* ------------------------------------------------------------------ *)
 
-(* Which fragments must be recompiled given the changed symbols, and the
-   full set of symbols those fragments contain. *)
+(* Which fragments must be recompiled given the changed symbols. *)
 let propagate t changed_syms =
   let frag_ids = ref [] in
   Array.iter
@@ -158,21 +288,23 @@ let propagate t changed_syms =
       in
       if touched then frag_ids := f.Partition.fid :: !frag_ids)
     t.plan.Partition.fragments;
-  let frag_ids = List.rev !frag_ids in
-  let all_syms =
-    List.fold_left
-      (fun acc fid ->
-        let f = t.plan.Partition.fragments.(fid) in
-        Partition.SSet.fold SSet.add f.Partition.members acc)
-      SSet.empty frag_ids
-  in
-  (frag_ids, all_syms)
+  List.rev !frag_ids
+
+(* Full symbol set of a fragment id list (the recompilation unit is the
+   fragment, so scheduling a fragment schedules all its symbols). *)
+let symbols_of_fragments t frag_ids =
+  List.fold_left
+    (fun acc fid ->
+      let f = t.plan.Partition.fragments.(fid) in
+      Partition.SSet.fold SSet.add f.Partition.members acc)
+    SSet.empty frag_ids
 
 (** Compute the schedule for the current probe-state changes: detect the
     changed probes, propagate to fragments, back-propagate to the full
     set of active probes in those fragments, and extract the temporary
     IR (lines 1-18 of Algorithm 2). On the very first build, every
-    fragment is scheduled. *)
+    fragment is scheduled. Fragments degraded by a previous rebuild are
+    force-scheduled (the re-heal path) even when no probe changed. *)
 let schedule ?(initial = false) ?(backprop = true) t =
   (* lines 2-6: changed probes -> symbols *)
   let changed_syms =
@@ -189,7 +321,16 @@ let schedule ?(initial = false) ?(backprop = true) t =
   in
   (* lines 7-11: symbols -> fragments (and back to the fragments' full
      symbol sets, since the recompilation unit is the fragment) *)
-  let frag_ids, all_syms = propagate t changed_syms in
+  let frag_ids = propagate t changed_syms in
+  (* re-heal: degraded fragments rejoin every schedule until they
+     compile cleanly again *)
+  let frag_ids =
+    if Hashtbl.length t.degraded = 0 then frag_ids
+    else
+      List.sort_uniq compare
+        (Hashtbl.fold (fun fid () acc -> fid :: acc) t.degraded frag_ids)
+  in
+  let all_syms = symbols_of_fragments t frag_ids in
   (* lines 13-17: back-propagate to probes — every *activated* probe
      whose target lives in a scheduled fragment must be re-applied.
      [backprop:false] is the ablation DESIGN.md calls out: without this
@@ -227,16 +368,64 @@ let schedule ?(initial = false) ?(backprop = true) t =
 (* Split, optimize, generate code, link (Figure 7, right half)         *)
 (* ------------------------------------------------------------------ *)
 
-exception Build_error of string
+(* Classify an exception raised during a fragment compile into a build
+   error with the right phase. *)
+let classify_fragment_exn ~fid ~probes exn_ =
+  match exn_ with
+  | Build_error e -> { e with err_fragment = Some fid; err_probes = probes }
+  | Support.Fault.Injected site | Support.Fault.Transient_fault site ->
+    let phase =
+      match site with
+      | "opt.pipeline" -> Optimize
+      | "codegen.emit" -> Codegen
+      | "cache.get" -> Cache
+      | "store.read" | "store.write" -> Store
+      | _ -> Materialize
+    in
+    mk_error ~fragment:fid ~probes ~exn_ phase
+      (Printf.sprintf "injected fault at site %s" site)
+  | Support.Fault.Timed_out site ->
+    mk_error ~fragment:fid ~probes ~exn_ Codegen
+      (Printf.sprintf "compile watchdog expired at site %s" site)
+  | e ->
+    mk_error ~fragment:fid ~probes ~exn_:e Codegen
+      (Printf.sprintf "fragment compile raised %s" (Printexc.to_string e))
+
+(* Virtual-clock exponential backoff between transient-fault retries:
+   never blocks a domain, counts toward the job watchdog budget. *)
+let backoff_delay attempt = 0.001 *. (2. ** float_of_int attempt)
 
 (* Every stage of the copy-instrument-split flow runs inside a telemetry
    span; the recompile_event returned to callers is a view over the span
    durations (one source of timing truth — reports derived from the span
-   tree always agree with the events). *)
+   tree always agree with the events).
+
+   Transactionality: [rebuild] snapshots the fragment cache, executable
+   and degradation set up front. Fragment jobs never raise — each
+   returns either an object (fresh, cached, or degraded last-good /
+   pristine) or a fatal error; patch- or link-stage failure (or a fatal
+   fragment) restores the snapshot and reports [Rolled_back]. *)
 let rebuild (sched : sched) =
   let t = sched.session in
   let r = t.telemetry in
   let spans = r.Telemetry.Recorder.spans in
+  let some_r = Some r in
+  (* ---- snapshot: everything a rollback must restore ---- *)
+  let snap_cache = Hashtbl.copy t.cache in
+  let snap_exe = t.exe in
+  let snap_degraded = Hashtbl.copy t.degraded in
+  let rollback err =
+    Hashtbl.reset t.cache;
+    Hashtbl.iter (fun k v -> Hashtbl.replace t.cache k v) snap_cache;
+    t.exe <- snap_exe;
+    Hashtbl.reset t.degraded;
+    Hashtbl.iter (fun k v -> Hashtbl.replace t.degraded k v) snap_degraded;
+    t.rollback_count <- t.rollback_count + 1;
+    Telemetry.Recorder.count some_r "session.rebuild_rollbacks";
+    (* probe changes are NOT cleared: the next refresh retries them *)
+    t.last_outcome <- Rolled_back err;
+    Rolled_back err
+  in
   let rebuild_sp =
     Telemetry.Span.enter spans ~cat:"session"
       ~args:
@@ -248,19 +437,36 @@ let rebuild (sched : sched) =
   in
   Fun.protect ~finally:(fun () -> Telemetry.Span.exit spans rebuild_sp)
   @@ fun () ->
+  let faults_before = Support.Fault.total_fired () in
   (* the user's patch logic instruments the temporary IR *)
-  Telemetry.Span.with_span spans ~cat:"session" "patch" (fun () ->
-      List.iter (fun patch -> patch sched) t.patchers);
+  let patch_result =
+    try
+      Telemetry.Span.with_span spans ~cat:"session" "patch" (fun () ->
+          List.iter (fun patch -> patch sched) t.patchers);
+      None
+    with
+    | Build_error e -> Some e
+    | e ->
+      Some
+        (mk_error
+           ~probes:(List.map (fun p -> p.Instr.Probe.pid) sched.active)
+           ~exn_:e Patch
+           (Printf.sprintf "patch logic raised %s" (Printexc.to_string e)))
+  in
+  match patch_result with
+  | Some err -> rollback err
+  | None ->
   let source s =
     if SSet.mem s sched.changed_symbols then Ir.Modul.find sched.temp s else None
   in
   (* Fragment compiles are independent: the patch phase above was the
      last write to the shared temporary IR, and materialize only clones
      out of it. Each job runs materialize → verify → digest →
-     (optimize → codegen | cache hit) on a pool domain with a forked
+     (cache | store | optimize → codegen) on a pool domain with a forked
      recorder; results join below in fragment order, so spans, metrics,
      the fid cache and the recompile event are deterministic for any
-     pool size. *)
+     pool size. Jobs never raise — failures retry (bounded, virtual
+     backoff), then degrade to the last-good or pristine object. *)
   let jclock = Telemetry.Clock.synchronized r.Telemetry.Recorder.clock in
   let compile_sp = Telemetry.Span.enter spans ~cat:"session" "compile" in
   let evictions_before = Support.Lru.evictions t.obj_cache in
@@ -275,62 +481,167 @@ let rebuild (sched : sched) =
     Fun.protect ~finally:(fun () -> Telemetry.Span.exit jspans fsp)
     @@ fun () ->
     let f = t.plan.Partition.fragments.(fid) in
-    let frag_module =
-      Telemetry.Span.with_span jspans ~cat:"session" "materialize" (fun () ->
-          Partition.materialize t.plan f ~source ~base:t.base)
+    let probes =
+      List.filter_map
+        (fun (p : Instr.Probe.t) ->
+          if Partition.SSet.mem p.Instr.Probe.target f.Partition.members then
+            Some p.Instr.Probe.pid
+          else None)
+        sched.active
     in
-    Telemetry.Span.with_span jspans ~cat:"session" "verify" (fun () ->
-        match Ir.Verify.check_module frag_module with
-        | [] -> ()
-        | errors ->
-          raise
-            (Build_error
-               (Printf.sprintf "fragment %d does not verify:\n%s" fid
-                  (Ir.Verify.errors_to_string errors))));
-    (* content address: the printed instrumented IR is the complete
-       compiler input, and the opt bound is the only config that alters
-       the output for equal input *)
-    let key =
-      Telemetry.Span.with_span jspans ~cat:"session" "digest" (fun () ->
-          Digest.string
-            (Printf.sprintf "fid=%d;rounds=%d;%s" fid t.opt_rounds
-               (Ir.Print.module_to_string frag_module)))
-    in
-    let cached =
-      Mutex.lock t.obj_lock;
-      let v = Support.Lru.find t.obj_cache key in
-      Mutex.unlock t.obj_lock;
-      v
-    in
-    match cached with
-    | Some obj ->
-      Telemetry.Span.add_arg fsp "cache" "hit";
-      (fid, obj, true, jr, fsp)
-    | None ->
-      ignore
-        (Opt.Pipeline.run_fragment ~recorder:jr ~max_rounds:t.opt_rounds
-           frag_module);
-      let obj =
-        Telemetry.Span.with_span jspans ~cat:"session" "codegen" (fun () ->
-            Link.Objfile.of_module frag_module)
+    (* One full attempt at producing this fragment's object from
+       [produce_source]; raises on failure. Returns (object, served
+       from cache/store?). *)
+    let produce produce_source =
+      let frag_module =
+        Telemetry.Span.with_span jspans ~cat:"session" "materialize" (fun () ->
+            Support.Fault.hit "session.materialize";
+            Partition.materialize t.plan f ~source:produce_source ~base:t.base)
       in
-      Mutex.lock t.obj_lock;
-      Support.Lru.add t.obj_cache key obj;
-      Mutex.unlock t.obj_lock;
-      (fid, obj, false, jr, fsp)
+      Telemetry.Span.with_span jspans ~cat:"session" "verify" (fun () ->
+          match Ir.Verify.check_module frag_module with
+          | [] -> ()
+          | errors ->
+            raise
+              (Build_error
+                 (mk_error ~fragment:fid ~probes Verify
+                    (Printf.sprintf "fragment %d does not verify:\n%s" fid
+                       (Ir.Verify.errors_to_string errors)))));
+      (* content address: the printed instrumented IR is the complete
+         compiler input, and the opt bound is the only config that
+         alters the output for equal input *)
+      let key =
+        Telemetry.Span.with_span jspans ~cat:"session" "digest" (fun () ->
+            Digest.string
+              (Printf.sprintf "fid=%d;rounds=%d;%s" fid t.opt_rounds
+                 (Ir.Print.module_to_string frag_module)))
+      in
+      let cached =
+        try
+          Support.Fault.hit "cache.get";
+          Mutex.lock t.obj_lock;
+          let v = Support.Lru.find t.obj_cache key in
+          Mutex.unlock t.obj_lock;
+          v
+        with
+        | Support.Fault.Injected _ | Support.Fault.Transient_fault _ ->
+          (* a poisoned or faulting cache lookup degrades to a miss *)
+          Telemetry.Recorder.count (Some jr) "session.cache_faults";
+          None
+      in
+      match cached with
+      | Some obj ->
+        Telemetry.Span.add_arg fsp "cache" "hit";
+        (obj, true)
+      | None -> (
+        (* persistent tier: a store hit skips optimize+codegen too *)
+        let from_store =
+          match t.store with
+          | None -> None
+          | Some st -> (
+            match Support.Objstore.get st key with
+            | None -> None
+            | Some data -> (
+              try Some (Marshal.from_string data 0 : Link.Objfile.t)
+              with _ -> None))
+        in
+        match from_store with
+        | Some obj ->
+          Telemetry.Span.add_arg fsp "cache" "store-hit";
+          Telemetry.Recorder.count (Some jr) "session.store_hits";
+          Mutex.lock t.obj_lock;
+          Support.Lru.add t.obj_cache key obj;
+          Mutex.unlock t.obj_lock;
+          (obj, true)
+        | None ->
+          ignore
+            (Opt.Pipeline.run_fragment ~recorder:jr ~max_rounds:t.opt_rounds
+               frag_module);
+          let obj =
+            Telemetry.Span.with_span jspans ~cat:"session" "codegen" (fun () ->
+                Link.Objfile.of_module frag_module)
+          in
+          Mutex.lock t.obj_lock;
+          Support.Lru.add t.obj_cache key obj;
+          Mutex.unlock t.obj_lock;
+          (match t.store with
+          | None -> ()
+          | Some st -> Support.Objstore.put st key (Marshal.to_string obj []));
+          (obj, false))
+    in
+    (* Bounded retries with virtual-clock backoff for transient faults;
+       the cooperative watchdog (armed below) can cut any attempt short. *)
+    let rec attempt n =
+      try Stdlib.Ok (produce source) with
+      | Support.Fault.Transient_fault _ as e when n < t.max_retries ->
+        Telemetry.Recorder.count (Some jr) "session.fragment_retries";
+        Support.Fault.virtual_sleep (backoff_delay n);
+        Telemetry.Span.add_arg fsp "retries" (string_of_int (n + 1));
+        ignore e;
+        attempt (n + 1)
+      | e -> Stdlib.Error (classify_fragment_exn ~fid ~probes e)
+    in
+    let result =
+      Support.Fault.with_deadline t.job_timeout (fun () -> attempt 0)
+    in
+    match result with
+    | Stdlib.Ok (obj, hit) -> (fid, Stdlib.Ok (obj, hit, false), jr, fsp)
+    | Stdlib.Error err -> (
+      Telemetry.Span.add_arg fsp "degraded" "true";
+      Telemetry.Recorder.count (Some jr) "session.fragment_faults";
+      (* Degrade: last-good object if one exists (the fid cache is not
+         touched until the join), else the pristine un-instrumented
+         fragment — compiled with injection suppressed: the recovery
+         path must not be sabotaged by the fault it recovers from. *)
+      match Hashtbl.find_opt t.cache fid with
+      | Some last_good -> (fid, Stdlib.Ok (last_good, false, true), jr, fsp)
+      | None -> (
+        match
+          Support.Fault.with_suppressed (fun () ->
+              try Stdlib.Ok (produce (fun _ -> None)) with e -> Stdlib.Error e)
+        with
+        | Stdlib.Ok (obj, hit) -> (fid, Stdlib.Ok (obj, hit, true), jr, fsp)
+        | Stdlib.Error _ ->
+          (* no last-good and even the pristine object will not build:
+             nothing consistent to serve — fatal, forces a rollback *)
+          (fid, Stdlib.Error err, jr, fsp)))
   in
   let results = Support.Pool.map t.pool compile_fragment sched.changed_fragments in
+  let fatal =
+    List.find_map
+      (fun (_, res, _, _) ->
+        match res with Stdlib.Error e -> Some e | Stdlib.Ok _ -> None)
+      results
+  in
   let cache_hits = ref 0 in
+  let degraded_now = ref [] in
   List.iter
-    (fun (fid, obj, hit, jr, fsp) ->
-      Hashtbl.replace t.cache fid obj;
-      if hit then incr cache_hits;
+    (fun (fid, res, jr, fsp) ->
+      (match res with
+      | Stdlib.Ok (obj, hit, degr) ->
+        Hashtbl.replace t.cache fid obj;
+        if hit then incr cache_hits;
+        if degr then begin
+          degraded_now := fid :: !degraded_now;
+          if not (Hashtbl.mem t.degraded fid) then t.degrade_count <- t.degrade_count + 1;
+          Hashtbl.replace t.degraded fid ()
+        end
+        else if Hashtbl.mem t.degraded fid then begin
+          Hashtbl.remove t.degraded fid;
+          Telemetry.Recorder.count some_r "session.fragments_healed"
+        end
+      | Stdlib.Error _ -> ());
       Telemetry.Recorder.merge ~into:r ~parent:compile_sp jr;
       Telemetry.Recorder.observe (Some r) "session.fragment_ms"
         (1000. *. Telemetry.Span.duration fsp))
     results;
+  let degraded_now = List.rev !degraded_now in
   Telemetry.Span.exit spans compile_sp;
-  (* link all cached fragments + the runtime *)
+  match fatal with
+  | Some err -> rollback err
+  | None -> (
+  (* link all cached fragments + the runtime; transient faults retry
+     with the same bounded backoff, anything persistent rolls back *)
   let link_sp = Telemetry.Span.enter spans ~cat:"session" "link" in
   let objs =
     t.runtime
@@ -338,43 +649,74 @@ let rebuild (sched : sched) =
        |> List.filter_map (fun (f : Partition.fragment) ->
               Hashtbl.find_opt t.cache f.Partition.fid))
   in
-  let exe = Link.Linker.link ~host:t.host objs in
-  Telemetry.Span.exit spans link_sp;
-  t.exe <- Some exe;
-  Instr.Manager.clear_changes t.manager;
-  let some_r = Some r in
-  Telemetry.Recorder.count some_r "session.rebuilds";
-  Telemetry.Recorder.count some_r
-    ~by:(List.length sched.changed_fragments)
-    "session.fragments_scheduled";
-  Telemetry.Recorder.count some_r
-    ~by:(List.length sched.changed_fragments - !cache_hits)
-    "session.fragments_recompiled";
-  Telemetry.Recorder.count some_r ~by:!cache_hits "session.fragment_cache_hits";
-  Telemetry.Recorder.count some_r
-    ~by:(Support.Lru.evictions t.obj_cache - evictions_before)
-    "session.fragment_cache_evictions";
-  Telemetry.Recorder.count some_r
-    ~by:(List.length sched.active)
-    "session.probes_applied";
-  let event =
-    {
-      ev_fragments = sched.changed_fragments;
-      ev_cache_hits = !cache_hits;
-      ev_probes_applied = List.length sched.active;
-      ev_compile_time = Telemetry.Span.duration compile_sp;
-      ev_link_time = Telemetry.Span.duration link_sp;
-      ev_per_fragment =
-        List.map
-          (fun (fid, _, _, _, fsp) -> (fid, Telemetry.Span.duration fsp))
-          results;
-    }
+  let rec link_attempt n =
+    try Stdlib.Ok (Link.Linker.link ~host:t.host objs) with
+    | Support.Fault.Transient_fault _ when n < t.max_retries ->
+      Telemetry.Recorder.count some_r "session.link_retries";
+      Support.Fault.virtual_sleep (backoff_delay n);
+      link_attempt (n + 1)
+    | Build_error e -> Stdlib.Error { e with err_phase = Link }
+    | e ->
+      let msg =
+        match Link.Linker.link_error_message e with
+        | Some m -> m
+        | None -> Printf.sprintf "link raised %s" (Printexc.to_string e)
+      in
+      Stdlib.Error
+        (mk_error
+           ~probes:(List.map (fun p -> p.Instr.Probe.pid) sched.active)
+           ~exn_:e Link msg)
   in
-  t.events <- event :: t.events;
-  event
+  let link_result = link_attempt 0 in
+  Telemetry.Span.exit spans link_sp;
+  match link_result with
+  | Stdlib.Error err -> rollback err
+  | Stdlib.Ok exe ->
+    t.exe <- Some exe;
+    Instr.Manager.clear_changes t.manager;
+    Telemetry.Recorder.count some_r "session.rebuilds";
+    Telemetry.Recorder.count some_r
+      ~by:(List.length sched.changed_fragments)
+      "session.fragments_scheduled";
+    Telemetry.Recorder.count some_r
+      ~by:(List.length sched.changed_fragments - !cache_hits)
+      "session.fragments_recompiled";
+    Telemetry.Recorder.count some_r ~by:!cache_hits "session.fragment_cache_hits";
+    Telemetry.Recorder.count some_r
+      ~by:(Support.Lru.evictions t.obj_cache - evictions_before)
+      "session.fragment_cache_evictions";
+    Telemetry.Recorder.count some_r
+      ~by:(List.length sched.active)
+      "session.probes_applied";
+    Telemetry.Recorder.count some_r
+      ~by:(List.length degraded_now)
+      "session.fragments_degraded";
+    Telemetry.Recorder.count some_r
+      ~by:(Support.Fault.total_fired () - faults_before)
+      "session.faults_injected";
+    let event =
+      {
+        ev_fragments = sched.changed_fragments;
+        ev_cache_hits = !cache_hits;
+        ev_probes_applied = List.length sched.active;
+        ev_compile_time = Telemetry.Span.duration compile_sp;
+        ev_link_time = Telemetry.Span.duration link_sp;
+        ev_per_fragment =
+          List.map
+            (fun (fid, _, _, fsp) -> (fid, Telemetry.Span.duration fsp))
+            results;
+      }
+    in
+    t.events <- event :: t.events;
+    let outcome =
+      match degraded_now with [] -> Ok | fids -> Degraded fids
+    in
+    t.last_outcome <- outcome;
+    outcome)
 
-(** Initial build: schedule every fragment and build the executable. *)
-let build t =
+(** Initial build, transactional: schedule every fragment and build the
+    executable, reporting the outcome instead of raising. *)
+let try_build t =
   Telemetry.Recorder.with_span t.telemetry ~cat:"session" "build" (fun () ->
       let sched =
         Telemetry.Recorder.with_span t.telemetry ~cat:"session" "schedule"
@@ -382,9 +724,17 @@ let build t =
       in
       rebuild sched)
 
-(** Incremental rebuild after probe changes; no-op when nothing changed. *)
-let refresh ?(backprop = true) t =
-  if Instr.Manager.has_changes t.manager then
+(** Initial build: schedule every fragment and build the executable.
+    @raise Build_error when the build rolled back. *)
+let build t =
+  match try_build t with
+  | Ok | Degraded _ -> List.hd t.events
+  | Rolled_back err -> raise (Build_error err)
+
+(** Incremental transactional rebuild after probe changes (or pending
+    degraded fragments to re-heal); [None] when nothing to do. *)
+let try_refresh ?(backprop = true) t =
+  if Instr.Manager.has_changes t.manager || Hashtbl.length t.degraded > 0 then
     Telemetry.Recorder.with_span t.telemetry ~cat:"session" "refresh" (fun () ->
         let sched =
           Telemetry.Recorder.with_span t.telemetry ~cat:"session" "schedule"
@@ -393,10 +743,21 @@ let refresh ?(backprop = true) t =
         Some (rebuild sched))
   else None
 
+(** Incremental rebuild after probe changes; no-op when nothing changed.
+    @raise Build_error when the rebuild rolled back. *)
+let refresh ?(backprop = true) t =
+  match try_refresh ~backprop t with
+  | None -> None
+  | Some (Ok | Degraded _) -> Some (List.hd t.events)
+  | Some (Rolled_back err) -> raise (Build_error err)
+
 let executable t =
   match t.exe with
   | Some exe -> exe
-  | None -> raise (Build_error "Odin session not built yet — call Session.build")
+  | None ->
+    raise
+      (Build_error
+         (mk_error Lifecycle "Odin session not built yet — call Session.build"))
 
 (* ------------------------------------------------------------------ *)
 (* Statistics                                                          *)
@@ -411,3 +772,19 @@ let fragment_sizes t =
   Array.to_list t.plan.Partition.fragments
   |> List.map (fun (f : Partition.fragment) ->
          (f.Partition.fid, Partition.SSet.cardinal f.Partition.members))
+
+(** Fragments currently serving a stale/pristine object, sorted. *)
+let degraded_fragments t =
+  List.sort compare (Hashtbl.fold (fun fid () acc -> fid :: acc) t.degraded [])
+
+(** Rebuilds rolled back to their snapshot so far. *)
+let rollbacks t = t.rollback_count
+
+(** Total fragment degradations over the session's lifetime. *)
+let degrade_total t = t.degrade_count
+
+(** Outcome of the most recent build/refresh ([Ok] before the first). *)
+let last_outcome t = t.last_outcome
+
+(** Persistent-store statistics, when [cache_dir] was given. *)
+let store_stats t = Option.map Support.Objstore.stats t.store

@@ -17,7 +17,15 @@
     (so they survive the recompile), a temporary IR is extracted by
     cloning exactly the affected symbols, the user patch logic instruments
     it, and each affected fragment is re-optimized, re-compiled and
-    relinked from the cache. *)
+    relinked from the cache.
+
+    Rebuilds are {e transactional}: mutable session state is snapshotted
+    before each build/refresh. A fragment whose compile keeps failing
+    after bounded retries degrades to its last-good (or pristine) object
+    and re-heals on a later refresh; a patch- or link-stage failure rolls
+    the whole session back to the snapshot. {!try_build} / {!try_refresh}
+    report this as a {!rebuild_outcome}; {!build} / {!refresh} are the
+    raising compatibility wrappers. *)
 
 module SSet : Set.S with type elt = string
 
@@ -26,12 +34,51 @@ module SSet : Set.S with type elt = string
     tree recorded during {!rebuild}. *)
 type recompile_event = {
   ev_fragments : int list;  (** fragment ids scheduled *)
-  ev_cache_hits : int;  (** of those, served from the object cache *)
+  ev_cache_hits : int;  (** of those, served from the object cache/store *)
   ev_probes_applied : int;
   ev_compile_time : float;  (** seconds, middle end + back end *)
   ev_link_time : float;  (** seconds *)
   ev_per_fragment : (int * float) list;  (** (fragment id, seconds) *)
 }
+
+(** Pipeline stage a build error originated in. *)
+type build_phase =
+  | Schedule
+  | Patch
+  | Materialize
+  | Verify
+  | Optimize
+  | Codegen
+  | Cache
+  | Store
+  | Link
+  | Lifecycle  (** API misuse, e.g. [executable] before [build] *)
+
+(** Structured build failure: the stage, the fragment being compiled (if
+    any), the active probe ids in that fragment, and the underlying
+    exception when one exists. *)
+type build_error = {
+  err_phase : build_phase;
+  err_fragment : int option;
+  err_probes : int list;
+  err_exn : exn option;
+  err_msg : string;
+}
+
+exception Build_error of build_error
+
+val phase_to_string : build_phase -> string
+
+(** Readable multi-line diagnostic (what [odinc] prints). *)
+val build_error_to_string : build_error -> string
+
+(** Result of a transactional rebuild: [Ok] — every scheduled fragment
+    compiled and linked; [Degraded fids] — the listed fragments serve
+    their last-good (or pristine) object after bounded retries failed and
+    re-heal on the next refresh; [Rolled_back err] — a patch- or
+    link-stage failure restored the pre-rebuild snapshot (previous
+    executable, fragment cache and probe epoch intact). *)
+type rebuild_outcome = Ok | Degraded of int list | Rolled_back of build_error
 
 type t = {
   base : Ir.Modul.t;  (** pristine IR; instrumentation never touches it *)
@@ -42,6 +89,8 @@ type t = {
       (** content-addressed object cache: digest of the printed
           instrumented fragment IR (plus opt config) -> finished object *)
   obj_lock : Mutex.t;
+  store : Support.Objstore.t option;
+      (** persistent on-disk tier behind [obj_cache] ([cache_dir]) *)
   pool : Support.Pool.t;  (** executor for per-fragment compiles *)
   runtime : Link.Objfile.t;
   mutable host : string list;
@@ -49,6 +98,14 @@ type t = {
   mutable patchers : (sched -> unit) list;
   mutable events : recompile_event list;
   mutable opt_rounds : int;
+  degraded : (int, unit) Hashtbl.t;
+      (** fragments serving a stale/pristine object; force-scheduled
+          (re-healed) on every refresh until they compile cleanly *)
+  mutable max_retries : int;
+  mutable job_timeout : float option;
+  mutable rollback_count : int;
+  mutable degrade_count : int;
+  mutable last_outcome : rebuild_outcome;
   telemetry : Telemetry.Recorder.t;
       (** every build/refresh records schedule → patch → per-fragment
           materialize/verify/optimize/codegen → link spans here; export
@@ -88,6 +145,13 @@ val map_func : sched -> string -> Ir.Func.t option
       Build output is bit-identical for any pool size, including 1.
     @param cache_size LRU bound (entries) of the content-addressed
       object cache (default 256)
+    @param cache_dir directory for the persistent object store; a
+      restarted process with the same dir starts warm (corrupt entries
+      are detected, quarantined and silently recompiled)
+    @param max_retries bounded retry count for transient fragment-compile
+      faults (default 2)
+    @param job_timeout cooperative per-fragment compile watchdog
+      (seconds); an overrunning job degrades instead of stalling the join
     @param telemetry recorder for build spans/counters (fresh monotonic
       recorder by default; tests inject a virtual-clock recorder) *)
 val create :
@@ -99,6 +163,9 @@ val create :
   ?opt_rounds:int ->
   ?pool:Support.Pool.t ->
   ?cache_size:int ->
+  ?cache_dir:string ->
+  ?max_retries:int ->
+  ?job_timeout:float ->
   ?telemetry:Telemetry.Recorder.t ->
   Ir.Modul.t ->
   t
@@ -107,6 +174,12 @@ val create :
     The bound is part of the object-cache key, so cached objects from
     the old setting are never reused. *)
 val set_opt_rounds : t -> int -> unit
+
+(** Change the bounded-retry count for transient fragment faults. *)
+val set_max_retries : t -> int -> unit
+
+(** Arm/disarm the cooperative per-fragment compile watchdog (seconds). *)
+val set_job_timeout : t -> float option -> unit
 
 (** Replace all patch logic (applies active probes to [sched.temp]). *)
 val set_patcher : t -> (sched -> unit) -> unit
@@ -120,19 +193,29 @@ val add_host_symbol : t -> string -> unit
 
 (** Compute the schedule for the current probe changes (Algorithm 2).
     [initial] schedules every fragment; [backprop:false] disables lines
-    13-17 (ablation: unchanged probes in recompiled fragments vanish). *)
+    13-17 (ablation: unchanged probes in recompiled fragments vanish).
+    Degraded fragments are always force-scheduled (re-heal). *)
 val schedule : ?initial:bool -> ?backprop:bool -> t -> sched
 
-exception Build_error of string
+(** Patch, split, optimize, codegen and relink the scheduled fragments,
+    transactionally. Never raises on build failure: per-fragment failures
+    degrade, patch/link failures roll back — see {!rebuild_outcome}. *)
+val rebuild : sched -> rebuild_outcome
 
-(** Patch, split, optimize, codegen and relink the scheduled fragments.
-    @raise Build_error if a materialized fragment does not verify. *)
-val rebuild : sched -> recompile_event
+(** Initial build, transactional: schedule every fragment and build the
+    executable, reporting the outcome instead of raising. *)
+val try_build : t -> rebuild_outcome
 
-(** Initial build: schedule every fragment and produce the executable. *)
+(** Initial build: schedule every fragment and produce the executable.
+    @raise Build_error when the build rolled back. *)
 val build : t -> recompile_event
 
-(** Incremental rebuild after probe changes; [None] when nothing changed. *)
+(** Incremental transactional rebuild after probe changes (or pending
+    degraded fragments to re-heal); [None] when nothing to do. *)
+val try_refresh : ?backprop:bool -> t -> rebuild_outcome option
+
+(** Incremental rebuild after probe changes; [None] when nothing changed.
+    @raise Build_error when the rebuild rolled back. *)
 val refresh : ?backprop:bool -> t -> recompile_event option
 
 (** @raise Build_error before the first {!build}. *)
@@ -145,3 +228,18 @@ val total_compile_time : t -> float
 
 (** (fragment id, number of member symbols) for every fragment. *)
 val fragment_sizes : t -> (int * int) list
+
+(** Fragments currently serving a stale/pristine object, sorted. *)
+val degraded_fragments : t -> int list
+
+(** Rebuilds rolled back to their snapshot so far. *)
+val rollbacks : t -> int
+
+(** Total fragment degradations over the session's lifetime. *)
+val degrade_total : t -> int
+
+(** Outcome of the most recent build/refresh ([Ok] before the first). *)
+val last_outcome : t -> rebuild_outcome
+
+(** Persistent-store statistics, when [cache_dir] was given. *)
+val store_stats : t -> Support.Objstore.stats option

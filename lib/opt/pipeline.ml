@@ -91,13 +91,17 @@ let fixpoint ?recorder ~max_rounds ~track ctx passes =
 (** Run the O2 pipeline to a bounded fixpoint. Returns the pass context
     (which carries the requirement log when [trial] is set). *)
 let run ?recorder ?(trial = false) ?(max_rounds = 5) ?(keep = [ "main" ]) modul =
+  Support.Fault.hit "opt.pipeline";
   let ctx = Pass.make_ctx ~trial modul in
   Telemetry.Recorder.span_opt recorder ~cat:"opt" "optimize" (fun () ->
       fixpoint ?recorder ~max_rounds ~track:true ctx (standard_passes ~keep ()));
   ctx
 
-(** Optimize a single fragment module during recompilation. *)
+(** Optimize a single fragment module during recompilation. Declares the
+    ["opt.pipeline"] fault site: an injected fault here surfaces as a
+    fragment-compile failure that Session retries or degrades. *)
 let run_fragment ?recorder ?(max_rounds = 2) modul =
+  Support.Fault.hit "opt.pipeline";
   let ctx = Pass.make_ctx ~trial:false modul in
   Telemetry.Recorder.span_opt recorder ~cat:"opt" "optimize" (fun () ->
       fixpoint ?recorder ~max_rounds ~track:false ctx (fragment_passes ()));

@@ -1,0 +1,309 @@
+(** Deterministic, seeded fault injection for the rebuild pipeline.
+
+    Every failure-prone stage of the compile path declares a *fault
+    site* — a stable string like ["opt.pipeline"], ["codegen.emit"],
+    ["link"], ["cache.get"], ["store.read"], ["store.write"] — and calls
+    {!hit} on entry. With no plan installed a hit is a couple of
+    domain-local reads; with a plan installed, the matching rules decide
+    (reproducibly, from the plan seed and the per-rule hit count)
+    whether to raise a permanent {!Injected} fault, a retryable
+    {!Transient_fault}, advance the virtual clock ({!Delay}, which can
+    trip the cooperative per-job watchdog), or — for sites that opt in
+    via {!torn} — corrupt their own output mid-write.
+
+    Plans come from [ODIN_FAULTS] / [odinc --fault-plan]; the syntax is
+
+    {[ seed=42;opt.pipeline:transient:nth=1;link:raise:p=0.25 ]}
+
+    i.e. [;]-separated clauses [site:kind[:trigger]] with
+    [kind ∈ raise | transient | torn | delay=SECS] and
+    [trigger ∈ always (default) | nth=N | p=FLOAT]. Probability
+    decisions hash [(seed, site, hit-index)], so a plan replays
+    identically for a fixed hit order and the *number* of fired faults
+    is identical for any pool size.
+
+    The watchdog: {!with_deadline} arms a per-domain budget (used by
+    Session for its per-fragment [~job_timeout]); each subsequent {!hit}
+    checks elapsed wall time plus accumulated virtual delay and raises
+    {!Timed_out} when the budget is exhausted. It is cooperative — it
+    fires at instrumentation points, not preemptively — which is exactly
+    what a deterministic test harness wants.
+
+    Recovery paths (e.g. the pristine-object fallback that degrades a
+    failing fragment) run under {!with_suppressed}, which disables both
+    injection and the watchdog for the current domain: the last-resort
+    path must not be sabotaged by the fault it is recovering from. *)
+
+exception Injected of string  (** permanent fault at a site *)
+
+exception Transient_fault of string  (** retryable fault at a site *)
+
+exception Timed_out of string  (** per-job watchdog expired at a site *)
+
+type kind = Raise | Transient | Delay of float | Torn
+
+type trigger = Always | Nth of int  (** fire on the Nth hit only *) | Prob of float
+
+type rule = {
+  r_site : string;
+  r_kind : kind;
+  r_trigger : trigger;
+  mutable r_hits : int;  (** times a matching site consulted this rule *)
+  mutable r_fired : int;
+}
+
+type plan = { seed : int; rules : rule list }
+
+(* ------------------------------------------------------------------ *)
+(* Global plan + per-domain state                                      *)
+(* ------------------------------------------------------------------ *)
+
+let lock = Mutex.create ()
+let active : plan option ref = ref None
+let backoff_acc = ref 0.  (* total virtual backoff slept, for stats *)
+
+(* Per-domain suppression flag: recovery paths are exempt. *)
+let suppressed : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+(* Per-domain cooperative watchdog. *)
+type watch = { w_deadline : float; w_start : float; mutable w_virtual : float }
+
+let watch_key : watch option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let install plan =
+  Mutex.lock lock;
+  active := Some plan;
+  Mutex.unlock lock
+
+let clear () =
+  Mutex.lock lock;
+  active := None;
+  Mutex.unlock lock
+
+(** Install [plan], run [f], always uninstall. The canonical way tests
+    scope a fault plan. *)
+let with_plan plan f =
+  install plan;
+  Fun.protect ~finally:clear f
+
+let installed () = !active
+
+(** Run [f] with injection and the watchdog disabled on this domain. *)
+let with_suppressed f =
+  let prev = Domain.DLS.get suppressed in
+  Domain.DLS.set suppressed true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set suppressed prev) f
+
+(* ------------------------------------------------------------------ *)
+(* Decision engine                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic uniform float in [0,1) from (seed, site, hit index). *)
+let hash_unit seed site n =
+  let h = Hashtbl.hash (seed, site, n) in
+  float_of_int (h land 0xFFFFFF) /. float_of_int 0x1000000
+
+let decide seed rule =
+  rule.r_hits <- rule.r_hits + 1;
+  let fire =
+    match rule.r_trigger with
+    | Always -> true
+    | Nth n -> rule.r_hits = n
+    | Prob p -> hash_unit seed rule.r_site rule.r_hits < p
+  in
+  if fire then rule.r_fired <- rule.r_fired + 1;
+  fire
+
+(* First firing rule for [site]; [torn_only] selects between the
+   raise/transient/delay rules consulted by [hit] and the torn-write
+   rules consulted by [torn] — the two never consume each other's hit
+   counters. *)
+let fires ~torn_only site =
+  match !active with
+  | None -> None
+  | Some plan ->
+    Mutex.lock lock;
+    let result =
+      List.find_map
+        (fun r ->
+          if
+            String.equal r.r_site site
+            && (match r.r_kind with Torn -> torn_only | _ -> not torn_only)
+            && decide plan.seed r
+          then Some r.r_kind
+          else None)
+        plan.rules
+    in
+    Mutex.unlock lock;
+    result
+
+(** Advance this domain's virtual clock (a bounded-retry backoff "sleep"
+    that never blocks). Counts toward the watchdog budget. *)
+let virtual_sleep dt =
+  Mutex.lock lock;
+  backoff_acc := !backoff_acc +. dt;
+  Mutex.unlock lock;
+  match Domain.DLS.get watch_key with
+  | Some w -> w.w_virtual <- w.w_virtual +. dt
+  | None -> ()
+
+(** Total virtual seconds slept in backoff since process start. *)
+let backoff_total () =
+  Mutex.lock lock;
+  let v = !backoff_acc in
+  Mutex.unlock lock;
+  v
+
+let check_deadline site =
+  match Domain.DLS.get watch_key with
+  | None -> ()
+  | Some w ->
+    let elapsed = Unix.gettimeofday () -. w.w_start +. w.w_virtual in
+    if elapsed > w.w_deadline then raise (Timed_out site)
+
+(** Arm the cooperative watchdog for the duration of [f] on this domain
+    ([None] = unlimited). Subsequent {!hit}s raise {!Timed_out} once
+    real time plus virtual delay exceeds [timeout]. *)
+let with_deadline timeout f =
+  match timeout with
+  | None -> f ()
+  | Some d ->
+    let prev = Domain.DLS.get watch_key in
+    Domain.DLS.set watch_key
+      (Some { w_deadline = d; w_start = Unix.gettimeofday (); w_virtual = 0. });
+    Fun.protect ~finally:(fun () -> Domain.DLS.set watch_key prev) f
+
+(** Declare that execution reached fault site [site]. Raises {!Injected}
+    / {!Transient_fault} / {!Timed_out} according to the installed plan
+    and the armed watchdog; no-op (beyond the watchdog check) otherwise. *)
+let hit site =
+  if not (Domain.DLS.get suppressed) then begin
+    check_deadline site;
+    match fires ~torn_only:false site with
+    | Some Raise -> raise (Injected site)
+    | Some Transient -> raise (Transient_fault site)
+    | Some (Delay d) ->
+      virtual_sleep d;
+      check_deadline site
+    | Some Torn | None -> ()
+  end
+
+(** [torn site] is [true] when a torn-write fault fires at [site]; the
+    site is then expected to corrupt its own output (the object store
+    writes a truncated entry to the final path, simulating a crash on a
+    non-atomic filesystem). *)
+let torn site =
+  (not (Domain.DLS.get suppressed)) && fires ~torn_only:true site = Some Torn
+
+(* ------------------------------------------------------------------ *)
+(* Plan parsing                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let kind_to_string = function
+  | Raise -> "raise"
+  | Transient -> "transient"
+  | Torn -> "torn"
+  | Delay d -> Printf.sprintf "delay=%g" d
+
+let trigger_to_string = function
+  | Always -> "always"
+  | Nth n -> Printf.sprintf "nth=%d" n
+  | Prob p -> Printf.sprintf "p=%g" p
+
+let to_string plan =
+  String.concat ";"
+    (Printf.sprintf "seed=%d" plan.seed
+    :: List.map
+         (fun r ->
+           Printf.sprintf "%s:%s:%s" r.r_site (kind_to_string r.r_kind)
+             (trigger_to_string r.r_trigger))
+         plan.rules)
+
+let rule ?(trigger = Always) site kind =
+  { r_site = site; r_kind = kind; r_trigger = trigger; r_hits = 0; r_fired = 0 }
+
+let plan ?(seed = 0) rules = { seed; rules }
+
+(** Parse the [ODIN_FAULTS] / [--fault-plan] syntax (see module doc). *)
+let parse_plan s =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let clauses =
+    String.split_on_char ';' s |> List.map String.trim
+    |> List.filter (fun c -> c <> "")
+  in
+  let rec go seed rules = function
+    | [] -> Ok { seed; rules = List.rev rules }
+    | clause :: rest -> (
+      match String.index_opt clause '=' with
+      | Some _ when String.length clause > 5 && String.sub clause 0 5 = "seed=" -> (
+        match int_of_string_opt (String.sub clause 5 (String.length clause - 5)) with
+        | Some n -> go n rules rest
+        | None -> err "fault plan: bad seed in %S" clause)
+      | _ -> (
+        match String.split_on_char ':' clause with
+        | site :: kind_s :: trigger_s ->
+          let kind =
+            match kind_s with
+            | "raise" -> Ok Raise
+            | "transient" -> Ok Transient
+            | "torn" -> Ok Torn
+            | _ when String.length kind_s > 6 && String.sub kind_s 0 6 = "delay=" -> (
+              match
+                float_of_string_opt (String.sub kind_s 6 (String.length kind_s - 6))
+              with
+              | Some d when d >= 0. -> Ok (Delay d)
+              | _ -> Error (Printf.sprintf "fault plan: bad delay in %S" clause)
+            )
+            | _ -> Error (Printf.sprintf "fault plan: unknown kind %S" kind_s)
+          in
+          let trigger =
+            match trigger_s with
+            | [] | [ "always" ] -> Ok Always
+            | [ t ] when String.length t > 4 && String.sub t 0 4 = "nth=" -> (
+              match int_of_string_opt (String.sub t 4 (String.length t - 4)) with
+              | Some n when n >= 1 -> Ok (Nth n)
+              | _ -> Error (Printf.sprintf "fault plan: bad nth in %S" clause))
+            | [ t ] when String.length t > 2 && String.sub t 0 2 = "p=" -> (
+              match float_of_string_opt (String.sub t 2 (String.length t - 2)) with
+              | Some p when p >= 0. && p <= 1. -> Ok (Prob p)
+              | _ -> Error (Printf.sprintf "fault plan: bad probability in %S" clause))
+            | _ -> Error (Printf.sprintf "fault plan: bad trigger in %S" clause)
+          in
+          (match (kind, trigger) with
+          | Ok k, Ok tr -> go seed (rule ~trigger:tr site k :: rules) rest
+          | Error m, _ | _, Error m -> Error m)
+        | _ -> err "fault plan: cannot parse clause %S" clause))
+  in
+  go 0 [] clauses
+
+(** Install the plan named by [ODIN_FAULTS], if set. Returns the parse
+    error, if any, so the caller can report it. *)
+let init_from_env () =
+  match Sys.getenv_opt "ODIN_FAULTS" with
+  | None | Some "" -> Ok false
+  | Some s -> (
+    match parse_plan s with
+    | Ok p ->
+      install p;
+      Ok true
+    | Error m -> Error m)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** (site, kind, hits, fired) for every rule of the installed plan. *)
+let stats () =
+  Mutex.lock lock;
+  let s =
+    match !active with
+    | None -> []
+    | Some plan ->
+      List.map (fun r -> (r.r_site, r.r_kind, r.r_hits, r.r_fired)) plan.rules
+  in
+  Mutex.unlock lock;
+  s
+
+(** Total faults fired by the installed plan so far. *)
+let total_fired () =
+  List.fold_left (fun acc (_, _, _, fired) -> acc + fired) 0 (stats ())

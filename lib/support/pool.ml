@@ -1,10 +1,20 @@
+(** A fixed-size domain pool with an exception-safe fork/join [map].
+
+    Failure contract (the property the rebuild pipeline leans on): a job
+    that raises never abandons its siblings or poisons the queue. Each
+    job captures its own result or exception; {!map} drains the queue
+    alongside the workers and only re-raises — the first exception in
+    input order, with its original backtrace — *after every job of the
+    batch has completed*. A failed batch therefore cannot leave sibling
+    jobs running against state the caller has already torn down, and the
+    pool remains fully serviceable for subsequent batches. *)
+
 type t = {
   psize : int;
   lock : Mutex.t;
   work : Condition.t;  (* signalled when a job is queued *)
-  idle : Condition.t;  (* signalled when outstanding hits 0 *)
+  done_ : Condition.t;  (* signalled when some batch completes *)
   mutable jobs : (unit -> unit) list;
-  mutable outstanding : int;  (* queued + running jobs *)
   mutable stop : bool;
   mutable workers : unit Domain.t list;
 }
@@ -18,9 +28,8 @@ let serial =
     psize = 1;
     lock = Mutex.create ();
     work = Condition.create ();
-    idle = Condition.create ();
+    done_ = Condition.create ();
     jobs = [];
-    outstanding = 0;
     stop = false;
     workers = [];
   }
@@ -48,12 +57,6 @@ let rec next_job t =
         Condition.wait t.work t.lock;
         next_job t)
 
-let finish_job t =
-  Mutex.lock t.lock;
-  t.outstanding <- t.outstanding - 1;
-  if t.outstanding = 0 then Condition.broadcast t.idle;
-  Mutex.unlock t.lock
-
 let worker_loop t () =
   Domain.DLS.set in_worker true;
   let rec loop () =
@@ -62,9 +65,9 @@ let worker_loop t () =
     | None -> Mutex.unlock t.lock
     | Some job ->
         Mutex.unlock t.lock;
-        (* Jobs queued by [map] never raise: they store results/exns. *)
-        (try job () with _ -> ());
-        finish_job t;
+        (* Jobs queued by [map] never raise: each stores its own result
+           or exception and does its own batch accounting. *)
+        job ();
         loop ()
   in
   loop ()
@@ -73,7 +76,7 @@ let create ?size () =
   let psize =
     match size with Some n -> max 1 n | None -> default_size ()
   in
-  let t = { serial with psize; lock = Mutex.create (); work = Condition.create (); idle = Condition.create () } in
+  let t = { serial with psize; lock = Mutex.create (); work = Condition.create (); done_ = Condition.create () } in
   if psize > 1 then
     t.workers <- List.init (psize - 1) (fun _ -> Domain.spawn (worker_loop t));
   t
@@ -97,40 +100,48 @@ let map t f xs =
       let arr = Array.of_list xs in
       let n = Array.length arr in
       let results = Array.make n None in
+      (* Per-batch completion counter: this map call joins exactly its
+         own jobs, even when other batches share the pool concurrently. *)
+      let remaining = ref n in
       let job i () =
-        results.(i) <-
-          Some
-            (try Ok (f arr.(i))
-             with e -> Error (e, Printexc.get_raw_backtrace ()))
+        let r =
+          try Stdlib.Ok (f arr.(i))
+          with e -> Stdlib.Error (e, Printexc.get_raw_backtrace ())
+        in
+        Mutex.lock t.lock;
+        results.(i) <- Some r;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast t.done_;
+        Mutex.unlock t.lock
       in
       Mutex.lock t.lock;
       (* Queue in order; workers take from the head, the caller drains
-         alongside them. *)
+         alongside them (jobs popped here may belong to another batch —
+         running them is harmless and avoids idle domains). *)
       t.jobs <- t.jobs @ List.init n (fun i -> job i);
-      t.outstanding <- t.outstanding + n;
       Condition.broadcast t.work;
       let rec drain () =
-        match t.jobs with
-        | j :: rest ->
-            t.jobs <- rest;
-            Mutex.unlock t.lock;
-            (try j () with _ -> ());
-            Mutex.lock t.lock;
-            t.outstanding <- t.outstanding - 1;
-            if t.outstanding = 0 then Condition.broadcast t.idle;
-            drain ()
-        | [] ->
-            if t.outstanding > 0 then (
-              Condition.wait t.idle t.lock;
-              drain ())
+        if !remaining > 0 then
+          match t.jobs with
+          | j :: rest ->
+              t.jobs <- rest;
+              Mutex.unlock t.lock;
+              j ();
+              Mutex.lock t.lock;
+              drain ()
+          | [] ->
+              Condition.wait t.done_ t.lock;
+              drain ()
       in
       drain ();
       Mutex.unlock t.lock;
+      (* Join barrier passed: every job of this batch has completed, so
+         re-raising here cannot abandon a sibling mid-flight. *)
       Array.to_list
         (Array.map
            (function
-             | Some (Ok v) -> v
-             | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+             | Some (Stdlib.Ok v) -> v
+             | Some (Stdlib.Error (e, bt)) -> Printexc.raise_with_backtrace e bt
              | None -> assert false)
            results)
 

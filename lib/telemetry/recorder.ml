@@ -57,3 +57,12 @@ let observe t ?labels name v =
   match t with
   | None -> ()
   | Some r -> Metrics.observe r.metrics ?labels name v
+
+(** Read back a counter's current value (0 when never incremented).
+    Counterpart to [count]; robustness tests and [odinc] status lines
+    use it to report degradations/rollbacks/faults without walking the
+    registry by hand. *)
+let value t ?labels name =
+  match t with
+  | None -> 0
+  | Some r -> Metrics.value (Metrics.counter r.metrics ?labels name)

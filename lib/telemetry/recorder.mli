@@ -38,3 +38,6 @@ val count : t option -> ?labels:Metrics.labels -> ?by:int -> string -> unit
 
 (** Observe into a histogram (find-or-create) when a recorder is present. *)
 val observe : t option -> ?labels:Metrics.labels -> string -> float -> unit
+
+(** Read back a counter's current value; 0 when absent or no recorder. *)
+val value : t option -> ?labels:Metrics.labels -> string -> int

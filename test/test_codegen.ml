@@ -131,8 +131,16 @@ let test_linker_duplicate_symbol () =
   let o1 = Link.Objfile.of_module m1 in
   let o2 = Link.Objfile.of_module m2 in
   Alcotest.check_raises "duplicate"
-    (Link.Linker.Link_error "duplicate symbol @f (defined in program)") (fun () ->
-      ignore (Link.Linker.link [ o1; o2 ]))
+    (Link.Linker.Duplicate_symbol
+       { symbol = "f"; in_object = "program"; prior = "program" }) (fun () ->
+      ignore (Link.Linker.link [ o1; o2 ]));
+  (* the typed error renders a readable diagnostic naming both objects *)
+  Alcotest.(check (option string))
+    "message"
+    (Some "duplicate symbol @f: defined in program and again in program")
+    (Link.Linker.link_error_message
+       (Link.Linker.Duplicate_symbol
+          { symbol = "f"; in_object = "program"; prior = "program" }))
 
 let test_linker_comdat_folding () =
   (* two objects define the same COMDAT symbol; first wins, no error *)
@@ -168,8 +176,15 @@ declare external @missing_fn() i32
   in
   let obj = Link.Objfile.of_module m in
   Alcotest.check_raises "undefined"
-    (Link.Linker.Link_error "undefined symbol @missing_fn (referenced from parsed)")
-    (fun () -> ignore (Link.Linker.link [ obj ]))
+    (Link.Linker.Undefined_symbol
+       { symbol = "missing_fn"; referenced_from = "parsed" })
+    (fun () -> ignore (Link.Linker.link [ obj ]));
+  Alcotest.(check (option string))
+    "message"
+    (Some "undefined symbol @missing_fn (referenced from parsed)")
+    (Link.Linker.link_error_message
+       (Link.Linker.Undefined_symbol
+          { symbol = "missing_fn"; referenced_from = "parsed" }))
 
 let test_linker_cross_object_call () =
   let m1 =

@@ -229,6 +229,43 @@ let test_pool_serial_and_env () =
     "serial map inline" [ 1; 4; 9 ]
     (Pool.map Pool.serial (fun x -> x * x) [ 1; 2; 3 ])
 
+(* Regression: a raising job must not abandon its batch — every sibling
+   job still runs to completion (drain/join barrier) before the
+   exception propagates, and the pool stays usable. The old
+   implementation could leave outstanding jobs running (or queued) when
+   the caller re-raised early, leaking work into the next batch. *)
+let test_pool_exception_joins_all_jobs () =
+  let pool = Pool.create ~size:4 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) @@ fun () ->
+  let started = Atomic.make 0 in
+  let finished = Atomic.make 0 in
+  (for _ = 1 to 5 do
+     Atomic.set started 0;
+     Atomic.set finished 0;
+     match
+       Pool.map pool
+         (fun i ->
+           Atomic.incr started;
+           if i = 3 then failwith "boom";
+           (* stagger siblings so some are still mid-flight when the
+              failing job raises *)
+           ignore (Sys.opaque_identity (Hashtbl.hash i));
+           Atomic.incr finished;
+           i)
+         (List.init 8 Fun.id)
+     with
+     | _ -> Alcotest.fail "batch with failing job returned"
+     | exception Failure msg ->
+       Alcotest.(check string) "right exception" "boom" msg;
+       (* join barrier: every job ran exactly once, 7 finished *)
+       Alcotest.(check int) "all jobs started" 8 (Atomic.get started);
+       Alcotest.(check int) "siblings completed" 7 (Atomic.get finished)
+   done);
+  (* no leaked jobs: the next batch sees only its own work *)
+  Alcotest.(check (list int))
+    "pool clean after failures" [ 0; 10; 20 ]
+    (Pool.map pool (fun x -> x * 10) [ 0; 1; 2 ])
+
 (* ---------------- span ring buffer ---------------- *)
 
 let test_span_ring_buffer () =
@@ -335,6 +372,8 @@ let () =
           Alcotest.test_case "map order + exceptions" `Quick
             test_pool_map_order_and_exceptions;
           Alcotest.test_case "serial" `Quick test_pool_serial_and_env;
+          Alcotest.test_case "exception joins all jobs" `Quick
+            test_pool_exception_joins_all_jobs;
         ] );
       ( "telemetry-concurrency",
         [

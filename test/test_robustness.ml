@@ -348,7 +348,7 @@ entry:
     (try
        ignore (Link.Linker.link [ o1; Link.Objfile.of_module m2 ]);
        false
-     with Link.Linker.Link_error _ -> true)
+     with Link.Linker.Duplicate_symbol { symbol = "helper"; _ } -> true)
 
 let test_linker_data_relocation_content () =
   let m =
@@ -446,6 +446,303 @@ let test_probe_manager_remove_unknown_is_safe () =
   Alcotest.(check int) "empty" 0 (Instr.Manager.count mgr);
   Alcotest.(check bool) "still dirty (removed target)" true
     (Instr.Manager.has_changes mgr)
+
+(* ---------------- fault tolerance: transactional rebuilds ---------------- *)
+
+module Fault = Support.Fault
+
+let fault_src =
+  {|
+int path_a(int x) { return x * 3 + 1; }
+int path_b(int x) { return x * 5 + 2; }
+int path_c(int x) { return x * 7 + 3; }
+int main(int x) {
+  if (x < 10) return path_a(x);
+  if (x < 100) return path_b(x);
+  return path_c(x);
+}
+|}
+
+let make_faulty_session ?pool ?cache_dir ?max_retries ?job_timeout () =
+  let m = compile fault_src in
+  let reference = Ir.Clone.clone_module m in
+  let session =
+    Odin.Session.create ~mode:Odin.Partition.Max ~keep:[ "main" ]
+      ~runtime_globals:[ Odin.Cov.runtime_global m ]
+      ?pool ?cache_dir ?max_retries ?job_timeout m
+  in
+  let _cov = Odin.Cov.setup session in
+  (session, reference)
+
+(* The paper-level invariant under fault injection: whatever a rebuild
+   reported, the session's executable computes the same results as the
+   pristine interpreter. *)
+let check_differential session reference =
+  let st = Ir.Interp.create reference in
+  List.iter
+    (fun x ->
+      let vm = Vm.create (Odin.Session.executable session) in
+      Alcotest.(check int64)
+        (Printf.sprintf "VM = interp on main(%Ld)" x)
+        (Ir.Interp.run st "main" [ x ])
+        (Vm.call vm "main" [ x ]))
+    [ 1L; 5L; 50L; 99L; 500L ]
+
+(* Disable one active probe: marks exactly one fragment for recompile. *)
+let toggle_probe session =
+  let mgr = session.Odin.Session.manager in
+  match List.filter (fun p -> p.Instr.Probe.enabled) (Instr.Manager.to_list mgr) with
+  | [] -> Alcotest.fail "no enabled probe to toggle"
+  | p :: _ -> Instr.Manager.set_enabled mgr p false
+
+let outcome_to_string = function
+  | Odin.Session.Ok -> "Ok"
+  | Odin.Session.Degraded fids ->
+    Printf.sprintf "Degraded [%s]" (String.concat ";" (List.map string_of_int fids))
+  | Odin.Session.Rolled_back e ->
+    "Rolled_back: " ^ Odin.Session.build_error_to_string e
+
+type expect = EOk | EDegraded | ERolled_back
+
+let expect_to_string = function
+  | EOk -> "Ok"
+  | EDegraded -> "Degraded"
+  | ERolled_back -> "Rolled_back"
+
+(* One matrix cell: clean build, install the plan, toggle a probe,
+   refresh, check the outcome class, the differential invariant, and
+   that the session heals back to a clean Ok once the plan is gone. *)
+let run_matrix_case ?cache_dir ?job_timeout ~plan expected =
+  let session, reference = make_faulty_session ?cache_dir ?job_timeout () in
+  ignore (Odin.Session.build session);
+  check_differential session reference;
+  toggle_probe session;
+  let outcome =
+    Fault.with_plan plan (fun () ->
+        match Odin.Session.try_refresh session with
+        | Some o -> o
+        | None -> Alcotest.fail "refresh had nothing to do")
+  in
+  (match (expected, outcome) with
+  | EOk, Odin.Session.Ok -> ()
+  | EDegraded, Odin.Session.Degraded (_ :: _) -> ()
+  | ERolled_back, Odin.Session.Rolled_back _ -> ()
+  | _ ->
+    Alcotest.failf "expected %s, got %s" (expect_to_string expected)
+      (outcome_to_string outcome));
+  (* never a torn session: a consistent executable is always served *)
+  check_differential session reference;
+  (* with faults gone, the next refresh re-heals (or there is nothing
+     left to do) and no fragment stays degraded *)
+  (match Odin.Session.try_refresh session with
+  | None -> ()
+  | Some Odin.Session.Ok -> ()
+  | Some o -> Alcotest.failf "heal refresh: %s" (outcome_to_string o));
+  Alcotest.(check (list int)) "no degraded fragments left" []
+    (Odin.Session.degraded_fragments session);
+  check_differential session reference
+
+(* Every fault site × {raise, transient, torn}: torn only bites at
+   sites that corrupt their own output (store.write); elsewhere a torn
+   rule never fires and the refresh must stay Ok. *)
+let test_fault_matrix () =
+  let store_dir site kind =
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "odin-matrix-%s-%s" site (Fault.kind_to_string kind))
+    in
+    Support.Objstore.rm_rf dir;
+    dir
+  in
+  let matrix =
+    (* (site, needs_store, expected for Raise, expected for Transient) *)
+    [
+      ("session.materialize", false, EDegraded, EDegraded);
+      ("opt.pipeline", false, EDegraded, EDegraded);
+      ("codegen.emit", false, EDegraded, EDegraded);
+      ("cache.get", false, EOk, EOk);
+      ("link", false, ERolled_back, ERolled_back);
+      ("store.read", true, EOk, EOk);
+      ("store.write", true, EOk, EOk);
+    ]
+  in
+  List.iter
+    (fun (site, needs_store, exp_raise, exp_transient) ->
+      List.iter
+        (fun (kind, expected) ->
+          let cache_dir = if needs_store then Some (store_dir site kind) else None in
+          run_matrix_case ?cache_dir
+            ~plan:(Fault.plan ~seed:1 [ Fault.rule site kind ])
+            expected;
+          Option.iter Support.Objstore.rm_rf cache_dir)
+        [ (Fault.Raise, exp_raise); (Fault.Transient, exp_transient); (Fault.Torn, EOk) ])
+    matrix
+
+(* A single transient fault recovers via bounded retry: Ok, not
+   Degraded — and the retry is visible in the session counters. *)
+let test_fault_transient_retry_recovers () =
+  let session, reference = make_faulty_session () in
+  ignore (Odin.Session.build session);
+  toggle_probe session;
+  let outcome =
+    Fault.with_plan
+      (Fault.plan [ Fault.rule ~trigger:(Fault.Nth 1) "opt.pipeline" Fault.Transient ])
+      (fun () -> Option.get (Odin.Session.try_refresh session))
+  in
+  Alcotest.(check string) "retry recovered" "Ok" (outcome_to_string outcome);
+  Alcotest.(check bool) "retry counted" true
+    (Telemetry.Recorder.value
+       (Some session.Odin.Session.telemetry)
+       "session.fragment_retries"
+     >= 1);
+  check_differential session reference
+
+(* Link failure rolls the whole refresh back: previous executable stays
+   live, the probe change is retained and applies on the next refresh. *)
+let test_fault_link_rollback_then_clean_refresh () =
+  let session, reference = make_faulty_session () in
+  ignore (Odin.Session.build session);
+  let events_before = List.length (Odin.Session.events session) in
+  toggle_probe session;
+  (match
+     Fault.with_plan
+       (Fault.plan [ Fault.rule ~trigger:(Fault.Nth 1) "link" Fault.Raise ])
+       (fun () -> Option.get (Odin.Session.try_refresh session))
+   with
+  | Odin.Session.Rolled_back err ->
+    Alcotest.(check string) "link phase" "link"
+      (Odin.Session.phase_to_string err.Odin.Session.err_phase);
+    Alcotest.(check bool) "readable diagnostic" true
+      (String.length (Odin.Session.build_error_to_string err) > 0)
+  | o -> Alcotest.failf "expected rollback, got %s" (outcome_to_string o));
+  Alcotest.(check int) "rollback counted" 1 (Odin.Session.rollbacks session);
+  Alcotest.(check int) "no event appended" events_before
+    (List.length (Odin.Session.events session));
+  (* previous executable still serves *)
+  check_differential session reference;
+  (* the pending change survived the rollback and applies cleanly now *)
+  (match Odin.Session.try_refresh session with
+  | Some Odin.Session.Ok -> ()
+  | Some o -> Alcotest.failf "clean refresh: %s" (outcome_to_string o)
+  | None -> Alcotest.fail "probe change was lost by the rollback");
+  check_differential session reference
+
+(* refresh raises the structured Build_error on rollback via the compat
+   wrapper, and patch-stage failures carry the Patch phase. *)
+let test_fault_structured_error_phases () =
+  let session, _reference = make_faulty_session () in
+  ignore (Odin.Session.build session);
+  Odin.Session.add_patcher session (fun _ -> failwith "patcher exploded");
+  toggle_probe session;
+  (match Odin.Session.try_refresh session with
+  | Some (Odin.Session.Rolled_back err) ->
+    Alcotest.(check string) "patch phase" "patch"
+      (Odin.Session.phase_to_string err.Odin.Session.err_phase);
+    let msg = Odin.Session.build_error_to_string err in
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "mentions phase" true (contains msg "phase `patch'");
+    Alcotest.(check bool) "mentions cause" true (contains msg "patcher exploded")
+  | Some o -> Alcotest.failf "expected rollback, got %s" (outcome_to_string o)
+  | None -> Alcotest.fail "refresh had nothing to do");
+  (* the raising wrapper converts the same outcome into an exception *)
+  Alcotest.(check bool) "refresh raises Build_error" true
+    (try
+       ignore (Odin.Session.refresh session);
+       false
+     with Odin.Session.Build_error _ -> true)
+
+(* The cooperative watchdog: a delay fault pushes the fragment past its
+   job timeout; the fragment degrades instead of stalling the rebuild. *)
+let test_fault_job_timeout_degrades () =
+  let session, reference = make_faulty_session ~job_timeout:1.0 () in
+  ignore (Odin.Session.build session);
+  toggle_probe session;
+  let outcome =
+    Fault.with_plan
+      (Fault.plan [ Fault.rule "opt.pipeline" (Fault.Delay 10.) ])
+      (fun () -> Option.get (Odin.Session.try_refresh session))
+  in
+  (match outcome with
+  | Odin.Session.Degraded (_ :: _) -> ()
+  | o -> Alcotest.failf "expected Degraded, got %s" (outcome_to_string o));
+  check_differential session reference;
+  (* heals once the fault plan is gone *)
+  (match Odin.Session.try_refresh session with
+  | Some Odin.Session.Ok | None -> ()
+  | Some o -> Alcotest.failf "heal: %s" (outcome_to_string o));
+  Alcotest.(check (list int)) "healed" [] (Odin.Session.degraded_fragments session)
+
+(* Warm restart through the persistent store: a second session over the
+   same cache dir recompiles 0 fragments; a corrupted entry is detected,
+   quarantined and silently recompiled. *)
+let test_store_warm_restart_and_corruption () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "odin-warm-restart-test"
+  in
+  Support.Objstore.rm_rf dir;
+  Fun.protect ~finally:(fun () -> Support.Objstore.rm_rf dir) @@ fun () ->
+  let session1, reference = make_faulty_session ~cache_dir:dir () in
+  let ev1 = Odin.Session.build session1 in
+  Alcotest.(check int) "cold build hits nothing" 0 ev1.Odin.Session.ev_cache_hits;
+  let nfrags = List.length ev1.Odin.Session.ev_fragments in
+  Alcotest.(check bool) "multi-fragment" true (nfrags > 1);
+  (* fresh process, same store: everything served from disk *)
+  let session2, _ = make_faulty_session ~cache_dir:dir () in
+  let ev2 = Odin.Session.build session2 in
+  Alcotest.(check int) "warm restart recompiles 0 fragments" nfrags
+    ev2.Odin.Session.ev_cache_hits;
+  check_differential session2 reference;
+  (let st = Option.get (Odin.Session.store_stats session2) in
+   Alcotest.(check int) "all from store" nfrags st.Support.Objstore.st_hits);
+  (* corrupt one entry on disk: detected, quarantined, recompiled *)
+  let store =
+    Support.Objstore.open_store ~version:1 dir
+  in
+  let entries =
+    let objects = Filename.concat dir "objects" in
+    Array.to_list (Sys.readdir objects)
+    |> List.concat_map (fun shard ->
+           let d = Filename.concat objects shard in
+           List.map (fun f -> Filename.concat d f) (Array.to_list (Sys.readdir d)))
+  in
+  Alcotest.(check int) "one entry per fragment" nfrags (List.length entries);
+  Support.Objstore.write_file (List.hd entries) "garbage, not an entry";
+  ignore store;
+  let session3, _ = make_faulty_session ~cache_dir:dir () in
+  let ev3 = Odin.Session.build session3 in
+  Alcotest.(check int) "corrupt entry recompiled" (nfrags - 1)
+    ev3.Odin.Session.ev_cache_hits;
+  check_differential session3 reference;
+  let st3 = Option.get (Odin.Session.store_stats session3) in
+  Alcotest.(check int) "quarantined" 1 st3.Support.Objstore.st_quarantined
+
+(* The matrix invariant holds for any pool size: repeat a degrading and
+   a rolling-back cell on a 4-domain pool. *)
+let test_fault_matrix_parallel_pool () =
+  let pool = Support.Pool.create ~size:4 () in
+  Fun.protect ~finally:(fun () -> Support.Pool.shutdown pool) @@ fun () ->
+  List.iter
+    (fun (site, expected) ->
+      let session, reference = make_faulty_session ~pool () in
+      ignore (Odin.Session.build session);
+      toggle_probe session;
+      let outcome =
+        Fault.with_plan (Fault.plan [ Fault.rule site Fault.Raise ]) (fun () ->
+            Option.get (Odin.Session.try_refresh session))
+      in
+      (match (expected, outcome) with
+      | EDegraded, Odin.Session.Degraded (_ :: _) -> ()
+      | ERolled_back, Odin.Session.Rolled_back _ -> ()
+      | _, o ->
+        Alcotest.failf "pool=4 %s: expected %s, got %s" site
+          (expect_to_string expected) (outcome_to_string o));
+      check_differential session reference)
+    [ ("opt.pipeline", EDegraded); ("link", ERolled_back) ]
 
 (* ---------------- cross-layer properties ---------------- *)
 
@@ -584,6 +881,22 @@ let () =
           Alcotest.test_case "disable/re-enable probe" `Quick test_session_disable_reenable_probe;
           Alcotest.test_case "many rebuild cycles" `Quick test_session_many_rebuild_cycles;
           Alcotest.test_case "double remove safe" `Quick test_probe_manager_remove_unknown_is_safe;
+        ] );
+      ( "fault-tolerance",
+        [
+          Alcotest.test_case "site x kind matrix" `Slow test_fault_matrix;
+          Alcotest.test_case "transient retry recovers" `Quick
+            test_fault_transient_retry_recovers;
+          Alcotest.test_case "link rollback + clean refresh" `Quick
+            test_fault_link_rollback_then_clean_refresh;
+          Alcotest.test_case "structured error phases" `Quick
+            test_fault_structured_error_phases;
+          Alcotest.test_case "job timeout degrades" `Quick
+            test_fault_job_timeout_degrades;
+          Alcotest.test_case "warm restart + corruption" `Quick
+            test_store_warm_restart_and_corruption;
+          Alcotest.test_case "matrix on 4-domain pool" `Quick
+            test_fault_matrix_parallel_pool;
         ] );
       ( "properties",
         [

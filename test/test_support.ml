@@ -136,6 +136,190 @@ let test_tab_bar_chart_scales () =
 let test_tab_pct_format () =
   Alcotest.(check string) "pct" "12.50%" (Support.Tab.pct 0.125)
 
+(* ---------------- fault injection ---------------- *)
+
+module Fault = Support.Fault
+
+let test_fault_parse_round_trip () =
+  match Fault.parse_plan "seed=42;opt.pipeline:transient:nth=1;link:raise:p=0.25" with
+  | Error m -> Alcotest.fail m
+  | Ok p ->
+    Alcotest.(check int) "seed" 42 p.Fault.seed;
+    Alcotest.(check int) "rules" 2 (List.length p.Fault.rules);
+    Alcotest.(check string)
+      "round trip" "seed=42;opt.pipeline:transient:nth=1;link:raise:p=0.25"
+      (Fault.to_string p);
+  (match Fault.parse_plan "link:delay=0.5" with
+  | Ok { Fault.rules = [ { Fault.r_kind = Fault.Delay d; _ } ]; _ } ->
+    Alcotest.(check (float 1e-9)) "delay" 0.5 d
+  | _ -> Alcotest.fail "delay clause");
+  List.iter
+    (fun bad ->
+      match Fault.parse_plan bad with
+      | Ok _ -> Alcotest.failf "accepted %S" bad
+      | Error _ -> ())
+    [ "link:explode"; "link:raise:p=2.0"; "link:raise:nth=0"; "seed=x;link:raise"; "justasite" ]
+
+let test_fault_nth_trigger () =
+  Fault.with_plan (Fault.plan [ Fault.rule ~trigger:(Fault.Nth 2) "site.a" Fault.Raise ])
+  @@ fun () ->
+  Fault.hit "site.a";
+  Fault.hit "site.b";
+  (* unrelated site: own counter *)
+  Alcotest.(check bool) "2nd hit fires" true
+    (try
+       Fault.hit "site.a";
+       false
+     with Fault.Injected "site.a" -> true);
+  Fault.hit "site.a";
+  (* 3rd hit silent again *)
+  Alcotest.(check int) "fired once" 1 (Fault.total_fired ())
+
+let fire_pattern seed n =
+  Fault.with_plan
+    (Fault.plan ~seed [ Fault.rule ~trigger:(Fault.Prob 0.4) "s" Fault.Transient ])
+  @@ fun () ->
+  List.init n (fun _ ->
+      try
+        Fault.hit "s";
+        false
+      with Fault.Transient_fault _ -> true)
+
+let test_fault_seed_determinism () =
+  let a = fire_pattern 7 64 and b = fire_pattern 7 64 in
+  Alcotest.(check (list bool)) "same seed, same pattern" a b;
+  let fired = List.length (List.filter Fun.id a) in
+  Alcotest.(check bool) "p=0.4 fires sometimes, not always" true
+    (fired > 0 && fired < 64);
+  (* a different seed gives a different pattern (overwhelmingly likely
+     over 64 draws; deterministic given the fixed hash) *)
+  Alcotest.(check bool) "seed changes pattern" true (fire_pattern 8 64 <> a)
+
+let test_fault_suppression_and_torn () =
+  Fault.with_plan
+    (Fault.plan
+       [ Fault.rule "s" Fault.Raise; Fault.rule "w" Fault.Torn ])
+  @@ fun () ->
+  Fault.with_suppressed (fun () ->
+      Fault.hit "s";
+      Alcotest.(check bool) "torn suppressed" false (Fault.torn "w"));
+  (* torn rules are invisible to [hit] and vice versa *)
+  Fault.hit "w";
+  Alcotest.(check bool) "torn fires via torn" true (Fault.torn "w");
+  Alcotest.(check bool) "raise site not torn" false (Fault.torn "s")
+
+let test_fault_deadline_virtual () =
+  (* virtual delay alone must trip the cooperative watchdog: no real
+     sleeping in tests *)
+  Fault.with_plan (Fault.plan [ Fault.rule "slow" (Fault.Delay 10.) ])
+  @@ fun () ->
+  Alcotest.(check bool) "timed out" true
+    (try
+       Fault.with_deadline (Some 1.0) (fun () ->
+           Fault.hit "slow";
+           false)
+     with Fault.Timed_out "slow" -> true);
+  (* without a deadline the delay is just virtual time *)
+  Fault.hit "slow";
+  Alcotest.(check bool) "no watchdog, no raise" true (Fault.backoff_total () >= 10.)
+
+(* ---------------- persistent object store ---------------- *)
+
+module Objstore = Support.Objstore
+
+let store_seq = ref 0
+
+let fresh_store_dir () =
+  incr store_seq;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "odin-objstore-test-%d-%d" (Hashtbl.hash Sys.executable_name) !store_seq)
+  in
+  Objstore.rm_rf dir;
+  dir
+
+let test_objstore_round_trip () =
+  let dir = fresh_store_dir () in
+  Fun.protect ~finally:(fun () -> Objstore.rm_rf dir) @@ fun () ->
+  let st = Objstore.open_store dir in
+  Alcotest.(check (option string)) "empty miss" None (Objstore.get st "k1");
+  Objstore.put st "k1" "payload-one";
+  Objstore.put st "k2" (String.make 4096 '\x00');
+  Alcotest.(check (option string)) "hit" (Some "payload-one") (Objstore.get st "k1");
+  Alcotest.(check (option string))
+    "binary payload intact"
+    (Some (String.make 4096 '\x00'))
+    (Objstore.get st "k2");
+  Alcotest.(check int) "two entries on disk" 2 (Objstore.length st);
+  (* a fresh handle on the same directory is warm: the kill-and-restart
+     round trip *)
+  let st2 = Objstore.open_store dir in
+  Alcotest.(check (option string))
+    "survives reopen" (Some "payload-one") (Objstore.get st2 "k1");
+  let s = Objstore.stats st2 in
+  Alcotest.(check int) "reopen hits" 1 s.Objstore.st_hits;
+  Alcotest.(check int) "no quarantine" 0 (Objstore.quarantine_length st2)
+
+let test_objstore_corruption_quarantined () =
+  let dir = fresh_store_dir () in
+  Fun.protect ~finally:(fun () -> Objstore.rm_rf dir) @@ fun () ->
+  let st = Objstore.open_store dir in
+  Objstore.put st "key" "precious bytes";
+  (* flip payload bytes in place: digest check must catch it *)
+  let path = Objstore.entry_path st "key" in
+  let raw = Objstore.read_file path in
+  let mangled = Bytes.of_string raw in
+  Bytes.set mangled (Bytes.length mangled - 1) '!';
+  Objstore.write_file path (Bytes.to_string mangled);
+  Alcotest.(check (option string)) "corrupt entry is a miss" None (Objstore.get st "key");
+  Alcotest.(check int) "quarantined" 1 (Objstore.quarantine_length st);
+  Alcotest.(check int) "not served again" 0 (Objstore.length st);
+  Alcotest.(check int) "counted" 1 (Objstore.stats st).Objstore.st_quarantined;
+  (* truncated (torn) entry likewise *)
+  Objstore.put st "key" "precious bytes";
+  let raw = Objstore.read_file path in
+  Objstore.write_file path (String.sub raw 0 (String.length raw - 4));
+  Alcotest.(check (option string)) "torn entry is a miss" None (Objstore.get st "key");
+  Alcotest.(check int) "torn quarantined too" 2 (Objstore.quarantine_length st);
+  (* the store heals: rewrite and read back *)
+  Objstore.put st "key" "precious bytes";
+  Alcotest.(check (option string))
+    "healed" (Some "precious bytes") (Objstore.get st "key")
+
+let test_objstore_version_invalidates () =
+  let dir = fresh_store_dir () in
+  Fun.protect ~finally:(fun () -> Objstore.rm_rf dir) @@ fun () ->
+  let st = Objstore.open_store ~version:1 dir in
+  Objstore.put st "k" "v1 payload";
+  let st2 = Objstore.open_store ~version:2 dir in
+  Alcotest.(check int) "format bump wipes objects" 0 (Objstore.length st2);
+  Alcotest.(check (option string)) "old entry gone" None (Objstore.get st2 "k");
+  Objstore.put st2 "k" "v2 payload";
+  let st3 = Objstore.open_store ~version:2 dir in
+  Alcotest.(check (option string))
+    "same version preserved" (Some "v2 payload") (Objstore.get st3 "k")
+
+let test_objstore_fault_sites () =
+  let dir = fresh_store_dir () in
+  Fun.protect ~finally:(fun () -> Objstore.rm_rf dir) @@ fun () ->
+  let st = Objstore.open_store dir in
+  Objstore.put st "k" "data";
+  (* injected read fault degrades to a miss, never an exception *)
+  Fault.with_plan (Fault.plan [ Fault.rule "store.read" Fault.Raise ]) (fun () ->
+      Alcotest.(check (option string)) "read fault = miss" None (Objstore.get st "k"));
+  Alcotest.(check (option string)) "entry intact" (Some "data") (Objstore.get st "k");
+  (* injected write fault is swallowed and counted *)
+  Fault.with_plan (Fault.plan [ Fault.rule "store.write" Fault.Raise ]) (fun () ->
+      Objstore.put st "k2" "lost");
+  Alcotest.(check (option string)) "write fault skipped persist" None (Objstore.get st "k2");
+  Alcotest.(check int) "write error counted" 1 (Objstore.stats st).Objstore.st_write_errors;
+  (* torn-write fault publishes a truncated entry; next get quarantines *)
+  Fault.with_plan (Fault.plan [ Fault.rule "store.write" Fault.Torn ]) (fun () ->
+      Objstore.put st "k3" "will be torn in half");
+  Alcotest.(check (option string)) "torn write detected" None (Objstore.get st "k3");
+  Alcotest.(check int) "torn write quarantined" 1 (Objstore.quarantine_length st)
+
 let () =
   Alcotest.run "support"
     [
@@ -169,5 +353,27 @@ let () =
           Alcotest.test_case "p90/p99" `Quick test_stats_p90_p99;
           Alcotest.test_case "summary" `Quick test_stats_summary;
           QCheck_alcotest.to_alcotest prop_median_between_min_max;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "plan parse round trip" `Quick
+            test_fault_parse_round_trip;
+          Alcotest.test_case "nth trigger" `Quick test_fault_nth_trigger;
+          Alcotest.test_case "seed determinism" `Quick
+            test_fault_seed_determinism;
+          Alcotest.test_case "suppression + torn isolation" `Quick
+            test_fault_suppression_and_torn;
+          Alcotest.test_case "virtual deadline" `Quick
+            test_fault_deadline_virtual;
+        ] );
+      ( "objstore",
+        [
+          Alcotest.test_case "round trip + reopen" `Quick
+            test_objstore_round_trip;
+          Alcotest.test_case "corruption quarantined" `Quick
+            test_objstore_corruption_quarantined;
+          Alcotest.test_case "version bump invalidates" `Quick
+            test_objstore_version_invalidates;
+          Alcotest.test_case "fault sites" `Quick test_objstore_fault_sites;
         ] );
     ]
