@@ -657,6 +657,68 @@ let parallel cfg =
     serial_warm
 
 (* ------------------------------------------------------------------ *)
+(* Fuzzing farm: multi-worker scaling + invariance                     *)
+(* ------------------------------------------------------------------ *)
+
+let farm cfg =
+  print_endline "\n== Fuzzing farm (multi-worker campaign orchestrator) ==";
+  let p = Workloads.Profile.find_exn "libpng" in
+  let seeds = Workloads.Generate.seed_inputs ~count:2 p in
+  let execs = cfg.fuzz_execs * 2 in
+  let observe workers =
+    let pool = Support.Pool.create ~size:(max 2 workers) () in
+    Fun.protect ~finally:(fun () -> Support.Pool.shutdown pool) @@ fun () ->
+    let m = Workloads.Generate.compile p in
+    let fcfg =
+      {
+        Farm.default_config with
+        Farm.fc_workers = workers;
+        fc_execs = execs;
+        fc_sync_interval = 50;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let st = Farm.run ~pool ~entry ~seeds fcfg m in
+    (st, Unix.gettimeofday () -. t0)
+  in
+  let results = List.map (fun w -> (w, observe w)) [ 1; 2; 4 ] in
+  Support.Tab.print
+    ~title:
+      (Printf.sprintf "farm scaling, program %s (%d execs, sync every 50)"
+         p.Workloads.Profile.name execs)
+    ~header:
+      [ "workers"; "wall s"; "execs/s"; "coverage"; "pruned"; "exchanged";
+        "dedup %"; "cross hits"; "recompiles" ]
+    (List.map
+       (fun (w, (st, secs)) ->
+         [
+           string_of_int w;
+           Printf.sprintf "%.2f" secs;
+           Printf.sprintf "%.0f" (float_of_int st.Farm.fs_execs /. max 1e-9 secs);
+           Printf.sprintf "%d/%d"
+             (List.length st.Farm.fs_coverage)
+             st.Farm.fs_total_probes;
+           string_of_int (List.length st.Farm.fs_pruned);
+           string_of_int st.Farm.fs_exchanged;
+           Printf.sprintf "%.0f" (Farm.dedup_rate st);
+           string_of_int st.Farm.fs_cross_hits;
+           string_of_int st.Farm.fs_recompiles;
+         ])
+       results);
+  (* the correctness bar, checked live: worker count must not change the
+     logical outcome *)
+  let sigs =
+    List.map
+      (fun (_, (st, _)) ->
+        (st.Farm.fs_coverage, st.Farm.fs_pruned, st.Farm.fs_corpus))
+      results
+  in
+  let identical = List.for_all (fun s -> s = List.hd sigs) sigs in
+  Printf.printf
+    "  identical (coverage, pruned, corpus) across worker counts: %s\n"
+    (if identical then "yes" else "NO — BUG")
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core operations                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -737,5 +799,6 @@ let () =
   if wants "ablation" then ablation cfg;
   if wants "timereport" then timereport cfg;
   if wants "parallel" then parallel cfg;
+  if wants "farm" then farm cfg;
   if wants "micro" then micro cfg;
   Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

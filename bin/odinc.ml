@@ -299,8 +299,106 @@ let fuzz_cmd =
              campaign recompiles 0 unchanged fragments. Corrupt or torn \
              entries are detected, quarantined and silently recompiled.")
   in
+  let workers =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Run a fuzzing farm of N concurrent campaign workers instead of \
+             a single campaign. Workers share the content-addressed object \
+             cache and rendezvous at sync barriers (corpus exchange, global \
+             coverage merge, globally-voted probe pruning). Results are \
+             deterministic and identical for any N.")
+  in
+  let sync_interval =
+    Arg.(
+      value & opt int 100
+      & info [ "sync-interval" ] ~docv:"K"
+          ~doc:"Farm-wide executions between sync barriers (with --workers).")
+  in
+  let prune_quorum =
+    Arg.(
+      value & opt int 1
+      & info [ "prune-quorum" ] ~docv:"V"
+          ~doc:
+            "Fired-execution votes required to prune a probe globally (with \
+             --workers); 1 = Untracer policy.")
+  in
+  let cache_limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-limit" ] ~docv:"BYTES"
+          ~doc:
+            "Garbage-collect the persistent object store down to BYTES at \
+             every sync barrier (with --workers and --cache-dir): coldest \
+             entries evicted first.")
+  in
+  (* ------------- farm mode (--workers N) ------------- *)
+  let run_farm ~r ~pool ~m ~entry ~execs ~no_prune ~workers ~sync_interval
+      ~prune_quorum ~cache_limit ~cache_dir =
+    let cfg =
+      {
+        Farm.default_config with
+        Farm.fc_workers = workers;
+        fc_execs = execs;
+        fc_sync_interval = sync_interval;
+        fc_prune_quorum = (if no_prune then 0 else prune_quorum);
+        fc_cache_limit = cache_limit;
+      }
+    in
+    let seeds = [ String.init 48 (fun i -> Char.chr ((i * 37) land 255)) ] in
+    let st =
+      Farm.run ~telemetry:r ~pool ?cache_dir ~host:[ "printf"; "puts" ] ~entry
+        ~seeds cfg m
+    in
+    Printf.printf "farm       : %d workers, %d sync rounds (interval %d)\n"
+      st.Farm.fs_workers st.Farm.fs_sync_rounds sync_interval;
+    Printf.printf "executions : %d merged (%d cycles)\n" st.Farm.fs_execs
+      st.Farm.fs_total_cycles;
+    Printf.printf "coverage   : %d / %d blocks (global bitmap)\n"
+      (List.length st.Farm.fs_coverage)
+      st.Farm.fs_total_probes;
+    Printf.printf "corpus     : %d inputs (global)\n"
+      (List.length st.Farm.fs_corpus);
+    Printf.printf "pruned     : %d probes (global votes, quorum %d)\n"
+      (List.length st.Farm.fs_pruned)
+      cfg.Farm.fc_prune_quorum;
+    Printf.printf "exchanged  : %d inputs (%d offered, %d duplicates, %d \
+                   stale; dedup %.1f%%)\n"
+      st.Farm.fs_exchanged st.Farm.fs_offered st.Farm.fs_duplicates
+      st.Farm.fs_stale (Farm.dedup_rate st);
+    Printf.printf "cache      : %d cross-worker object hits\n"
+      st.Farm.fs_cross_hits;
+    Printf.printf "recompiles : %d barrier refreshes\n" st.Farm.fs_recompiles;
+    if st.Farm.fs_skipped > 0 || st.Farm.fs_crashes > 0 then
+      Printf.printf "skipped    : %d executions (%d guest crashes)\n"
+        st.Farm.fs_skipped st.Farm.fs_crashes;
+    List.iter
+      (fun (id, why) -> Printf.printf "dead       : worker %d — %s\n" id why)
+      st.Farm.fs_dead;
+    if st.Farm.fs_gc_evicted > 0 then
+      Printf.printf "store gc   : %d entries evicted\n" st.Farm.fs_gc_evicted;
+    (match Support.Fault.installed () with
+    | Some plan ->
+      Printf.printf "faults     : %d injected (plan %s)\n"
+        (Support.Fault.total_fired ())
+        (Support.Fault.to_string plan)
+    | None -> ());
+    match st.Farm.fs_store with
+    | Some s ->
+      Printf.printf
+        "store      : %d hits, %d misses, %d writes, %d quarantined, %d \
+         gc-evicted\n"
+        s.Support.Objstore.st_hits s.Support.Objstore.st_misses
+        s.Support.Objstore.st_writes s.Support.Objstore.st_quarantined
+        s.Support.Objstore.st_gc_evicted
+    | None -> ()
+  in
   let run file entry execs no_prune jobs metrics_csv span_limit cache_dir
-      fault_plan time_report trace_out =
+      workers sync_interval prune_quorum cache_limit fault_plan time_report
+      trace_out =
     install_faults fault_plan;
     with_diagnostics @@ fun () ->
     let r = Telemetry.Recorder.create ?span_limit () in
@@ -314,6 +412,21 @@ let fuzz_cmd =
       Telemetry.Recorder.with_span r ~cat:"campaign" "frontend" (fun () ->
           compile_source file)
     in
+    match workers with
+    | Some n ->
+      run_farm ~r ~pool ~m ~entry ~execs ~no_prune ~workers:n ~sync_interval
+        ~prune_quorum ~cache_limit ~cache_dir;
+      (match metrics_csv with
+      | Some path -> (
+        try
+          Telemetry.Csv.write r path;
+          Printf.printf "metrics csv written to %s\n" path
+        with Sys_error msg ->
+          Printf.eprintf "odinc: cannot write metrics csv: %s\n" msg;
+          exit 1)
+      | None -> ());
+      export ~time_report ~trace_out ~title:"odinc fuzz" r
+    | None ->
     let session =
       Odin.Session.create ~keep:[ entry ]
         ~runtime_globals:[ Odin.Cov.runtime_global m ]
@@ -452,8 +565,8 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Fuzz a mini-C target with OdinCov (live pruning).")
     Term.(
       const run $ file $ entry $ execs $ no_prune $ jobs $ metrics_csv
-      $ span_limit $ cache_dir $ fault_plan_arg $ time_report_arg
-      $ trace_out_arg)
+      $ span_limit $ cache_dir $ workers $ sync_interval $ prune_quorum
+      $ cache_limit $ fault_plan_arg $ time_report_arg $ trace_out_arg)
 
 (* ---------------- workload ---------------- *)
 

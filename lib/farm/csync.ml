@@ -1,0 +1,100 @@
+(** Corpus-sync protocol and global coverage bitmap.
+
+    At every farm barrier the workers' execution results are merged
+    here, in global execution order (AFL++'s [-M/-S] sync, compressed
+    into one process). The exchange deduplicates: an input already seen
+    — byte-identical to one offered in any earlier round or earlier in
+    this batch — is dropped, and a novel input is {e accepted} (and
+    broadcast to every worker's corpus shard) only when it fires at
+    least one probe the global bitmap has not recorded yet. Everything
+    else is {e stale}: executed coverage, no news.
+
+    The bitmap is the farm's single source of truth for "covered": one
+    bit per probe id, merged from every worker regardless of which
+    worker's session still carries the probe. Purely sequential — the
+    orchestrator calls {!merge} from the barrier, never from pool
+    domains — so the counters need no locking and the outcome is
+    deterministic for a fixed item order. *)
+
+type item = {
+  it_index : int;  (** global execution slot; merges happen in slot order *)
+  it_input : string;
+  it_cycles : int;  (** VM cycles of the execution *)
+  it_fired : int list;  (** probe ids whose counter fired, ascending *)
+  it_fns : (string * int) list;  (** per-function cycle attribution *)
+}
+
+type t = {
+  bitmap : Bytes.t;  (** global coverage, 1 bit per probe id *)
+  n_probes : int;
+  seen : (string, unit) Hashtbl.t;  (** digests of every input ever offered *)
+  mutable offered : int;
+  mutable accepted : int;
+  mutable duplicates : int;
+  mutable stale : int;
+}
+
+let create ~n_probes =
+  {
+    bitmap = Bytes.make ((max 0 n_probes + 7) / 8) '\x00';
+    n_probes;
+    seen = Hashtbl.create 256;
+    offered = 0;
+    accepted = 0;
+    duplicates = 0;
+    stale = 0;
+  }
+
+let covered t pid =
+  pid >= 0 && pid < t.n_probes
+  && Char.code (Bytes.get t.bitmap (pid / 8)) land (1 lsl (pid mod 8)) <> 0
+
+let set_covered t pid =
+  if pid >= 0 && pid < t.n_probes then
+    Bytes.set t.bitmap (pid / 8)
+      (Char.chr (Char.code (Bytes.get t.bitmap (pid / 8)) lor (1 lsl (pid mod 8))))
+
+let covered_count t =
+  let n = ref 0 in
+  for pid = 0 to t.n_probes - 1 do
+    if covered t pid then incr n
+  done;
+  !n
+
+(** Covered probe ids, ascending. *)
+let covered_list t =
+  let acc = ref [] in
+  for pid = t.n_probes - 1 downto 0 do
+    if covered t pid then acc := pid :: !acc
+  done;
+  !acc
+
+(** Merge one barrier's worth of items (callers pass them sorted by
+    [it_index]). Returns the accepted items paired with the number of
+    probes each one freshly covered, in slot order. Every non-duplicate
+    item's coverage lands in the bitmap whether or not it is accepted. *)
+let merge t items =
+  List.filter_map
+    (fun it ->
+      t.offered <- t.offered + 1;
+      let dig = Digest.string it.it_input in
+      if Hashtbl.mem t.seen dig then begin
+        t.duplicates <- t.duplicates + 1;
+        None
+      end
+      else begin
+        Hashtbl.replace t.seen dig ();
+        let fresh = List.filter (fun pid -> not (covered t pid)) it.it_fired in
+        List.iter (set_covered t) it.it_fired;
+        match fresh with
+        | [] ->
+          t.stale <- t.stale + 1;
+          None
+        | _ ->
+          t.accepted <- t.accepted + 1;
+          Some (it, List.length fresh)
+      end)
+    items
+
+(** duplicates / offered, in percent (0 when nothing offered). *)
+let dedup_rate t = if t.offered = 0 then 0. else 100. *. float_of_int t.duplicates /. float_of_int t.offered

@@ -1,0 +1,39 @@
+(** Corpus-sync protocol and global coverage bitmap: the merge step of
+    the farm's barrier. Deduplicates byte-identical inputs across
+    workers and rounds, accepts only inputs contributing new global
+    coverage, and folds every execution's fired probes into one bitmap.
+    Sequential by design — called only from the orchestrator's barrier,
+    in global execution order. *)
+
+type item = {
+  it_index : int;  (** global execution slot; merges happen in slot order *)
+  it_input : string;
+  it_cycles : int;  (** VM cycles of the execution *)
+  it_fired : int list;  (** probe ids whose counter fired, ascending *)
+  it_fns : (string * int) list;  (** per-function cycle attribution *)
+}
+
+type t = {
+  bitmap : Bytes.t;  (** global coverage, 1 bit per probe id *)
+  n_probes : int;
+  seen : (string, unit) Hashtbl.t;
+  mutable offered : int;
+  mutable accepted : int;
+  mutable duplicates : int;  (** byte-identical to an earlier offer *)
+  mutable stale : int;  (** novel bytes, no new global coverage *)
+}
+
+val create : n_probes:int -> t
+val covered : t -> int -> bool
+val covered_count : t -> int
+
+(** Covered probe ids, ascending. *)
+val covered_list : t -> int list
+
+(** Merge one barrier's items (pass them sorted by [it_index]); returns
+    accepted items with their fresh-coverage counts, in slot order.
+    Every non-duplicate item's coverage lands in the bitmap. *)
+val merge : t -> item list -> (item * int) list
+
+(** duplicates / offered, percent. *)
+val dedup_rate : t -> float

@@ -1,0 +1,458 @@
+(** Fuzzing farm: a multi-worker campaign orchestrator.
+
+    N campaign workers fuzz one target concurrently on the OCaml 5
+    domain pool. Each worker owns a deterministic RNG stream, a corpus
+    shard and its own Odin session; all sessions share one
+    content-addressed {!Odin.Session.object_cache}, so a fragment
+    compiled by any worker is a (cross-)hit for every other. Workers
+    rendezvous at sync barriers every [fc_sync_interval] executions:
+    coverage-increasing inputs are exchanged through the deduplicating
+    {!Csync} protocol, global coverage is merged into one bitmap, and
+    probe pruning is decided {e globally} ({!Instr.Votes}) so the farm
+    converges to the same pruned instrumentation a long single campaign
+    would.
+
+    {2 Determinism}
+
+    The farm is deterministic for a fixed [(seed, workers,
+    sync-interval)] triple — and, by construction, its {e logical}
+    results do not depend on the worker count at all. The schedule is
+    expressed in worker-independent {e execution slots}: slot [i] draws
+    from an RNG derived from [(seed, i)] and mutates against the
+    round-start corpus snapshot, which is a replica of the global
+    corpus on every shard (broadcast at the previous barrier). Probe
+    state only changes at barriers, applied identically to every
+    session, so within a round all workers run byte-identical
+    executables; which worker executes slot [i] therefore cannot change
+    the result, only who computes it. All cross-worker state — corpus
+    broadcast, bitmap merge, prune votes — mutates only at the barrier,
+    in slot order. [test_farm.ml] asserts bit-identical coverage and
+    pruned-probe sets across [--workers 1/2/4].
+
+    {2 Fault tolerance}
+
+    Two farm-specific fault sites ({!Support.Fault}): ["vm.step"] fires
+    per basic-block entry inside guest executions — an injected fault
+    kills the worker mid-round, a transient one skips that execution —
+    and ["farm.sync"] fires at each worker's barrier check-in. A dead
+    worker's in-flight round is discarded (it is excluded from the
+    barrier), its slots are redistributed to survivors from the next
+    round on, and because slot results are worker-independent the
+    surviving lanes are unaffected — the farm degrades gracefully and
+    keeps its determinism. *)
+
+module Csync = Csync
+module Recorder = Telemetry.Recorder
+
+type config = {
+  fc_workers : int;
+  fc_execs : int;  (** mutated-execution budget, farm-wide (seeds excluded) *)
+  fc_sync_interval : int;  (** executions per sync round, farm-wide *)
+  fc_seed : int;
+  fc_prune_quorum : int;
+      (** fired-execution votes required to prune a probe globally;
+          <= 0 disables pruning. 1 = Untracer policy, globally. *)
+  fc_cache_limit : int option;  (** store GC size bound (bytes), per barrier *)
+  fc_cache_age : float option;  (** store GC age bound (seconds), per barrier *)
+  fc_mode : Odin.Partition.mode;
+}
+
+let default_config =
+  {
+    fc_workers = 1;
+    fc_execs = 400;
+    fc_sync_interval = 100;
+    fc_seed = 42;
+    fc_prune_quorum = 1;
+    fc_cache_limit = None;
+    fc_cache_age = None;
+    fc_mode = Odin.Partition.Auto;
+  }
+
+type worker = {
+  wk_id : int;
+  wk_session : Odin.Session.t;
+  wk_cov : Odin.Cov.t;
+  wk_probes : (int, Instr.Probe.t) Hashtbl.t;  (** pid -> probe, at setup *)
+  wk_corpus : Fuzzer.Corpus.t;  (** shard; replica of the global corpus *)
+  wk_recorder : Recorder.t;  (** forked; merged into the farm's at the end *)
+  mutable wk_execs : int;
+  mutable wk_cycles : int;
+  mutable wk_skipped : int;  (** transient-faulted executions *)
+  mutable wk_crashes : int;  (** guest traps ([Vm.Fault]) *)
+  mutable wk_recompiles : int;
+  mutable wk_dead : string option;  (** why the worker left the farm *)
+}
+
+type stats = {
+  fs_workers : int;
+  fs_execs : int;  (** executions merged at barriers (seeds included) *)
+  fs_total_cycles : int;
+  fs_sync_rounds : int;
+  fs_offered : int;  (** inputs offered at barriers *)
+  fs_exchanged : int;  (** accepted and broadcast to every shard *)
+  fs_duplicates : int;
+  fs_stale : int;
+  fs_coverage : int list;  (** globally covered probe ids, ascending *)
+  fs_total_probes : int;
+  fs_pruned : int list;  (** globally pruned probe ids, ascending *)
+  fs_corpus : string list;  (** global corpus inputs, acceptance order *)
+  fs_cross_hits : int;  (** object-cache hits on another worker's entry *)
+  fs_recompiles : int;  (** barrier refreshes across all workers *)
+  fs_skipped : int;
+  fs_crashes : int;
+  fs_dead : (int * string) list;  (** dead workers (id, reason), id order *)
+  fs_gc_evicted : int;  (** store entries evicted at barriers *)
+  fs_store : Support.Objstore.stats option;
+}
+
+let dedup_rate st =
+  if st.fs_offered = 0 then 0.
+  else 100. *. float_of_int st.fs_duplicates /. float_of_int st.fs_offered
+
+(* result of one worker's share of a round *)
+type round_result =
+  | Finished of Csync.item list
+  | Died of string * Csync.item list  (** items completed before death *)
+
+let live workers = List.filter (fun w -> w.wk_dead = None) workers
+
+(** Run a farm over [base]. [entry] is the target entry point
+    ([Campaign.entry] for the shipped workloads), [seeds] the initial
+    inputs, [host] the host-function names registered as no-ops in each
+    guest VM. [pool] executes both the workers within a round and (from
+    the orchestrator, between rounds) the sessions' fragment compiles;
+    results are independent of its size. [cache_dir] puts the shared
+    persistent object store behind every worker's session. *)
+let run ?telemetry ?pool ?cache_dir ?(host = Workloads.Generate.host_functions)
+    ~entry ~seeds (cfg : config) (base : Ir.Modul.t) =
+  let nw = max 1 cfg.fc_workers in
+  let r = match telemetry with Some r -> r | None -> Recorder.create () in
+  let pool = match pool with Some p -> p | None -> Support.Pool.default () in
+  let farm_sp =
+    Telemetry.Span.enter r.Recorder.spans ~cat:"farm"
+      ~args:
+        [
+          ("workers", string_of_int nw);
+          ("execs", string_of_int cfg.fc_execs);
+          ("sync_interval", string_of_int cfg.fc_sync_interval);
+          ("seed", string_of_int cfg.fc_seed);
+        ]
+      "farm"
+  in
+  Fun.protect ~finally:(fun () -> Telemetry.Span.exit r.Recorder.spans farm_sp)
+  @@ fun () ->
+  let shared = Odin.Session.object_cache ~size:1024 () in
+  let jclock = Telemetry.Clock.synchronized r.Recorder.clock in
+  (* Workers are created serially in id order: worker 0's initial build
+     populates the shared cache, every later worker's build is all
+     cross hits. *)
+  let mk_worker i =
+    let wr = Recorder.fork ~clock:jclock r in
+    let m = Ir.Clone.clone_module base in
+    let session =
+      Odin.Session.create ~mode:cfg.fc_mode ~keep:[ entry ]
+        ~runtime_globals:[ Odin.Cov.runtime_global m ]
+        ~host ~pool ~objects:shared ~owner:i ?cache_dir ~telemetry:wr m
+    in
+    let cov = Odin.Cov.setup session in
+    let dead =
+      match Odin.Session.try_build session with
+      | Odin.Session.Ok | Odin.Session.Degraded _ -> None
+      | Odin.Session.Rolled_back err ->
+        Some ("initial build rolled back: " ^ err.Odin.Session.err_msg)
+    in
+    let probes = Hashtbl.create 97 in
+    List.iter
+      (fun (p : Instr.Probe.t) -> Hashtbl.replace probes p.Instr.Probe.pid p)
+      (Instr.Manager.to_list session.Odin.Session.manager);
+    {
+      wk_id = i;
+      wk_session = session;
+      wk_cov = cov;
+      wk_probes = probes;
+      wk_corpus = Fuzzer.Corpus.create ();
+      wk_recorder = wr;
+      wk_execs = 0;
+      wk_cycles = 0;
+      wk_skipped = 0;
+      wk_crashes = 0;
+      wk_recompiles = 0;
+      wk_dead = dead;
+    }
+  in
+  let workers =
+    Telemetry.Span.with_span r.Recorder.spans ~cat:"farm" "spawn" (fun () ->
+        List.init nw mk_worker)
+  in
+  let n_probes =
+    match workers with w :: _ -> w.wk_cov.Odin.Cov.total_probes | [] -> 0
+  in
+  let sync = Csync.create ~n_probes in
+  let votes = Instr.Votes.create () in
+  let pruned_global : (int, unit) Hashtbl.t = Hashtbl.create 97 in
+  let corpus_global = ref [] (* accepted inputs, newest first *) in
+  let total_execs = ref 0 and total_cycles = ref 0 in
+  let sync_rounds = ref 0 in
+  let gc_evicted = ref 0 in
+  let n_seeds = List.length seeds in
+  let default_input = match seeds with s :: _ -> s | [] -> "\x00" in
+
+  (* ---------------- one execution slot ---------------------------- *)
+  (* Deterministic in the slot index alone (given the round-start shard
+     state, which is a global replica): which worker runs it is
+     irrelevant to the result. *)
+  let run_slot w idx =
+    let rng = Support.Rng.create ((cfg.fc_seed * 1_000_003) + idx) in
+    let input =
+      if idx < n_seeds then List.nth seeds idx
+      else
+        let base_in =
+          match Fuzzer.Corpus.pick w.wk_corpus rng with
+          | Some s -> s.Fuzzer.Corpus.data
+          | None -> default_input
+        in
+        Fuzzer.Mutate.havoc rng ~pool:(Fuzzer.Corpus.inputs w.wk_corpus) base_in
+    in
+    let vm = Vm.create (Odin.Session.executable w.wk_session) in
+    ignore (Vm.enable_profile vm);
+    List.iter (fun n -> Vm.register_host vm n (fun _ -> 0L)) host;
+    let addr = Vm.write_buffer vm input in
+    ignore (Vm.call vm entry [ addr; Int64.of_int (String.length input) ]);
+    w.wk_execs <- w.wk_execs + 1;
+    w.wk_cycles <- w.wk_cycles + vm.Vm.cycles;
+    Recorder.count (Some w.wk_recorder) "campaign.execs";
+    Recorder.observe (Some w.wk_recorder) "campaign.exec_cycles"
+      (float_of_int vm.Vm.cycles);
+    let fired =
+      List.filter_map
+        (fun (p : Instr.Probe.t) ->
+          match p.Instr.Probe.payload with
+          | Instr.Probe.Cov _ when Odin.Cov.read_counter vm p.Instr.Probe.pid > 0 ->
+            Some p.Instr.Probe.pid
+          | _ -> None)
+        (Instr.Manager.to_list w.wk_session.Odin.Session.manager)
+      |> List.sort compare
+    in
+    let prof =
+      match Vm.profile vm with Some p -> Vm.profile_top p | None -> []
+    in
+    {
+      Csync.it_index = idx;
+      it_input = input;
+      it_cycles = vm.Vm.cycles;
+      it_fired = fired;
+      it_fns = prof;
+    }
+  in
+
+  (* one worker's share of a round; never raises *)
+  let run_share w idxs =
+    let acc = ref [] in
+    try
+      List.iter
+        (fun idx ->
+          match run_slot w idx with
+          | item -> acc := item :: !acc
+          | exception Support.Fault.Transient_fault _ ->
+            w.wk_skipped <- w.wk_skipped + 1
+          | exception Vm.Fault _ -> w.wk_crashes <- w.wk_crashes + 1)
+        idxs;
+      Finished (List.rev !acc)
+    with
+    | Support.Fault.Injected site ->
+      Died (Printf.sprintf "injected fault at %s" site, List.rev !acc)
+    | Support.Fault.Timed_out site ->
+      Died (Printf.sprintf "timed out at %s" site, List.rev !acc)
+    | e -> Died (Printexc.to_string e, List.rev !acc)
+  in
+
+  (* ---------------- the sync barrier ------------------------------ *)
+  let barrier ~round (results : (worker * round_result) list) =
+    incr sync_rounds;
+    Telemetry.Recorder.with_span r ~cat:"farm"
+      ~args:[ ("round", string_of_int round) ]
+      "sync"
+    @@ fun () ->
+    (* a worker that died mid-round loses its whole round: its slots are
+       not merged, so survivors see exactly what they would have seen
+       had the dead worker never been assigned those slots *)
+    List.iter
+      (fun (w, res) ->
+        match res with
+        | Died (reason, _) ->
+          w.wk_dead <- Some reason;
+          Recorder.count (Some r) "farm.worker_deaths"
+        | Finished _ -> ())
+      results;
+    (* rendezvous: every surviving worker checks in — including workers
+       that drew no slots this round; an injected fault here kills it at
+       the barrier door, same exclusion *)
+    List.iter
+      (fun w ->
+        if w.wk_dead = None then
+          try Support.Fault.hit "farm.sync"
+          with
+          | Support.Fault.Injected site
+          | Support.Fault.Transient_fault site
+          | Support.Fault.Timed_out site
+          ->
+            w.wk_dead <- Some (Printf.sprintf "fault at %s" site);
+            Recorder.count (Some r) "farm.worker_deaths")
+      workers;
+    let items =
+      List.concat_map
+        (fun (w, res) ->
+          match (w.wk_dead, res) with
+          | None, Finished items -> items
+          | _ -> [])
+        results
+      |> List.sort (fun a b -> compare a.Csync.it_index b.Csync.it_index)
+    in
+    (* energy is computed against the farm-wide average exec cost from
+       all previous rounds — worker-count invariant by construction *)
+    let avg_cycles = if !total_execs = 0 then 0 else !total_cycles / !total_execs in
+    let accepted = Csync.merge sync items in
+    List.iter
+      (fun it ->
+        incr total_execs;
+        total_cycles := !total_cycles + it.Csync.it_cycles;
+        (* one vote per (probe, execution) toward global saturation *)
+        List.iter (fun pid -> Instr.Votes.record votes ~pid) it.Csync.it_fired)
+      items;
+    (* every live worker takes the barrier's effects, whether or not it
+       drew a slot this round — shards must stay global replicas *)
+    let survivors = live workers in
+    (* broadcast: every accepted input lands in every shard, so all
+       shards replicate the global corpus at round start *)
+    List.iter
+      (fun (it, fresh) ->
+        let energy =
+          Fuzzer.Campaign.seed_energy ~avg_cycles ~cycles:it.Csync.it_cycles
+            ~fn_cycles:it.Csync.it_fns
+        in
+        corpus_global := it.Csync.it_input :: !corpus_global;
+        List.iter
+          (fun w ->
+            Fuzzer.Corpus.add w.wk_corpus ~energy ~data:it.Csync.it_input
+              ~exec_cycles:it.Csync.it_cycles ~new_blocks:fresh ())
+          survivors)
+      accepted;
+    Recorder.count (Some r) ~by:(List.length accepted) "farm.inputs_exchanged";
+    (* global prune decision, applied identically to every survivor *)
+    let prunes =
+      Instr.Votes.saturated votes ~quorum:cfg.fc_prune_quorum
+        ~already:(Hashtbl.mem pruned_global)
+    in
+    List.iter (fun pid -> Hashtbl.replace pruned_global pid ()) prunes;
+    if prunes <> [] then
+      Recorder.count (Some r) ~by:(List.length prunes) "farm.probes_pruned";
+    List.iter
+      (fun w ->
+        List.iter
+          (fun pid ->
+            match Hashtbl.find_opt w.wk_probes pid with
+            | Some p -> Instr.Manager.remove w.wk_session.Odin.Session.manager p
+            | None -> ())
+          prunes;
+        (* serial, in worker order: the first survivor compiles the
+           post-prune fragments, the rest hit the shared cache *)
+        if prunes <> [] || Odin.Session.degraded_fragments w.wk_session <> []
+        then
+          match Odin.Session.try_refresh w.wk_session with
+          | Some (Odin.Session.Ok | Odin.Session.Degraded _) ->
+            w.wk_recompiles <- w.wk_recompiles + 1
+          | Some (Odin.Session.Rolled_back _) | None -> ())
+      survivors;
+    (* store GC: bound the shared persistent tier while everyone is
+       parked at the barrier *)
+    (match (survivors, cfg.fc_cache_limit, cfg.fc_cache_age) with
+    | _, None, None | [], _, _ -> ()
+    | w :: _, _, _ -> (
+      match w.wk_session.Odin.Session.store with
+      | None -> ()
+      | Some st ->
+        let g =
+          Support.Objstore.gc ?max_bytes:cfg.fc_cache_limit
+            ?max_age:cfg.fc_cache_age st
+        in
+        gc_evicted := !gc_evicted + g.Support.Objstore.gc_evicted;
+        if g.Support.Objstore.gc_evicted > 0 then
+          Recorder.count (Some r) ~by:g.Support.Objstore.gc_evicted
+            "farm.store_gc_evicted"));
+    Recorder.count (Some r) "farm.sync_rounds"
+  in
+
+  (* ---------------- round scheduler ------------------------------- *)
+  (* slots are dealt round-robin over the live workers; the deal only
+     decides who computes what *)
+  let run_round ~round idxs =
+    let ws = live workers in
+    match ws with
+    | [] -> ()
+    | _ ->
+      let n = List.length ws in
+      let shares = Array.make n [] in
+      List.iteri (fun k idx -> shares.(k mod n) <- idx :: shares.(k mod n)) idxs;
+      let jobs =
+        List.mapi (fun k w -> (w, List.rev shares.(k))) ws
+        |> List.filter (fun (_, idxs) -> idxs <> [])
+      in
+      let results =
+        Support.Pool.map pool
+          (fun (w, idxs) ->
+            Telemetry.Recorder.with_span w.wk_recorder ~cat:"farm"
+              ~args:[ ("round", string_of_int round) ]
+              "worker-round"
+              (fun () -> (w, run_share w idxs)))
+          jobs
+      in
+      barrier ~round results
+  in
+  (* round 0: the seed inputs themselves, then the mutation budget in
+     sync-interval chunks *)
+  if n_seeds > 0 && live workers <> [] then
+    run_round ~round:0 (List.init n_seeds (fun i -> i));
+  let interval = max 1 cfg.fc_sync_interval in
+  let budget = max 0 cfg.fc_execs in
+  let next = ref 0 in
+  let round = ref 1 in
+  while !next < budget && live workers <> [] do
+    let n = min interval (budget - !next) in
+    run_round ~round:!round (List.init n (fun k -> n_seeds + !next + k));
+    next := !next + n;
+    incr round
+  done;
+
+  (* ---------------- join --------------------------------------------- *)
+  let cross = Odin.Session.cross_hits shared in
+  Recorder.count (Some r) ~by:cross "farm.cache_cross_hits";
+  List.iter (fun w -> Recorder.merge ~into:r ~parent:farm_sp w.wk_recorder) workers;
+  {
+    fs_workers = nw;
+    fs_execs = !total_execs;
+    fs_total_cycles = !total_cycles;
+    fs_sync_rounds = !sync_rounds;
+    fs_offered = sync.Csync.offered;
+    fs_exchanged = sync.Csync.accepted;
+    fs_duplicates = sync.Csync.duplicates;
+    fs_stale = sync.Csync.stale;
+    fs_coverage = Csync.covered_list sync;
+    fs_total_probes = n_probes;
+    fs_pruned = Hashtbl.fold (fun pid () acc -> pid :: acc) pruned_global [] |> List.sort compare;
+    fs_corpus = List.rev !corpus_global;
+    fs_cross_hits = cross;
+    fs_recompiles = List.fold_left (fun a w -> a + w.wk_recompiles) 0 workers;
+    fs_skipped = List.fold_left (fun a w -> a + w.wk_skipped) 0 workers;
+    fs_crashes = List.fold_left (fun a w -> a + w.wk_crashes) 0 workers;
+    fs_dead =
+      List.filter_map
+        (fun w ->
+          match w.wk_dead with Some why -> Some (w.wk_id, why) | None -> None)
+        workers;
+    fs_gc_evicted = !gc_evicted;
+    fs_store =
+      (match workers with
+      | w :: _ -> Odin.Session.store_stats w.wk_session
+      | [] -> None);
+  }

@@ -1,0 +1,87 @@
+(** Fuzzing farm: N concurrent campaign workers over one target, each
+    with its own deterministic RNG stream, corpus shard and Odin
+    session, sharing one content-addressed object cache. Workers
+    rendezvous at sync barriers: deduplicating corpus exchange
+    ({!Csync}), global coverage merge, and globally-voted probe pruning
+    ({!Instr.Votes}). Deterministic for a fixed (seed, workers,
+    sync-interval) triple; the logical results (coverage, pruned set,
+    corpus) are worker-count invariant by construction. *)
+
+(** The corpus-sync protocol, re-exported: [farm.ml] is the library's
+    interface module, so this is the public path to {!Csync}. *)
+module Csync = Csync
+
+type config = {
+  fc_workers : int;
+  fc_execs : int;  (** mutated-execution budget, farm-wide (seeds excluded) *)
+  fc_sync_interval : int;  (** executions per sync round, farm-wide *)
+  fc_seed : int;
+  fc_prune_quorum : int;
+      (** fired-execution votes required to prune a probe globally;
+          <= 0 disables pruning. 1 = Untracer policy, globally. *)
+  fc_cache_limit : int option;  (** store GC size bound (bytes), per barrier *)
+  fc_cache_age : float option;  (** store GC age bound (seconds), per barrier *)
+  fc_mode : Odin.Partition.mode;
+}
+
+(** 1 worker, 400 execs, sync every 100, seed 42, quorum 1, no GC. *)
+val default_config : config
+
+type worker = {
+  wk_id : int;
+  wk_session : Odin.Session.t;
+  wk_cov : Odin.Cov.t;
+  wk_probes : (int, Instr.Probe.t) Hashtbl.t;
+  wk_corpus : Fuzzer.Corpus.t;
+  wk_recorder : Telemetry.Recorder.t;
+  mutable wk_execs : int;
+  mutable wk_cycles : int;
+  mutable wk_skipped : int;
+  mutable wk_crashes : int;
+  mutable wk_recompiles : int;
+  mutable wk_dead : string option;
+}
+
+type stats = {
+  fs_workers : int;
+  fs_execs : int;  (** executions merged at barriers (seeds included) *)
+  fs_total_cycles : int;
+  fs_sync_rounds : int;
+  fs_offered : int;
+  fs_exchanged : int;  (** accepted and broadcast to every shard *)
+  fs_duplicates : int;
+  fs_stale : int;
+  fs_coverage : int list;  (** globally covered probe ids, ascending *)
+  fs_total_probes : int;
+  fs_pruned : int list;  (** globally pruned probe ids, ascending *)
+  fs_corpus : string list;  (** global corpus inputs, acceptance order *)
+  fs_cross_hits : int;  (** object-cache hits on another worker's entry *)
+  fs_recompiles : int;
+  fs_skipped : int;
+  fs_crashes : int;
+  fs_dead : (int * string) list;
+  fs_gc_evicted : int;
+  fs_store : Support.Objstore.stats option;
+}
+
+(** duplicates / offered, percent. *)
+val dedup_rate : stats -> float
+
+(** Run a farm over [base]: build one session per worker (shared object
+    cache, optional shared persistent store via [cache_dir]), replay
+    the [seeds], then spend [fc_execs] mutated executions in
+    sync-interval rounds. [entry] is the target entry point; [host]
+    names host functions registered as no-ops in each guest VM
+    (defaults to the workloads' host set). Per-worker telemetry is
+    recorded on forked recorders and merged into [telemetry] (or a
+    private recorder) at the end. *)
+val run :
+  ?telemetry:Telemetry.Recorder.t ->
+  ?pool:Support.Pool.t ->
+  ?cache_dir:string ->
+  ?host:string list ->
+  entry:string ->
+  seeds:string list ->
+  config ->
+  Ir.Modul.t ->
+  stats

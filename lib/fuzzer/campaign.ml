@@ -26,6 +26,45 @@ let run_once ?hosts ?(setup = fun (_ : Vm.t) -> ()) exe input =
   vm
 
 (* ------------------------------------------------------------------ *)
+(* Energy assignment                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** AFL-style energy for a seed, from the VM's execution profile
+    ([Vm.profile] / [Vm.profile_top]): how many mutated executions this
+    seed deserves relative to its peers.
+
+    Three multiplicative factors, all integer and deterministic:
+    - {b speed} — cheap seeds (cycles well under [avg_cycles]) are
+      mutated more, expensive ones less (AFL's [calculate_score]
+      exec-time buckets);
+    - {b breadth} — seeds whose execution touched more functions carry
+      more distinct code to mutate against;
+    - {b spread} — cycles concentrated in a single hot function suggest
+      a saturated loop, cycles spread across the profile suggest
+      unexplored branching, so concentration is penalized.
+
+    [fn_cycles] is the per-function cycle attribution of the discovering
+    execution, as returned by [Vm.profile_top]. The result is >= 1 and
+    scaled so an average seed (cycles == avg, one function) lands near
+    100 — comparable to the classic size/cost score in
+    {!Corpus.pick}. *)
+let seed_energy ~avg_cycles ~cycles ~fn_cycles =
+  let speed =
+    if avg_cycles <= 0 then 100
+    else if cycles * 4 <= avg_cycles then 400
+    else if cycles * 2 <= avg_cycles then 300
+    else if cycles <= avg_cycles then 200
+    else if cycles <= avg_cycles * 2 then 100
+    else if cycles <= avg_cycles * 4 then 50
+    else 25
+  in
+  let breadth = min 16 (List.length fn_cycles) in
+  let hottest = List.fold_left (fun a (_, c) -> max a c) 0 fn_cycles in
+  let concentration = hottest * 100 / max 1 cycles (* 0..100 *) in
+  let spread = 200 - min 100 concentration (* 100..200 *) in
+  max 1 (speed * (4 + breadth) * spread / 800)
+
+(* ------------------------------------------------------------------ *)
 (* Corpus collection                                                   *)
 (* ------------------------------------------------------------------ *)
 

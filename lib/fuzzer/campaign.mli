@@ -22,6 +22,15 @@ val run_once :
 (** A fuzzing target backed by a SanitizerCoverage build of the module. *)
 val sancov_target : Ir.Modul.t -> Fuzz.target
 
+(** AFL-style energy for a seed from the VM's execution profile: cheap
+    executions ([cycles] under [avg_cycles]), broad function coverage
+    and cycle spread (vs. one saturated hot loop) all raise the weight.
+    [fn_cycles] is per-function cycle attribution as returned by
+    [Vm.profile_top]. Deterministic, >= 1, ~100 for an average seed;
+    feed the result to {!Corpus.add}'s [?energy]. *)
+val seed_energy :
+  avg_cycles:int -> cycles:int -> fn_cycles:(string * int) list -> int
+
 type prepared = {
   profile : Workloads.Profile.t;
   source : string;

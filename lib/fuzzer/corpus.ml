@@ -5,14 +5,17 @@ type seed = {
   data : string;
   exec_cycles : int;  (** cost of the discovering execution *)
   new_blocks : int;  (** coverage it contributed when found *)
+  energy : int;
+      (** explicit scheduling weight (see {!Campaign.seed_energy});
+          [0] means "unassigned" and falls back to the size/cost score *)
 }
 
 type t = { mutable seeds : seed list (* newest first *) }
 
 let create () = { seeds = [] }
 
-let add t ~data ~exec_cycles ~new_blocks =
-  t.seeds <- { data; exec_cycles; new_blocks } :: t.seeds
+let add t ?(energy = 0) ~data ~exec_cycles ~new_blocks () =
+  t.seeds <- { data; exec_cycles; new_blocks; energy } :: t.seeds
 
 let size t = List.length t.seeds
 
@@ -20,7 +23,8 @@ let seeds t = List.rev t.seeds
 
 let inputs t = List.rev_map (fun s -> s.data) t.seeds |> List.rev
 
-(** Pick a seed biased toward small, cheap, high-yield entries. *)
+(** Pick a seed biased toward small, cheap, high-yield entries; a seed
+    carrying an explicit energy is weighted by it instead. *)
 let pick t rng =
   match t.seeds with
   | [] -> None
@@ -29,7 +33,9 @@ let pick t rng =
       List.map
         (fun s ->
           let score =
-            (1 + s.new_blocks) * 1000 / (1 + (s.exec_cycles / 1000) + String.length s.data)
+            if s.energy > 0 then s.energy
+            else
+              (1 + s.new_blocks) * 1000 / (1 + (s.exec_cycles / 1000) + String.length s.data)
           in
           (max 1 score, s))
         all

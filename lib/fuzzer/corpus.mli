@@ -1,11 +1,17 @@
 (** Seed corpus with AFL-style favoring of small/fast/high-yield seeds. *)
 
-type seed = { data : string; exec_cycles : int; new_blocks : int }
+type seed = { data : string; exec_cycles : int; new_blocks : int; energy : int }
 
 type t
 
 val create : unit -> t
-val add : t -> data:string -> exec_cycles:int -> new_blocks:int -> unit
+
+(** [energy], when positive, is an explicit scheduling weight (see
+    {!Campaign.seed_energy}); when omitted {!pick} falls back to the
+    classic size/cost score. *)
+val add :
+  t -> ?energy:int -> data:string -> exec_cycles:int -> new_blocks:int -> unit -> unit
+
 val size : t -> int
 
 (** Seeds in discovery order. *)
@@ -14,6 +20,7 @@ val seeds : t -> seed list
 (** Seed inputs in discovery order. *)
 val inputs : t -> string list
 
-(** Weighted random pick biased toward small, cheap, high-yield seeds;
-    [None] when empty. *)
+(** Weighted random pick; a seed with explicit energy is weighted by
+    it, otherwise biased toward small, cheap, high-yield seeds. [None]
+    when empty. *)
 val pick : t -> Support.Rng.t -> seed option

@@ -24,7 +24,7 @@ let collect_corpus ~rng ~seeds ~execs (target : target) =
     stats.total_cycles <- stats.total_cycles + r.ex_cycles;
     if r.ex_new_blocks > 0 then begin
       stats.discoveries <- stats.discoveries + 1;
-      Corpus.add corpus ~data ~exec_cycles:r.ex_cycles ~new_blocks:r.ex_new_blocks
+      Corpus.add corpus ~data ~exec_cycles:r.ex_cycles ~new_blocks:r.ex_new_blocks ()
     end
   in
   List.iter execute seeds;

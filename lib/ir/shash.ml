@@ -1,0 +1,255 @@
+(** Structural digesting of modules — the content address of a fragment.
+
+    [Odin.Session] keys its object cache by the complete compiler input:
+    the instrumented fragment IR plus the optimization bound. Digesting
+    via the printer materializes a large formatted string for every
+    scheduled fragment on every rebuild; this module instead folds the
+    module into a digest with one visitor pass over instructions and a
+    compact binary encoding — no [Printf], no intermediate lines.
+
+    The encoding is unambiguous: every constructor is tagged, strings
+    are length-prefixed and lists are count-prefixed, so decoding (if we
+    ever wrote one) would be unique. Consequently two modules produce
+    equal digests exactly when they are structurally equal — the same
+    equivalence the printer induces. The cache tests assert that the
+    printed and structural keys collide/differ identically. *)
+
+let add_int b n =
+  (* fits all counts/sizes we emit; 32 bits keeps the buffer compact *)
+  Buffer.add_int32_le b (Int32.of_int n)
+
+let add_str b s =
+  add_int b (String.length s);
+  Buffer.add_string b s
+
+let add_list add b l =
+  add_int b (List.length l);
+  List.iter (add b) l
+
+let add_opt add b = function
+  | None -> Buffer.add_char b '\x00'
+  | Some v ->
+    Buffer.add_char b '\x01';
+    add b v
+
+let add_bool b v = Buffer.add_char b (if v then '\x01' else '\x00')
+
+let add_ty b (ty : Types.ty) =
+  Buffer.add_char b
+    (match ty with
+    | I1 -> 'a'
+    | I8 -> 'b'
+    | I16 -> 'c'
+    | I32 -> 'd'
+    | I64 -> 'e'
+    | Ptr -> 'p'
+    | Void -> 'v')
+
+let add_value b (v : Ins.value) =
+  match v with
+  | Const (ty, n) ->
+    Buffer.add_char b 'C';
+    add_ty b ty;
+    Buffer.add_int64_le b n
+  | Reg (ty, name) ->
+    Buffer.add_char b 'R';
+    add_ty b ty;
+    add_str b name
+  | Global name ->
+    Buffer.add_char b 'G';
+    add_str b name
+  | Blockaddr (fn, label) ->
+    Buffer.add_char b 'B';
+    add_str b fn;
+    add_str b label
+  | Undef ty ->
+    Buffer.add_char b 'U';
+    add_ty b ty
+
+let binop_tag : Ins.binop -> char = function
+  | Add -> 'a'
+  | Sub -> 's'
+  | Mul -> 'm'
+  | Sdiv -> 'd'
+  | Udiv -> 'D'
+  | Srem -> 'r'
+  | Urem -> 'R'
+  | And -> '&'
+  | Or -> '|'
+  | Xor -> '^'
+  | Shl -> '<'
+  | Lshr -> '>'
+  | Ashr -> 'A'
+
+let icmp_tag : Ins.icmp -> char = function
+  | Eq -> 'e'
+  | Ne -> 'n'
+  | Slt -> 'l'
+  | Sle -> 'L'
+  | Sgt -> 'g'
+  | Sge -> 'G'
+  | Ult -> 'u'
+  | Ule -> 'U'
+  | Ugt -> 't'
+  | Uge -> 'T'
+
+let cast_tag : Ins.cast -> char = function
+  | Zext -> 'z'
+  | Sext -> 's'
+  | Trunc -> 't'
+  | Bitcast -> 'b'
+  | Ptrtoint -> 'p'
+  | Inttoptr -> 'i'
+
+let add_kind b (k : Ins.kind) =
+  match k with
+  | Binop (op, x, y) ->
+    Buffer.add_char b 'B';
+    Buffer.add_char b (binop_tag op);
+    add_value b x;
+    add_value b y
+  | Icmp (p, x, y) ->
+    Buffer.add_char b 'I';
+    Buffer.add_char b (icmp_tag p);
+    add_value b x;
+    add_value b y
+  | Select (c, x, y) ->
+    Buffer.add_char b 'S';
+    add_value b c;
+    add_value b x;
+    add_value b y
+  | Cast (c, x) ->
+    Buffer.add_char b 'C';
+    Buffer.add_char b (cast_tag c);
+    add_value b x
+  | Load p ->
+    Buffer.add_char b 'L';
+    add_value b p
+  | Store (v, p) ->
+    Buffer.add_char b 's';
+    add_value b v;
+    add_value b p
+  | Gep (base, idx, sz) ->
+    Buffer.add_char b 'G';
+    add_value b base;
+    add_value b idx;
+    add_int b sz
+  | Call (Direct name, args) ->
+    Buffer.add_char b 'c';
+    add_str b name;
+    add_list add_value b args
+  | Call (Indirect fn, args) ->
+    Buffer.add_char b 'i';
+    add_value b fn;
+    add_list add_value b args
+  | Phi incoming ->
+    Buffer.add_char b 'P';
+    add_list
+      (fun b (label, v) ->
+        add_str b label;
+        add_value b v)
+      b incoming
+  | Alloca (ty, count) ->
+    Buffer.add_char b 'A';
+    add_ty b ty;
+    add_int b count
+
+let add_ins b (i : Ins.ins) =
+  add_str b i.id;
+  add_ty b i.ty;
+  add_bool b i.volatile;
+  add_kind b i.kind
+
+let add_term b (t : Ins.term) =
+  match t with
+  | Ret v ->
+    Buffer.add_char b 'R';
+    add_opt add_value b v
+  | Br l ->
+    Buffer.add_char b 'b';
+    add_str b l
+  | Cbr (c, t_, f_) ->
+    Buffer.add_char b 'c';
+    add_value b c;
+    add_str b t_;
+    add_str b f_
+  | Switch (v, d, cases) ->
+    Buffer.add_char b 'S';
+    add_value b v;
+    add_str b d;
+    add_list
+      (fun b (n, l) ->
+        Buffer.add_int64_le b n;
+        add_str b l)
+      b cases
+  | Unreachable -> Buffer.add_char b 'U'
+
+let add_block b (blk : Func.block) =
+  add_str b blk.label;
+  add_list add_ins b blk.insns;
+  add_term b blk.term
+
+let add_linkage b (l : Func.linkage) =
+  Buffer.add_char b (match l with External -> 'E' | Internal -> 'I')
+
+let add_func b (f : Func.t) =
+  Buffer.add_char b 'F';
+  add_str b f.name;
+  add_linkage b f.linkage;
+  add_list
+    (fun b (ty, name) ->
+      add_ty b ty;
+      add_str b name)
+    b f.params;
+  add_ty b f.ret;
+  add_opt add_str b f.comdat;
+  add_list add_str b f.attrs;
+  add_list add_block b f.blocks
+
+let add_init b (i : Modul.init) =
+  match i with
+  | Bytes s ->
+    Buffer.add_char b 'B';
+    add_str b s
+  | Words (ty, ws) ->
+    Buffer.add_char b 'W';
+    add_ty b ty;
+    add_list (fun b w -> Buffer.add_int64_le b w) b ws
+  | Symbols syms ->
+    Buffer.add_char b 'S';
+    add_list add_str b syms
+  | Zero n ->
+    Buffer.add_char b 'Z';
+    add_int b n
+  | Extern -> Buffer.add_char b 'E'
+
+let add_gvar b (g : Modul.gvar) =
+  Buffer.add_char b 'V';
+  add_str b g.gname;
+  add_linkage b g.glinkage;
+  add_bool b g.gconst;
+  add_opt add_str b g.gcomdat;
+  add_init b g.ginit
+
+let add_alias b (a : Modul.alias) =
+  Buffer.add_char b 'A';
+  add_str b a.aname;
+  add_linkage b a.alinkage;
+  add_str b a.atarget
+
+let add_gvalue b (g : Modul.gvalue) =
+  match g with
+  | Fun f -> add_func b f
+  | Var v -> add_gvar b v
+  | Alias a -> add_alias b a
+
+let add_module b (m : Modul.t) =
+  add_str b m.mname;
+  add_list add_gvalue b (Modul.globals m)
+
+(** Digest of the structural encoding of [m]. Equal iff the modules are
+    structurally equal (same equivalence as comparing printed IR). *)
+let module_digest (m : Modul.t) : Digest.t =
+  let b = Buffer.create 4096 in
+  add_module b m;
+  Digest.bytes (Buffer.to_bytes b)

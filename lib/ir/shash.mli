@@ -1,0 +1,15 @@
+(** Structural digesting of modules — the content address of a fragment.
+
+    A single visitor pass folds a module into an unambiguous binary
+    encoding (tagged constructors, length-prefixed strings) and digests
+    it, replacing the printed-IR digest on the session's object-cache
+    hot path. Two modules get equal digests exactly when they are
+    structurally equal — the same equivalence the printer induces. *)
+
+(** Append the structural encoding of a module to a buffer. Exposed so
+    callers can prefix additional key material (fragment id,
+    optimization bound) before digesting. *)
+val add_module : Buffer.t -> Modul.t -> unit
+
+(** Digest of the structural encoding of [m]. *)
+val module_digest : Modul.t -> Digest.t

@@ -118,19 +118,49 @@ let mk_error ?fragment ?(probes = []) ?exn_ phase msg =
     probe epoch intact). *)
 type rebuild_outcome = Ok | Degraded of int list | Rolled_back of build_error
 
+(** Content-addressed object cache: structural digest of the
+    instrumented fragment IR (plus opt config) -> finished object. A
+    hit skips optimize+codegen — probe sets toggled off and on again
+    relink the cached object instead of recompiling.
+
+    The cache is shareable: several sessions over the same base module
+    (the fuzzing farm's workers) can be created with one
+    {!object_cache}, so a fragment compiled by one worker is a hit for
+    every other. [oc_owners] remembers which session ([~owner]) first
+    produced each key; a hit by a different session is a {e cross hit},
+    the farm's measure of sharing. *)
+type object_cache = {
+  oc_lru : Link.Objfile.t Support.Lru.t;
+  oc_lock : Mutex.t;  (** guards all [oc_] fields during parallel compiles *)
+  oc_owners : (string, int) Hashtbl.t;  (** key -> owner that produced it *)
+  mutable oc_cross_hits : int;
+}
+
+let object_cache ?(size = 256) () =
+  {
+    oc_lru = Support.Lru.create size;
+    oc_lock = Mutex.create ();
+    oc_owners = Hashtbl.create 64;
+    oc_cross_hits = 0;
+  }
+
+(** Hits served to a session other than the one that produced the
+    entry; 0 unless the cache is shared. *)
+let cross_hits oc =
+  Mutex.lock oc.oc_lock;
+  let n = oc.oc_cross_hits in
+  Mutex.unlock oc.oc_lock;
+  n
+
 type t = {
   base : Ir.Modul.t;  (** pristine IR; instrumentation never touches it *)
   plan : Partition.plan;
   manager : Instr.Manager.t;
   cache : (int, Link.Objfile.t) Hashtbl.t;
-  obj_cache : Link.Objfile.t Support.Lru.t;
-      (** content-addressed: digest of printed instrumented fragment IR
-          (plus opt config) -> finished object. A hit skips
-          optimize+codegen — probe sets toggled off and on again relink
-          the cached object instead of recompiling. *)
-  obj_lock : Mutex.t;  (** guards [obj_cache] during parallel compiles *)
+  objects : object_cache;  (** content-addressed tier; possibly shared *)
+  owner : int;  (** this session's identity in [objects.oc_owners] *)
   store : Support.Objstore.t option;
-      (** persistent tier behind [obj_cache]: on-disk content-addressed
+      (** persistent tier behind [objects]: on-disk content-addressed
           store ([--cache-dir]) so a process restart starts warm *)
   pool : Support.Pool.t;  (** fragment compile executor *)
   runtime : Link.Objfile.t;  (** runtime globals (counter arrays, ...) *)
@@ -172,9 +202,10 @@ let map_ins sched ins = Ir.Clone.map_ins sched.map ins
 
 let map_func sched name = Ir.Modul.find_func sched.temp name
 
-(* Bump when the marshalled Objfile payload changes shape: a version
-   mismatch makes an existing on-disk store invalidate cleanly. *)
-let store_format_version = 1
+(* Bump when the marshalled Objfile payload or the key derivation
+   changes shape: a version mismatch makes an existing on-disk store
+   invalidate cleanly. 2 = structural (Ir.Shash) cache keys. *)
+let store_format_version = 2
 
 (* ------------------------------------------------------------------ *)
 (* Session construction                                                *)
@@ -187,11 +218,13 @@ let store_format_version = 1
     [cache_dir] enables the persistent object store (campaign restarts
     start warm); [max_retries] bounds per-fragment retry attempts on
     transient faults; [job_timeout] arms the cooperative per-fragment
-    compile watchdog. *)
+    compile watchdog; [objects] shares one content-addressed object
+    cache between several sessions (see {!object_cache}), with [owner]
+    identifying this session for cross-hit accounting. *)
 let create ?(mode = Partition.Auto) ?(copy_on_use = true) ?(keep = [ "main" ])
     ?(runtime_globals = []) ?(host = []) ?(opt_rounds = 2) ?pool
-    ?(cache_size = 256) ?cache_dir ?(max_retries = 2) ?job_timeout
-    ?(telemetry = Telemetry.Recorder.create ()) (base : Ir.Modul.t) =
+    ?(cache_size = 256) ?objects ?(owner = 0) ?cache_dir ?(max_retries = 2)
+    ?job_timeout ?(telemetry = Telemetry.Recorder.create ()) (base : Ir.Modul.t) =
   Ir.Verify.run_exn base;
   (* session setup is not a rebuild: the classification survey runs the
      trial O2 pipeline, which shares the opt.pipeline fault site with
@@ -226,8 +259,8 @@ let create ?(mode = Partition.Auto) ?(copy_on_use = true) ?(keep = [ "main" ])
     plan;
     manager = Instr.Manager.create ();
     cache = Hashtbl.create 32;
-    obj_cache = Support.Lru.create cache_size;
-    obj_lock = Mutex.create ();
+    objects = (match objects with Some oc -> oc | None -> object_cache ~size:cache_size ());
+    owner;
     store =
       Option.map
         (fun dir -> Support.Objstore.open_store ~version:store_format_version dir)
@@ -469,7 +502,7 @@ let rebuild (sched : sched) =
      backoff), then degrade to the last-good or pristine object. *)
   let jclock = Telemetry.Clock.synchronized r.Telemetry.Recorder.clock in
   let compile_sp = Telemetry.Span.enter spans ~cat:"session" "compile" in
-  let evictions_before = Support.Lru.evictions t.obj_cache in
+  let evictions_before = Support.Lru.evictions t.objects.oc_lru in
   let compile_fragment fid =
     let jr = Telemetry.Recorder.fork ~clock:jclock r in
     let jspans = jr.Telemetry.Recorder.spans in
@@ -507,21 +540,33 @@ let rebuild (sched : sched) =
                  (mk_error ~fragment:fid ~probes Verify
                     (Printf.sprintf "fragment %d does not verify:\n%s" fid
                        (Ir.Verify.errors_to_string errors)))));
-      (* content address: the printed instrumented IR is the complete
-         compiler input, and the opt bound is the only config that
-         alters the output for equal input *)
+      (* content address: the instrumented IR is the complete compiler
+         input, and the opt bound is the only config that alters the
+         output for equal input. Digested structurally (one visitor
+         pass, Ir.Shash) — same equivalence as printing, without
+         materializing the printed module *)
       let key =
         Telemetry.Span.with_span jspans ~cat:"session" "digest" (fun () ->
-            Digest.string
-              (Printf.sprintf "fid=%d;rounds=%d;%s" fid t.opt_rounds
-                 (Ir.Print.module_to_string frag_module)))
+            let b = Buffer.create 4096 in
+            Buffer.add_string b (Printf.sprintf "fid=%d;rounds=%d;" fid t.opt_rounds);
+            Ir.Shash.add_module b frag_module;
+            Digest.bytes (Buffer.to_bytes b))
       in
+      let oc = t.objects in
       let cached =
         try
           Support.Fault.hit "cache.get";
-          Mutex.lock t.obj_lock;
-          let v = Support.Lru.find t.obj_cache key in
-          Mutex.unlock t.obj_lock;
+          Mutex.lock oc.oc_lock;
+          let v = Support.Lru.find oc.oc_lru key in
+          (match v with
+          | Some _
+            when Hashtbl.find_opt oc.oc_owners key <> Some t.owner
+                 && Hashtbl.mem oc.oc_owners key ->
+            (* served an object another session produced *)
+            oc.oc_cross_hits <- oc.oc_cross_hits + 1;
+            Mutex.unlock oc.oc_lock;
+            Telemetry.Recorder.count (Some jr) "session.cache_cross_hits"
+          | _ -> Mutex.unlock oc.oc_lock);
           v
         with
         | Support.Fault.Injected _ | Support.Fault.Transient_fault _ ->
@@ -549,9 +594,11 @@ let rebuild (sched : sched) =
         | Some obj ->
           Telemetry.Span.add_arg fsp "cache" "store-hit";
           Telemetry.Recorder.count (Some jr) "session.store_hits";
-          Mutex.lock t.obj_lock;
-          Support.Lru.add t.obj_cache key obj;
-          Mutex.unlock t.obj_lock;
+          Mutex.lock oc.oc_lock;
+          Support.Lru.add oc.oc_lru key obj;
+          if not (Hashtbl.mem oc.oc_owners key) then
+            Hashtbl.replace oc.oc_owners key t.owner;
+          Mutex.unlock oc.oc_lock;
           (obj, true)
         | None ->
           ignore
@@ -561,9 +608,11 @@ let rebuild (sched : sched) =
             Telemetry.Span.with_span jspans ~cat:"session" "codegen" (fun () ->
                 Link.Objfile.of_module frag_module)
           in
-          Mutex.lock t.obj_lock;
-          Support.Lru.add t.obj_cache key obj;
-          Mutex.unlock t.obj_lock;
+          Mutex.lock oc.oc_lock;
+          Support.Lru.add oc.oc_lru key obj;
+          if not (Hashtbl.mem oc.oc_owners key) then
+            Hashtbl.replace oc.oc_owners key t.owner;
+          Mutex.unlock oc.oc_lock;
           (match t.store with
           | None -> ()
           | Some st -> Support.Objstore.put st key (Marshal.to_string obj []));
@@ -683,7 +732,7 @@ let rebuild (sched : sched) =
       "session.fragments_recompiled";
     Telemetry.Recorder.count some_r ~by:!cache_hits "session.fragment_cache_hits";
     Telemetry.Recorder.count some_r
-      ~by:(Support.Lru.evictions t.obj_cache - evictions_before)
+      ~by:(Support.Lru.evictions t.objects.oc_lru - evictions_before)
       "session.fragment_cache_evictions";
     Telemetry.Recorder.count some_r
       ~by:(List.length sched.active)

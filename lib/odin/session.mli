@@ -80,17 +80,37 @@ val build_error_to_string : build_error -> string
     executable, fragment cache and probe epoch intact). *)
 type rebuild_outcome = Ok | Degraded of int list | Rolled_back of build_error
 
+(** Content-addressed object cache: structural digest ({!Ir.Shash}) of
+    the instrumented fragment IR (plus opt config) -> finished object.
+    Shareable between sessions over the same base module (the fuzzing
+    farm's workers): a fragment compiled by one session is a hit for
+    every other, and a hit on an entry some {e other} session produced
+    is counted as a {e cross hit}. *)
+type object_cache = {
+  oc_lru : Link.Objfile.t Support.Lru.t;
+  oc_lock : Mutex.t;
+  oc_owners : (string, int) Hashtbl.t;  (** key -> [~owner] that produced it *)
+  mutable oc_cross_hits : int;
+}
+
+(** A fresh shareable cache ([size] = LRU entry bound, default 256). *)
+val object_cache : ?size:int -> unit -> object_cache
+
+(** Hits served to a session other than the one that produced the
+    entry; 0 unless the cache is shared. *)
+val cross_hits : object_cache -> int
+
 type t = {
   base : Ir.Modul.t;  (** pristine IR; instrumentation never touches it *)
   plan : Partition.plan;
   manager : Instr.Manager.t;
   cache : (int, Link.Objfile.t) Hashtbl.t;  (** fragment id -> object *)
-  obj_cache : Link.Objfile.t Support.Lru.t;
-      (** content-addressed object cache: digest of the printed
-          instrumented fragment IR (plus opt config) -> finished object *)
-  obj_lock : Mutex.t;
+  objects : object_cache;
+      (** content-addressed object cache; private by default, shared
+          when the session was created with [?objects] *)
+  owner : int;  (** this session's identity for cross-hit accounting *)
   store : Support.Objstore.t option;
-      (** persistent on-disk tier behind [obj_cache] ([cache_dir]) *)
+      (** persistent on-disk tier behind [objects] ([cache_dir]) *)
   pool : Support.Pool.t;  (** executor for per-fragment compiles *)
   runtime : Link.Objfile.t;
   mutable host : string list;
@@ -144,7 +164,11 @@ val map_func : sched -> string -> Ir.Func.t option
       process-wide [Support.Pool.default ()], sized by [ODIN_JOBS]).
       Build output is bit-identical for any pool size, including 1.
     @param cache_size LRU bound (entries) of the content-addressed
-      object cache (default 256)
+      object cache (default 256; ignored when [objects] is given)
+    @param objects share an existing {!object_cache} with other
+      sessions instead of creating a private one
+    @param owner this session's identity for cross-hit accounting in a
+      shared cache (default 0)
     @param cache_dir directory for the persistent object store; a
       restarted process with the same dir starts warm (corrupt entries
       are detected, quarantined and silently recompiled)
@@ -163,6 +187,8 @@ val create :
   ?opt_rounds:int ->
   ?pool:Support.Pool.t ->
   ?cache_size:int ->
+  ?objects:object_cache ->
+  ?owner:int ->
   ?cache_dir:string ->
   ?max_retries:int ->
   ?job_timeout:float ->
@@ -243,3 +269,9 @@ val last_outcome : t -> rebuild_outcome
 
 (** Persistent-store statistics, when [cache_dir] was given. *)
 val store_stats : t -> Support.Objstore.stats option
+
+(** Format version of the persistent store's entries (cache-key scheme
+    + object layout). Bumped whenever either changes; a mismatched
+    on-disk store is wiped on open. v2: structural IR digests
+    ({!Ir.Shash}) replaced printed-IR digests in the cache key. *)
+val store_format_version : int

@@ -2,8 +2,11 @@
 
     Every failure-prone stage of the compile path declares a *fault
     site* — a stable string like ["opt.pipeline"], ["codegen.emit"],
-    ["link"], ["cache.get"], ["store.read"], ["store.write"] — and calls
-    {!hit} on entry. With no plan installed a hit is a couple of
+    ["link"], ["cache.get"], ["store.read"], ["store.write"],
+    ["session.materialize"], ["vm.step"] (per basic-block entry in the
+    VM, for killing a guest execution mid-flight) and ["farm.sync"]
+    (the fuzzing farm's barrier rendezvous, for killing a worker
+    mid-round) — and calls {!hit} on entry. With no plan installed a hit is a couple of
     domain-local reads; with a plan installed, the matching rules decide
     (reproducibly, from the plan seed and the per-rule hit count)
     whether to raise a permanent {!Injected} fault, a retryable

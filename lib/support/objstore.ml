@@ -41,6 +41,8 @@ type stats = {
   st_writes : int;
   st_write_errors : int;  (** failed/skipped best-effort writes *)
   st_quarantined : int;
+  st_gc_runs : int;
+  st_gc_evicted : int;  (** entries evicted by {!gc} over this handle's life *)
 }
 
 type t = {
@@ -52,6 +54,8 @@ type t = {
   mutable writes : int;
   mutable write_errors : int;
   mutable quarantined : int;
+  mutable gc_runs : int;
+  mutable gc_evicted : int;
   mutable tmp_seq : int;
 }
 
@@ -122,6 +126,8 @@ let open_store ?(version = 1) dir =
     writes = 0;
     write_errors = 0;
     quarantined = 0;
+    gc_runs = 0;
+    gc_evicted = 0;
     tmp_seq = 0;
   }
 
@@ -279,6 +285,8 @@ let stats t =
       st_writes = t.writes;
       st_write_errors = t.write_errors;
       st_quarantined = t.quarantined;
+      st_gc_runs = t.gc_runs;
+      st_gc_evicted = t.gc_evicted;
     }
   in
   Mutex.unlock t.lock;
@@ -301,3 +309,93 @@ let length t =
 let quarantine_length t =
   let dir = quarantine_root t in
   if Sys.file_exists dir then Array.length (Sys.readdir dir) else 0
+
+(* ------------------------------------------------------------------ *)
+(* Garbage collection                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type gc_stats = {
+  gc_scanned : int;
+  gc_evicted : int;
+  gc_freed_bytes : int;
+  gc_live : int;
+  gc_live_bytes : int;
+}
+
+(* All entries as (path, bytes, mtime), in a deterministic order:
+   coldest (oldest mtime) first, path as tie-break. *)
+let scan_entries t =
+  let objects = objects_dir t.root in
+  let acc = ref [] in
+  if Sys.file_exists objects then
+    Array.iter
+      (fun shard ->
+        let dir = Filename.concat objects shard in
+        if Sys.is_directory dir then
+          Array.iter
+            (fun name ->
+              let path = Filename.concat dir name in
+              match Unix.stat path with
+              | exception Unix.Unix_error _ -> ()
+              | st ->
+                if st.Unix.st_kind = Unix.S_REG then
+                  acc := (path, st.Unix.st_size, st.Unix.st_mtime) :: !acc)
+            (Sys.readdir dir))
+      (Sys.readdir objects);
+  List.sort
+    (fun (pa, _, ma) (pb, _, mb) ->
+      match compare ma mb with 0 -> String.compare pa pb | c -> c)
+    !acc
+
+(** Size/age-bounded eviction of cold entries. Entries older than
+    [max_age] seconds (by mtime, against [now]) are always evicted;
+    after that, the coldest survivors are evicted until the store fits
+    in [max_bytes]. Omitting a bound disables it. [?now] exists so
+    tests can pin the clock. Eviction order is deterministic: oldest
+    mtime first, path as tie-break. Best-effort like every store
+    operation — an entry that vanishes mid-scan is simply skipped. *)
+let gc ?max_bytes ?max_age ?now t =
+  let now = match now with Some n -> n | None -> Unix.gettimeofday () in
+  let entries = scan_entries t in
+  let scanned = List.length entries in
+  let expired, fresh =
+    match max_age with
+    | None -> ([], entries)
+    | Some age -> List.partition (fun (_, _, mtime) -> now -. mtime > age) entries
+  in
+  let total_fresh = List.fold_left (fun a (_, sz, _) -> a + sz) 0 fresh in
+  let over_budget =
+    match max_bytes with
+    | None -> []
+    | Some budget ->
+      (* [fresh] is coldest-first; evict from the front until the
+         remainder fits *)
+      let rec take acc total = function
+        | [] -> List.rev acc
+        | ((_, sz, _) as e) :: rest ->
+          if total > budget then take (e :: acc) (total - sz) rest else List.rev acc
+      in
+      take [] total_fresh fresh
+  in
+  let victims = expired @ over_budget in
+  let evicted = ref 0 and freed = ref 0 in
+  List.iter
+    (fun (path, sz, _) ->
+      match Sys.remove path with
+      | () ->
+        incr evicted;
+        freed := !freed + sz
+      | exception Sys_error _ -> ())
+    victims;
+  Mutex.lock t.lock;
+  t.gc_runs <- t.gc_runs + 1;
+  t.gc_evicted <- t.gc_evicted + !evicted;
+  Mutex.unlock t.lock;
+  {
+    gc_scanned = scanned;
+    gc_evicted = !evicted;
+    gc_freed_bytes = !freed;
+    gc_live = scanned - !evicted;
+    gc_live_bytes =
+      List.fold_left (fun a (_, sz, _) -> a + sz) 0 entries - !freed;
+  }

@@ -180,6 +180,9 @@ let block_at (mf : mfunc) pc =
   go 0
 
 let enter_block vm (mf : mfunc) pc =
+  (* fault site for killing a guest execution mid-flight (farm
+     robustness tests); free when no plan targets it *)
+  Support.Fault.hit "vm.step";
   (match vm.prof with
   | Some p when block_at mf pc <> None ->
     p.pr_block_hits <- p.pr_block_hits + 1;

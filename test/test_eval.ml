@@ -92,8 +92,8 @@ let test_mutator_flip_changes_one_bit () =
 
 let test_corpus_pick_prefers_yield () =
   let c = Fuzzer.Corpus.create () in
-  Fuzzer.Corpus.add c ~data:"good" ~exec_cycles:100 ~new_blocks:50;
-  Fuzzer.Corpus.add c ~data:"bad" ~exec_cycles:100000 ~new_blocks:1;
+  Fuzzer.Corpus.add c ~data:"good" ~exec_cycles:100 ~new_blocks:50 ();
+  Fuzzer.Corpus.add c ~data:"bad" ~exec_cycles:100000 ~new_blocks:1 ();
   let rng = Support.Rng.create 3 in
   let good = ref 0 in
   for _ = 1 to 100 do

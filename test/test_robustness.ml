@@ -701,7 +701,7 @@ let test_store_warm_restart_and_corruption () =
    Alcotest.(check int) "all from store" nfrags st.Support.Objstore.st_hits);
   (* corrupt one entry on disk: detected, quarantined, recompiled *)
   let store =
-    Support.Objstore.open_store ~version:1 dir
+    Support.Objstore.open_store ~version:Odin.Session.store_format_version dir
   in
   let entries =
     let objects = Filename.concat dir "objects" in
