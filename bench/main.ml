@@ -657,6 +657,134 @@ let parallel cfg =
     serial_warm
 
 (* ------------------------------------------------------------------ *)
+(* Incremental relinking: persistent link state + patching             *)
+(* ------------------------------------------------------------------ *)
+
+(** Full vs incremental link cost of the steady-state edit loop: one
+    probe toggled per refresh, so exactly one fragment changes and the
+    incremental linker re-places one slab and patches its relocations
+    instead of re-linking every object. Two sessions run the same
+    toggle sequence — one with [incremental_link:false], one with
+    [true] — and the executable images are compared after every refresh
+    (the bit-identity bar, checked live). *)
+let relink _cfg =
+  print_endline "\n== Incremental relinking (persistent link state) ==";
+  (* small/medium real profiles plus a scaled-up synthetic one where the
+     full link dominates refresh time, as it would for a real target
+     with thousands of symbols *)
+  let xlarge =
+    {
+      (Workloads.Profile.find_exn "sqlite") with
+      Workloads.Profile.name = "sqlite-xl";
+      n_helpers = 400;
+      n_tiny = 200;
+      n_parsers = 24;
+    }
+  in
+  let programs =
+    [ Workloads.Profile.find_exn "json";
+      Workloads.Profile.find_exn "sqlite";
+      xlarge ]
+  in
+  let iters = 100 in
+  let observe (p : Workloads.Profile.t) incremental =
+    let m = Workloads.Generate.compile p in
+    let session =
+      Odin.Session.create ~mode:Odin.Partition.Max ~keep:[ entry ]
+        ~runtime_globals:[ Odin.Cov.runtime_global m ]
+        ~host:Workloads.Generate.host_functions ~incremental_link:incremental m
+    in
+    ignore (Odin.Cov.setup session);
+    ignore (Odin.Session.build session);
+    let probe =
+      let found = ref None in
+      Instr.Manager.iter
+        (fun pr -> if !found = None then found := Some pr)
+        session.Odin.Session.manager;
+      Option.get !found
+    in
+    (* warm both objects (probe on / probe off) into the cache so the
+       steady-state refresh is link-dominated, like a long session *)
+    Instr.Manager.set_enabled session.Odin.Session.manager probe false;
+    ignore (Odin.Session.refresh session);
+    Instr.Manager.set_enabled session.Odin.Session.manager probe true;
+    ignore (Odin.Session.refresh session);
+    (* identity pass: digest the image after each toggle (not timed) *)
+    let images = ref [] in
+    for i = 1 to iters do
+      Instr.Manager.set_enabled session.Odin.Session.manager probe (i mod 2 = 0);
+      ignore (Option.get (Odin.Session.refresh session));
+      let exe = Odin.Session.executable session in
+      let img =
+        List.sort compare
+          (List.map (fun (b, by) -> (b, Bytes.to_string by)) exe.Link.Linker.image)
+      in
+      images := Digest.string (Marshal.to_string img []) :: !images
+    done;
+    (* timing pass: same toggle loop, nothing else in the timed region *)
+    Gc.major ();
+    let cost0 = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to iters do
+      Instr.Manager.set_enabled session.Odin.Session.manager probe (i mod 2 = 0);
+      ignore (Odin.Session.refresh session);
+      cost0 := !cost0 + (Link.Incremental.last session.Odin.Session.linker).Link.Incremental.ls_cost
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    let st = Link.Incremental.stats session.Odin.Session.linker in
+    ( 1000. *. wall /. float_of_int iters,
+      !cost0 / iters,
+      st,
+      Array.length session.Odin.Session.plan.Odin.Partition.fragments,
+      List.rev !images )
+  in
+  let rows =
+    List.map
+      (fun (p : Workloads.Profile.t) ->
+        let ms_full, cost_full, _, frags, images_full = observe p false in
+        let ms_inc, cost_inc, st, _, images_inc = observe p true in
+        let identical = images_full = images_inc in
+        (p.Workloads.Profile.name, frags, ms_full, cost_full, ms_inc, cost_inc,
+         st, identical))
+      programs
+  in
+  Support.Tab.print
+    ~title:
+      (Printf.sprintf
+         "single-probe toggle refresh, %d iterations (Max partition)" iters)
+    ~header:
+      [ "program"; "frags"; "full ms"; "full cost"; "incr ms"; "incr cost";
+        "cost x"; "wall x"; "patched s/r"; "fallbacks"; "identical" ]
+    (List.map
+       (fun (name, frags, ms_full, cost_full, ms_inc, cost_inc,
+             (st : Link.Incremental.stats), identical) ->
+         [
+           name;
+           string_of_int frags;
+           Printf.sprintf "%.2f" ms_full;
+           string_of_int cost_full;
+           Printf.sprintf "%.2f" ms_inc;
+           string_of_int cost_inc;
+           Printf.sprintf "%.1f" (float_of_int cost_full /. float_of_int (max 1 cost_inc));
+           Printf.sprintf "%.1f" (ms_full /. max 1e-9 ms_inc);
+           Printf.sprintf "%d/%d"
+             (st.Link.Incremental.st_symbols_patched / max 1 st.Link.Incremental.st_incremental)
+             (st.Link.Incremental.st_relocs_patched / max 1 st.Link.Incremental.st_incremental);
+           string_of_int st.Link.Incremental.st_fallbacks;
+           (if identical then "yes" else "NO — BUG");
+         ])
+       rows);
+  (match List.rev rows with
+  | (name, _, ms_full, cost_full, ms_inc, cost_inc, _, _) :: _ ->
+    Printf.printf
+      "  largest workload (%s): modelled link cost %.1fx lower, refresh wall \
+       time %.1fx lower with incremental linking\n"
+      name
+      (float_of_int cost_full /. float_of_int (max 1 cost_inc))
+      (ms_full /. max 1e-9 ms_inc)
+  | [] -> ())
+
+(* ------------------------------------------------------------------ *)
 (* Fuzzing farm: multi-worker scaling + invariance                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -799,6 +927,7 @@ let () =
   if wants "ablation" then ablation cfg;
   if wants "timereport" then timereport cfg;
   if wants "parallel" then parallel cfg;
+  if wants "relink" then relink cfg;
   if wants "farm" then farm cfg;
   if wants "micro" then micro cfg;
   Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

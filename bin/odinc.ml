@@ -335,9 +335,22 @@ let fuzz_cmd =
              every sync barrier (with --workers and --cache-dir): coldest \
              entries evicted first.")
   in
+  let incremental_link =
+    Arg.(
+      value
+      & opt (some bool) None
+      & info [ "incremental-link" ] ~docv:"BOOL"
+          ~doc:
+            "Serve rebuilds through the incremental linker (address slabs + \
+             reverse relocation index): a refresh patches only the fragments \
+             that changed instead of relinking the whole image. Default on; \
+             ODIN_INCR_LINK=0 disables process-wide. Purely a performance \
+             switch — coverage, corpus and cycle counts are bit-identical \
+             either way.")
+  in
   (* ------------- farm mode (--workers N) ------------- *)
   let run_farm ~r ~pool ~m ~entry ~execs ~no_prune ~workers ~sync_interval
-      ~prune_quorum ~cache_limit ~cache_dir =
+      ~prune_quorum ~cache_limit ~cache_dir ~incremental_link =
     let cfg =
       {
         Farm.default_config with
@@ -350,8 +363,8 @@ let fuzz_cmd =
     in
     let seeds = [ String.init 48 (fun i -> Char.chr ((i * 37) land 255)) ] in
     let st =
-      Farm.run ~telemetry:r ~pool ?cache_dir ~host:[ "printf"; "puts" ] ~entry
-        ~seeds cfg m
+      Farm.run ~telemetry:r ~pool ?cache_dir ?incremental_link
+        ~host:[ "printf"; "puts" ] ~entry ~seeds cfg m
     in
     Printf.printf "farm       : %d workers, %d sync rounds (interval %d)\n"
       st.Farm.fs_workers st.Farm.fs_sync_rounds sync_interval;
@@ -397,8 +410,8 @@ let fuzz_cmd =
     | None -> ()
   in
   let run file entry execs no_prune jobs metrics_csv span_limit cache_dir
-      workers sync_interval prune_quorum cache_limit fault_plan time_report
-      trace_out =
+      workers sync_interval prune_quorum cache_limit incremental_link
+      fault_plan time_report trace_out =
     install_faults fault_plan;
     with_diagnostics @@ fun () ->
     let r = Telemetry.Recorder.create ?span_limit () in
@@ -415,7 +428,7 @@ let fuzz_cmd =
     match workers with
     | Some n ->
       run_farm ~r ~pool ~m ~entry ~execs ~no_prune ~workers:n ~sync_interval
-        ~prune_quorum ~cache_limit ~cache_dir;
+        ~prune_quorum ~cache_limit ~cache_dir ~incremental_link;
       (match metrics_csv with
       | Some path -> (
         try
@@ -430,7 +443,8 @@ let fuzz_cmd =
     let session =
       Odin.Session.create ~keep:[ entry ]
         ~runtime_globals:[ Odin.Cov.runtime_global m ]
-        ~host:[ "printf"; "puts" ] ~pool ?cache_dir ~telemetry:r m
+        ~host:[ "printf"; "puts" ] ~pool ?cache_dir
+        ?incremental_link:incremental_link ~telemetry:r m
     in
     let cov = Odin.Cov.setup session in
     ignore (Odin.Session.build session);
@@ -566,7 +580,8 @@ let fuzz_cmd =
     Term.(
       const run $ file $ entry $ execs $ no_prune $ jobs $ metrics_csv
       $ span_limit $ cache_dir $ workers $ sync_interval $ prune_quorum
-      $ cache_limit $ fault_plan_arg $ time_report_arg $ trace_out_arg)
+      $ cache_limit $ incremental_link $ fault_plan_arg $ time_report_arg
+      $ trace_out_arg)
 
 (* ---------------- workload ---------------- *)
 

@@ -123,9 +123,12 @@ let live workers = List.filter (fun w -> w.wk_dead = None) workers
     guest VM. [pool] executes both the workers within a round and (from
     the orchestrator, between rounds) the sessions' fragment compiles;
     results are independent of its size. [cache_dir] puts the shared
-    persistent object store behind every worker's session. *)
-let run ?telemetry ?pool ?cache_dir ?(host = Workloads.Generate.host_functions)
-    ~entry ~seeds (cfg : config) (base : Ir.Modul.t) =
+    persistent object store behind every worker's session.
+    [incremental_link] forwards to every worker's session (default:
+    the session's own env-driven default). *)
+let run ?telemetry ?pool ?cache_dir ?incremental_link
+    ?(host = Workloads.Generate.host_functions) ~entry ~seeds (cfg : config)
+    (base : Ir.Modul.t) =
   let nw = max 1 cfg.fc_workers in
   let r = match telemetry with Some r -> r | None -> Recorder.create () in
   let pool = match pool with Some p -> p | None -> Support.Pool.default () in
@@ -153,7 +156,8 @@ let run ?telemetry ?pool ?cache_dir ?(host = Workloads.Generate.host_functions)
     let session =
       Odin.Session.create ~mode:cfg.fc_mode ~keep:[ entry ]
         ~runtime_globals:[ Odin.Cov.runtime_global m ]
-        ~host ~pool ~objects:shared ~owner:i ?cache_dir ~telemetry:wr m
+        ~host ~pool ~objects:shared ~owner:i ?cache_dir ?incremental_link
+        ~telemetry:wr m
     in
     let cov = Odin.Cov.setup session in
     let dead =

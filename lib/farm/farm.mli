@@ -74,11 +74,14 @@ val dedup_rate : stats -> float
     names host functions registered as no-ops in each guest VM
     (defaults to the workloads' host set). Per-worker telemetry is
     recorded on forked recorders and merged into [telemetry] (or a
-    private recorder) at the end. *)
+    private recorder) at the end. [incremental_link] forwards to each
+    worker's session ({!Odin.Session.create}); farm results are
+    bit-identical whichever way it is set. *)
 val run :
   ?telemetry:Telemetry.Recorder.t ->
   ?pool:Support.Pool.t ->
   ?cache_dir:string ->
+  ?incremental_link:bool ->
   ?host:string list ->
   entry:string ->
   seeds:string list ->

@@ -1,0 +1,115 @@
+(** Incremental relinking: a persistent link state that lets a refresh
+    pay only for the fragments that actually changed.
+
+    A full link through this module places every object into a private
+    {e address slab} — a contiguous code range (16-byte call slots) and
+    a contiguous data range, both padded to a power of two so the
+    object can grow in place. Because an unchanged object keeps its
+    slab, its symbols keep their addresses across refreshes, and a
+    subsequent {!relink} with a small [changed] set only
+
+    - re-places the changed objects' symbols inside their slabs,
+    - re-patches the changed objects' own data relocations, and
+    - uses a {e reverse relocation index} (symbol -> inbound reference
+      sites) to fix up the few slots in {e other} objects that point at
+      a symbol which moved,
+
+    instead of re-resolving the whole program. A failed patch is
+    observably a no-op: the symbol tables are patched in place —
+    touching O(changed) bindings rather than copying O(program) tables —
+    under an undo journal that restores every touched binding before any
+    exception escapes, and data bytes are copy-on-write, so a mid-patch
+    failure — including an injected ["link.patch"] fault — leaves the
+    previous executable serving, exactly like a failed full link. (The
+    sharing cuts the other way too: after a {e successful} patch, an exe
+    value captured before it keeps its byte image but reads the updated
+    symbol tables.)
+
+    The patch path {e falls back to a full link} (same diagnostics,
+    fresh slabs) whenever it cannot prove the cheap path safe: first
+    link, object list or host set changed, a changed object's exported
+    symbol set / alias list / COMDAT keys changed, a slab outgrown, a
+    reference it cannot resolve against the existing tables, or a
+    symbol collision (so [Duplicate_symbol] / [Undefined_symbol] are
+    always raised by the full path with their usual diagnostics).
+
+    Torn patches are detected: every re-placed symbol and every patched
+    relocation slot is verified after patching; a mismatch (e.g. the
+    ["link.patch"] torn fault corrupting its own output) raises
+    {!Linker.Link_error}, which callers treat like any link failure.
+
+    Cost model: a full link costs [2000 + 40 * symbols_resolved] cycles
+    (unchanged from {!Linker.link_cost}); an incremental patch costs
+    [200 + 40 * (symbols_patched + relocs_patched)] — the work actually
+    done. *)
+
+type t
+
+(** Work and outcome of the most recent {!relink}. *)
+type link_stats = {
+  ls_incremental : bool;  (** served by the patch path *)
+  ls_symbols_patched : int;  (** symbols (and aliases) re-placed *)
+  ls_relocs_patched : int;  (** 8-byte slots rewritten (own + inbound) *)
+  ls_resolved : int;  (** full-link resolution work; 0 on a patch *)
+  ls_cost : int;  (** modelled cycles, see the cost model above *)
+}
+
+(** Cumulative counters since {!create}. *)
+type stats = {
+  mutable st_full : int;  (** full (re)links, including fallbacks *)
+  mutable st_incremental : int;  (** patch-path relinks *)
+  mutable st_fallbacks : int;  (** patch attempts that fell back *)
+  mutable st_symbols_patched : int;
+  mutable st_relocs_patched : int;
+}
+
+(** Slab geometry, exposed for tests and diagnostics. *)
+type slab_info = {
+  si_obj : string;
+  si_code_base : int;
+  si_code_cap : int;  (** capacity in 16-byte code slots *)
+  si_data_base : int;
+  si_data_cap : int;  (** capacity in bytes *)
+}
+
+(** Fresh, empty link state: the first {!relink} is always full. *)
+val create : unit -> t
+
+(** Growth-padding policy (exposed for tests): capacity reserved for
+    [n] code symbols (slots) / [n] bytes of data. *)
+val code_capacity : int -> int
+
+val data_capacity : int -> int
+
+(** [relink t ~changed objs] links [objs] (same meaning as
+    {!Linker.link}), reusing the previous link when possible. [changed]
+    names the objects (by [o_name]) whose contents differ from the
+    previous call; every other object must be byte-identical to what it
+    was. [incremental:false] forces a full link (fresh slabs).
+
+    Declares the ["link"] fault site (every call) and the
+    ["link.patch"] site (patch path only; supports raise / transient /
+    torn kinds).
+    @raise Linker.Duplicate_symbol and
+    @raise Linker.Undefined_symbol with the same diagnostics as a full
+    {!Linker.link} (the patch path falls back rather than diagnose)
+    @raise Linker.Link_error when a torn patch is detected *)
+val relink :
+  ?incremental:bool ->
+  ?host:string list ->
+  t ->
+  changed:string list ->
+  Objfile.t list ->
+  Linker.exe
+
+(** Most recent link's work; meaningful after the first {!relink}. *)
+val last : t -> link_stats
+
+val stats : t -> stats
+
+(** Slab geometry of the committed link, in link order; [[]] before the
+    first link. *)
+val slabs : t -> slab_info list
+
+(** Drop all state: the next {!relink} is full. *)
+val reset : t -> unit

@@ -129,28 +129,66 @@ type rebuild_outcome = Ok | Degraded of int list | Rolled_back of build_error
     every other. [oc_owners] remembers which session ([~owner]) first
     produced each key; a hit by a different session is a {e cross hit},
     the farm's measure of sharing. *)
-type object_cache = {
-  oc_lru : Link.Objfile.t Support.Lru.t;
-  oc_lock : Mutex.t;  (** guards all [oc_] fields during parallel compiles *)
-  oc_owners : (string, int) Hashtbl.t;  (** key -> owner that produced it *)
-  mutable oc_cross_hits : int;
+type cache_shard = {
+  cs_lru : Link.Objfile.t Support.Lru.t;
+  cs_lock : Mutex.t;  (** guards [cs_lru] and [cs_owners] *)
+  cs_owners : (string, int) Hashtbl.t;  (** key -> owner that produced it *)
 }
 
-let object_cache ?(size = 256) () =
+type object_cache = {
+  oc_shards : cache_shard array;
+      (** lock striping: a key lives in exactly one shard, selected by
+          its digest's first byte, so parallel compiles of different
+          fragments almost never contend on the same mutex *)
+  oc_cross_hits : int Atomic.t;
+  oc_waits : int Atomic.t;  (** times a lock acquisition had to block *)
+}
+
+let object_cache ?(size = 256) ?(shards = 8) () =
+  (* never more shards than entries: [~size:1] must behave as a single
+     1-entry LRU (eviction tests rely on it) *)
+  let n = max 1 (min shards size) in
+  let per = max 1 ((size + n - 1) / n) in
   {
-    oc_lru = Support.Lru.create size;
-    oc_lock = Mutex.create ();
-    oc_owners = Hashtbl.create 64;
-    oc_cross_hits = 0;
+    oc_shards =
+      Array.init n (fun _ ->
+          {
+            cs_lru = Support.Lru.create per;
+            cs_lock = Mutex.create ();
+            cs_owners = Hashtbl.create 16;
+          });
+    oc_cross_hits = Atomic.make 0;
+    oc_waits = Atomic.make 0;
   }
+
+(* Digest keys are raw MD5 bytes: the first byte is uniform, and the
+   mapping is a pure function of the key, so shard placement is
+   deterministic across runs and pool sizes. *)
+let shard_for oc key =
+  let b = if String.length key = 0 then 0 else Char.code key.[0] in
+  oc.oc_shards.(b mod Array.length oc.oc_shards)
+
+let with_shard oc key f =
+  let cs = shard_for oc key in
+  if not (Mutex.try_lock cs.cs_lock) then begin
+    Atomic.incr oc.oc_waits;
+    Mutex.lock cs.cs_lock
+  end;
+  Fun.protect ~finally:(fun () -> Mutex.unlock cs.cs_lock) (fun () -> f cs)
 
 (** Hits served to a session other than the one that produced the
     entry; 0 unless the cache is shared. *)
-let cross_hits oc =
-  Mutex.lock oc.oc_lock;
-  let n = oc.oc_cross_hits in
-  Mutex.unlock oc.oc_lock;
-  n
+let cross_hits oc = Atomic.get oc.oc_cross_hits
+
+(** Lock acquisitions that found their shard's mutex held. *)
+let shard_waits oc = Atomic.get oc.oc_waits
+
+let cache_shards oc = Array.length oc.oc_shards
+
+let cache_evictions oc =
+  Array.fold_left
+    (fun acc cs -> acc + Support.Lru.evictions cs.cs_lru)
+    0 oc.oc_shards
 
 type t = {
   base : Ir.Modul.t;  (** pristine IR; instrumentation never touches it *)
@@ -164,6 +202,10 @@ type t = {
           store ([--cache-dir]) so a process restart starts warm *)
   pool : Support.Pool.t;  (** fragment compile executor *)
   runtime : Link.Objfile.t;  (** runtime globals (counter arrays, ...) *)
+  linker : Link.Incremental.t;
+      (** persistent link state: slabs + reverse relocation index, so a
+          refresh relinks only what changed (when [incr_link]) *)
+  mutable incr_link : bool;  (** patch instead of full relink when safe *)
   mutable host : string list;
   mutable exe : Link.Linker.exe option;
   mutable patchers : (sched -> unit) list;
@@ -211,6 +253,13 @@ let store_format_version = 2
 (* Session construction                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* ODIN_INCR_LINK=0 (or false/off/no) disables the incremental linker
+   process-wide; the [?incremental_link] create param overrides. *)
+let env_incremental_link () =
+  match Sys.getenv_opt "ODIN_INCR_LINK" with
+  | Some ("0" | "false" | "off" | "no") -> false
+  | _ -> true
+
 (** Create a session for [base].
     [runtime_globals] are data symbols owned by the instrumentation
     runtime (e.g. coverage counter arrays), linked as a separate object;
@@ -224,7 +273,8 @@ let store_format_version = 2
 let create ?(mode = Partition.Auto) ?(copy_on_use = true) ?(keep = [ "main" ])
     ?(runtime_globals = []) ?(host = []) ?(opt_rounds = 2) ?pool
     ?(cache_size = 256) ?objects ?(owner = 0) ?cache_dir ?(max_retries = 2)
-    ?job_timeout ?(telemetry = Telemetry.Recorder.create ()) (base : Ir.Modul.t) =
+    ?job_timeout ?incremental_link
+    ?(telemetry = Telemetry.Recorder.create ()) (base : Ir.Modul.t) =
   Ir.Verify.run_exn base;
   (* session setup is not a rebuild: the classification survey runs the
      trial O2 pipeline, which shares the opt.pipeline fault site with
@@ -267,6 +317,11 @@ let create ?(mode = Partition.Auto) ?(copy_on_use = true) ?(keep = [ "main" ])
         cache_dir;
     pool = (match pool with Some p -> p | None -> Support.Pool.default ());
     runtime;
+    linker = Link.Incremental.create ();
+    incr_link =
+      (match incremental_link with
+      | Some b -> b
+      | None -> env_incremental_link ());
     host;
     exe = None;
     patchers = [];
@@ -291,6 +346,13 @@ let set_max_retries t n = t.max_retries <- max 0 n
 
 (** Arm/disarm the cooperative per-fragment compile watchdog. *)
 let set_job_timeout t timeout = t.job_timeout <- timeout
+
+(** Enable/disable the incremental link path for subsequent rebuilds.
+    Purely a performance switch: the resulting executable is
+    semantically identical either way. *)
+let set_incremental_link t b = t.incr_link <- b
+
+let incremental_link t = t.incr_link
 
 (** Replace all patch logic with [patcher]. *)
 let set_patcher t patcher = t.patchers <- [ patcher ]
@@ -443,16 +505,34 @@ let rebuild (sched : sched) =
   let r = t.telemetry in
   let spans = r.Telemetry.Recorder.spans in
   let some_r = Some r in
-  (* ---- snapshot: everything a rollback must restore ---- *)
-  let snap_cache = Hashtbl.copy t.cache in
+  (* ---- snapshot: everything a rollback must restore. The join loop
+     below only writes the *scheduled* fragments' cache and degradation
+     entries, so the snapshot records exactly those bindings instead of
+     copying the whole cache — O(scheduled), not O(fragments) ---- *)
+  let snap_cache =
+    List.map
+      (fun fid -> (fid, Hashtbl.find_opt t.cache fid))
+      sched.changed_fragments
+  in
   let snap_exe = t.exe in
-  let snap_degraded = Hashtbl.copy t.degraded in
+  let snap_degraded =
+    List.map
+      (fun fid -> (fid, Hashtbl.mem t.degraded fid))
+      sched.changed_fragments
+  in
   let rollback err =
-    Hashtbl.reset t.cache;
-    Hashtbl.iter (fun k v -> Hashtbl.replace t.cache k v) snap_cache;
+    List.iter
+      (fun (fid, prev) ->
+        match prev with
+        | Some obj -> Hashtbl.replace t.cache fid obj
+        | None -> Hashtbl.remove t.cache fid)
+      snap_cache;
     t.exe <- snap_exe;
-    Hashtbl.reset t.degraded;
-    Hashtbl.iter (fun k v -> Hashtbl.replace t.degraded k v) snap_degraded;
+    List.iter
+      (fun (fid, was) ->
+        if was then Hashtbl.replace t.degraded fid ()
+        else Hashtbl.remove t.degraded fid)
+      snap_degraded;
     t.rollback_count <- t.rollback_count + 1;
     Telemetry.Recorder.count some_r "session.rebuild_rollbacks";
     (* probe changes are NOT cleared: the next refresh retries them *)
@@ -502,7 +582,8 @@ let rebuild (sched : sched) =
      backoff), then degrade to the last-good or pristine object. *)
   let jclock = Telemetry.Clock.synchronized r.Telemetry.Recorder.clock in
   let compile_sp = Telemetry.Span.enter spans ~cat:"session" "compile" in
-  let evictions_before = Support.Lru.evictions t.objects.oc_lru in
+  let evictions_before = cache_evictions t.objects in
+  let waits_before = shard_waits t.objects in
   let compile_fragment fid =
     let jr = Telemetry.Recorder.fork ~clock:jclock r in
     let jspans = jr.Telemetry.Recorder.spans in
@@ -556,18 +637,17 @@ let rebuild (sched : sched) =
       let cached =
         try
           Support.Fault.hit "cache.get";
-          Mutex.lock oc.oc_lock;
-          let v = Support.Lru.find oc.oc_lru key in
-          (match v with
-          | Some _
-            when Hashtbl.find_opt oc.oc_owners key <> Some t.owner
-                 && Hashtbl.mem oc.oc_owners key ->
-            (* served an object another session produced *)
-            oc.oc_cross_hits <- oc.oc_cross_hits + 1;
-            Mutex.unlock oc.oc_lock;
-            Telemetry.Recorder.count (Some jr) "session.cache_cross_hits"
-          | _ -> Mutex.unlock oc.oc_lock);
-          v
+          with_shard oc key (fun cs ->
+              let v = Support.Lru.find cs.cs_lru key in
+              (match v with
+              | Some _
+                when Hashtbl.find_opt cs.cs_owners key <> Some t.owner
+                     && Hashtbl.mem cs.cs_owners key ->
+                (* served an object another session produced *)
+                Atomic.incr oc.oc_cross_hits;
+                Telemetry.Recorder.count (Some jr) "session.cache_cross_hits"
+              | _ -> ());
+              v)
         with
         | Support.Fault.Injected _ | Support.Fault.Transient_fault _ ->
           (* a poisoned or faulting cache lookup degrades to a miss *)
@@ -594,11 +674,10 @@ let rebuild (sched : sched) =
         | Some obj ->
           Telemetry.Span.add_arg fsp "cache" "store-hit";
           Telemetry.Recorder.count (Some jr) "session.store_hits";
-          Mutex.lock oc.oc_lock;
-          Support.Lru.add oc.oc_lru key obj;
-          if not (Hashtbl.mem oc.oc_owners key) then
-            Hashtbl.replace oc.oc_owners key t.owner;
-          Mutex.unlock oc.oc_lock;
+          with_shard oc key (fun cs ->
+              Support.Lru.add cs.cs_lru key obj;
+              if not (Hashtbl.mem cs.cs_owners key) then
+                Hashtbl.replace cs.cs_owners key t.owner);
           (obj, true)
         | None ->
           ignore
@@ -608,11 +687,10 @@ let rebuild (sched : sched) =
             Telemetry.Span.with_span jspans ~cat:"session" "codegen" (fun () ->
                 Link.Objfile.of_module frag_module)
           in
-          Mutex.lock oc.oc_lock;
-          Support.Lru.add oc.oc_lru key obj;
-          if not (Hashtbl.mem oc.oc_owners key) then
-            Hashtbl.replace oc.oc_owners key t.owner;
-          Mutex.unlock oc.oc_lock;
+          with_shard oc key (fun cs ->
+              Support.Lru.add cs.cs_lru key obj;
+              if not (Hashtbl.mem cs.cs_owners key) then
+                Hashtbl.replace cs.cs_owners key t.owner);
           (match t.store with
           | None -> ()
           | Some st -> Support.Objstore.put st key (Marshal.to_string obj []));
@@ -664,10 +742,18 @@ let rebuild (sched : sched) =
   in
   let cache_hits = ref 0 in
   let degraded_now = ref [] in
+  (* objects that differ from the previous link's input, by name —
+     physical identity is exact here: an unchanged fragment is never
+     scheduled, and a scheduled one either round-trips to the very same
+     cached object (content hit / degraded last-good) or is new *)
+  let changed_objs = ref [] in
   List.iter
     (fun (fid, res, jr, fsp) ->
       (match res with
       | Stdlib.Ok (obj, hit, degr) ->
+        (match Hashtbl.find_opt t.cache fid with
+        | Some prev when prev == obj -> ()
+        | _ -> changed_objs := obj.Link.Objfile.o_name :: !changed_objs);
         Hashtbl.replace t.cache fid obj;
         if hit then incr cache_hits;
         if degr then begin
@@ -699,7 +785,11 @@ let rebuild (sched : sched) =
               Hashtbl.find_opt t.cache f.Partition.fid))
   in
   let rec link_attempt n =
-    try Stdlib.Ok (Link.Linker.link ~host:t.host objs) with
+    try
+      Stdlib.Ok
+        (Link.Incremental.relink ~incremental:t.incr_link ~host:t.host t.linker
+           ~changed:!changed_objs objs)
+    with
     | Support.Fault.Transient_fault _ when n < t.max_retries ->
       Telemetry.Recorder.count some_r "session.link_retries";
       Support.Fault.virtual_sleep (backoff_delay n);
@@ -732,8 +822,19 @@ let rebuild (sched : sched) =
       "session.fragments_recompiled";
     Telemetry.Recorder.count some_r ~by:!cache_hits "session.fragment_cache_hits";
     Telemetry.Recorder.count some_r
-      ~by:(Support.Lru.evictions t.objects.oc_lru - evictions_before)
+      ~by:(cache_evictions t.objects - evictions_before)
       "session.fragment_cache_evictions";
+    Telemetry.Recorder.count some_r
+      ~by:(shard_waits t.objects - waits_before)
+      "session.cache_shard_waits";
+    (let ls = Link.Incremental.last t.linker in
+     Telemetry.Recorder.count some_r
+       (if ls.Link.Incremental.ls_incremental then "link.relinks_incremental"
+        else "link.relinks_full");
+     Telemetry.Recorder.count some_r
+       ~by:ls.Link.Incremental.ls_symbols_patched "link.symbols_patched";
+     Telemetry.Recorder.count some_r
+       ~by:ls.Link.Incremental.ls_relocs_patched "link.relocs_patched");
     Telemetry.Recorder.count some_r
       ~by:(List.length sched.active)
       "session.probes_applied";

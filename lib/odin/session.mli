@@ -86,19 +86,39 @@ type rebuild_outcome = Ok | Degraded of int list | Rolled_back of build_error
     farm's workers): a fragment compiled by one session is a hit for
     every other, and a hit on an entry some {e other} session produced
     is counted as a {e cross hit}. *)
-type object_cache = {
-  oc_lru : Link.Objfile.t Support.Lru.t;
-  oc_lock : Mutex.t;
-  oc_owners : (string, int) Hashtbl.t;  (** key -> [~owner] that produced it *)
-  mutable oc_cross_hits : int;
+type cache_shard = {
+  cs_lru : Link.Objfile.t Support.Lru.t;
+  cs_lock : Mutex.t;
+  cs_owners : (string, int) Hashtbl.t;  (** key -> [~owner] that produced it *)
 }
 
-(** A fresh shareable cache ([size] = LRU entry bound, default 256). *)
-val object_cache : ?size:int -> unit -> object_cache
+(** The cache is lock-striped: a key maps deterministically (first
+    digest byte) to one of [shards] independent LRU shards, each behind
+    its own mutex, so parallel compiles rarely contend. *)
+type object_cache = {
+  oc_shards : cache_shard array;
+  oc_cross_hits : int Atomic.t;
+  oc_waits : int Atomic.t;
+}
+
+(** A fresh shareable cache. [size] = total LRU entry bound (default
+    256), split evenly across [shards] stripes (default 8, clamped to
+    [size] so a 1-entry cache still evicts like one). *)
+val object_cache : ?size:int -> ?shards:int -> unit -> object_cache
 
 (** Hits served to a session other than the one that produced the
     entry; 0 unless the cache is shared. *)
 val cross_hits : object_cache -> int
+
+(** Lock acquisitions that found their shard's mutex already held
+    (i.e. would have blocked); the contention signal behind the
+    [session.cache_shard_waits] counter. *)
+val shard_waits : object_cache -> int
+
+val cache_shards : object_cache -> int
+
+(** Total LRU evictions across all shards. *)
+val cache_evictions : object_cache -> int
 
 type t = {
   base : Ir.Modul.t;  (** pristine IR; instrumentation never touches it *)
@@ -113,6 +133,12 @@ type t = {
       (** persistent on-disk tier behind [objects] ([cache_dir]) *)
   pool : Support.Pool.t;  (** executor for per-fragment compiles *)
   runtime : Link.Objfile.t;
+  linker : Link.Incremental.t;
+      (** persistent link state (address slabs + reverse relocation
+          index); lets a refresh patch only what changed *)
+  mutable incr_link : bool;
+      (** serve rebuilds through the incremental patch path when safe;
+          semantics are identical either way (see {!Link.Incremental}) *)
   mutable host : string list;
   mutable exe : Link.Linker.exe option;
   mutable patchers : (sched -> unit) list;
@@ -176,6 +202,10 @@ val map_func : sched -> string -> Ir.Func.t option
       faults (default 2)
     @param job_timeout cooperative per-fragment compile watchdog
       (seconds); an overrunning job degrades instead of stalling the join
+    @param incremental_link serve rebuilds through the incremental
+      linker's patch path when provably safe (default: on, unless
+      [ODIN_INCR_LINK=0]); purely a performance switch — executables
+      are semantically identical either way
     @param telemetry recorder for build spans/counters (fresh monotonic
       recorder by default; tests inject a virtual-clock recorder) *)
 val create :
@@ -192,6 +222,7 @@ val create :
   ?cache_dir:string ->
   ?max_retries:int ->
   ?job_timeout:float ->
+  ?incremental_link:bool ->
   ?telemetry:Telemetry.Recorder.t ->
   Ir.Modul.t ->
   t
@@ -206,6 +237,11 @@ val set_max_retries : t -> int -> unit
 
 (** Arm/disarm the cooperative per-fragment compile watchdog (seconds). *)
 val set_job_timeout : t -> float option -> unit
+
+(** Enable/disable the incremental link path for subsequent rebuilds. *)
+val set_incremental_link : t -> bool -> unit
+
+val incremental_link : t -> bool
 
 (** Replace all patch logic (applies active probes to [sched.temp]). *)
 val set_patcher : t -> (sched -> unit) -> unit

@@ -2,7 +2,10 @@
 
     Every failure-prone stage of the compile path declares a *fault
     site* — a stable string like ["opt.pipeline"], ["codegen.emit"],
-    ["link"], ["cache.get"], ["store.read"], ["store.write"],
+    ["link"], ["link.patch"] (the incremental linker's in-place patch
+    path; its torn kind corrupts a patched slot, which the linker's
+    verify-after-patch pass must catch and turn into a clean link
+    failure), ["cache.get"], ["store.read"], ["store.write"],
     ["session.materialize"], ["vm.step"] (per basic-block entry in the
     VM, for killing a guest execution mid-flight) and ["farm.sync"]
     (the fuzzing farm's barrier rendezvous, for killing a worker

@@ -463,13 +463,14 @@ int main(int x) {
 }
 |}
 
-let make_faulty_session ?pool ?cache_dir ?max_retries ?job_timeout () =
+let make_faulty_session ?pool ?cache_dir ?max_retries ?job_timeout
+    ?incremental_link () =
   let m = compile fault_src in
   let reference = Ir.Clone.clone_module m in
   let session =
     Odin.Session.create ~mode:Odin.Partition.Max ~keep:[ "main" ]
       ~runtime_globals:[ Odin.Cov.runtime_global m ]
-      ?pool ?cache_dir ?max_retries ?job_timeout m
+      ?pool ?cache_dir ?max_retries ?job_timeout ?incremental_link m
   in
   let _cov = Odin.Cov.setup session in
   (session, reference)
@@ -512,8 +513,10 @@ let expect_to_string = function
 (* One matrix cell: clean build, install the plan, toggle a probe,
    refresh, check the outcome class, the differential invariant, and
    that the session heals back to a clean Ok once the plan is gone. *)
-let run_matrix_case ?cache_dir ?job_timeout ~plan expected =
-  let session, reference = make_faulty_session ?cache_dir ?job_timeout () in
+let run_matrix_case ?cache_dir ?job_timeout ?incremental_link ~plan expected =
+  let session, reference =
+    make_faulty_session ?cache_dir ?job_timeout ?incremental_link ()
+  in
   ignore (Odin.Session.build session);
   check_differential session reference;
   toggle_probe session;
@@ -543,8 +546,13 @@ let run_matrix_case ?cache_dir ?job_timeout ~plan expected =
   check_differential session reference
 
 (* Every fault site × {raise, transient, torn}: torn only bites at
-   sites that corrupt their own output (store.write); elsewhere a torn
-   rule never fires and the refresh must stay Ok. *)
+   sites that corrupt their own output (store.write quarantines and
+   recompiles -> Ok; link.patch corrupts an in-place patch, which the
+   incremental linker's verify-after-patch pass must detect and turn
+   into a rollback, exactly like a full-link failure); elsewhere a torn
+   rule never fires and the refresh must stay Ok. The link.patch rows
+   pin ~incremental_link:true so they hold under ODIN_INCR_LINK=0 runs
+   of the suite. *)
 let test_fault_matrix () =
   let store_dir site kind =
     let dir =
@@ -556,27 +564,33 @@ let test_fault_matrix () =
     dir
   in
   let matrix =
-    (* (site, needs_store, expected for Raise, expected for Transient) *)
+    (* (site, needs_store, force incremental link on,
+       expected for Raise / Transient / Torn) *)
     [
-      ("session.materialize", false, EDegraded, EDegraded);
-      ("opt.pipeline", false, EDegraded, EDegraded);
-      ("codegen.emit", false, EDegraded, EDegraded);
-      ("cache.get", false, EOk, EOk);
-      ("link", false, ERolled_back, ERolled_back);
-      ("store.read", true, EOk, EOk);
-      ("store.write", true, EOk, EOk);
+      ("session.materialize", false, None, EDegraded, EDegraded, EOk);
+      ("opt.pipeline", false, None, EDegraded, EDegraded, EOk);
+      ("codegen.emit", false, None, EDegraded, EDegraded, EOk);
+      ("cache.get", false, None, EOk, EOk, EOk);
+      ("link", false, None, ERolled_back, ERolled_back, EOk);
+      ("link.patch", false, Some true, ERolled_back, ERolled_back, ERolled_back);
+      ("store.read", true, None, EOk, EOk, EOk);
+      ("store.write", true, None, EOk, EOk, EOk);
     ]
   in
   List.iter
-    (fun (site, needs_store, exp_raise, exp_transient) ->
+    (fun (site, needs_store, incremental_link, exp_raise, exp_transient, exp_torn) ->
       List.iter
         (fun (kind, expected) ->
           let cache_dir = if needs_store then Some (store_dir site kind) else None in
-          run_matrix_case ?cache_dir
+          run_matrix_case ?cache_dir ?incremental_link
             ~plan:(Fault.plan ~seed:1 [ Fault.rule site kind ])
             expected;
           Option.iter Support.Objstore.rm_rf cache_dir)
-        [ (Fault.Raise, exp_raise); (Fault.Transient, exp_transient); (Fault.Torn, EOk) ])
+        [
+          (Fault.Raise, exp_raise);
+          (Fault.Transient, exp_transient);
+          (Fault.Torn, exp_torn);
+        ])
     matrix
 
 (* A single transient fault recovers via bounded retry: Ok, not
