@@ -14,6 +14,24 @@
 
 let entry = "target_main"
 
+module Snap = Telemetry.Snapshot
+
+(* where BENCH_<section>.json snapshots land; --out-dir overrides *)
+let out_dir = ref "."
+let quick_mode = ref false
+
+(* Publish one section's metrics as BENCH_<section>.json (atomic write;
+   a killed run never leaves a truncated snapshot). *)
+let emit ~section metrics =
+  let meta =
+    Snap.default_meta
+      ~jobs:(Support.Pool.default_size ())
+      ~extra:[ ("mode", (if !quick_mode then "quick" else "full")) ]
+      ()
+  in
+  let path = Snap.write ~dir:!out_dir (Snap.create ~section ~meta metrics) in
+  Printf.printf "  snapshot -> %s\n" path
+
 type config = { fuzz_execs : int; rounds : int; programs : Workloads.Profile.t list }
 
 let full_config =
@@ -555,7 +573,39 @@ let timereport cfg =
     "  cross-check vs Session events: %d events, compile %.3f ms, link %.3f ms\n"
     (List.length events)
     (1000. *. sum (fun e -> e.Odin.Session.ev_compile_time))
-    (1000. *. sum (fun e -> e.Odin.Session.ev_link_time))
+    (1000. *. sum (fun e -> e.Odin.Session.ev_link_time));
+  (* snapshot: the deterministic session/link/campaign counters gate as
+     Exact; shard waits are contention-dependent *)
+  let agg : (string, int) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun c ->
+      let name = Telemetry.Metrics.counter_name c in
+      if
+        String.starts_with ~prefix:"session." name
+        || String.starts_with ~prefix:"link." name
+        || String.starts_with ~prefix:"campaign." name
+      then
+        Hashtbl.replace agg name
+          (Telemetry.Metrics.value c
+          + Option.value ~default:0 (Hashtbl.find_opt agg name)))
+    (Telemetry.Metrics.counters r.Telemetry.Recorder.metrics);
+  let counter_metrics =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) agg []
+    |> List.sort compare
+    |> List.map (fun (name, v) ->
+           let cls =
+             if name = "session.cache_shard_waits" then Snap.Info else Snap.Exact
+           in
+           Snap.metric ~cls ("counter." ^ name) (float_of_int v))
+  in
+  emit ~section:"timereport"
+    (Snap.metric ~cls:Snap.Exact "recompile_events"
+       (float_of_int (List.length events))
+    :: Snap.metric ~unit_:"ms" ~cls:Snap.Wall "compile_ms"
+         (1000. *. sum (fun e -> e.Odin.Session.ev_compile_time))
+    :: Snap.metric ~unit_:"ms" ~cls:Snap.Wall "link_ms"
+         (1000. *. sum (fun e -> e.Odin.Session.ev_link_time))
+    :: counter_metrics)
 
 (* ------------------------------------------------------------------ *)
 (* Parallel recompilation: domain pool + content-addressed cache       *)
@@ -654,7 +704,37 @@ let parallel cfg =
     serial_cold best_cold
     (serial_cold /. max 1e-9 best_cold)
     (Domain.recommended_domain_count ())
-    serial_warm
+    serial_warm;
+  (* snapshot: only the fixed pool sizes (1, 2) — jobsN metric names must
+     not depend on this host's core count or cross-machine diffs would
+     report missing metrics *)
+  emit ~section:"parallel"
+    (List.concat_map
+       (fun (size, (ev_cold, ms_cold, ev_warm, ms_warm, _)) ->
+         if size > 2 then []
+         else
+           let n_cold = List.length ev_cold.Odin.Session.ev_fragments in
+           let n_warm = List.length ev_warm.Odin.Session.ev_fragments in
+           let pre = Printf.sprintf "jobs%d." size in
+           [
+             Snap.metric ~unit_:"ms" ~cls:Snap.Wall (pre ^ "cold_ms") ms_cold;
+             Snap.metric ~unit_:"ms" ~cls:Snap.Wall (pre ^ "warm_ms") ms_warm;
+             Snap.metric ~cls:Snap.Exact (pre ^ "compiled_cold")
+               (float_of_int (n_cold - ev_cold.Odin.Session.ev_cache_hits));
+             Snap.metric ~cls:Snap.Exact (pre ^ "warm_cache_hits")
+               (float_of_int ev_warm.Odin.Session.ev_cache_hits);
+             Snap.metric ~cls:Snap.Exact (pre ^ "warm_recompiled")
+               (float_of_int (n_warm - ev_warm.Odin.Session.ev_cache_hits));
+           ])
+       results
+    @ [
+        Snap.metric ~cls:Snap.Exact "objects_bit_identical"
+          (if identical then 1. else 0.);
+        Snap.metric ~unit_:"ratio" ~cls:Snap.Info "speedup_cold"
+          (serial_cold /. max 1e-9 best_cold);
+        Snap.metric ~cls:Snap.Info "default_pool_size"
+          (float_of_int (Support.Pool.default_size ()));
+      ])
 
 (* ------------------------------------------------------------------ *)
 (* Incremental relinking: persistent link state + patching             *)
@@ -782,7 +862,30 @@ let relink _cfg =
       name
       (float_of_int cost_full /. float_of_int (max 1 cost_inc))
       (ms_full /. max 1e-9 ms_inc)
-  | [] -> ())
+  | [] -> ());
+  emit ~section:"relink"
+    (List.concat_map
+       (fun (name, frags, ms_full, cost_full, ms_inc, cost_inc,
+             (st : Link.Incremental.stats), identical) ->
+         let pre = name ^ "." in
+         [
+           Snap.metric ~cls:Snap.Info (pre ^ "fragments") (float_of_int frags);
+           Snap.metric ~unit_:"ms" ~cls:Snap.Wall (pre ^ "full_ms") ms_full;
+           Snap.metric ~unit_:"ms" ~cls:Snap.Wall (pre ^ "incr_ms") ms_inc;
+           Snap.metric ~unit_:"cost" ~cls:Snap.Cost (pre ^ "full_cost")
+             (float_of_int cost_full);
+           Snap.metric ~unit_:"cost" ~cls:Snap.Cost (pre ^ "incr_cost")
+             (float_of_int cost_inc);
+           Snap.metric ~cls:Snap.Exact (pre ^ "symbols_patched")
+             (float_of_int st.Link.Incremental.st_symbols_patched);
+           Snap.metric ~cls:Snap.Exact (pre ^ "relocs_patched")
+             (float_of_int st.Link.Incremental.st_relocs_patched);
+           Snap.metric ~cls:Snap.Exact (pre ^ "fallbacks")
+             (float_of_int st.Link.Incremental.st_fallbacks);
+           Snap.metric ~cls:Snap.Exact (pre ^ "images_identical")
+             (if identical then 1. else 0.);
+         ])
+       rows)
 
 (* ------------------------------------------------------------------ *)
 (* Fuzzing farm: multi-worker scaling + invariance                     *)
@@ -844,7 +947,38 @@ let farm cfg =
   let identical = List.for_all (fun s -> s = List.hd sigs) sigs in
   Printf.printf
     "  identical (coverage, pruned, corpus) across worker counts: %s\n"
-    (if identical then "yes" else "NO — BUG")
+    (if identical then "yes" else "NO — BUG");
+  emit ~section:"farm"
+    (List.concat_map
+       (fun (w, (st, secs)) ->
+         let pre = Printf.sprintf "w%d." w in
+         [
+           Snap.metric ~unit_:"s" ~cls:Snap.Wall (pre ^ "wall_s") secs;
+           Snap.metric ~cls:Snap.Exact (pre ^ "execs")
+             (float_of_int st.Farm.fs_execs);
+           Snap.metric ~unit_:"cycles" ~cls:Snap.Exact (pre ^ "total_cycles")
+             (float_of_int st.Farm.fs_total_cycles);
+           Snap.metric ~cls:Snap.Exact (pre ^ "coverage")
+             (float_of_int (List.length st.Farm.fs_coverage));
+           Snap.metric ~cls:Snap.Exact (pre ^ "pruned")
+             (float_of_int (List.length st.Farm.fs_pruned));
+           Snap.metric ~cls:Snap.Exact (pre ^ "exchanged")
+             (float_of_int st.Farm.fs_exchanged);
+           Snap.metric ~cls:Snap.Cost (pre ^ "cross_hits")
+             (float_of_int st.Farm.fs_cross_hits);
+           Snap.metric ~cls:Snap.Exact (pre ^ "recompiles")
+             (float_of_int st.Farm.fs_recompiles);
+           Snap.metric ~unit_:"cycles" ~cls:Snap.Exact (pre ^ "probe_cycles")
+             (float_of_int
+                (List.fold_left
+                   (fun a pc -> a + pc.Farm.pc_cycles)
+                   0 st.Farm.fs_probe_cost));
+         ])
+       results
+    @ [
+        Snap.metric ~cls:Snap.Exact "invariant_across_workers"
+          (if identical then 1. else 0.);
+      ])
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core operations                    *)
@@ -909,7 +1043,19 @@ let micro _cfg =
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let rec strip_out_dir = function
+    | [] -> []
+    | "--out-dir" :: dir :: rest ->
+      out_dir := dir;
+      strip_out_dir rest
+    | a :: rest when String.starts_with ~prefix:"--out-dir=" a ->
+      out_dir := String.sub a 10 (String.length a - 10);
+      strip_out_dir rest
+    | a :: rest -> a :: strip_out_dir rest
+  in
+  let args = strip_out_dir args in
   let quick = List.mem "quick" args in
+  quick_mode := quick;
   let cfg = if quick then quick_config else full_config in
   let selectors = List.filter (fun a -> a <> "quick") args in
   let wants x = selectors = [] || List.mem x selectors in

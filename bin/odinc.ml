@@ -5,6 +5,9 @@
      odinc partition file.c [--mode one|odin|max]
      odinc fuzz file.c [--execs N] [--no-prune] [--jobs N]
                        [--metrics-csv FILE] [--span-limit N]
+                       [--workers N --journal FILE]
+     odinc bench-diff BASELINE CURRENT [--ignore CLASS]
+     odinc report JOURNAL [--top N]
      odinc workload NAME          (print a generated benchmark program)
 
    compile/run/fuzz accept --time-report (per-stage text report on
@@ -15,9 +18,16 @@
    machine), --metrics-csv FILE (campaign series/histograms/recompile
    events as CSV) and --span-limit N (span retention bound for long
    campaigns; counters stay exact).
+
+   bench-diff compares BENCH_*.json perf snapshots (see bench/main.exe
+   --out-dir) with per-class tolerances and exits 1 on regression;
+   report renders a farm's flight-recorder journal (--journal) as an
+   AFL-style status screen plus a per-probe cost-attribution heatmap.
 *)
 
 open Cmdliner
+
+module Snap = Telemetry.Snapshot
 
 let read_file path =
   let ic = open_in_bin path in
@@ -91,6 +101,16 @@ let trace_out_arg =
     & opt (some string) None
     & info [ "trace-out" ] ~docv:"FILE"
         ~doc:"Write a Chrome trace_event JSON trace (chrome://tracing).")
+
+(* sum of every counter named [name] (labels collapsed) on the recorder *)
+let counter_total (r : Telemetry.Recorder.t) name =
+  List.fold_left
+    (fun acc c ->
+      if Telemetry.Metrics.counter_name c = name then
+        acc + Telemetry.Metrics.value c
+      else acc)
+    0
+    (Telemetry.Metrics.counters r.Telemetry.Recorder.metrics)
 
 (* export the recorder according to the flags; no flags, no output *)
 let export ~time_report ~trace_out ~title (r : Telemetry.Recorder.t) =
@@ -335,6 +355,19 @@ let fuzz_cmd =
              every sync barrier (with --workers and --cache-dir): coldest \
              entries evicted first.")
   in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Campaign flight recorder (with --workers): a bounded JSONL \
+             event journal fed at every sync barrier (sync stats, \
+             farm/session/link counter snapshots, per-probe cost \
+             attribution) and republished atomically each time — a killed \
+             farm leaves the last barrier's journal, never a torn file. \
+             Render it with $(b,odinc report).")
+  in
   let incremental_link =
     Arg.(
       value
@@ -350,7 +383,7 @@ let fuzz_cmd =
   in
   (* ------------- farm mode (--workers N) ------------- *)
   let run_farm ~r ~pool ~m ~entry ~execs ~no_prune ~workers ~sync_interval
-      ~prune_quorum ~cache_limit ~cache_dir ~incremental_link =
+      ~prune_quorum ~cache_limit ~cache_dir ~incremental_link ~journal =
     let cfg =
       {
         Farm.default_config with
@@ -364,7 +397,7 @@ let fuzz_cmd =
     let seeds = [ String.init 48 (fun i -> Char.chr ((i * 37) land 255)) ] in
     let st =
       Farm.run ~telemetry:r ~pool ?cache_dir ?incremental_link
-        ~host:[ "printf"; "puts" ] ~entry ~seeds cfg m
+        ?journal_path:journal ~host:[ "printf"; "puts" ] ~entry ~seeds cfg m
     in
     Printf.printf "farm       : %d workers, %d sync rounds (interval %d)\n"
       st.Farm.fs_workers st.Farm.fs_sync_rounds sync_interval;
@@ -385,6 +418,16 @@ let fuzz_cmd =
     Printf.printf "cache      : %d cross-worker object hits\n"
       st.Farm.fs_cross_hits;
     Printf.printf "recompiles : %d barrier refreshes\n" st.Farm.fs_recompiles;
+    Printf.printf
+      "relinks    : %d incremental, %d full (%d symbols patched, %d shard \
+       waits)\n"
+      (counter_total r "link.relinks_incremental")
+      (counter_total r "link.relinks_full")
+      (counter_total r "link.symbols_patched")
+      (counter_total r "session.cache_shard_waits");
+    (match journal with
+    | Some path -> Printf.printf "journal    : %s\n" path
+    | None -> ());
     if st.Farm.fs_skipped > 0 || st.Farm.fs_crashes > 0 then
       Printf.printf "skipped    : %d executions (%d guest crashes)\n"
         st.Farm.fs_skipped st.Farm.fs_crashes;
@@ -410,7 +453,7 @@ let fuzz_cmd =
     | None -> ()
   in
   let run file entry execs no_prune jobs metrics_csv span_limit cache_dir
-      workers sync_interval prune_quorum cache_limit incremental_link
+      workers sync_interval prune_quorum cache_limit journal incremental_link
       fault_plan time_report trace_out =
     install_faults fault_plan;
     with_diagnostics @@ fun () ->
@@ -425,10 +468,13 @@ let fuzz_cmd =
       Telemetry.Recorder.with_span r ~cat:"campaign" "frontend" (fun () ->
           compile_source file)
     in
+    (if journal <> None && workers = None then
+       Printf.eprintf
+         "odinc: warning: --journal needs --workers (farm mode); ignored\n");
     match workers with
     | Some n ->
       run_farm ~r ~pool ~m ~entry ~execs ~no_prune ~workers:n ~sync_interval
-        ~prune_quorum ~cache_limit ~cache_dir ~incremental_link;
+        ~prune_quorum ~cache_limit ~cache_dir ~incremental_link ~journal;
       (match metrics_csv with
       | Some path -> (
         try
@@ -505,6 +551,13 @@ let fuzz_cmd =
     Printf.printf "coverage   : %d / %d blocks\n" (Odin.Cov.covered cov)
       cov.Odin.Cov.total_probes;
     Printf.printf "recompiles : %d\n" !recompiles;
+    Printf.printf
+      "relinks    : %d incremental, %d full (%d symbols patched, %d shard \
+       waits)\n"
+      (counter_total r "link.relinks_incremental")
+      (counter_total r "link.relinks_full")
+      (counter_total r "link.symbols_patched")
+      (counter_total r "session.cache_shard_waits");
     (* robustness summary: only printed when something interesting can
        happen (faults installed, a store attached, or an actual event) *)
     let degraded_now = Odin.Session.degraded_fragments session in
@@ -563,6 +616,10 @@ let fuzz_cmd =
                    (Printf.sprintf "%.6f" (1000. *. e.Odin.Session.ev_compile_time));
                  row "link_ms"
                    (Printf.sprintf "%.6f" (1000. *. e.Odin.Session.ev_link_time));
+                 row "link_incremental"
+                   (if e.Odin.Session.ev_link_incremental then "1" else "0");
+                 row "symbols_patched"
+                   (string_of_int e.Odin.Session.ev_symbols_patched);
                ])
              (Odin.Session.events session))
       in
@@ -580,8 +637,265 @@ let fuzz_cmd =
     Term.(
       const run $ file $ entry $ execs $ no_prune $ jobs $ metrics_csv
       $ span_limit $ cache_dir $ workers $ sync_interval $ prune_quorum
-      $ cache_limit $ incremental_link $ fault_plan_arg $ time_report_arg
-      $ trace_out_arg)
+      $ cache_limit $ journal $ incremental_link $ fault_plan_arg
+      $ time_report_arg $ trace_out_arg)
+
+(* ---------------- bench-diff ---------------- *)
+
+let list_snapshots dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f ->
+         String.length f > 6
+         && String.sub f 0 6 = "BENCH_"
+         && Filename.check_suffix f ".json")
+  |> List.sort compare
+
+let verdict_str = function
+  | Snap.Pass -> "pass"
+  | Snap.Warn -> "WARN"
+  | Snap.Fail -> "FAIL"
+
+let bench_diff_cmd =
+  let baseline =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"BASELINE"
+          ~doc:"Baseline BENCH_*.json snapshot, or a directory of them.")
+  in
+  let current =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"CURRENT"
+          ~doc:"Current snapshot file or directory to gate.")
+  in
+  let cls_conv =
+    Arg.enum [ ("exact", Snap.Exact); ("cost", Snap.Cost); ("wall", Snap.Wall) ]
+  in
+  let ignore_cls =
+    Arg.(
+      value & opt_all cls_conv []
+      & info [ "ignore" ] ~docv:"CLASS"
+          ~doc:
+            "Exempt a whole tolerance class (exact|cost|wall) from gating; \
+             repeatable. CI gates committed baselines across machines with \
+             $(b,--ignore wall) — wall-clock only gates on a fixed host.")
+  in
+  let verbose =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ]
+          ~doc:"Print every metric comparison, not only drifting ones.")
+  in
+  let run baseline current ignore_cls verbose =
+    let pairs =
+      if Sys.file_exists baseline && Sys.is_directory baseline then begin
+        if not (Sys.file_exists current && Sys.is_directory current) then begin
+          Printf.eprintf "odinc: %s is a directory but %s is not\n" baseline
+            current;
+          exit 2
+        end;
+        let names = list_snapshots baseline in
+        if names = [] then begin
+          Printf.eprintf "odinc: no BENCH_*.json snapshots under %s\n" baseline;
+          exit 2
+        end;
+        List.map
+          (fun f -> (Filename.concat baseline f, Filename.concat current f, f))
+          names
+      end
+      else [ (baseline, current, Filename.basename baseline) ]
+    in
+    let ign =
+      match ignore_cls with
+      | [] -> ""
+      | l ->
+        Printf.sprintf " (ignoring: %s)"
+          (String.concat ", " (List.map Snap.cls_to_string l))
+    in
+    Printf.printf "== bench-diff: %s vs %s%s ==\n" baseline current ign;
+    let n_warn = ref 0 and n_fail = ref 0 and n_metrics = ref 0 in
+    List.iter
+      (fun (bpath, cpath, name) ->
+        match Snap.read bpath with
+        | Error msg ->
+          Printf.eprintf "odinc: %s: %s\n" bpath msg;
+          exit 2
+        | Ok base ->
+          if not (Sys.file_exists cpath) then begin
+            Printf.printf "%-24s FAIL  current snapshot missing (%s)\n" name
+              cpath;
+            incr n_fail
+          end
+          else (
+            match Snap.read cpath with
+            | Error msg ->
+              Printf.eprintf "odinc: %s: %s\n" cpath msg;
+              exit 2
+            | Ok cur ->
+              let entries =
+                Snap.diff ~ignore_classes:ignore_cls ~baseline:base
+                  ~current:cur ()
+              in
+              n_metrics := !n_metrics + List.length entries;
+              Printf.printf "%-24s %s  (%d metrics, section %s)\n" name
+                (verdict_str (Snap.worst entries))
+                (List.length entries) base.Snap.s_section;
+              List.iter
+                (fun (e : Snap.entry) ->
+                  let interesting =
+                    e.Snap.d_verdict <> Snap.Pass || e.Snap.d_note <> ""
+                  in
+                  if verbose || interesting then begin
+                    (match e.Snap.d_verdict with
+                    | Snap.Warn -> incr n_warn
+                    | Snap.Fail -> incr n_fail
+                    | Snap.Pass -> ());
+                    let num = function
+                      | Some v -> Printf.sprintf "%.6g" v
+                      | None -> "-"
+                    in
+                    Printf.printf "  [%s] %-32s %-5s %12s -> %-12s %+7.2f%%  %s\n"
+                      (verdict_str e.Snap.d_verdict)
+                      e.Snap.d_name
+                      (Snap.cls_to_string e.Snap.d_class)
+                      (num e.Snap.d_base) (num e.Snap.d_cur)
+                      (100.
+                      *. (if Float.is_finite e.Snap.d_delta then e.Snap.d_delta
+                          else if e.Snap.d_delta > 0. then 99.99
+                          else -99.99))
+                      e.Snap.d_note
+                  end)
+                entries))
+      pairs;
+    Printf.printf "summary: %d snapshots, %d metrics, %d warnings, %d failures\n"
+      (List.length pairs) !n_metrics !n_warn !n_fail;
+    if !n_fail > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare benchmark snapshots with per-class tolerances; exit 1 on \
+          regression.")
+    Term.(const run $ baseline $ current $ ignore_cls $ verbose)
+
+(* ---------------- report (flight-recorder journal) ---------------- *)
+
+let report_cmd =
+  let journal =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"JOURNAL" ~doc:"Flight-recorder journal (odinc fuzz --journal).")
+  in
+  let top =
+    Arg.(
+      value & opt int 15
+      & info [ "top" ] ~docv:"N" ~doc:"Rows in the probe-cost heatmap.")
+  in
+  let run path top =
+    let module J = Telemetry.Journal in
+    let l = J.load path in
+    let last kind =
+      List.fold_left
+        (fun acc (e : J.event) -> if e.J.e_kind = kind then Some e else acc)
+        None l.J.l_events
+    in
+    let fi ev name = Option.value ~default:0 (J.field_int ev name) in
+    Printf.printf "== campaign flight recorder: %s ==\n" path;
+    Printf.printf "journal    : %d events retained, %d dropped, %d unparseable\n"
+      (List.length l.J.l_events) l.J.l_dropped l.J.l_skipped;
+    (match last "farm.done" with
+    | Some ev ->
+      Printf.printf "status     : campaign complete — %d workers\n"
+        (fi ev "workers");
+      Printf.printf "executions : %d merged (%d cycles)\n" (fi ev "execs")
+        (fi ev "cycles");
+      Printf.printf "coverage   : %d / %d blocks\n" (fi ev "coverage")
+        (fi ev "total_probes");
+      Printf.printf "pruned     : %d probes\n" (fi ev "pruned");
+      Printf.printf "exchanged  : %d inputs\n" (fi ev "exchanged");
+      if fi ev "crashes" > 0 then
+        Printf.printf "crashes    : %d guest crashes\n" (fi ev "crashes")
+    | None -> (
+      match last "farm.sync" with
+      | Some ev ->
+        Printf.printf
+          "status     : in flight — last barrier round %d (%d execs, %d/%s \
+           blocks)\n"
+          (fi ev "round") (fi ev "execs") (fi ev "coverage") "?"
+      | None -> Printf.printf "status     : no farm events in journal\n"));
+    (match last "counters" with
+    | Some ev ->
+      print_endline "counters   : (at last barrier)";
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Telemetry.Json.Int n when k <> "round" ->
+            Printf.printf "  %-32s %d\n" k n
+          | _ -> ())
+        ev.J.e_fields
+    | None -> ());
+    (* probe-cost heatmap: latest probe.cost event per pid *)
+    let costs : (int, int * int * int * int) Hashtbl.t = Hashtbl.create 97 in
+    List.iter
+      (fun (e : J.event) ->
+        if e.J.e_kind = "probe.cost" then
+          Hashtbl.replace costs (fi e "pid")
+            (fi e "toggles", fi e "execs_armed", fi e "hits", fi e "cycles"))
+      l.J.l_events;
+    if Hashtbl.length costs > 0 then begin
+      let all =
+        Hashtbl.fold (fun pid v acc -> (pid, v) :: acc) costs []
+        |> List.sort (fun (p1, (_, _, _, c1)) (p2, (_, _, _, c2)) ->
+               match compare c2 c1 with 0 -> compare p1 p2 | n -> n)
+      in
+      let covered =
+        List.length (List.filter (fun (_, (_, _, h, _)) -> h > 0) all)
+      in
+      let total_cycles =
+        List.fold_left (fun a (_, (_, _, _, c)) -> a + c) 0 all
+      in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: tl -> x :: take (n - 1) tl
+      in
+      Support.Tab.print
+        ~title:
+          (Printf.sprintf "probe cost attribution (top %d of %d by cycles)"
+             (min top (List.length all))
+             (List.length all))
+        ~header:
+          [ "pid"; "toggles"; "execs armed"; "hits"; "cycles"; "cyc/exec" ]
+        (List.map
+           (fun (pid, (tg, ea, h, c)) ->
+             [
+               string_of_int pid;
+               string_of_int tg;
+               string_of_int ea;
+               string_of_int h;
+               string_of_int c;
+               (if ea = 0 then "-"
+                else Printf.sprintf "%.3f" (float_of_int c /. float_of_int ea));
+             ])
+           (take top all));
+      Printf.printf
+        "coverage yield: %d covered blocks / %d probe cycles = %.4f per \
+         kcycle\n"
+        covered total_cycles
+        (if total_cycles = 0 then 0.
+         else 1000. *. float_of_int covered /. float_of_int total_cycles)
+    end
+    else print_endline "probe cost : no probe.cost events in journal"
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a campaign flight-recorder journal: status summary + \
+          per-probe cost heatmap.")
+    Term.(const run $ journal $ top)
 
 (* ---------------- workload ---------------- *)
 
@@ -606,4 +920,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "odinc" ~doc)
-          [ compile_cmd; run_cmd; partition_cmd; fuzz_cmd; workload_cmd ]))
+          [
+            compile_cmd; run_cmd; partition_cmd; fuzz_cmd; bench_diff_cmd;
+            report_cmd; workload_cmd;
+          ]))

@@ -22,6 +22,8 @@ type item = {
   it_cycles : int;  (** VM cycles of the execution *)
   it_fired : int list;  (** probe ids whose counter fired, ascending *)
   it_fns : (string * int) list;  (** per-function cycle attribution *)
+  it_probe_cost : (int * int * int) list;
+      (** per-probe (pid, hits, cycles) VM attribution, ascending by pid *)
 }
 
 type t = {

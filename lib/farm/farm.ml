@@ -43,6 +43,7 @@
 
 module Csync = Csync
 module Recorder = Telemetry.Recorder
+module Json = Telemetry.Json
 
 type config = {
   fc_workers : int;
@@ -84,6 +85,20 @@ type worker = {
   mutable wk_dead : string option;  (** why the worker left the farm *)
 }
 
+(** Cumulative cost attribution for one probe site across the whole
+    campaign. [pc_execs_armed] counts merged executions that ran while
+    the probe was still globally armed (probe state only changes at
+    barriers, so the armed set is round-constant and the count is
+    worker-count invariant); [pc_hits]/[pc_cycles] come from the VM's
+    per-site increment attribution, merged in slot order. *)
+type probe_cost = {
+  pc_pid : int;
+  pc_toggles : int;  (** enable/disable flips + removal ({!Instr.Manager}) *)
+  pc_execs_armed : int;
+  pc_hits : int;  (** counter increments executed *)
+  pc_cycles : int;  (** VM cycles spent in the increment sequence *)
+}
+
 type stats = {
   fs_workers : int;
   fs_execs : int;  (** executions merged at barriers (seeds included) *)
@@ -104,6 +119,7 @@ type stats = {
   fs_dead : (int * string) list;  (** dead workers (id, reason), id order *)
   fs_gc_evicted : int;  (** store entries evicted at barriers *)
   fs_store : Support.Objstore.stats option;
+  fs_probe_cost : probe_cost list;  (** every probe id, ascending *)
 }
 
 let dedup_rate st =
@@ -126,12 +142,25 @@ let live workers = List.filter (fun w -> w.wk_dead = None) workers
     persistent object store behind every worker's session.
     [incremental_link] forwards to every worker's session (default:
     the session's own env-driven default). *)
-let run ?telemetry ?pool ?cache_dir ?incremental_link
+let run ?telemetry ?pool ?cache_dir ?incremental_link ?journal ?journal_path
     ?(host = Workloads.Generate.host_functions) ~entry ~seeds (cfg : config)
     (base : Ir.Modul.t) =
   let nw = max 1 cfg.fc_workers in
   let r = match telemetry with Some r -> r | None -> Recorder.create () in
   let pool = match pool with Some p -> p | None -> Support.Pool.default () in
+  (* flight recorder: events are recorded throughout and the bounded
+     window is atomically republished at every barrier *)
+  let jr =
+    match (journal, journal_path) with
+    | Some j, _ -> Some j
+    | None, Some _ -> Some (Telemetry.Journal.create ~clock:r.Recorder.clock ())
+    | None, None -> None
+  in
+  let jflush () =
+    match (jr, journal_path) with
+    | Some j, Some p -> Telemetry.Journal.flush j p
+    | _ -> ()
+  in
   let farm_sp =
     Telemetry.Span.enter r.Recorder.spans ~cat:"farm"
       ~args:
@@ -199,6 +228,10 @@ let run ?telemetry ?pool ?cache_dir ?incremental_link
   let total_execs = ref 0 and total_cycles = ref 0 in
   let sync_rounds = ref 0 in
   let gc_evicted = ref 0 in
+  let probe_hits_cycles : (int, int ref * int ref) Hashtbl.t =
+    Hashtbl.create 97
+  in
+  let execs_armed : (int, int) Hashtbl.t = Hashtbl.create 97 in
   let n_seeds = List.length seeds in
   let default_input = match seeds with s :: _ -> s | [] -> "\x00" in
 
@@ -247,6 +280,8 @@ let run ?telemetry ?pool ?cache_dir ?incremental_link
       it_cycles = vm.Vm.cycles;
       it_fired = fired;
       it_fns = prof;
+      it_probe_cost =
+        Odin.Cov.probe_costs ~total:w.wk_cov.Odin.Cov.total_probes vm;
     }
   in
 
@@ -317,6 +352,33 @@ let run ?telemetry ?pool ?cache_dir ?incremental_link
        all previous rounds — worker-count invariant by construction *)
     let avg_cycles = if !total_execs = 0 then 0 else !total_cycles / !total_execs in
     let accepted = Csync.merge sync items in
+    (* per-probe attribution, merged in slot order. All merged executions
+       of a round ran against the same armed set (probe state only
+       changes at barriers), so every probe not yet globally pruned at
+       round start is charged the round's merged-execution count. *)
+    let n_items = List.length items in
+    if n_items > 0 then
+      for pid = 0 to n_probes - 1 do
+        if not (Hashtbl.mem pruned_global pid) then
+          Hashtbl.replace execs_armed pid
+            (n_items + Option.value ~default:0 (Hashtbl.find_opt execs_armed pid))
+      done;
+    List.iter
+      (fun it ->
+        List.iter
+          (fun (pid, h, c) ->
+            let hits, cyc =
+              match Hashtbl.find_opt probe_hits_cycles pid with
+              | Some p -> p
+              | None ->
+                let p = (ref 0, ref 0) in
+                Hashtbl.replace probe_hits_cycles pid p;
+                p
+            in
+            hits := !hits + h;
+            cyc := !cyc + c)
+          it.Csync.it_probe_cost)
+      items;
     List.iter
       (fun it ->
         incr total_execs;
@@ -384,7 +446,49 @@ let run ?telemetry ?pool ?cache_dir ?incremental_link
         if g.Support.Objstore.gc_evicted > 0 then
           Recorder.count (Some r) ~by:g.Support.Objstore.gc_evicted
             "farm.store_gc_evicted"));
-    Recorder.count (Some r) "farm.sync_rounds"
+    Recorder.count (Some r) "farm.sync_rounds";
+    (* flight recorder: one sync event plus a campaign-counter snapshot
+       (farm.* live on the farm recorder, session.*/link.* on the parked
+       workers' forks), republished atomically while everyone is at the
+       barrier *)
+    match jr with
+    | None -> ()
+    | Some j ->
+      Telemetry.Journal.record j ~kind:"farm.sync"
+        [
+          ("round", Json.Int round);
+          ("merged", Json.Int n_items);
+          ("accepted", Json.Int (List.length accepted));
+          ("pruned", Json.Int (List.length prunes));
+          ("coverage", Json.Int (Csync.covered_count sync));
+          ("execs", Json.Int !total_execs);
+          ("cycles", Json.Int !total_cycles);
+        ];
+      let agg : (string, int) Hashtbl.t = Hashtbl.create 32 in
+      let scan (rc : Recorder.t) =
+        List.iter
+          (fun c ->
+            let n = Telemetry.Metrics.counter_name c in
+            if
+              String.starts_with ~prefix:"farm." n
+              || String.starts_with ~prefix:"session." n
+              || String.starts_with ~prefix:"link." n
+            then
+              Hashtbl.replace agg n
+                (Telemetry.Metrics.value c
+                + Option.value ~default:0 (Hashtbl.find_opt agg n)))
+          (Telemetry.Metrics.counters rc.Recorder.metrics)
+      in
+      scan r;
+      List.iter (fun w -> scan w.wk_recorder) workers;
+      let fields =
+        Hashtbl.fold (fun k v acc -> (k, Json.Int v) :: acc) agg []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      if fields <> [] then
+        Telemetry.Journal.record j ~kind:"counters"
+          (("round", Json.Int round) :: fields);
+      jflush ()
   in
 
   (* ---------------- round scheduler ------------------------------- *)
@@ -432,6 +536,64 @@ let run ?telemetry ?pool ?cache_dir ?incremental_link
   let cross = Odin.Session.cross_hits shared in
   Recorder.count (Some r) ~by:cross "farm.cache_cross_hits";
   List.iter (fun w -> Recorder.merge ~into:r ~parent:farm_sp w.wk_recorder) workers;
+  (* per-probe cost roll-up. Toggle counts come from a live worker's
+     manager (sessions apply barrier effects identically, so any
+     survivor agrees); a fully dead farm falls back to worker 0. *)
+  let probe_costs =
+    let mgr =
+      match live workers with
+      | w :: _ -> Some w.wk_session.Odin.Session.manager
+      | [] -> (
+        match workers with
+        | w :: _ -> Some w.wk_session.Odin.Session.manager
+        | [] -> None)
+    in
+    let toggles pid =
+      match mgr with Some m -> Instr.Manager.toggle_count m pid | None -> 0
+    in
+    List.init n_probes (fun pid ->
+        let hits, cycles =
+          match Hashtbl.find_opt probe_hits_cycles pid with
+          | Some (h, c) -> (!h, !c)
+          | None -> (0, 0)
+        in
+        {
+          pc_pid = pid;
+          pc_toggles = toggles pid;
+          pc_execs_armed =
+            Option.value ~default:0 (Hashtbl.find_opt execs_armed pid);
+          pc_hits = hits;
+          pc_cycles = cycles;
+        })
+  in
+  (match jr with
+  | None -> ()
+  | Some j ->
+    List.iter
+      (fun pc ->
+        Telemetry.Journal.record j ~kind:"probe.cost"
+          [
+            ("pid", Json.Int pc.pc_pid);
+            ("toggles", Json.Int pc.pc_toggles);
+            ("execs_armed", Json.Int pc.pc_execs_armed);
+            ("hits", Json.Int pc.pc_hits);
+            ("cycles", Json.Int pc.pc_cycles);
+          ])
+      probe_costs;
+    Telemetry.Journal.record j ~kind:"farm.done"
+      [
+        ("workers", Json.Int nw);
+        ("execs", Json.Int !total_execs);
+        ("cycles", Json.Int !total_cycles);
+        ("coverage", Json.Int (Csync.covered_count sync));
+        ("total_probes", Json.Int n_probes);
+        ("pruned", Json.Int (Hashtbl.length pruned_global));
+        ("exchanged", Json.Int sync.Csync.accepted);
+        ("cross_hits", Json.Int cross);
+        ("crashes",
+         Json.Int (List.fold_left (fun a w -> a + w.wk_crashes) 0 workers));
+      ];
+    jflush ());
   {
     fs_workers = nw;
     fs_execs = !total_execs;
@@ -459,4 +621,5 @@ let run ?telemetry ?pool ?cache_dir ?incremental_link
       (match workers with
       | w :: _ -> Odin.Session.store_stats w.wk_session
       | [] -> None);
+    fs_probe_cost = probe_costs;
   }

@@ -42,6 +42,19 @@ type worker = {
   mutable wk_dead : string option;
 }
 
+(** Cumulative cost attribution for one probe site across the campaign:
+    instrumentation toggles (enable/disable flips + removal), merged
+    executions run while the probe was globally armed, and the VM's
+    per-site increment hits/cycles (merged in slot order — worker-count
+    invariant like every other farm result). *)
+type probe_cost = {
+  pc_pid : int;
+  pc_toggles : int;
+  pc_execs_armed : int;
+  pc_hits : int;
+  pc_cycles : int;
+}
+
 type stats = {
   fs_workers : int;
   fs_execs : int;  (** executions merged at barriers (seeds included) *)
@@ -62,6 +75,7 @@ type stats = {
   fs_dead : (int * string) list;
   fs_gc_evicted : int;
   fs_store : Support.Objstore.stats option;
+  fs_probe_cost : probe_cost list;  (** every probe id, ascending *)
 }
 
 (** duplicates / offered, percent. *)
@@ -76,12 +90,21 @@ val dedup_rate : stats -> float
     recorded on forked recorders and merged into [telemetry] (or a
     private recorder) at the end. [incremental_link] forwards to each
     worker's session ({!Odin.Session.create}); farm results are
-    bit-identical whichever way it is set. *)
+    bit-identical whichever way it is set.
+
+    [journal]/[journal_path] attach a campaign flight recorder: sync
+    and counter-snapshot events are recorded at every barrier, per-probe
+    cost events plus a final summary at the end, and when a path is
+    given the bounded window is atomically republished at each barrier
+    (crash-safe: a killed farm leaves the last barrier's journal). A
+    path without a journal creates a private one. *)
 val run :
   ?telemetry:Telemetry.Recorder.t ->
   ?pool:Support.Pool.t ->
   ?cache_dir:string ->
   ?incremental_link:bool ->
+  ?journal:Telemetry.Journal.t ->
+  ?journal_path:string ->
   ?host:string list ->
   entry:string ->
   seeds:string list ->

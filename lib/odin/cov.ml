@@ -134,6 +134,21 @@ let prune_fired t =
   t.pruned_total <- t.pruned_total + List.length fired;
   List.length fired
 
+(** Map a VM execution profile's inline-counter sites back to probe ids:
+    a coverage counter lives at [__odin_counters + pid], so the probe id
+    is the site address' offset from the array base. Sites outside the
+    counter region (other instrumentation) are dropped. *)
+let probe_costs ~total vm =
+  match Vm.profile vm with
+  | None -> []
+  | Some p ->
+    let base = Int64.to_int (Vm.addr_of vm counters_sym) in
+    List.filter_map
+      (fun (addr, hits, cycles) ->
+        let pid = addr - base in
+        if pid >= 0 && pid < total then Some (pid, hits, cycles) else None)
+      (Vm.profile_inc_sites p)
+
 (** Coverage summary: how many blocks have ever fired (pruned probes
     were covered by definition). *)
 let covered t =

@@ -39,5 +39,12 @@ val harvest : t -> Vm.t -> Instr.Probe.t list
     were removed (a {!Session.refresh} is pending when > 0). *)
 val prune_fired : t -> int
 
+(** Per-probe cost attribution from a profiled VM run: maps the VM's
+    inline-counter sites back to probe ids (counter address minus the
+    [__odin_counters] base). Returns [(pid, hits, cycles)] ascending by
+    pid; [total] bounds the counter region. Requires the VM to have run
+    with {!Vm.enable_profile}; returns [[]] otherwise. *)
+val probe_costs : total:int -> Vm.t -> (int * int * int) list
+
 (** Blocks ever covered (pruned probes included). *)
 val covered : t -> int

@@ -38,6 +38,8 @@ type recompile_event = {
   ev_compile_time : float;  (** seconds, middle end + back end *)
   ev_link_time : float;  (** seconds *)
   ev_per_fragment : (int * float) list;  (** (fragment id, seconds) *)
+  ev_link_incremental : bool;  (** served by patching instead of a full relink *)
+  ev_symbols_patched : int;  (** symbols re-placed by the incremental linker *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -844,6 +846,7 @@ let rebuild (sched : sched) =
     Telemetry.Recorder.count some_r
       ~by:(Support.Fault.total_fired () - faults_before)
       "session.faults_injected";
+    let ls = Link.Incremental.last t.linker in
     let event =
       {
         ev_fragments = sched.changed_fragments;
@@ -855,6 +858,8 @@ let rebuild (sched : sched) =
           List.map
             (fun (fid, _, _, fsp) -> (fid, Telemetry.Span.duration fsp))
             results;
+        ev_link_incremental = ls.Link.Incremental.ls_incremental;
+        ev_symbols_patched = ls.Link.Incremental.ls_symbols_patched;
       }
     in
     t.events <- event :: t.events;

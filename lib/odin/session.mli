@@ -39,6 +39,8 @@ type recompile_event = {
   ev_compile_time : float;  (** seconds, middle end + back end *)
   ev_link_time : float;  (** seconds *)
   ev_per_fragment : (int * float) list;  (** (fragment id, seconds) *)
+  ev_link_incremental : bool;  (** served by patching instead of a full relink *)
+  ev_symbols_patched : int;  (** symbols re-placed by the incremental linker *)
 }
 
 (** Pipeline stage a build error originated in. *)

@@ -1,0 +1,51 @@
+(** Crash-safe file publication: the tmp + atomic-rename pattern
+    {!Objstore} uses, factored out for every exporter that writes
+    user-visible artifacts (CSV metrics, Chrome traces, benchmark
+    snapshots, campaign journals). A killed process leaves at worst a
+    stale [*.tmp.*] sibling, never a truncated file at the final path —
+    [Sys.rename] within one directory is atomic on POSIX. *)
+
+let seq = Atomic.make 0
+
+(** Temp-file sibling of [path], unique per (process, call). *)
+let tmp_name path =
+  Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ()) (Atomic.fetch_and_add seq 1)
+
+(** Write [contents] to [path] atomically: stage into a same-directory
+    temp file, fsync nothing (the rename's atomicity is the contract,
+    matching {!Objstore}), then rename over [path]. On any error the
+    temp file is removed and the exception re-raised — the destination
+    is either the old complete file or the new complete file. *)
+let write_atomic path contents =
+  let tmp = tmp_name path in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc contents;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  try Sys.rename tmp path
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
+
+(** [write_atomic] for a rendering function: avoids holding the whole
+    document when the caller already has a [Buffer]-based renderer. *)
+let write_atomic_with path f =
+  let b = Buffer.create 4096 in
+  f b;
+  write_atomic path (Buffer.contents b)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end

@@ -1,0 +1,19 @@
+(** Crash-safe file publication (tmp + atomic rename, the {!Objstore}
+    pattern) for exporters: a kill mid-write never leaves a truncated
+    file at the destination path. *)
+
+(** Stage into a unique same-directory temp file, then [Sys.rename]
+    over [path]. Raises [Sys_error] on I/O failure, after removing the
+    temp file. *)
+val write_atomic : string -> string -> unit
+
+(** [write_atomic_with path f] renders into a fresh buffer via [f] and
+    publishes it atomically. *)
+val write_atomic_with : string -> (Buffer.t -> unit) -> unit
+
+(** Whole-file read (binary). Raises [Sys_error] if unreadable. *)
+val read_file : string -> string
+
+(** [mkdir -p]. Existing directories are fine; creation races are
+    ignored. *)
+val mkdir_p : string -> unit

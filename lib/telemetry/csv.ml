@@ -81,7 +81,7 @@ let render ?(extra_rows = []) (r : Recorder.t) =
   String.concat "\n" ((header :: counter_rows) @ histo_rows @ extra_rows)
   ^ "\n"
 
+(* atomic (tmp + rename): a killed campaign never leaves a truncated
+   metrics export *)
 let write ?extra_rows r path =
-  let oc = open_out path in
-  output_string oc (render ?extra_rows r);
-  close_out oc
+  Support.Fsio.write_atomic path (render ?extra_rows r)

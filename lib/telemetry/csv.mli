@@ -23,5 +23,6 @@ val row : string list -> string
 (** The full document, header first, newline-terminated. *)
 val render : ?extra_rows:string list -> Recorder.t -> string
 
-(** Write {!render} to [path]. *)
+(** Write {!render} to [path] atomically (tmp + rename): a killed
+    campaign never leaves a truncated export. *)
 val write : ?extra_rows:string list -> Recorder.t -> string -> unit

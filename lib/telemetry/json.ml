@@ -1,0 +1,288 @@
+(** Minimal JSON value type, printer and recursive-descent parser —
+    enough for the benchmark snapshots ({!Snapshot}) and the campaign
+    flight recorder ({!Journal}) without an external dependency. The
+    printer emits deterministic output (object fields in the order
+    given, floats via [%.17g] round-trip format); the parser accepts
+    the full JSON grammar except unicode escapes beyond the BMP
+    ([\uXXXX] is decoded as a single byte when < 0x80, else kept as
+    UTF-8 of the code point). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let add_escaped b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let fmt_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    (* keep integral floats readable; ".0" marks them as floats *)
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec add b ?(indent = 0) ?(cur = 0) v =
+  let nl pad =
+    if indent > 0 then begin
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make pad ' ')
+    end
+  in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f ->
+    if not (Float.is_finite f) then
+      (* nan/inf are not JSON; emit null so the document stays valid *)
+      Buffer.add_string b "null"
+    else Buffer.add_string b (fmt_float f)
+  | String s -> add_escaped b s
+  | List [] -> Buffer.add_string b "[]"
+  | List items ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char b ',';
+        nl (cur + indent);
+        add b ~indent ~cur:(cur + indent) item)
+      items;
+    nl cur;
+    Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then Buffer.add_char b ',';
+        nl (cur + indent);
+        add_escaped b k;
+        Buffer.add_char b ':';
+        if indent > 0 then Buffer.add_char b ' ';
+        add b ~indent ~cur:(cur + indent) item)
+      fields;
+    nl cur;
+    Buffer.add_char b '}'
+
+(** Render; [indent > 0] pretty-prints with that step. *)
+let to_string ?(indent = 0) v =
+  let b = Buffer.create 1024 in
+  add b ~indent v;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let error c msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg c.pos))
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance c;
+    skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> error c (Printf.sprintf "expected %C" ch)
+
+let parse_lit c lit v =
+  if
+    c.pos + String.length lit <= String.length c.src
+    && String.sub c.src c.pos (String.length lit) = lit
+  then begin
+    c.pos <- c.pos + String.length lit;
+    v
+  end
+  else error c (Printf.sprintf "expected %s" lit)
+
+let utf8_of_code n =
+  let b = Buffer.create 4 in
+  if n < 0x80 then Buffer.add_char b (Char.chr n)
+  else if n < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (n lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (n land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xE0 lor (n lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((n lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (n land 0x3F)))
+  end;
+  Buffer.contents b
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> error c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+      advance c;
+      match peek c with
+      | Some '"' -> advance c; Buffer.add_char b '"'; loop ()
+      | Some '\\' -> advance c; Buffer.add_char b '\\'; loop ()
+      | Some '/' -> advance c; Buffer.add_char b '/'; loop ()
+      | Some 'n' -> advance c; Buffer.add_char b '\n'; loop ()
+      | Some 'r' -> advance c; Buffer.add_char b '\r'; loop ()
+      | Some 't' -> advance c; Buffer.add_char b '\t'; loop ()
+      | Some 'b' -> advance c; Buffer.add_char b '\b'; loop ()
+      | Some 'f' -> advance c; Buffer.add_char b '\012'; loop ()
+      | Some 'u' ->
+        advance c;
+        if c.pos + 4 > String.length c.src then error c "short \\u escape";
+        let hex = String.sub c.src c.pos 4 in
+        let n =
+          try int_of_string ("0x" ^ hex)
+          with _ -> error c "bad \\u escape"
+        in
+        c.pos <- c.pos + 4;
+        Buffer.add_string b (utf8_of_code n);
+        loop ()
+      | _ -> error c "bad escape")
+    | Some ch ->
+      advance c;
+      Buffer.add_char b ch;
+      loop ()
+  in
+  loop ();
+  Buffer.contents b
+
+let parse_number c =
+  let start = c.pos in
+  let is_float = ref false in
+  let rec loop () =
+    match peek c with
+    | Some ('0' .. '9' | '-' | '+') -> advance c; loop ()
+    | Some ('.' | 'e' | 'E') ->
+      is_float := true;
+      advance c;
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  let lexeme = String.sub c.src start (c.pos - start) in
+  if !is_float then
+    match float_of_string_opt lexeme with
+    | Some f -> Float f
+    | None -> error c "bad number"
+  else
+    match int_of_string_opt lexeme with
+    | Some i -> Int i
+    | None -> (
+      match float_of_string_opt lexeme with
+      | Some f -> Float f
+      | None -> error c "bad number")
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> error c "unexpected end of input"
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin advance c; Obj [] end
+    else begin
+      let fields = ref [] in
+      let rec fields_loop () =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        fields := (k, v) :: !fields;
+        skip_ws c;
+        match peek c with
+        | Some ',' -> advance c; fields_loop ()
+        | Some '}' -> advance c
+        | _ -> error c "expected ',' or '}'"
+      in
+      fields_loop ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin advance c; List [] end
+    else begin
+      let items = ref [] in
+      let rec items_loop () =
+        let v = parse_value c in
+        items := v :: !items;
+        skip_ws c;
+        match peek c with
+        | Some ',' -> advance c; items_loop ()
+        | Some ']' -> advance c
+        | _ -> error c "expected ',' or ']'"
+      in
+      items_loop ();
+      List (List.rev !items)
+    end
+  | Some '"' -> String (parse_string c)
+  | Some 't' -> parse_lit c "true" (Bool true)
+  | Some 'f' -> parse_lit c "false" (Bool false)
+  | Some 'n' -> parse_lit c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> error c (Printf.sprintf "unexpected %C" ch)
+
+(** Parse one JSON document; trailing whitespace allowed, trailing
+    garbage is an error. *)
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  try
+    let v = parse_value c in
+    skip_ws c;
+    if c.pos <> String.length s then Error "trailing garbage"
+    else Ok v
+  with Parse_error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+let to_int = function
+  | Int i -> Some i
+  | Float f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+
+let to_str = function String s -> Some s | _ -> None
+
+let to_list = function List l -> Some l | _ -> None
+
+let to_bool = function Bool b -> Some b | _ -> None

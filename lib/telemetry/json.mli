@@ -1,0 +1,33 @@
+(** Minimal dependency-free JSON: deterministic printer plus a strict
+    parser, shared by the benchmark snapshots ({!Snapshot}) and the
+    campaign flight recorder ({!Journal}). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Render; [indent > 0] pretty-prints with that step. Object fields
+    keep the order given — output is byte-deterministic. Non-finite
+    floats render as [null]. *)
+val to_string : ?indent:int -> t -> string
+
+(** Parse one document. [Error msg] on malformed input or trailing
+    garbage (a truncated journal line, a corrupted snapshot). *)
+val of_string : string -> (t, string) result
+
+(** Object field lookup; [None] on missing field or non-object. *)
+val member : string -> t -> t option
+
+val to_int : t -> int option
+
+(** Accepts [Int] too (JSON does not distinguish). *)
+val to_float : t -> float option
+
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_bool : t -> bool option

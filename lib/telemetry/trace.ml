@@ -98,8 +98,7 @@ let to_json ?(process_name = "odin") (r : Recorder.t) =
   Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents b
 
-(** Write {!to_json} to [path]. *)
+(** Write {!to_json} to [path], atomically (tmp + rename): a campaign
+    killed mid-export never leaves a truncated trace. *)
 let write ?process_name (r : Recorder.t) path =
-  let oc = open_out path in
-  output_string oc (to_json ?process_name r);
-  close_out oc
+  Support.Fsio.write_atomic path (to_json ?process_name r)

@@ -4,4 +4,5 @@
 
 val to_json : ?process_name:string -> Recorder.t -> string
 
+(** Atomic (tmp + rename): never leaves a truncated trace. *)
 val write : ?process_name:string -> Recorder.t -> string -> unit

@@ -13,6 +13,16 @@ exception Fault of string
 
 let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
 
+(** One inline-counter site's attribution: how many times the counter
+    increment at a given data address executed, and the VM cycles it
+    cost. The address identifies the site (the instrumentation layer
+    maps it back to a probe id — e.g. {!Odin.Cov} counters live at
+    [__odin_counters + pid]). *)
+type inc_site = {
+  mutable is_hits : int;
+  mutable is_cycles : int;
+}
+
 (** Optional execution profile: cycle attribution per function plus
     block/probe/call hit counts. Pure observation — enabling a profile
     never changes [cycles], [steps] or execution results; the same
@@ -24,6 +34,9 @@ type profile = {
   mutable pr_host_calls : int;  (** host function calls *)
   pr_fn_cycles : (string, int ref) Hashtbl.t;  (** cycles per function *)
   pr_fn_blocks : (string, int ref) Hashtbl.t;  (** block entries per function *)
+  pr_inc_sites : (int, inc_site) Hashtbl.t;
+      (** per-counter-address attribution, keyed by the increment's
+          target data address *)
 }
 
 type t = {
@@ -88,6 +101,7 @@ let enable_profile vm =
         pr_host_calls = 0;
         pr_fn_cycles = Hashtbl.create 32;
         pr_fn_blocks = Hashtbl.create 32;
+        pr_inc_sites = Hashtbl.create 64;
       }
     in
     vm.prof <- Some p;
@@ -111,6 +125,13 @@ let profile_blocks p =
   Hashtbl.fold (fun fn c acc -> (fn, !c) :: acc) p.pr_fn_blocks []
   |> List.sort (fun (n1, c1) (n2, c2) ->
          match compare c2 c1 with 0 -> compare n1 n2 | c -> c)
+
+(** Per-site inline-counter attribution as (address, hits, cycles),
+    ascending by address — deterministic for a deterministic run. *)
+let profile_inc_sites p =
+  Hashtbl.fold (fun addr s acc -> (addr, s.is_hits, s.is_cycles) :: acc)
+    p.pr_inc_sites []
+  |> List.sort compare
 
 let addr_of vm name = Link.Linker.addr_of vm.exe name
 
@@ -275,6 +296,22 @@ let call vm fname args =
       incr pc
     | Mincmem (ty, a) ->
       let addr = eaddr vm a in
+      (match vm.prof with
+      | Some p ->
+        (* per-site attribution: charge this increment's cycles to its
+           counter address, so instrumentation cost can be broken down
+           per probe *)
+        let site =
+          match Hashtbl.find_opt p.pr_inc_sites (Int64.to_int addr) with
+          | Some s -> s
+          | None ->
+            let s = { is_hits = 0; is_cycles = 0 } in
+            Hashtbl.replace p.pr_inc_sites (Int64.to_int addr) s;
+            s
+        in
+        site.is_hits <- site.is_hits + 1;
+        site.is_cycles <- site.is_cycles + cost inst
+      | None -> ());
       store_mem vm ty addr (Int64.add (load_mem vm ty addr) 1L);
       incr pc
     | Mlea (d, a) ->

@@ -9,6 +9,13 @@
 
 exception Fault of string
 
+(** One inline-counter site's attribution: executed increments at one
+    data address and their cycle cost (see {!profile_inc_sites}). *)
+type inc_site = {
+  mutable is_hits : int;
+  mutable is_cycles : int;
+}
+
 (** Optional execution profile: per-function cycle attribution plus
     block/probe/call hit counts. Pure observation — enabling it never
     changes [cycles], [steps] or results. *)
@@ -19,6 +26,8 @@ type profile = {
   mutable pr_host_calls : int;  (** host function calls *)
   pr_fn_cycles : (string, int ref) Hashtbl.t;
   pr_fn_blocks : (string, int ref) Hashtbl.t;
+  pr_inc_sites : (int, inc_site) Hashtbl.t;
+      (** per-counter-address attribution (address -> hits, cycles) *)
 }
 
 type t = {
@@ -61,6 +70,11 @@ val profile_top : profile -> (string * int) list
 
 (** Per-function block-entry counts, busiest first (ties by name). *)
 val profile_blocks : profile -> (string * int) list
+
+(** Per-site inline-counter attribution as (address, hits, cycles),
+    ascending by address. The instrumentation layer maps addresses back
+    to probe ids ({!Odin.Cov.probe_costs}). *)
+val profile_inc_sites : profile -> (int * int * int) list
 
 (** @raise Link.Linker.Link_error for unknown symbols. *)
 val addr_of : t -> string -> int64

@@ -107,6 +107,7 @@ let item ?(fns = []) ~idx ~input ~fired () =
     it_cycles = 100;
     it_fired = fired;
     it_fns = fns;
+    it_probe_cost = [];
   }
 
 let test_csync_dedup () =
