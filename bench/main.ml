@@ -575,7 +575,9 @@ let timereport cfg =
     (1000. *. sum (fun e -> e.Odin.Session.ev_compile_time))
     (1000. *. sum (fun e -> e.Odin.Session.ev_link_time));
   (* snapshot: the deterministic session/link/campaign counters gate as
-     Exact; shard waits are contention-dependent *)
+     Exact; shard waits are contention-dependent; the O(changed)-refresh
+     counters gate as Cost — they measure scheduler/memo work, which is
+     expected to drift as those paths evolve, within tolerance *)
   let agg : (string, int) Hashtbl.t = Hashtbl.create 32 in
   List.iter
     (fun c ->
@@ -594,7 +596,16 @@ let timereport cfg =
     |> List.sort compare
     |> List.map (fun (name, v) ->
            let cls =
-             if name = "session.cache_shard_waits" then Snap.Info else Snap.Exact
+             if name = "session.cache_shard_waits" then Snap.Info
+             else if
+               List.mem name
+                 [
+                   "session.schedule_visited";
+                   "session.opt_memo_hits";
+                   "link.slab_compactions";
+                 ]
+             then Snap.Cost
+             else Snap.Exact
            in
            Snap.metric ~cls ("counter." ^ name) (float_of_int v))
   in
@@ -888,6 +899,187 @@ let relink _cfg =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* O(changed) refresh scheduling: dirty-set indexes + opt memo         *)
+(* ------------------------------------------------------------------ *)
+
+(** Cost of *deciding* what to recompile, isolated from the work of
+    recompiling it: one probe toggled per refresh on a 42-fragment and a
+    ~10k-fragment program. The incremental scheduler answers from the
+    dirty-set and the persistent symbol->fragment indexes (O(changed));
+    the full walk re-examines every fragment and filters every probe
+    (O(program)). One session per program runs the same toggle sequence
+    in both modes (the scheduler is a runtime switch) and the executable
+    images are compared after every refresh — the bit-identity bar,
+    checked live. The modelled refresh cost combines the deterministic
+    schedule, recompile and link costs:
+    2*visited + 5*scheduled + 1000*recompiled + link cost. *)
+let schedule_bench _cfg =
+  print_endline
+    "\n== O(changed) refresh scheduling (incremental scheduler + opt memo) ==";
+  let programs =
+    [ Workloads.Profile.find_exn "sqlite"; Workloads.Profile.sqlite_xxl ]
+  in
+  (* the identity pass digests the whole image per toggle — O(program)
+     measurement overhead on the ~10k-fragment program, so quick (CI)
+     mode runs fewer toggles; the refresh path under test is unaffected *)
+  let iters = if !quick_mode then 40 else 100 in
+  let counter session name =
+    Telemetry.Metrics.value
+      (Telemetry.Metrics.counter
+         session.Odin.Session.telemetry.Telemetry.Recorder.metrics name)
+  in
+  let observe (p : Workloads.Profile.t) =
+    let m = Workloads.Generate.compile p in
+    let session =
+      Odin.Session.create ~mode:Odin.Partition.Max ~keep:[ entry ]
+        ~runtime_globals:[ Odin.Cov.runtime_global m ]
+        ~host:Workloads.Generate.host_functions m
+    in
+    ignore (Odin.Cov.setup session);
+    ignore (Odin.Session.build session);
+    let probe =
+      let found = ref None in
+      Instr.Manager.iter
+        (fun pr -> if !found = None then found := Some pr)
+        session.Odin.Session.manager;
+      Option.get !found
+    in
+    (* warm both objects (probe on / probe off): the steady state of a
+       long session, where the toggled fragment is already in the cache
+       (full walk) or the memo (incremental) *)
+    Instr.Manager.set_enabled session.Odin.Session.manager probe false;
+    ignore (Odin.Session.refresh session);
+    Instr.Manager.set_enabled session.Odin.Session.manager probe true;
+    ignore (Odin.Session.refresh session);
+    let run_mode incremental =
+      Odin.Session.set_incremental_sched session incremental;
+      (* identity + accounting pass (not timed): per-toggle image digest
+         and the deterministic cost inputs *)
+      let images = ref [] in
+      let visited0 = counter session "session.schedule_visited" in
+      let memo0 = counter session "session.opt_memo_hits" in
+      let scheduled = ref 0 and recompiled = ref 0 and link_cost = ref 0 in
+      for i = 1 to iters do
+        Instr.Manager.set_enabled session.Odin.Session.manager probe
+          (i mod 2 = 0);
+        let ev = Option.get (Odin.Session.refresh session) in
+        scheduled := !scheduled + List.length ev.Odin.Session.ev_fragments;
+        recompiled :=
+          !recompiled
+          + List.length ev.Odin.Session.ev_fragments
+          - ev.Odin.Session.ev_cache_hits;
+        link_cost :=
+          !link_cost
+          + (Link.Incremental.last session.Odin.Session.linker)
+              .Link.Incremental.ls_cost;
+        let exe = Odin.Session.executable session in
+        let img =
+          List.sort compare
+            (List.map
+               (fun (b, by) -> (b, Bytes.to_string by))
+               exe.Link.Linker.image)
+        in
+        images := Digest.string (Marshal.to_string img []) :: !images
+      done;
+      let visited = counter session "session.schedule_visited" - visited0 in
+      let memo_hits = counter session "session.opt_memo_hits" - memo0 in
+      let modelled =
+        ((2 * visited) + (5 * !scheduled) + (1000 * !recompiled) + !link_cost)
+        / iters
+      in
+      (* timing pass: same toggle loop, nothing else in the timed region *)
+      Gc.major ();
+      let t0 = Unix.gettimeofday () in
+      for i = 1 to iters do
+        Instr.Manager.set_enabled session.Odin.Session.manager probe
+          (i mod 2 = 0);
+        ignore (Odin.Session.refresh session)
+      done;
+      let ms = 1000. *. (Unix.gettimeofday () -. t0) /. float_of_int iters in
+      (ms, visited / iters, memo_hits, !recompiled, modelled, List.rev !images)
+    in
+    let inc = run_mode true in
+    let full = run_mode false in
+    ( p.Workloads.Profile.name,
+      Array.length session.Odin.Session.plan.Odin.Partition.fragments,
+      inc,
+      full )
+  in
+  let rows = List.map observe programs in
+  Support.Tab.print
+    ~title:
+      (Printf.sprintf
+         "single-probe toggle refresh, %d iterations (Max partition)" iters)
+    ~header:
+      [ "program"; "frags"; "full ms"; "incr ms"; "visited full"; "visited incr";
+        "memo hits"; "cost full"; "cost incr"; "identical" ]
+    (List.map
+       (fun (name, frags,
+             (ms_i, visited_i, memo_i, _, cost_i, images_i),
+             (ms_f, visited_f, _, _, cost_f, images_f)) ->
+         [
+           name;
+           string_of_int frags;
+           Printf.sprintf "%.2f" ms_f;
+           Printf.sprintf "%.2f" ms_i;
+           string_of_int visited_f;
+           string_of_int visited_i;
+           string_of_int memo_i;
+           string_of_int cost_f;
+           string_of_int cost_i;
+           (if images_i = images_f then "yes" else "NO — BUG");
+         ])
+       rows);
+  (* the acceptance bar: the modelled one-toggle refresh cost must not
+     grow with program size — ~10k fragments within 2x of 42 *)
+  (match rows with
+  | [ (_, frags_s, (_, _, _, _, cost_s, _), _);
+      (_, frags_x, (_, _, _, _, cost_x, _), _) ] ->
+    Printf.printf
+      "  modelled refresh cost, %d vs %d fragments (incremental): %d vs %d \
+       (%.2fx)\n"
+      frags_x frags_s cost_x cost_s
+      (float_of_int cost_x /. float_of_int (max 1 cost_s))
+  | _ -> ());
+  emit ~section:"schedule"
+    (List.concat_map
+       (fun (name, frags,
+             (ms_i, visited_i, memo_i, recompiled_i, cost_i, images_i),
+             (ms_f, visited_f, _, recompiled_f, cost_f, images_f)) ->
+         let pre = name ^ "." in
+         [
+           Snap.metric ~cls:Snap.Info (pre ^ "fragments") (float_of_int frags);
+           Snap.metric ~unit_:"ms" ~cls:Snap.Wall (pre ^ "full_ms") ms_f;
+           Snap.metric ~unit_:"ms" ~cls:Snap.Wall (pre ^ "incr_ms") ms_i;
+           Snap.metric ~cls:Snap.Exact (pre ^ "visited_full")
+             (float_of_int visited_f);
+           Snap.metric ~cls:Snap.Exact (pre ^ "visited_incr")
+             (float_of_int visited_i);
+           Snap.metric ~cls:Snap.Exact (pre ^ "memo_hits")
+             (float_of_int memo_i);
+           Snap.metric ~cls:Snap.Exact (pre ^ "recompiled_full")
+             (float_of_int recompiled_f);
+           Snap.metric ~cls:Snap.Exact (pre ^ "recompiled_incr")
+             (float_of_int recompiled_i);
+           Snap.metric ~unit_:"cost" ~cls:Snap.Cost (pre ^ "modelled_full")
+             (float_of_int cost_f);
+           Snap.metric ~unit_:"cost" ~cls:Snap.Cost (pre ^ "modelled_incr")
+             (float_of_int cost_i);
+           Snap.metric ~cls:Snap.Exact (pre ^ "images_identical")
+             (if images_i = images_f then 1. else 0.);
+         ])
+       rows
+    @
+    match rows with
+    | [ (_, _, (_, _, _, _, cost_s, _), _); (_, _, (_, _, _, _, cost_x, _), _) ]
+      ->
+      [
+        Snap.metric ~unit_:"ratio" ~cls:Snap.Info "xxl_vs_small_cost_ratio"
+          (float_of_int cost_x /. float_of_int (max 1 cost_s));
+      ]
+    | _ -> [])
+
+(* ------------------------------------------------------------------ *)
 (* Fuzzing farm: multi-worker scaling + invariance                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -1074,6 +1266,7 @@ let () =
   if wants "timereport" then timereport cfg;
   if wants "parallel" then parallel cfg;
   if wants "relink" then relink cfg;
+  if wants "schedule" then schedule_bench cfg;
   if wants "farm" then farm cfg;
   if wants "micro" then micro cfg;
   Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -688,7 +688,20 @@ let bench_diff_cmd =
       & info [ "verbose"; "v" ]
           ~doc:"Print every metric comparison, not only drifting ones.")
   in
-  let run baseline current ignore_cls verbose =
+  let require_baseline =
+    Arg.(
+      value & flag
+      & info [ "require-baseline" ]
+          ~doc:
+            "Fail when CURRENT contains a snapshot absent from BASELINE. By \
+             default such a section passes with a note, so a new bench \
+             section can land before its committed baseline.")
+  in
+  let run baseline current ignore_cls verbose require_baseline =
+    (* directory mode pairs the *union* of both sides' snapshot names:
+       baseline-only -> the current run lost a section (always a
+       failure); current-only -> a new section with no baseline yet
+       (pass with a note unless --require-baseline) *)
     let pairs =
       if Sys.file_exists baseline && Sys.is_directory baseline then begin
         if not (Sys.file_exists current && Sys.is_directory current) then begin
@@ -696,16 +709,24 @@ let bench_diff_cmd =
             current;
           exit 2
         end;
-        let names = list_snapshots baseline in
+        let names =
+          List.sort_uniq compare
+            (list_snapshots baseline @ list_snapshots current)
+        in
         if names = [] then begin
-          Printf.eprintf "odinc: no BENCH_*.json snapshots under %s\n" baseline;
+          Printf.eprintf "odinc: no BENCH_*.json snapshots under %s or %s\n"
+            baseline current;
           exit 2
         end;
         List.map
-          (fun f -> (Filename.concat baseline f, Filename.concat current f, f))
+          (fun f ->
+            let b = Filename.concat baseline f in
+            ( (if Sys.file_exists b then Some b else None),
+              Filename.concat current f,
+              f ))
           names
       end
-      else [ (baseline, current, Filename.basename baseline) ]
+      else [ (Some baseline, current, Filename.basename baseline) ]
     in
     let ign =
       match ignore_cls with
@@ -718,6 +739,25 @@ let bench_diff_cmd =
     let n_warn = ref 0 and n_fail = ref 0 and n_metrics = ref 0 in
     List.iter
       (fun (bpath, cpath, name) ->
+        match bpath with
+        | None -> (
+          match Snap.read cpath with
+          | Error msg ->
+            Printf.eprintf "odinc: %s: %s\n" cpath msg;
+            exit 2
+          | Ok cur ->
+            n_metrics := !n_metrics + List.length cur.Snap.s_metrics;
+            if require_baseline then begin
+              Printf.printf "%-24s FAIL  new section %s has no baseline\n" name
+                cur.Snap.s_section;
+              incr n_fail
+            end
+            else
+              Printf.printf
+                "%-24s pass  new section %s — no baseline to gate against \
+                 (--require-baseline to fail)\n"
+                name cur.Snap.s_section)
+        | Some bpath -> (
         match Snap.read bpath with
         | Error msg ->
           Printf.eprintf "odinc: %s: %s\n" bpath msg;
@@ -767,7 +807,7 @@ let bench_diff_cmd =
                           else -99.99))
                       e.Snap.d_note
                   end)
-                entries))
+                entries)))
       pairs;
     Printf.printf "summary: %d snapshots, %d metrics, %d warnings, %d failures\n"
       (List.length pairs) !n_metrics !n_warn !n_fail;
@@ -778,7 +818,8 @@ let bench_diff_cmd =
        ~doc:
          "Compare benchmark snapshots with per-class tolerances; exit 1 on \
           regression.")
-    Term.(const run $ baseline $ current $ ignore_cls $ verbose)
+    Term.(
+      const run $ baseline $ current $ ignore_cls $ verbose $ require_baseline)
 
 (* ---------------- report (flight-recorder journal) ---------------- *)
 

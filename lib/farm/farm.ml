@@ -140,11 +140,12 @@ let live workers = List.filter (fun w -> w.wk_dead = None) workers
     the orchestrator, between rounds) the sessions' fragment compiles;
     results are independent of its size. [cache_dir] puts the shared
     persistent object store behind every worker's session.
-    [incremental_link] forwards to every worker's session (default:
-    the session's own env-driven default). *)
-let run ?telemetry ?pool ?cache_dir ?incremental_link ?journal ?journal_path
-    ?(host = Workloads.Generate.host_functions) ~entry ~seeds (cfg : config)
-    (base : Ir.Modul.t) =
+    [incremental_link] and [incremental_sched] forward to every
+    worker's session (default: the session's own env-driven
+    defaults). *)
+let run ?telemetry ?pool ?cache_dir ?incremental_link ?incremental_sched
+    ?journal ?journal_path ?(host = Workloads.Generate.host_functions) ~entry
+    ~seeds (cfg : config) (base : Ir.Modul.t) =
   let nw = max 1 cfg.fc_workers in
   let r = match telemetry with Some r -> r | None -> Recorder.create () in
   let pool = match pool with Some p -> p | None -> Support.Pool.default () in
@@ -186,7 +187,7 @@ let run ?telemetry ?pool ?cache_dir ?incremental_link ?journal ?journal_path
       Odin.Session.create ~mode:cfg.fc_mode ~keep:[ entry ]
         ~runtime_globals:[ Odin.Cov.runtime_global m ]
         ~host ~pool ~objects:shared ~owner:i ?cache_dir ?incremental_link
-        ~telemetry:wr m
+        ?incremental_sched ~telemetry:wr m
     in
     let cov = Odin.Cov.setup session in
     let dead =

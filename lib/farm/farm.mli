@@ -88,9 +88,10 @@ val dedup_rate : stats -> float
     names host functions registered as no-ops in each guest VM
     (defaults to the workloads' host set). Per-worker telemetry is
     recorded on forked recorders and merged into [telemetry] (or a
-    private recorder) at the end. [incremental_link] forwards to each
-    worker's session ({!Odin.Session.create}); farm results are
-    bit-identical whichever way it is set.
+    private recorder) at the end. [incremental_link] and
+    [incremental_sched] forward to each worker's session
+    ({!Odin.Session.create}); farm results are bit-identical whichever
+    way they are set.
 
     [journal]/[journal_path] attach a campaign flight recorder: sync
     and counter-snapshot events are recorded at every barrier, per-probe
@@ -103,6 +104,7 @@ val run :
   ?pool:Support.Pool.t ->
   ?cache_dir:string ->
   ?incremental_link:bool ->
+  ?incremental_sched:bool ->
   ?journal:Telemetry.Journal.t ->
   ?journal_path:string ->
   ?host:string list ->

@@ -1,7 +1,13 @@
 (** PatchManager: dynamic adding, deleting and changing of probes (paper
     Section 4). The manager tracks which probes changed since the last
     recompilation; Odin's scheduler reads that dirty set to bound the
-    recompilation scope (Algorithm 2, lines 2-6). *)
+    recompilation scope (Algorithm 2, lines 2-6).
+
+    Dirty-state queries ({!changed_probes}, {!changed_targets}) and the
+    by-target lookup ({!probes_on}) are O(changed) / O(probes on that
+    symbol): the manager maintains persistent indexes instead of
+    filtering the full probe list, so the incremental scheduler never
+    pays O(program) to find what changed. *)
 
 type t
 
@@ -39,7 +45,13 @@ val to_list : t -> Probe.t list
 
 val count : t -> int
 
-(** Probes changed since the last successful rebuild. *)
+(** Live probes registered against a symbol, probe ids ascending (the
+    relative order {!to_list} would give). Served from the persistent
+    by-target index — O(probes on that symbol). *)
+val probes_on : t -> string -> Probe.t list
+
+(** Probes changed since the last successful rebuild, ids ascending.
+    O(changed), not O(probes). *)
 val changed_probes : t -> Probe.t list
 
 (** Symbols that must be recompiled: targets of changed probes plus

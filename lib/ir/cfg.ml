@@ -91,12 +91,17 @@ let remove_unreachable (fn : Func.t) =
     end
   end
 
-(** Labels of blocks whose address is taken via [Blockaddr] anywhere in the
-    module; such blocks must not be removed or merged away. *)
-let address_taken_labels (fn : Func.t) (m : Modul.t) =
-  let acc = ref SSet.empty in
+(** Every [Blockaddr] in the module, grouped by target function: maps a
+    function name to the labels of its blocks whose address is taken
+    anywhere; such blocks must not be removed or merged away. One module
+    scan answers the question for all functions — per-function passes
+    must not rescan the module per function (that is quadratic). *)
+let address_taken_map (m : Modul.t) =
+  let map : (string, SSet.t) Hashtbl.t = Hashtbl.create 16 in
   let scan_value = function
-    | Ins.Blockaddr (f, l) when String.equal f fn.Func.name -> acc := SSet.add l !acc
+    | Ins.Blockaddr (f, l) ->
+      Hashtbl.replace map f
+        (SSet.add l (Option.value ~default:SSet.empty (Hashtbl.find_opt map f)))
     | _ -> ()
   in
   let scan_func (g : Func.t) =
@@ -111,4 +116,11 @@ let address_taken_labels (fn : Func.t) (m : Modul.t) =
       | Modul.Fun g when not (Func.is_declaration g) -> scan_func g
       | _ -> ())
     (Modul.globals m);
-  !acc
+  map
+
+(** Labels of [fn]'s blocks whose address is taken via [Blockaddr]
+    anywhere in the module. Scans the whole module — when asking for
+    many functions, build {!address_taken_map} once instead. *)
+let address_taken_labels (fn : Func.t) (m : Modul.t) =
+  Option.value ~default:SSet.empty
+    (Hashtbl.find_opt (address_taken_map m) fn.Func.name)

@@ -62,6 +62,10 @@ type slab = {
 
 type state = {
   s_host : string list;
+  s_host_next : int;
+      (* host-symbol slab cursor: next free thunk address (16-byte
+         steps, below code_base). Persisting it lets a later patch hand
+         a fresh host reference an address without relinking *)
   s_names : string list;  (* object names in link order *)
   s_slabs : (string, slab) Hashtbl.t;
   s_rev : (string, (string * string * int) list) Hashtbl.t;
@@ -86,6 +90,8 @@ type stats = {
   mutable st_fallbacks : int;
   mutable st_symbols_patched : int;
   mutable st_relocs_patched : int;
+  mutable st_overflows : int;
+  mutable st_compactions : int;
 }
 
 type slab_info = {
@@ -100,6 +106,12 @@ type t = {
   mutable state : state option;
   stats : stats;
   mutable last : link_stats;
+  hw : (string, int * int) Hashtbl.t;
+      (* overflow high-water marks: object name -> (code slots, data
+         bytes) the slab must fit on the next full link. Inflating the
+         fallback's capacities this way makes repeat overflows of a
+         growing object patch instead of falling back forever *)
+  mutable ov_since_compact : int;
 }
 
 let no_link =
@@ -121,13 +133,30 @@ let create () =
         st_fallbacks = 0;
         st_symbols_patched = 0;
         st_relocs_patched = 0;
+        st_overflows = 0;
+        st_compactions = 0;
       };
     last = no_link;
+    hw = Hashtbl.create 8;
+    ov_since_compact = 0;
   }
 
 let stats t = t.stats
 let last t = t.last
 let reset t = t.state <- None
+
+(* Overflows tolerated before the inflated high-water capacities are
+   judged pathological and dropped (slab compaction). *)
+let compact_threshold = 8
+
+(** Drop the high-water capacity inflation: the next full link lays
+    slabs out tight again (a compaction). Also drops the link state —
+    inflated slab geometry cannot be patched back down in place. *)
+let compact t =
+  Hashtbl.reset t.hw;
+  t.ov_since_compact <- 0;
+  t.stats.st_compactions <- t.stats.st_compactions + 1;
+  t.state <- None
 
 let slabs t =
   match t.state with
@@ -163,7 +192,11 @@ let sig_of (obj : Objfile.t) =
 (* Full link: Linker.link semantics, but slab-at-a-time addresses.     *)
 (* ------------------------------------------------------------------ *)
 
-let full_link ~host (objs : Objfile.t list) =
+(* [hw] holds per-object overflow high-water marks; a listed object's
+   slab is sized for max(current shape, high water) so it can absorb
+   the growth that made the patch path overflow. *)
+let full_link ?(hw : (string, int * int) Hashtbl.t = Hashtbl.create 0) ~host
+    (objs : Objfile.t list) =
   (* symbol choice: strong resolution + COMDAT first-definition-wins,
      with Linker's exact duplicate diagnostics *)
   let chosen : (string, Objfile.sym) Hashtbl.t = Hashtbl.create 128 in
@@ -231,8 +264,11 @@ let full_link ~host (objs : Objfile.t list) =
             | Objfile.Code _ -> acc)
           0 mine
       in
-      let code_cap = code_capacity ncode in
-      let data_cap = data_capacity dtotal in
+      let hw_code, hw_data =
+        Option.value ~default:(0, 0) (Hashtbl.find_opt hw obj.Objfile.o_name)
+      in
+      let code_cap = code_capacity (max ncode hw_code) in
+      let data_cap = data_capacity (max dtotal hw_data) in
       let cb = !next_code and db = !next_data in
       next_code := cb + (code_cap * 16);
       next_data := db + data_cap;
@@ -366,6 +402,7 @@ let full_link ~host (objs : Objfile.t list) =
   in
   ( {
       s_host = host;
+      s_host_next = !next_host;
       s_names = names;
       s_slabs = slabs;
       s_rev = rev;
@@ -380,6 +417,13 @@ let full_link ~host (objs : Objfile.t list) =
 (* ------------------------------------------------------------------ *)
 
 exception Fallback
+
+(* A changed object outgrew its slab: (object, code slots needed, data
+   bytes needed). Distinct from [Fallback] so the driver can record the
+   high-water shape before taking the full-link path. *)
+exception Overflow of string * int * int
+
+module HostSet = Set.Make (String)
 
 let sorted_exports items =
   List.sort compare
@@ -435,7 +479,14 @@ let journal_remove undo tbl k =
 (* Returns [(state', exe, symbols_patched, relocs_patched)]; raises
    [Fallback] when the cheap path cannot be proven safe. *)
 let incremental_link state ~host ~changed (objs : Objfile.t list) =
-  if host <> state.s_host then raise Fallback;
+  (* host compared as a *set*: an added symbol gets a thunk address off
+     the persistent host-slab cursor below; a removed one would leave a
+     stale resolvable name behind, so only removal forces the full
+     link *)
+  let old_host = HostSet.of_list state.s_host in
+  let new_host = HostSet.of_list host in
+  if not (HostSet.subset old_host new_host) then raise Fallback;
+  let added_host = HostSet.diff new_host old_host in
   let names = List.map (fun (o : Objfile.t) -> o.Objfile.o_name) objs in
   if names <> state.s_names then raise Fallback;
   let changed_set = Hashtbl.create 8 in
@@ -445,7 +496,8 @@ let incremental_link state ~host ~changed (objs : Objfile.t list) =
       (fun (o : Objfile.t) -> Hashtbl.mem changed_set o.Objfile.o_name)
       objs
   in
-  if changed_objs = [] then (state, state.s_exe, 0, 0)
+  if changed_objs = [] && HostSet.is_empty added_host then
+    (state, state.s_exe, 0, 0)
   else begin
     Support.Fault.hit "link.patch";
     let old = state.s_exe in
@@ -465,7 +517,15 @@ let incremental_link state ~host ~changed (objs : Objfile.t list) =
     let placed_log = ref [] in (* (name, expected addr) for verification *)
     let slot_log = ref [] in (* (bytes, off, target) for verification *)
     let old_entries = ref [] in (* pre-patch (obj, entries), for the rev index *)
+    let host_cursor = ref state.s_host_next in
     try
+    (* phase 0: host slab — register added host symbols (journaled like
+       every other table write, so a failed patch forgets them too) *)
+    HostSet.iter
+      (fun h ->
+        if not (Hashtbl.mem old.L.host_syms h) then
+          journal_set undo old.L.host_syms h ())
+      added_host;
     (* phase 1: validate each changed object against its slab, then
        re-place its symbols at the addresses a full slab link would pick *)
     List.iter
@@ -489,8 +549,8 @@ let incremental_link state ~host ~changed (objs : Objfile.t list) =
               | Objfile.Code _ -> acc)
             0 mine
         in
-        if ncode > sl.sl_code_cap then raise Fallback;
-        if dtotal > sl.sl_data_cap then raise Fallback;
+        if ncode > sl.sl_code_cap || dtotal > sl.sl_data_cap then
+          raise (Overflow (obj.Objfile.o_name, ncode, dtotal));
         (* remove the stale placement, remembering each pre-patch
            address (the in-place table can no longer answer that) *)
         let old_names = Hashtbl.create 16 in
@@ -583,13 +643,26 @@ let incremental_link state ~host ~changed (objs : Objfile.t list) =
             | None -> raise Fallback)
           obj.Objfile.o_aliases)
       changed_objs;
-    (* phase 2: every reference of a changed object must already
-       resolve; a new host ref or a truly undefined symbol falls back so
-       the full link assigns/diagnoses it *)
+    (* phase 2: every reference of a changed object must resolve. A new
+       reference to a host symbol gets a thunk address off the
+       persistent host-slab cursor (addresses live only in the symbol
+       tables — host calls resolve by name at run time, so placement
+       order is unobservable); anything else truly undefined falls back
+       so the full link diagnoses it *)
     List.iter
       (fun (obj : Objfile.t) ->
         List.iter
-          (fun u -> if not (Hashtbl.mem sym_addr u) then raise Fallback)
+          (fun u ->
+            if not (Hashtbl.mem sym_addr u) then
+              if Hashtbl.mem old.L.host_syms u then begin
+                let addr = Int64.of_int !host_cursor in
+                journal_set undo sym_addr u addr;
+                journal_set undo old.L.host_at_addr addr u;
+                host_cursor := !host_cursor + 16;
+                incr syms_patched;
+                placed_log := (u, addr) :: !placed_log
+              end
+              else raise Fallback)
           obj.Objfile.o_undefined)
       changed_objs;
     (* phase 3: patch the changed objects' own relocations on fresh
@@ -738,7 +811,14 @@ let incremental_link state ~host ~changed (objs : Objfile.t list) =
         symbols_resolved = !syms_patched + !relocs_patched;
       }
     in
-    ( { state with s_slabs = slabs; s_rev = rev; s_exe = exe },
+    ( {
+        state with
+        s_slabs = slabs;
+        s_rev = rev;
+        s_exe = exe;
+        s_host = host;
+        s_host_next = !host_cursor;
+      },
       exe,
       !syms_patched,
       !relocs_patched )
@@ -760,8 +840,23 @@ let relink ?(incremental = true) ?(host = []) t ~changed
       | None -> None
       | Some state -> (
         try Some (incremental_link state ~host ~changed objs)
-        with Fallback ->
+        with
+        | Fallback ->
           t.stats.st_fallbacks <- t.stats.st_fallbacks + 1;
+          None
+        | Overflow (name, ncode, dtotal) ->
+          (* record the shape that burst the slab so the fallback full
+             link below over-allocates it; when overflows keep coming
+             despite the inflation, the layout is judged pathological
+             and compacted (high waters dropped, tight relayout) *)
+          t.stats.st_fallbacks <- t.stats.st_fallbacks + 1;
+          t.stats.st_overflows <- t.stats.st_overflows + 1;
+          let pc, pd =
+            Option.value ~default:(0, 0) (Hashtbl.find_opt t.hw name)
+          in
+          Hashtbl.replace t.hw name (max pc ncode, max pd dtotal);
+          t.ov_since_compact <- t.ov_since_compact + 1;
+          if t.ov_since_compact >= compact_threshold then compact t;
           None)
   in
   match patched with
@@ -780,7 +875,7 @@ let relink ?(incremental = true) ?(host = []) t ~changed
       };
     exe
   | None ->
-    let state, resolved = full_link ~host objs in
+    let state, resolved = full_link ~hw:t.hw ~host objs in
     t.state <- Some state;
     t.stats.st_full <- t.stats.st_full + 1;
     t.last <-

@@ -27,11 +27,28 @@
 
     The patch path {e falls back to a full link} (same diagnostics,
     fresh slabs) whenever it cannot prove the cheap path safe: first
-    link, object list or host set changed, a changed object's exported
-    symbol set / alias list / COMDAT keys changed, a slab outgrown, a
-    reference it cannot resolve against the existing tables, or a
-    symbol collision (so [Duplicate_symbol] / [Undefined_symbol] are
-    always raised by the full path with their usual diagnostics).
+    link, object list changed, a host symbol {e removed}, a changed
+    object's exported symbol set / alias list / COMDAT keys changed, a
+    slab outgrown, a reference it cannot resolve against the existing
+    tables, or a symbol collision (so [Duplicate_symbol] /
+    [Undefined_symbol] are always raised by the full path with their
+    usual diagnostics).
+
+    {e Host-symbol slabs}: host symbols live in their own slab (16-byte
+    thunk addresses below the code base) with a cursor persisted in the
+    link state, so {e adding} a host symbol — or a changed object
+    referencing one for the first time — patches incrementally: the new
+    name gets the next thunk address off the cursor. Host calls resolve
+    by name at run time, so cursor-order placement is observably
+    identical to the full link's.
+
+    {e Slab compaction}: when a changed object outgrows its slab the
+    patch falls back, and the full link re-lays that slab with capacity
+    for the recorded {e high-water} shape so the growth is absorbed
+    next time. Repeated overflows (address space ballooning, stats
+    visible as [st_overflows]) trigger a compaction: the inflation is
+    dropped and the next full link lays slabs out tight again
+    ([st_compactions]).
 
     Torn patches are detected: every re-placed symbol and every patched
     relocation slot is verified after patching; a mismatch (e.g. the
@@ -61,6 +78,8 @@ type stats = {
   mutable st_fallbacks : int;  (** patch attempts that fell back *)
   mutable st_symbols_patched : int;
   mutable st_relocs_patched : int;
+  mutable st_overflows : int;  (** fallbacks caused by a slab outgrown *)
+  mutable st_compactions : int;  (** high-water inflation drops *)
 }
 
 (** Slab geometry, exposed for tests and diagnostics. *)
@@ -113,3 +132,12 @@ val slabs : t -> slab_info list
 
 (** Drop all state: the next {!relink} is full. *)
 val reset : t -> unit
+
+(** Overflows tolerated before the automatic compaction (exposed for
+    tests). *)
+val compact_threshold : int
+
+(** Force a compaction: drop the overflow high-water capacity inflation
+    {e and} the link state, so the next {!relink} is a full link with
+    tight slabs. Counted in [st_compactions]. *)
+val compact : t -> unit

@@ -208,6 +208,20 @@ type t = {
       (** persistent link state: slabs + reverse relocation index, so a
           refresh relinks only what changed (when [incr_link]) *)
   mutable incr_link : bool;  (** patch instead of full relink when safe *)
+  mutable incr_sched : bool;
+      (** O(changed) refreshes: schedule through the symbol->fragment
+          indexes instead of walking every fragment, and short-circuit
+          unchanged fragments through the Shash memo before the pass
+          pipeline *)
+  clone_index : (string, int list) Hashtbl.t;
+      (** copy-on-use symbol -> fragments that cloned it (fid ascending);
+          built once from the plan — with [plan.frag_of] it answers the
+          symbols->fragments step of Algorithm 2 without the full walk *)
+  memo : (string, Link.Objfile.t) Hashtbl.t;
+      (** optimization memo: Ir.Shash digest of the instrumented fragment
+          IR -> finished object. A hit returns before verify, the shard
+          locks and Opt.Pipeline; reset by {!set_opt_rounds}. Written
+          only from the serial join loop, read concurrently by jobs *)
   mutable host : string list;
   mutable exe : Link.Linker.exe option;
   mutable patchers : (sched -> unit) list;
@@ -262,6 +276,15 @@ let env_incremental_link () =
   | Some ("0" | "false" | "off" | "no") -> false
   | _ -> true
 
+(* ODIN_INCR_SCHED=0 (or false/off/no) disables the incremental probe
+   scheduler and the Shash optimization memo process-wide — the escape
+   hatch back to the O(program) full-walk refresh path; the
+   [?incremental_sched] create param overrides. *)
+let env_incremental_sched () =
+  match Sys.getenv_opt "ODIN_INCR_SCHED" with
+  | Some ("0" | "false" | "off" | "no") -> false
+  | _ -> true
+
 (** Create a session for [base].
     [runtime_globals] are data symbols owned by the instrumentation
     runtime (e.g. coverage counter arrays), linked as a separate object;
@@ -275,7 +298,7 @@ let env_incremental_link () =
 let create ?(mode = Partition.Auto) ?(copy_on_use = true) ?(keep = [ "main" ])
     ?(runtime_globals = []) ?(host = []) ?(opt_rounds = 2) ?pool
     ?(cache_size = 256) ?objects ?(owner = 0) ?cache_dir ?(max_retries = 2)
-    ?job_timeout ?incremental_link
+    ?job_timeout ?incremental_link ?incremental_sched
     ?(telemetry = Telemetry.Recorder.create ()) (base : Ir.Modul.t) =
   Ir.Verify.run_exn base;
   (* session setup is not a rebuild: the classification survey runs the
@@ -299,6 +322,25 @@ let create ?(mode = Partition.Auto) ?(copy_on_use = true) ?(keep = [ "main" ])
            (Ir.Modul.Zero size)))
     runtime_globals;
   let runtime = Link.Objfile.of_module runtime_module in
+  (* persistent symbol->fragment index for copy-on-use clones: a change
+     to a cloned symbol dirties every fragment that cloned it.
+     [plan.frag_of] covers members; this covers clones. Built once —
+     the plan is immutable, so the index never goes stale. *)
+  let clone_index = Hashtbl.create 64 in
+  Array.iter
+    (fun (f : Partition.fragment) ->
+      Partition.SSet.iter
+        (fun s ->
+          Hashtbl.replace clone_index s
+            (f.Partition.fid
+            :: Option.value ~default:[] (Hashtbl.find_opt clone_index s)))
+        f.Partition.clones)
+    plan.Partition.fragments;
+  (* fragments were walked in fid order and prepended: reverse each
+     bucket so lookups come back fid-ascending *)
+  Hashtbl.iter
+    (fun s fids -> Hashtbl.replace clone_index s (List.rev fids))
+    (Hashtbl.copy clone_index);
   (* the base module must see runtime globals as declarations so that
      patch logic can reference them *)
   List.iter
@@ -324,6 +366,12 @@ let create ?(mode = Partition.Auto) ?(copy_on_use = true) ?(keep = [ "main" ])
       (match incremental_link with
       | Some b -> b
       | None -> env_incremental_link ());
+    incr_sched =
+      (match incremental_sched with
+      | Some b -> b
+      | None -> env_incremental_sched ());
+    clone_index;
+    memo = Hashtbl.create 64;
     host;
     exe = None;
     patchers = [];
@@ -340,8 +388,11 @@ let create ?(mode = Partition.Auto) ?(copy_on_use = true) ?(keep = [ "main" ])
 
 (** Change the fragment re-optimization bound. Takes effect on the next
     rebuild; cached objects compiled under the old setting are not
-    reused (the bound is part of the cache key). *)
-let set_opt_rounds t rounds = t.opt_rounds <- max 0 rounds
+    reused (the bound is part of the cache key), and the optimization
+    memo is dropped outright. *)
+let set_opt_rounds t rounds =
+  t.opt_rounds <- max 0 rounds;
+  Hashtbl.reset t.memo
 
 (** Change the bounded-retry count for transient fragment faults. *)
 let set_max_retries t n = t.max_retries <- max 0 n
@@ -355,6 +406,16 @@ let set_job_timeout t timeout = t.job_timeout <- timeout
 let set_incremental_link t b = t.incr_link <- b
 
 let incremental_link t = t.incr_link
+
+(** Enable/disable the incremental scheduler + optimization memo for
+    subsequent rebuilds. Purely a performance switch: schedules, images
+    and VM behavior are identical either way. *)
+let set_incremental_sched t b = t.incr_sched <- b
+
+let incremental_sched t = t.incr_sched
+
+(** Entries currently held by the optimization memo. *)
+let memo_size t = Hashtbl.length t.memo
 
 (** Replace all patch logic with [patcher]. *)
 let set_patcher t patcher = t.patchers <- [ patcher ]
@@ -396,29 +457,53 @@ let symbols_of_fragments t frag_ids =
       Partition.SSet.fold SSet.add f.Partition.members acc)
     SSet.empty frag_ids
 
+(* Incremental symbols->fragments: answer the propagate question from
+   the persistent indexes ([plan.frag_of] for members, [clone_index] for
+   copy-on-use clones) instead of testing every fragment. Returns fid
+   ascending — the exact list [propagate] would build. *)
+let propagate_indexed t changed_targets =
+  let set = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      (match Hashtbl.find_opt t.plan.Partition.frag_of s with
+      | Some fid -> Hashtbl.replace set fid ()
+      | None -> ());
+      List.iter
+        (fun fid -> Hashtbl.replace set fid ())
+        (Option.value ~default:[] (Hashtbl.find_opt t.clone_index s)))
+    changed_targets;
+  List.sort compare (Hashtbl.fold (fun fid () acc -> fid :: acc) set [])
+
 (** Compute the schedule for the current probe-state changes: detect the
     changed probes, propagate to fragments, back-propagate to the full
     set of active probes in those fragments, and extract the temporary
     IR (lines 1-18 of Algorithm 2). On the very first build, every
     fragment is scheduled. Fragments degraded by a previous rebuild are
-    force-scheduled (the re-heal path) even when no probe changed. *)
+    force-scheduled (the re-heal path) even when no probe changed.
+
+    With the incremental scheduler on (the default), a non-initial
+    schedule is O(changed): the dirty targets go through the persistent
+    symbol->fragment indexes and the by-target probe index instead of
+    walking every fragment and filtering every probe. The resulting
+    [sched] is identical either way — the [session.schedule_visited]
+    counter records how many fragments the walk actually examined. *)
 let schedule ?(initial = false) ?(backprop = true) t =
+  let n_fragments = Array.length t.plan.Partition.fragments in
   (* lines 2-6: changed probes -> symbols *)
-  let changed_syms =
-    if initial then
-      Array.fold_left
-        (fun acc (f : Partition.fragment) ->
-          Partition.SSet.fold SSet.add f.Partition.members acc)
-        SSet.empty t.plan.Partition.fragments
-    else
-      List.fold_left
-        (fun acc s -> SSet.add s acc)
-        SSet.empty
-        (Instr.Manager.changed_targets t.manager)
+  let changed_targets =
+    if initial then [] else Instr.Manager.changed_targets t.manager
   in
   (* lines 7-11: symbols -> fragments (and back to the fragments' full
      symbol sets, since the recompilation unit is the fragment) *)
-  let frag_ids = propagate t changed_syms in
+  let frag_ids =
+    if initial then
+      Array.to_list (Array.map (fun (f : Partition.fragment) -> f.Partition.fid)
+        t.plan.Partition.fragments)
+    else if t.incr_sched then propagate_indexed t changed_targets
+    else
+      propagate t
+        (List.fold_left (fun acc s -> SSet.add s acc) SSet.empty changed_targets)
+  in
   (* re-heal: degraded fragments rejoin every schedule until they
      compile cleanly again *)
   let frag_ids =
@@ -427,6 +512,14 @@ let schedule ?(initial = false) ?(backprop = true) t =
       List.sort_uniq compare
         (Hashtbl.fold (fun fid () acc -> fid :: acc) t.degraded frag_ids)
   in
+  (* visited = fragments the scheduler examined: the whole program on
+     the full walk (and on the initial build), only the index-resolved
+     dirty set on the incremental path *)
+  let visited =
+    if initial || not t.incr_sched then n_fragments else List.length frag_ids
+  in
+  Telemetry.Recorder.count (Some t.telemetry) ~by:visited
+    "session.schedule_visited";
   let all_syms = symbols_of_fragments t frag_ids in
   (* lines 13-17: back-propagate to probes — every *activated* probe
      whose target lives in a scheduled fragment must be re-applied.
@@ -434,12 +527,29 @@ let schedule ?(initial = false) ?(backprop = true) t =
      step, unchanged probes inside a recompiled fragment silently vanish
      from the new code. *)
   let active =
-    let all = Instr.Manager.to_list t.manager in
     if backprop then
-      List.filter
-        (fun (p : Instr.Probe.t) ->
-          p.Instr.Probe.enabled && SSet.mem p.Instr.Probe.target all_syms)
-        all
+      if t.incr_sched && not initial then
+        (* collect through the by-target index: each scheduled fragment's
+           member symbols name their probes directly. A probe's target
+           lives in exactly one fragment's member set, so sorting by pid
+           reproduces the full filter's registration order (pids are
+           allocated monotonically; sort_uniq guards the invariant) *)
+        List.concat_map
+          (fun fid ->
+            let f = t.plan.Partition.fragments.(fid) in
+            Partition.SSet.fold
+              (fun s acc ->
+                List.rev_append (Instr.Manager.probes_on t.manager s) acc)
+              f.Partition.members [])
+          frag_ids
+        |> List.filter (fun (p : Instr.Probe.t) -> p.Instr.Probe.enabled)
+        |> List.sort_uniq (fun (a : Instr.Probe.t) (b : Instr.Probe.t) ->
+               compare a.Instr.Probe.pid b.Instr.Probe.pid)
+      else
+        List.filter
+          (fun (p : Instr.Probe.t) ->
+            p.Instr.Probe.enabled && SSet.mem p.Instr.Probe.target all_syms)
+          (Instr.Manager.to_list t.manager)
     else begin
       let changed = Instr.Manager.changed_probes t.manager in
       List.filter
@@ -447,7 +557,7 @@ let schedule ?(initial = false) ?(backprop = true) t =
           p.Instr.Probe.enabled
           && (initial || List.memq p changed)
           && SSet.mem p.Instr.Probe.target all_syms)
-        all
+        (Instr.Manager.to_list t.manager)
     end
   in
   (* line 18: extract the temporary IR by cloning the changed symbols *)
@@ -606,14 +716,44 @@ let rebuild (sched : sched) =
         sched.active
     in
     (* One full attempt at producing this fragment's object from
-       [produce_source]; raises on failure. Returns (object, served
-       from cache/store?). *)
+       [produce_source]; raises on failure. Returns
+       (object, served from cache/store/memo?, content key to memoize).
+       The key is [None] on a memo hit (already memoized) — the join
+       loop is the only writer of [t.memo]. *)
     let produce produce_source =
       let frag_module =
         Telemetry.Span.with_span jspans ~cat:"session" "materialize" (fun () ->
             Support.Fault.hit "session.materialize";
             Partition.materialize t.plan f ~source:produce_source ~base:t.base)
       in
+      (* content address: the instrumented IR is the complete compiler
+         input, and the opt bound is the only config that alters the
+         output for equal input. Digested structurally (one visitor
+         pass, Ir.Shash) — same equivalence as printing, without
+         materializing the printed module. Digest runs before verify so
+         the session memo can short-circuit the whole remaining walk:
+         an equal digest means a structurally identical module, which
+         already verified when the memo entry was made *)
+      let key =
+        Telemetry.Span.with_span jspans ~cat:"session" "digest" (fun () ->
+            let b = Buffer.create 4096 in
+            Buffer.add_string b (Printf.sprintf "fid=%d;rounds=%d;" fid t.opt_rounds);
+            Ir.Shash.add_module b frag_module;
+            Digest.bytes (Buffer.to_bytes b))
+      in
+      let memoized =
+        if t.incr_sched then Hashtbl.find_opt t.memo key else None
+      in
+      match memoized with
+      | Some obj ->
+        (* unchanged fragment: skip verify, the shard locks, the store
+           round-trip and Opt.Pipeline entirely. Reads race only with
+           other readers — the memo is written solely from the serial
+           join loop between pool batches *)
+        Telemetry.Span.add_arg fsp "cache" "memo";
+        Telemetry.Recorder.count (Some jr) "session.opt_memo_hits";
+        (obj, true, None)
+      | None ->
       Telemetry.Span.with_span jspans ~cat:"session" "verify" (fun () ->
           match Ir.Verify.check_module frag_module with
           | [] -> ()
@@ -623,18 +763,6 @@ let rebuild (sched : sched) =
                  (mk_error ~fragment:fid ~probes Verify
                     (Printf.sprintf "fragment %d does not verify:\n%s" fid
                        (Ir.Verify.errors_to_string errors)))));
-      (* content address: the instrumented IR is the complete compiler
-         input, and the opt bound is the only config that alters the
-         output for equal input. Digested structurally (one visitor
-         pass, Ir.Shash) — same equivalence as printing, without
-         materializing the printed module *)
-      let key =
-        Telemetry.Span.with_span jspans ~cat:"session" "digest" (fun () ->
-            let b = Buffer.create 4096 in
-            Buffer.add_string b (Printf.sprintf "fid=%d;rounds=%d;" fid t.opt_rounds);
-            Ir.Shash.add_module b frag_module;
-            Digest.bytes (Buffer.to_bytes b))
-      in
       let oc = t.objects in
       let cached =
         try
@@ -659,7 +787,7 @@ let rebuild (sched : sched) =
       match cached with
       | Some obj ->
         Telemetry.Span.add_arg fsp "cache" "hit";
-        (obj, true)
+        (obj, true, Some key)
       | None -> (
         (* persistent tier: a store hit skips optimize+codegen too *)
         let from_store =
@@ -680,7 +808,7 @@ let rebuild (sched : sched) =
               Support.Lru.add cs.cs_lru key obj;
               if not (Hashtbl.mem cs.cs_owners key) then
                 Hashtbl.replace cs.cs_owners key t.owner);
-          (obj, true)
+          (obj, true, Some key)
         | None ->
           ignore
             (Opt.Pipeline.run_fragment ~recorder:jr ~max_rounds:t.opt_rounds
@@ -696,7 +824,7 @@ let rebuild (sched : sched) =
           (match t.store with
           | None -> ()
           | Some st -> Support.Objstore.put st key (Marshal.to_string obj []));
-          (obj, false))
+          (obj, false, Some key))
     in
     (* Bounded retries with virtual-clock backoff for transient faults;
        the cooperative watchdog (armed below) can cut any attempt short. *)
@@ -714,7 +842,7 @@ let rebuild (sched : sched) =
       Support.Fault.with_deadline t.job_timeout (fun () -> attempt 0)
     in
     match result with
-    | Stdlib.Ok (obj, hit) -> (fid, Stdlib.Ok (obj, hit, false), jr, fsp)
+    | Stdlib.Ok (obj, hit, mkey) -> (fid, Stdlib.Ok (obj, hit, false, mkey), jr, fsp)
     | Stdlib.Error err -> (
       Telemetry.Span.add_arg fsp "degraded" "true";
       Telemetry.Recorder.count (Some jr) "session.fragment_faults";
@@ -723,13 +851,13 @@ let rebuild (sched : sched) =
          fragment — compiled with injection suppressed: the recovery
          path must not be sabotaged by the fault it recovers from. *)
       match Hashtbl.find_opt t.cache fid with
-      | Some last_good -> (fid, Stdlib.Ok (last_good, false, true), jr, fsp)
+      | Some last_good -> (fid, Stdlib.Ok (last_good, false, true, None), jr, fsp)
       | None -> (
         match
           Support.Fault.with_suppressed (fun () ->
               try Stdlib.Ok (produce (fun _ -> None)) with e -> Stdlib.Error e)
         with
-        | Stdlib.Ok (obj, hit) -> (fid, Stdlib.Ok (obj, hit, true), jr, fsp)
+        | Stdlib.Ok (obj, hit, mkey) -> (fid, Stdlib.Ok (obj, hit, true, mkey), jr, fsp)
         | Stdlib.Error _ ->
           (* no last-good and even the pristine object will not build:
              nothing consistent to serve — fatal, forces a rollback *)
@@ -752,11 +880,16 @@ let rebuild (sched : sched) =
   List.iter
     (fun (fid, res, jr, fsp) ->
       (match res with
-      | Stdlib.Ok (obj, hit, degr) ->
+      | Stdlib.Ok (obj, hit, degr, mkey) ->
         (match Hashtbl.find_opt t.cache fid with
         | Some prev when prev == obj -> ()
         | _ -> changed_objs := obj.Link.Objfile.o_name :: !changed_objs);
         Hashtbl.replace t.cache fid obj;
+        (* the join loop is the memo's only writer: pool jobs read it
+           concurrently, so writes must never overlap a batch *)
+        (match mkey with
+        | Some k when t.incr_sched -> Hashtbl.replace t.memo k obj
+        | _ -> ());
         if hit then incr cache_hits;
         if degr then begin
           degraded_now := fid :: !degraded_now;
@@ -780,6 +913,9 @@ let rebuild (sched : sched) =
   (* link all cached fragments + the runtime; transient faults retry
      with the same bounded backoff, anything persistent rolls back *)
   let link_sp = Telemetry.Span.enter spans ~cat:"session" "link" in
+  let compactions_before =
+    (Link.Incremental.stats t.linker).Link.Incremental.st_compactions
+  in
   let objs =
     t.runtime
     :: (Array.to_list t.plan.Partition.fragments
@@ -823,6 +959,10 @@ let rebuild (sched : sched) =
       ~by:(List.length sched.changed_fragments - !cache_hits)
       "session.fragments_recompiled";
     Telemetry.Recorder.count some_r ~by:!cache_hits "session.fragment_cache_hits";
+    (* memo hits are counted into the per-job recorders as they happen;
+       touch the counter here so it is present (possibly 0) in every
+       report, like the other rebuild counters *)
+    Telemetry.Recorder.count some_r ~by:0 "session.opt_memo_hits";
     Telemetry.Recorder.count some_r
       ~by:(cache_evictions t.objects - evictions_before)
       "session.fragment_cache_evictions";
@@ -837,6 +977,11 @@ let rebuild (sched : sched) =
        ~by:ls.Link.Incremental.ls_symbols_patched "link.symbols_patched";
      Telemetry.Recorder.count some_r
        ~by:ls.Link.Incremental.ls_relocs_patched "link.relocs_patched");
+    Telemetry.Recorder.count some_r
+      ~by:
+        ((Link.Incremental.stats t.linker).Link.Incremental.st_compactions
+        - compactions_before)
+      "link.slab_compactions";
     Telemetry.Recorder.count some_r
       ~by:(List.length sched.active)
       "session.probes_applied";

@@ -141,6 +141,22 @@ type t = {
   mutable incr_link : bool;
       (** serve rebuilds through the incremental patch path when safe;
           semantics are identical either way (see {!Link.Incremental}) *)
+  mutable incr_sched : bool;
+      (** O(changed) refresh path: schedule from the dirty-set through
+          the persistent symbol->fragment indexes and short-circuit
+          unchanged fragments through the Shash memo; schedules and
+          images are identical either way *)
+  clone_index : (string, int list) Hashtbl.t;
+      (** copy-on-use symbol -> fragments holding a clone of it
+          (fragment ids ascending); built once at create, immutable —
+          the plan's clone sets never change after partitioning *)
+  memo : (string, Link.Objfile.t) Hashtbl.t;
+      (** per-session optimization memo: Shash digest of the
+          instrumented fragment -> finished object. Lets an unchanged
+          fragment skip verify, cache locks and {!Opt.Pipeline}
+          entirely. Reset by {!set_opt_rounds} (the digest also embeds
+          the bound — belt and braces); written only from the serial
+          join loop, read concurrently by pool jobs *)
   mutable host : string list;
   mutable exe : Link.Linker.exe option;
   mutable patchers : (sched -> unit) list;
@@ -208,6 +224,11 @@ val map_func : sched -> string -> Ir.Func.t option
       linker's patch path when provably safe (default: on, unless
       [ODIN_INCR_LINK=0]); purely a performance switch — executables
       are semantically identical either way
+    @param incremental_sched schedule refreshes from the probe dirty-set
+      through persistent symbol->fragment indexes and memoize
+      optimization by fragment Shash (default: on, unless
+      [ODIN_INCR_SCHED=0]); purely a performance switch — schedules,
+      images and outcomes are identical either way
     @param telemetry recorder for build spans/counters (fresh monotonic
       recorder by default; tests inject a virtual-clock recorder) *)
 val create :
@@ -225,13 +246,15 @@ val create :
   ?max_retries:int ->
   ?job_timeout:float ->
   ?incremental_link:bool ->
+  ?incremental_sched:bool ->
   ?telemetry:Telemetry.Recorder.t ->
   Ir.Modul.t ->
   t
 
 (** Change the fragment re-optimization bound for subsequent rebuilds.
     The bound is part of the object-cache key, so cached objects from
-    the old setting are never reused. *)
+    the old setting are never reused; the per-session optimization memo
+    is reset outright. *)
 val set_opt_rounds : t -> int -> unit
 
 (** Change the bounded-retry count for transient fragment faults. *)
@@ -244,6 +267,15 @@ val set_job_timeout : t -> float option -> unit
 val set_incremental_link : t -> bool -> unit
 
 val incremental_link : t -> bool
+
+(** Enable/disable the incremental scheduler + opt memo for subsequent
+    rebuilds. *)
+val set_incremental_sched : t -> bool -> unit
+
+val incremental_sched : t -> bool
+
+(** Entries in the per-session optimization memo (digest -> object). *)
+val memo_size : t -> int
 
 (** Replace all patch logic (applies active probes to [sched.temp]). *)
 val set_patcher : t -> (sched -> unit) -> unit
@@ -258,7 +290,11 @@ val add_host_symbol : t -> string -> unit
 (** Compute the schedule for the current probe changes (Algorithm 2).
     [initial] schedules every fragment; [backprop:false] disables lines
     13-17 (ablation: unchanged probes in recompiled fragments vanish).
-    Degraded fragments are always force-scheduled (re-heal). *)
+    Degraded fragments are always force-scheduled (re-heal) — the
+    degraded set feeds the same dirty-set as toggled probes. With the
+    incremental scheduler on, a non-initial schedule is O(changed):
+    only the index-resolved dirty fragments are visited (the
+    [session.schedule_visited] counter records the walk's extent). *)
 val schedule : ?initial:bool -> ?backprop:bool -> t -> sched
 
 (** Patch, split, optimize, codegen and relink the scheduled fragments,

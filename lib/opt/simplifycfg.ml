@@ -165,11 +165,25 @@ let skip_empty (fn : Func.t) protected =
   if !changed then ignore (Cfg.remove_unreachable fn);
   !changed
 
-let run_function ctx (fn : Func.t) =
-  let protected = Cfg.address_taken_labels fn ctx.Pass.modul in
+let run_function protected (fn : Func.t) =
   let c1 = Cfg.remove_unreachable fn in
   let c2 = skip_empty fn protected in
   let c3 = merge_pairs fn protected in
   c1 || c2 || c3
 
-let pass = Pass.function_pass "simplifycfg" run_function
+(* A module pass rather than [Pass.function_pass]: the address-taken
+   labels come from ONE whole-module scan shared by every function
+   (asking per function rescans the module and turns the pass
+   quadratic in program size). *)
+let pass =
+  Pass.mk "simplifycfg" (fun ctx ->
+      let taken = Cfg.address_taken_map ctx.Pass.modul in
+      List.fold_left
+        (fun changed (fn : Func.t) ->
+          let protected =
+            Option.value ~default:Cfg.SSet.empty
+              (Hashtbl.find_opt taken fn.Func.name)
+          in
+          run_function protected fn || changed)
+        false
+        (Modul.defined_functions ctx.Pass.modul))

@@ -240,6 +240,36 @@ let gen_report g =
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* Helper-mixing chunk size: the final keep-everything-reachable round
+   dispatches through chunk functions of at most this many helpers, so
+   no generated function grows with the profile (a 10k-helper profile
+   must not produce a 2.5k-branch target_main — real programs keep
+   function sizes bounded as the program grows, and several compile
+   passes are superlinear in function size). Profiles small enough to
+   fit one chunk keep the historical single-loop shape. *)
+let mix_chunk = 64
+
+let gen_mix_chunk g j lo hi =
+  line g "static int mix_%d(char *buf, int acc) {" j;
+  for k = lo to hi - 1 do
+    if k mod 4 = 0 then
+      line g "  if (%s > %d) acc += helper_%d(acc, %s);"
+        (buf_byte (string_of_int (3 + (k mod 5))))
+        (64 + (17 * k mod 128))
+        k
+        (buf_byte (string_of_int (k mod 8)))
+  done;
+  line g "  return acc;";
+  line g "}";
+  line g ""
+
+let gen_mix_chunks g =
+  if g.p.Profile.n_helpers > mix_chunk then
+    for j = 0 to ((g.p.Profile.n_helpers - 1) / mix_chunk) do
+      gen_mix_chunk g j (j * mix_chunk)
+        (min g.p.Profile.n_helpers ((j + 1) * mix_chunk))
+    done
+
 let gen_main g =
   line g "int target_main(char *buf, int len) {";
   line g "  if (len < 8) return -1;";
@@ -269,15 +299,21 @@ let gen_main g =
   (match g.p.Profile.opcode_switch with
   | Some _ -> line g "  acc += vdbe_exec(buf, len);"
   | None -> ());
-  (* a final mixing round through the helpers keeps them all reachable *)
-  for k = 0 to g.p.Profile.n_helpers - 1 do
-    if k mod 4 = 0 then
-      line g "  if (%s > %d) acc += helper_%d(acc, %s);"
-        (buf_byte (string_of_int (3 + (k mod 5))))
-        (64 + (17 * k mod 128))
-        k
-        (buf_byte (string_of_int (k mod 8)))
-  done;
+  (* a final mixing round through the helpers keeps them all reachable;
+     large profiles dispatch through the bounded-size mix chunks *)
+  if g.p.Profile.n_helpers > mix_chunk then
+    for j = 0 to (g.p.Profile.n_helpers - 1) / mix_chunk do
+      line g "  acc = mix_%d(buf, acc);" j
+    done
+  else
+    for k = 0 to g.p.Profile.n_helpers - 1 do
+      if k mod 4 = 0 then
+        line g "  if (%s > %d) acc += helper_%d(acc, %s);"
+          (buf_byte (string_of_int (3 + (k mod 5))))
+          (64 + (17 * k mod 128))
+          k
+          (buf_byte (string_of_int (k mod 8)))
+    done;
   line g "  return acc;";
   line g "}"
 
@@ -293,6 +329,7 @@ let source (p : Profile.t) =
   (match p.Profile.opcode_switch with
   | Some n -> gen_interpreter g n
   | None -> ());
+  gen_mix_chunks g;
   gen_main g;
   Buffer.contents g.b
 

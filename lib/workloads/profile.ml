@@ -67,15 +67,28 @@ let all : t list =
       const_tables = 3; magic_checks = 2 };
   ]
 
-let find name = List.find_opt (fun p -> String.equal p.name name) all
-
-let find_exn name =
-  match find name with
-  | Some p -> p
-  | None -> invalid_arg ("Profile.find_exn: unknown workload " ^ name)
+(** ~10k-function stress shape for the O(changed)-refresh benchmarks:
+    sqlite's profile scaled two orders of magnitude up (under the Max
+    partition mode every function is its own fragment, so this is a
+    ~10k-fragment program). Statement counts are kept small so a full
+    build stays benchable; it is the *fragment count* that matters to
+    the scheduler under test. Deliberately not part of {!all} — suite
+    drivers that iterate every profile would take minutes on it. *)
+let sqlite_xxl =
+  { name = "sqlite-xxl"; seed = 114; n_helpers = 7800; helper_stmts = 3;
+    n_tiny = 2000; n_parsers = 200; parser_cases = 3; opcode_switch = Some 24;
+    coupling = 0; const_tables = 4; magic_checks = 2 }
 
 (** A smaller profile for unit tests and the quickstart example. *)
 let tiny =
   { name = "tinytarget"; seed = 999; n_helpers = 4; helper_stmts = 6; n_tiny = 3;
     n_parsers = 2; parser_cases = 3; opcode_switch = None; coupling = 1;
     const_tables = 2; magic_checks = 1 }
+
+let find name =
+  List.find_opt (fun p -> String.equal p.name name) (all @ [ sqlite_xxl; tiny ])
+
+let find_exn name =
+  match find name with
+  | Some p -> p
+  | None -> invalid_arg ("Profile.find_exn: unknown workload " ^ name)

@@ -22,6 +22,13 @@ type t = {
 (** The 13 benchmark profiles, in the paper's order. *)
 val all : t list
 
+(** ~10k-function (and, under Max partitioning, ~10k-fragment) stress
+    shape for the O(changed)-refresh benchmarks. Not part of {!all}:
+    whole-suite drivers would take minutes on it; {!find} resolves
+    ["sqlite-xxl"] anyway. *)
+val sqlite_xxl : t
+
+(** Resolves any profile by name: {!all}, {!sqlite_xxl} and {!tiny}. *)
 val find : string -> t option
 
 (** @raise Invalid_argument for unknown names. *)
