@@ -1173,6 +1173,170 @@ let farm cfg =
       ])
 
 (* ------------------------------------------------------------------ *)
+(* Process farm: supervised workers, kill/restart, checkpoint/resume   *)
+(* ------------------------------------------------------------------ *)
+
+let farm_proc cfg =
+  print_endline "\n== Process farm (supervised workers, checkpoint/resume) ==";
+  let p = Workloads.Profile.find_exn "libpng" in
+  let seeds = Workloads.Generate.seed_inputs ~count:2 p in
+  let execs = cfg.fuzz_execs * 2 in
+  let fcfg workers =
+    {
+      Farm.default_config with
+      Farm.fc_workers = workers;
+      fc_execs = execs;
+      fc_sync_interval = 50;
+    }
+  in
+  (* this binary doubles as the worker executable (see the dispatch at
+     the entry point) *)
+  let worker_argv = [| Sys.executable_name; "fuzz-worker" |] in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  (* the in-process reference: domains farm at the same config *)
+  let dom, dom_s =
+    time (fun () ->
+        let pool = Support.Pool.create ~size:2 () in
+        Fun.protect ~finally:(fun () -> Support.Pool.shutdown pool)
+        @@ fun () ->
+        Farm.run ~pool ~entry ~seeds (fcfg 2) (Workloads.Generate.compile p))
+  in
+  let observe workers =
+    time (fun () ->
+        Farm.Proc.run ~worker_argv ~entry ~seeds (fcfg workers)
+          (Workloads.Generate.compile p))
+  in
+  let results = List.map (fun w -> (w, observe w)) [ 1; 2; 4 ] in
+  (* checkpointed run, then resume the tail from a mid-campaign
+     checkpoint (the interrupted budget stops on a barrier so the
+     resumed run shares the uninterrupted barrier schedule) *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "odin-bench-proc"
+  in
+  Support.Objstore.rm_rf dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> Support.Objstore.rm_rf dir) @@ fun () ->
+  let ck_path = Filename.concat dir "ck" in
+  let r = Telemetry.Recorder.create () in
+  let ckpt_st, ckpt_s =
+    time (fun () ->
+        Farm.Proc.run ~telemetry:r ~worker_argv ~checkpoint_path:ck_path
+          ~entry ~seeds (fcfg 2)
+          (Workloads.Generate.compile p))
+  in
+  let checkpoints =
+    List.fold_left
+      (fun acc c ->
+        if Telemetry.Metrics.counter_name c = "farm.checkpoints" then
+          acc + Telemetry.Metrics.value c
+        else acc)
+      0
+      (Telemetry.Metrics.counters r.Telemetry.Recorder.metrics)
+  in
+  let partial = execs - (let rem = execs mod 50 in if rem = 0 then 50 else rem) in
+  let partial_ck = Filename.concat dir "ck-partial" in
+  let _ =
+    Farm.Proc.run ~worker_argv ~checkpoint_path:partial_ck ~entry ~seeds
+      { (fcfg 2) with Farm.fc_execs = partial }
+      (Workloads.Generate.compile p)
+  in
+  let ck = Farm.Wire.read_checkpoint partial_ck in
+  let resumed, resume_s =
+    time (fun () ->
+        Farm.Proc.run ~worker_argv ~resume:ck ~entry ~seeds (fcfg 2)
+          (Workloads.Generate.compile p))
+  in
+  let rows =
+    ("domains", 2, dom, dom_s)
+    :: List.map (fun (w, (st, s)) -> ("procs", w, st, s)) results
+    @ [
+        ("procs+ckpt", 2, ckpt_st, ckpt_s);
+        ("resume tail", 2, resumed, resume_s);
+      ]
+  in
+  Support.Tab.print
+    ~title:
+      (Printf.sprintf
+         "process farm, program %s (%d execs, sync every 50, resume from %d)"
+         p.Workloads.Profile.name execs ck.Farm.Orch.ck_next)
+    ~header:
+      [ "mode"; "workers"; "wall s"; "execs/s"; "coverage"; "pruned"; "corpus" ]
+    (List.map
+       (fun (mode, w, st, secs) ->
+         [
+           mode;
+           string_of_int w;
+           Printf.sprintf "%.2f" secs;
+           Printf.sprintf "%.0f" (float_of_int st.Farm.fs_execs /. max 1e-9 secs);
+           Printf.sprintf "%d/%d"
+             (List.length st.Farm.fs_coverage)
+             st.Farm.fs_total_probes;
+           string_of_int (List.length st.Farm.fs_pruned);
+           string_of_int (List.length st.Farm.fs_corpus);
+         ])
+       rows);
+  (* the correctness bar: every run above — either substrate, any
+     worker count, checkpointed or resumed — must report the same
+     logical outcome *)
+  let signature st =
+    ( st.Farm.fs_coverage,
+      st.Farm.fs_pruned,
+      st.Farm.fs_corpus,
+      st.Farm.fs_execs,
+      st.Farm.fs_total_cycles )
+  in
+  let base = signature dom in
+  let identical =
+    List.for_all (fun (_, _, st, _) -> signature st = base) rows
+  in
+  Printf.printf
+    "  identical (coverage, pruned, corpus, execs, cycles) across \
+     substrates, worker counts and resume: %s\n"
+    (if identical then "yes" else "NO — BUG");
+  Printf.printf "  checkpoints published: %d; resume re-ran %d of %d execs\n"
+    checkpoints (execs - ck.Farm.Orch.ck_next) execs;
+  let proc2_s =
+    match List.assoc_opt 2 results with
+    | Some (_, s) -> s
+    | None -> nan
+  in
+  emit ~section:"farm_proc"
+    (List.concat_map
+       (fun (w, (st, secs)) ->
+         let pre = Printf.sprintf "w%d." w in
+         [
+           Snap.metric ~unit_:"s" ~cls:Snap.Wall (pre ^ "wall_s") secs;
+           Snap.metric ~cls:Snap.Exact (pre ^ "execs")
+             (float_of_int st.Farm.fs_execs);
+           Snap.metric ~unit_:"cycles" ~cls:Snap.Exact (pre ^ "total_cycles")
+             (float_of_int st.Farm.fs_total_cycles);
+           Snap.metric ~cls:Snap.Exact (pre ^ "coverage")
+             (float_of_int (List.length st.Farm.fs_coverage));
+           Snap.metric ~cls:Snap.Exact (pre ^ "pruned")
+             (float_of_int (List.length st.Farm.fs_pruned));
+           Snap.metric ~cls:Snap.Exact (pre ^ "exchanged")
+             (float_of_int st.Farm.fs_exchanged);
+         ])
+       results
+    @ [
+        Snap.metric ~unit_:"s" ~cls:Snap.Wall "domains_w2.wall_s" dom_s;
+        Snap.metric ~unit_:"s" ~cls:Snap.Wall "ckpt_w2.wall_s" ckpt_s;
+        Snap.metric ~unit_:"s" ~cls:Snap.Wall "resume_tail.wall_s" resume_s;
+        Snap.metric ~unit_:"%" ~cls:Snap.Wall "supervision_overhead_pct"
+          ((proc2_s -. dom_s) /. max 1e-9 dom_s *. 100.);
+        Snap.metric ~cls:Snap.Exact "checkpoints_published"
+          (float_of_int checkpoints);
+        Snap.metric ~cls:Snap.Exact "resume_from_exec"
+          (float_of_int ck.Farm.Orch.ck_next);
+        Snap.metric ~cls:Snap.Exact "invariant_all_runs"
+          (if identical then 1. else 0.);
+      ])
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core operations                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1234,6 +1398,12 @@ let micro _cfg =
 (* ------------------------------------------------------------------ *)
 
 let () =
+  (* the bench binary doubles as the process-farm worker executable:
+     the supervisor re-execs us with the hidden subcommand *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "fuzz-worker" then begin
+    Farm.Proc.worker_main ();
+    exit 0
+  end;
   let args = Array.to_list Sys.argv |> List.tl in
   let rec strip_out_dir = function
     | [] -> []
@@ -1268,5 +1438,6 @@ let () =
   if wants "relink" then relink cfg;
   if wants "schedule" then schedule_bench cfg;
   if wants "farm" then farm cfg;
+  if wants "farm_proc" then farm_proc cfg;
   if wants "micro" then micro cfg;
   Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -381,9 +381,77 @@ let fuzz_cmd =
              switch — coverage, corpus and cycle counts are bit-identical \
              either way.")
   in
+  let farm_mode =
+    Arg.(
+      value
+      & opt (enum [ ("domains", `Domains); ("procs", `Procs) ]) `Domains
+      & info [ "farm-mode" ] ~docv:"MODE"
+          ~doc:
+            "Farm execution substrate (with --workers): $(b,domains) runs \
+             workers on the OCaml domain pool in one process; $(b,procs) \
+             runs each worker as a supervised child process (odinc \
+             fuzz-worker) speaking the binary wire protocol over pipes, with \
+             a preemptive heartbeat watchdog, kill/restart recovery and \
+             retirement. Coverage, corpus and cycles are bit-identical \
+             across modes.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Publish a campaign checkpoint atomically at every sync barrier \
+             (with --workers); the previous checkpoint is rotated to \
+             FILE.prev, so a crash mid-publish always leaves a complete one. \
+             Resume with $(b,--resume).")
+  in
+  let resume =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"CKPT"
+          ~doc:
+            "Resume a campaign from a checkpoint written by \
+             $(b,--checkpoint) (falling back to CKPT.prev when the primary \
+             is torn). The resumed campaign replays to the same final \
+             coverage, corpus and journal tail as an uninterrupted run.")
+  in
+  let worker_timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "worker-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Preemptive watchdog deadline (with --farm-mode procs): a worker \
+             process that sends no heartbeat for SECS seconds is SIGKILLed \
+             and restarted on the same assignment.")
+  in
+  let adaptive_sync =
+    Arg.(
+      value & flag
+      & info [ "adaptive-sync" ]
+          ~doc:
+            "Scale the sync interval adaptively (with --workers): after 3 \
+             consecutive barriers that accept no input the interval doubles \
+             (capped at 8x), and any new coverage resets it to the base. \
+             The current interval is reported in the time report and \
+             journal.")
+  in
+  let vote_decay =
+    Arg.(
+      value & opt float 1.0
+      & info [ "vote-decay" ] ~docv:"F"
+          ~doc:
+            "Multiply a worker's prune-vote weight by F each time its \
+             process is killed and restarted (with --farm-mode procs): \
+             evidence from a crash-looping worker counts for less toward \
+             the prune quorum. 1.0 (default) keeps exact integer quorums.")
+  in
   (* ------------- farm mode (--workers N) ------------- *)
   let run_farm ~r ~pool ~m ~entry ~execs ~no_prune ~workers ~sync_interval
-      ~prune_quorum ~cache_limit ~cache_dir ~incremental_link ~journal =
+      ~prune_quorum ~cache_limit ~cache_dir ~incremental_link ~journal
+      ~farm_mode ~checkpoint ~resume ~worker_timeout ~adaptive_sync
+      ~vote_decay =
     let cfg =
       {
         Farm.default_config with
@@ -392,15 +460,47 @@ let fuzz_cmd =
         fc_sync_interval = sync_interval;
         fc_prune_quorum = (if no_prune then 0 else prune_quorum);
         fc_cache_limit = cache_limit;
+        fc_vote_decay = vote_decay;
+        fc_adaptive_sync = adaptive_sync;
       }
+    in
+    let resume =
+      match resume with
+      | None -> None
+      | Some path -> (
+        match Farm.Wire.load_checkpoint path with
+        | Ok (ck, fallback) ->
+          if fallback then
+            Printf.eprintf
+              "odinc: warning: checkpoint %s torn or missing; resuming from \
+               %s.prev\n"
+              path path;
+          Some ck
+        | Error msg ->
+          Printf.eprintf "odinc: %s\n" msg;
+          exit 1)
     in
     let seeds = [ String.init 48 (fun i -> Char.chr ((i * 37) land 255)) ] in
     let st =
-      Farm.run ~telemetry:r ~pool ?cache_dir ?incremental_link
-        ?journal_path:journal ~host:[ "printf"; "puts" ] ~entry ~seeds cfg m
+      match farm_mode with
+      | `Domains ->
+        Farm.run ~telemetry:r ~pool ?cache_dir ?incremental_link
+          ?journal_path:journal ?checkpoint_path:checkpoint ?resume
+          ~host:[ "printf"; "puts" ] ~entry ~seeds cfg m
+      | `Procs ->
+        Farm.Proc.run ~telemetry:r ?cache_dir ?incremental_link
+          ?journal_path:journal ?checkpoint_path:checkpoint ?resume
+          ~worker_timeout ~host:[ "printf"; "puts" ] ~entry ~seeds cfg m
     in
-    Printf.printf "farm       : %d workers, %d sync rounds (interval %d)\n"
-      st.Farm.fs_workers st.Farm.fs_sync_rounds sync_interval;
+    Printf.printf "farm       : %d workers (%s), %d sync rounds (interval \
+                   %d%s)\n"
+      st.Farm.fs_workers
+      (match farm_mode with `Domains -> "domains" | `Procs -> "procs")
+      st.Farm.fs_sync_rounds sync_interval
+      (if adaptive_sync then
+         Printf.sprintf ", current %d"
+           (counter_total r "farm.sync_interval_current")
+       else "");
     Printf.printf "executions : %d merged (%d cycles)\n" st.Farm.fs_execs
       st.Farm.fs_total_cycles;
     Printf.printf "coverage   : %d / %d blocks (global bitmap)\n"
@@ -428,6 +528,15 @@ let fuzz_cmd =
     (match journal with
     | Some path -> Printf.printf "journal    : %s\n" path
     | None -> ());
+    (match checkpoint with
+    | Some path ->
+      Printf.printf "checkpoint : %s (%d published%s)\n" path
+        (counter_total r "farm.checkpoints")
+        (if resume <> None then ", resumed" else "")
+    | None -> ());
+    (let restarts = counter_total r "farm.worker_restarts" in
+     if restarts > 0 then
+       Printf.printf "restarts   : %d worker kill/restarts\n" restarts);
     if st.Farm.fs_skipped > 0 || st.Farm.fs_crashes > 0 then
       Printf.printf "skipped    : %d executions (%d guest crashes)\n"
         st.Farm.fs_skipped st.Farm.fs_crashes;
@@ -454,6 +563,7 @@ let fuzz_cmd =
   in
   let run file entry execs no_prune jobs metrics_csv span_limit cache_dir
       workers sync_interval prune_quorum cache_limit journal incremental_link
+      farm_mode checkpoint resume worker_timeout adaptive_sync vote_decay
       fault_plan time_report trace_out =
     install_faults fault_plan;
     with_diagnostics @@ fun () ->
@@ -474,7 +584,9 @@ let fuzz_cmd =
     match workers with
     | Some n ->
       run_farm ~r ~pool ~m ~entry ~execs ~no_prune ~workers:n ~sync_interval
-        ~prune_quorum ~cache_limit ~cache_dir ~incremental_link ~journal;
+        ~prune_quorum ~cache_limit ~cache_dir ~incremental_link ~journal
+        ~farm_mode ~checkpoint ~resume ~worker_timeout ~adaptive_sync
+        ~vote_decay;
       (match metrics_csv with
       | Some path -> (
         try
@@ -637,7 +749,8 @@ let fuzz_cmd =
     Term.(
       const run $ file $ entry $ execs $ no_prune $ jobs $ metrics_csv
       $ span_limit $ cache_dir $ workers $ sync_interval $ prune_quorum
-      $ cache_limit $ journal $ incremental_link $ fault_plan_arg
+      $ cache_limit $ journal $ incremental_link $ farm_mode $ checkpoint
+      $ resume $ worker_timeout $ adaptive_sync $ vote_decay $ fault_plan_arg
       $ time_report_arg $ trace_out_arg)
 
 (* ---------------- bench-diff ---------------- *)
@@ -867,6 +980,19 @@ let report_cmd =
            blocks)\n"
           (fi ev "round") (fi ev "execs") (fi ev "coverage") "?"
       | None -> Printf.printf "status     : no farm events in journal\n"));
+    (match last "farm.sync" with
+    | Some ev -> (
+      match J.field_int ev "interval" with
+      | Some n -> Printf.printf "sync intvl : %d executions (at last barrier)\n" n
+      | None -> ())
+    | None -> ());
+    (match last "counters" with
+    | Some ev -> (
+      match J.field_int ev "store.quarantined" with
+      | Some q ->
+        Printf.printf "quarantine : %d corrupt store entries quarantined\n" q
+      | None -> ())
+    | None -> ());
     (match last "counters" with
     | Some ev ->
       print_endline "counters   : (at last barrier)";
@@ -957,6 +1083,13 @@ let workload_cmd =
     Term.(const run $ wname)
 
 let () =
+  (* hidden re-exec entry for the process farm: the supervisor spawns
+     `odinc fuzz-worker` and immediately speaks wire frames on
+     stdin/stdout, so this must not go through cmdliner *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "fuzz-worker" then begin
+    Farm.Proc.worker_main ();
+    exit 0
+  end;
   let doc = "Odin on-demand instrumentation toolchain (PLDI 2022 reproduction)" in
   exit
     (Cmd.eval

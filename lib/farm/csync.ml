@@ -100,3 +100,23 @@ let merge t items =
 
 (** duplicates / offered, in percent (0 when nothing offered). *)
 let dedup_rate t = if t.offered = 0 then 0. else 100. *. float_of_int t.duplicates /. float_of_int t.offered
+
+(** Every input digest ever offered, sorted — checkpoint export. *)
+let seen_list t = Hashtbl.fold (fun d () acc -> d :: acc) t.seen [] |> List.sort compare
+
+(** Raw bitmap bytes — checkpoint export. *)
+let bitmap_bytes t = Bytes.to_string t.bitmap
+
+(** Rebuild barrier state from a checkpoint: [bitmap] must be the
+    {!bitmap_bytes} of a [t] created with the same [n_probes]. *)
+let restore ~n_probes ~bitmap ~seen ~offered ~accepted ~duplicates ~stale =
+  let t = create ~n_probes in
+  if String.length bitmap <> Bytes.length t.bitmap then
+    invalid_arg "Csync.restore: bitmap length mismatch";
+  Bytes.blit_string bitmap 0 t.bitmap 0 (String.length bitmap);
+  List.iter (fun d -> Hashtbl.replace t.seen d ()) seen;
+  t.offered <- offered;
+  t.accepted <- accepted;
+  t.duplicates <- duplicates;
+  t.stale <- stale;
+  t

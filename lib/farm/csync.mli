@@ -39,3 +39,21 @@ val merge : t -> item list -> (item * int) list
 
 (** duplicates / offered, percent. *)
 val dedup_rate : t -> float
+
+(** Every input digest ever offered, sorted — checkpoint export. *)
+val seen_list : t -> string list
+
+(** Raw bitmap bytes — checkpoint export. *)
+val bitmap_bytes : t -> string
+
+(** Rebuild barrier state from a checkpoint ({!bitmap_bytes} of a [t]
+    with the same [n_probes], {!seen_list}, and the four counters). *)
+val restore :
+  n_probes:int ->
+  bitmap:string ->
+  seen:string list ->
+  offered:int ->
+  accepted:int ->
+  duplicates:int ->
+  stale:int ->
+  t

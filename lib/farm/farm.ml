@@ -12,22 +12,29 @@
     converges to the same pruned instrumentation a long single campaign
     would.
 
+    Everything that decides results — slot execution, the barrier
+    merge, weighted votes, adaptive intervals, checkpoints — lives in
+    {!Orch}, shared verbatim with the process-isolated driver
+    ({!Proc.run}, [--farm-mode procs]): the two substrates cannot
+    drift apart.
+
     {2 Determinism}
 
-    The farm is deterministic for a fixed [(seed, workers,
-    sync-interval)] triple — and, by construction, its {e logical}
-    results do not depend on the worker count at all. The schedule is
-    expressed in worker-independent {e execution slots}: slot [i] draws
-    from an RNG derived from [(seed, i)] and mutates against the
-    round-start corpus snapshot, which is a replica of the global
-    corpus on every shard (broadcast at the previous barrier). Probe
-    state only changes at barriers, applied identically to every
-    session, so within a round all workers run byte-identical
-    executables; which worker executes slot [i] therefore cannot change
-    the result, only who computes it. All cross-worker state — corpus
-    broadcast, bitmap merge, prune votes — mutates only at the barrier,
-    in slot order. [test_farm.ml] asserts bit-identical coverage and
-    pruned-probe sets across [--workers 1/2/4].
+    The farm is deterministic for a fixed [(seed, sync-interval)] pair
+    — and, by construction, its {e logical} results do not depend on
+    the worker count at all. The schedule is expressed in
+    worker-independent {e execution slots}: slot [i] draws from an RNG
+    derived from [(seed, i)] and mutates against the round-start corpus
+    snapshot, which is a replica of the global corpus on every shard
+    (broadcast at the previous barrier). Probe state only changes at
+    barriers, applied identically to every session, so within a round
+    all workers run byte-identical executables; which worker executes
+    slot [i] therefore cannot change the result, only who computes it.
+    All cross-worker state — corpus broadcast, bitmap merge, prune
+    votes — mutates only at the barrier, in slot order. [test_farm.ml]
+    asserts bit-identical coverage and pruned-probe sets across
+    [--workers 1/2/4]; [test_proc.ml] extends the matrix across
+    [--farm-mode domains|procs] and kill/restart schedules.
 
     {2 Fault tolerance}
 
@@ -39,13 +46,25 @@
     barrier), its slots are redistributed to survivors from the next
     round on, and because slot results are worker-independent the
     surviving lanes are unaffected — the farm degrades gracefully and
-    keeps its determinism. *)
+    keeps its determinism. (The process driver goes further: it
+    {e restarts} the dead worker and re-runs its share — see
+    {!Proc}.)
+
+    {2 Checkpoint/resume}
+
+    With [checkpoint_path] the farm publishes an {!Orch.ckpt} at every
+    barrier (atomic, [.prev] rotation — {!Wire.write_checkpoint});
+    [resume] continues a campaign from one, replaying the global corpus
+    and pruned set into fresh workers and carrying on with the next
+    round to the same final state as an uninterrupted run. *)
 
 module Csync = Csync
+module Orch = Orch
+module Wire = Wire
+module Proc = Proc
 module Recorder = Telemetry.Recorder
-module Json = Telemetry.Json
 
-type config = {
+type config = Orch.config = {
   fc_workers : int;
   fc_execs : int;  (** mutated-execution budget, farm-wide (seeds excluded) *)
   fc_sync_interval : int;  (** executions per sync round, farm-wide *)
@@ -56,50 +75,25 @@ type config = {
   fc_cache_limit : int option;  (** store GC size bound (bytes), per barrier *)
   fc_cache_age : float option;  (** store GC age bound (seconds), per barrier *)
   fc_mode : Odin.Partition.mode;
+  fc_vote_decay : float;
+      (** vote-weight multiplier per kill/restart ({!Proc}); 1.0 keeps
+          exact integer quorums *)
+  fc_adaptive_sync : bool;
+      (** scale the sync interval up on quiet barriers, reset on new
+          coverage *)
 }
 
-let default_config =
-  {
-    fc_workers = 1;
-    fc_execs = 400;
-    fc_sync_interval = 100;
-    fc_seed = 42;
-    fc_prune_quorum = 1;
-    fc_cache_limit = None;
-    fc_cache_age = None;
-    fc_mode = Odin.Partition.Auto;
-  }
+let default_config = Orch.default_config
 
-type worker = {
-  wk_id : int;
-  wk_session : Odin.Session.t;
-  wk_cov : Odin.Cov.t;
-  wk_probes : (int, Instr.Probe.t) Hashtbl.t;  (** pid -> probe, at setup *)
-  wk_corpus : Fuzzer.Corpus.t;  (** shard; replica of the global corpus *)
-  wk_recorder : Recorder.t;  (** forked; merged into the farm's at the end *)
-  mutable wk_execs : int;
-  mutable wk_cycles : int;
-  mutable wk_skipped : int;  (** transient-faulted executions *)
-  mutable wk_crashes : int;  (** guest traps ([Vm.Fault]) *)
-  mutable wk_recompiles : int;
-  mutable wk_dead : string option;  (** why the worker left the farm *)
-}
-
-(** Cumulative cost attribution for one probe site across the whole
-    campaign. [pc_execs_armed] counts merged executions that ran while
-    the probe was still globally armed (probe state only changes at
-    barriers, so the armed set is round-constant and the count is
-    worker-count invariant); [pc_hits]/[pc_cycles] come from the VM's
-    per-site increment attribution, merged in slot order. *)
-type probe_cost = {
+type probe_cost = Orch.probe_cost = {
   pc_pid : int;
   pc_toggles : int;  (** enable/disable flips + removal ({!Instr.Manager}) *)
-  pc_execs_armed : int;
+  pc_execs_armed : int;  (** merged executions while globally armed *)
   pc_hits : int;  (** counter increments executed *)
   pc_cycles : int;  (** VM cycles spent in the increment sequence *)
 }
 
-type stats = {
+type stats = Orch.stats = {
   fs_workers : int;
   fs_execs : int;  (** executions merged at barriers (seeds included) *)
   fs_total_cycles : int;
@@ -122,9 +116,22 @@ type stats = {
   fs_probe_cost : probe_cost list;  (** every probe id, ascending *)
 }
 
-let dedup_rate st =
-  if st.fs_offered = 0 then 0.
-  else 100. *. float_of_int st.fs_duplicates /. float_of_int st.fs_offered
+let dedup_rate = Orch.dedup_rate
+
+type worker = {
+  wk_id : int;
+  wk_session : Odin.Session.t;
+  wk_cov : Odin.Cov.t;
+  wk_probes : (int, Instr.Probe.t) Hashtbl.t;  (** pid -> probe, at setup *)
+  wk_corpus : Fuzzer.Corpus.t;  (** shard; replica of the global corpus *)
+  wk_recorder : Recorder.t;  (** forked; merged into the farm's at the end *)
+  mutable wk_execs : int;
+  mutable wk_cycles : int;
+  mutable wk_skipped : int;  (** transient-faulted executions *)
+  mutable wk_crashes : int;  (** guest traps ([Vm.Fault]) *)
+  mutable wk_recompiles : int;
+  mutable wk_dead : string option;  (** why the worker left the farm *)
+}
 
 (* result of one worker's share of a round *)
 type round_result =
@@ -141,11 +148,12 @@ let live workers = List.filter (fun w -> w.wk_dead = None) workers
     results are independent of its size. [cache_dir] puts the shared
     persistent object store behind every worker's session.
     [incremental_link] and [incremental_sched] forward to every
-    worker's session (default: the session's own env-driven
-    defaults). *)
+    worker's session (default: the session's own env-driven defaults).
+    [checkpoint_path] publishes a campaign checkpoint at every barrier;
+    [resume] continues from one. *)
 let run ?telemetry ?pool ?cache_dir ?incremental_link ?incremental_sched
-    ?journal ?journal_path ?(host = Workloads.Generate.host_functions) ~entry
-    ~seeds (cfg : config) (base : Ir.Modul.t) =
+    ?journal ?journal_path ?(host = Workloads.Generate.host_functions)
+    ?checkpoint_path ?resume ~entry ~seeds (cfg : config) (base : Ir.Modul.t) =
   let nw = max 1 cfg.fc_workers in
   let r = match telemetry with Some r -> r | None -> Recorder.create () in
   let pool = match pool with Some p -> p | None -> Support.Pool.default () in
@@ -162,6 +170,14 @@ let run ?telemetry ?pool ?cache_dir ?incremental_link ?incremental_sched
     | Some j, Some p -> Telemetry.Journal.flush j p
     | _ -> ()
   in
+  let digest = Orch.module_digest base in
+  (match resume with
+  | Some ck ->
+    if ck.Orch.ck_digest <> digest then
+      invalid_arg "Farm.run: checkpoint is for a different target module";
+    if ck.Orch.ck_seed <> cfg.fc_seed then
+      invalid_arg "Farm.run: checkpoint seed differs from the configured seed"
+  | None -> ());
   let farm_sp =
     Telemetry.Span.enter r.Recorder.spans ~cat:"farm"
       ~args:
@@ -170,6 +186,7 @@ let run ?telemetry ?pool ?cache_dir ?incremental_link ?incremental_sched
           ("execs", string_of_int cfg.fc_execs);
           ("sync_interval", string_of_int cfg.fc_sync_interval);
           ("seed", string_of_int cfg.fc_seed);
+          ("mode", "domains");
         ]
       "farm"
   in
@@ -222,71 +239,57 @@ let run ?telemetry ?pool ?cache_dir ?incremental_link ?incremental_sched
   let n_probes =
     match workers with w :: _ -> w.wk_cov.Odin.Cov.total_probes | [] -> 0
   in
-  let sync = Csync.create ~n_probes in
-  let votes = Instr.Votes.create () in
-  let pruned_global : (int, unit) Hashtbl.t = Hashtbl.create 97 in
-  let corpus_global = ref [] (* accepted inputs, newest first *) in
-  let total_execs = ref 0 and total_cycles = ref 0 in
-  let sync_rounds = ref 0 in
-  let gc_evicted = ref 0 in
-  let probe_hits_cycles : (int, int ref * int ref) Hashtbl.t =
-    Hashtbl.create 97
+  let orch =
+    match resume with
+    | Some ck ->
+      if ck.Orch.ck_n_probes <> n_probes && workers <> [] then
+        invalid_arg "Farm.run: checkpoint probe count differs from the target";
+      Orch.restore cfg ck
+    | None -> Orch.create ~n_probes cfg
   in
-  let execs_armed : (int, int) Hashtbl.t = Hashtbl.create 97 in
+  let interval_gauge =
+    Telemetry.Metrics.counter r.Recorder.metrics "farm.sync_interval_current"
+  in
   let n_seeds = List.length seeds in
   let default_input = match seeds with s :: _ -> s | [] -> "\x00" in
 
-  (* ---------------- one execution slot ---------------------------- *)
-  (* Deterministic in the slot index alone (given the round-start shard
-     state, which is a global replica): which worker runs it is
-     irrelevant to the result. *)
+  (* apply checkpointed barrier effects to a fresh worker: replay the
+     global corpus into its shard and remove the pruned probes, exactly
+     as the broadcasts/prunes it missed would have *)
+  let apply_ckpt_state w =
+    Orch.replay_corpus w.wk_corpus (Orch.corpus_entries orch);
+    let prunes = Orch.pruned_list orch in
+    List.iter
+      (fun pid ->
+        match Hashtbl.find_opt w.wk_probes pid with
+        | Some p -> Instr.Manager.remove w.wk_session.Odin.Session.manager p
+        | None -> ())
+      prunes;
+    if prunes <> [] || Odin.Session.degraded_fragments w.wk_session <> [] then
+      match Odin.Session.try_refresh w.wk_session with
+      | Some (Odin.Session.Ok | Odin.Session.Degraded _) ->
+        w.wk_recompiles <- w.wk_recompiles + 1
+      | Some (Odin.Session.Rolled_back _) | None -> ()
+  in
+  if resume <> None then List.iter apply_ckpt_state (live workers);
+
+  (* ---------------- one worker's share of a round ------------------ *)
+  (* slot execution itself lives in Orch.exec_slot, shared with the
+     process driver; this wrapper only adds the per-worker accounting *)
   let run_slot w idx =
-    let rng = Support.Rng.create ((cfg.fc_seed * 1_000_003) + idx) in
-    let input =
-      if idx < n_seeds then List.nth seeds idx
-      else
-        let base_in =
-          match Fuzzer.Corpus.pick w.wk_corpus rng with
-          | Some s -> s.Fuzzer.Corpus.data
-          | None -> default_input
-        in
-        Fuzzer.Mutate.havoc rng ~pool:(Fuzzer.Corpus.inputs w.wk_corpus) base_in
+    let item =
+      Orch.exec_slot ~seed:cfg.fc_seed ~entry ~host ~seeds ~default_input
+        ~session:w.wk_session ~total_probes:w.wk_cov.Odin.Cov.total_probes
+        ~corpus:w.wk_corpus idx
     in
-    let vm = Vm.create (Odin.Session.executable w.wk_session) in
-    ignore (Vm.enable_profile vm);
-    List.iter (fun n -> Vm.register_host vm n (fun _ -> 0L)) host;
-    let addr = Vm.write_buffer vm input in
-    ignore (Vm.call vm entry [ addr; Int64.of_int (String.length input) ]);
     w.wk_execs <- w.wk_execs + 1;
-    w.wk_cycles <- w.wk_cycles + vm.Vm.cycles;
+    w.wk_cycles <- w.wk_cycles + item.Csync.it_cycles;
     Recorder.count (Some w.wk_recorder) "campaign.execs";
     Recorder.observe (Some w.wk_recorder) "campaign.exec_cycles"
-      (float_of_int vm.Vm.cycles);
-    let fired =
-      List.filter_map
-        (fun (p : Instr.Probe.t) ->
-          match p.Instr.Probe.payload with
-          | Instr.Probe.Cov _ when Odin.Cov.read_counter vm p.Instr.Probe.pid > 0 ->
-            Some p.Instr.Probe.pid
-          | _ -> None)
-        (Instr.Manager.to_list w.wk_session.Odin.Session.manager)
-      |> List.sort compare
-    in
-    let prof =
-      match Vm.profile vm with Some p -> Vm.profile_top p | None -> []
-    in
-    {
-      Csync.it_index = idx;
-      it_input = input;
-      it_cycles = vm.Vm.cycles;
-      it_fired = fired;
-      it_fns = prof;
-      it_probe_cost =
-        Odin.Cov.probe_costs ~total:w.wk_cov.Odin.Cov.total_probes vm;
-    }
+      (float_of_int item.Csync.it_cycles);
+    item
   in
-
-  (* one worker's share of a round; never raises *)
+  (* never raises *)
   let run_share w idxs =
     let acc = ref [] in
     try
@@ -308,8 +311,7 @@ let run ?telemetry ?pool ?cache_dir ?incremental_link ?incremental_sched
   in
 
   (* ---------------- the sync barrier ------------------------------ *)
-  let barrier ~round (results : (worker * round_result) list) =
-    incr sync_rounds;
+  let barrier ~round ~next (results : (worker * round_result) list) =
     Telemetry.Recorder.with_span r ~cat:"farm"
       ~args:[ ("round", string_of_int round) ]
       "sync"
@@ -349,71 +351,23 @@ let run ?telemetry ?pool ?cache_dir ?incremental_link ?incremental_sched
         results
       |> List.sort (fun a b -> compare a.Csync.it_index b.Csync.it_index)
     in
-    (* energy is computed against the farm-wide average exec cost from
-       all previous rounds — worker-count invariant by construction *)
-    let avg_cycles = if !total_execs = 0 then 0 else !total_cycles / !total_execs in
-    let accepted = Csync.merge sync items in
-    (* per-probe attribution, merged in slot order. All merged executions
-       of a round ran against the same armed set (probe state only
-       changes at barriers), so every probe not yet globally pruned at
-       round start is charged the round's merged-execution count. *)
-    let n_items = List.length items in
-    if n_items > 0 then
-      for pid = 0 to n_probes - 1 do
-        if not (Hashtbl.mem pruned_global pid) then
-          Hashtbl.replace execs_armed pid
-            (n_items + Option.value ~default:0 (Hashtbl.find_opt execs_armed pid))
-      done;
-    List.iter
-      (fun it ->
-        List.iter
-          (fun (pid, h, c) ->
-            let hits, cyc =
-              match Hashtbl.find_opt probe_hits_cycles pid with
-              | Some p -> p
-              | None ->
-                let p = (ref 0, ref 0) in
-                Hashtbl.replace probe_hits_cycles pid p;
-                p
-            in
-            hits := !hits + h;
-            cyc := !cyc + c)
-          it.Csync.it_probe_cost)
-      items;
-    List.iter
-      (fun it ->
-        incr total_execs;
-        total_cycles := !total_cycles + it.Csync.it_cycles;
-        (* one vote per (probe, execution) toward global saturation *)
-        List.iter (fun pid -> Instr.Votes.record votes ~pid) it.Csync.it_fired)
-      items;
+    let broadcast, prunes = Orch.merge_round orch items in
     (* every live worker takes the barrier's effects, whether or not it
        drew a slot this round — shards must stay global replicas *)
     let survivors = live workers in
-    (* broadcast: every accepted input lands in every shard, so all
-       shards replicate the global corpus at round start *)
     List.iter
-      (fun (it, fresh) ->
-        let energy =
-          Fuzzer.Campaign.seed_energy ~avg_cycles ~cycles:it.Csync.it_cycles
-            ~fn_cycles:it.Csync.it_fns
-        in
-        corpus_global := it.Csync.it_input :: !corpus_global;
+      (fun ce ->
         List.iter
           (fun w ->
-            Fuzzer.Corpus.add w.wk_corpus ~energy ~data:it.Csync.it_input
-              ~exec_cycles:it.Csync.it_cycles ~new_blocks:fresh ())
+            Fuzzer.Corpus.add w.wk_corpus ~energy:ce.Orch.ce_energy
+              ~data:ce.Orch.ce_input ~exec_cycles:ce.Orch.ce_cycles
+              ~new_blocks:ce.Orch.ce_fresh ())
           survivors)
-      accepted;
-    Recorder.count (Some r) ~by:(List.length accepted) "farm.inputs_exchanged";
-    (* global prune decision, applied identically to every survivor *)
-    let prunes =
-      Instr.Votes.saturated votes ~quorum:cfg.fc_prune_quorum
-        ~already:(Hashtbl.mem pruned_global)
-    in
-    List.iter (fun pid -> Hashtbl.replace pruned_global pid ()) prunes;
+      broadcast;
+    Recorder.count (Some r) ~by:(List.length broadcast) "farm.inputs_exchanged";
     if prunes <> [] then
       Recorder.count (Some r) ~by:(List.length prunes) "farm.probes_pruned";
+    (* the global prune decision, applied identically to every survivor *)
     List.iter
       (fun w ->
         List.iter
@@ -443,59 +397,50 @@ let run ?telemetry ?pool ?cache_dir ?incremental_link ?incremental_sched
           Support.Objstore.gc ?max_bytes:cfg.fc_cache_limit
             ?max_age:cfg.fc_cache_age st
         in
-        gc_evicted := !gc_evicted + g.Support.Objstore.gc_evicted;
+        orch.Orch.o_gc_evicted <- orch.Orch.o_gc_evicted + g.Support.Objstore.gc_evicted;
         if g.Support.Objstore.gc_evicted > 0 then
           Recorder.count (Some r) ~by:g.Support.Objstore.gc_evicted
             "farm.store_gc_evicted"));
     Recorder.count (Some r) "farm.sync_rounds";
+    Telemetry.Metrics.set interval_gauge orch.Orch.o_interval;
     (* flight recorder: one sync event plus a campaign-counter snapshot
        (farm.* live on the farm recorder, session.*/link.* on the parked
        workers' forks), republished atomically while everyone is at the
        barrier *)
-    match jr with
+    (match jr with
     | None -> ()
     | Some j ->
-      Telemetry.Journal.record j ~kind:"farm.sync"
-        [
-          ("round", Json.Int round);
-          ("merged", Json.Int n_items);
-          ("accepted", Json.Int (List.length accepted));
-          ("pruned", Json.Int (List.length prunes));
-          ("coverage", Json.Int (Csync.covered_count sync));
-          ("execs", Json.Int !total_execs);
-          ("cycles", Json.Int !total_cycles);
-        ];
-      let agg : (string, int) Hashtbl.t = Hashtbl.create 32 in
-      let scan (rc : Recorder.t) =
-        List.iter
-          (fun c ->
-            let n = Telemetry.Metrics.counter_name c in
-            if
-              String.starts_with ~prefix:"farm." n
-              || String.starts_with ~prefix:"session." n
-              || String.starts_with ~prefix:"link." n
-            then
-              Hashtbl.replace agg n
-                (Telemetry.Metrics.value c
-                + Option.value ~default:0 (Hashtbl.find_opt agg n)))
-          (Telemetry.Metrics.counters rc.Recorder.metrics)
+      Orch.record_sync_event j orch ~round ~merged:(List.length items)
+        ~accepted:(List.length broadcast) ~pruned:(List.length prunes);
+      let store =
+        match workers with
+        | w :: _ -> w.wk_session.Odin.Session.store
+        | [] -> None
       in
-      scan r;
-      List.iter (fun w -> scan w.wk_recorder) workers;
-      let fields =
-        Hashtbl.fold (fun k v acc -> (k, Json.Int v) :: acc) agg []
-        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      Orch.record_counters_event j ~round
+        ~quarantined:(Option.map Support.Objstore.quarantine_length store)
+        (r :: List.map (fun w -> w.wk_recorder) workers));
+    (* atomic checkpoint publish at every barrier *)
+    (match checkpoint_path with
+    | None -> ()
+    | Some path ->
+      let sum f = List.fold_left (fun a w -> a + f w) 0 workers in
+      let ck =
+        Orch.snapshot orch ~digest ~workers:nw ~round ~next
+          ~skipped:(orch.Orch.o_skipped + sum (fun w -> w.wk_skipped))
+          ~crashes:(orch.Orch.o_crashes + sum (fun w -> w.wk_crashes))
+          ~recompiles:(orch.Orch.o_recompiles + sum (fun w -> w.wk_recompiles))
+          ~restarts:orch.Orch.o_restarts ~weights:[]
       in
-      if fields <> [] then
-        Telemetry.Journal.record j ~kind:"counters"
-          (("round", Json.Int round) :: fields);
-      jflush ()
+      if Wire.write_checkpoint path ck then
+        Recorder.count (Some r) "farm.checkpoints");
+    jflush ()
   in
 
   (* ---------------- round scheduler ------------------------------- *)
   (* slots are dealt round-robin over the live workers; the deal only
      decides who computes what *)
-  let run_round ~round idxs =
+  let run_round ~round ~next idxs =
     let ws = live workers in
     match ws with
     | [] -> ()
@@ -516,111 +461,66 @@ let run ?telemetry ?pool ?cache_dir ?incremental_link ?incremental_sched
               (fun () -> (w, run_share w idxs)))
           jobs
       in
-      barrier ~round results
+      barrier ~round ~next results
   in
   (* round 0: the seed inputs themselves, then the mutation budget in
-     sync-interval chunks *)
-  if n_seeds > 0 && live workers <> [] then
-    run_round ~round:0 (List.init n_seeds (fun i -> i));
-  let interval = max 1 cfg.fc_sync_interval in
+     sync-interval chunks (current interval: adaptive when enabled) *)
   let budget = max 0 cfg.fc_execs in
   let next = ref 0 in
   let round = ref 1 in
+  (match resume with
+  | Some ck ->
+    next := ck.Orch.ck_next;
+    round := ck.Orch.ck_round + 1
+  | None ->
+    if n_seeds > 0 && live workers <> [] then
+      run_round ~round:0 ~next:0 (List.init n_seeds (fun i -> i)));
   while !next < budget && live workers <> [] do
-    let n = min interval (budget - !next) in
-    run_round ~round:!round (List.init n (fun k -> n_seeds + !next + k));
+    let n = min orch.Orch.o_interval (budget - !next) in
+    let slots = List.init n (fun k -> n_seeds + !next + k) in
     next := !next + n;
+    run_round ~round:!round ~next:!next slots;
     incr round
   done;
 
-  (* ---------------- join --------------------------------------------- *)
+  (* ---------------- join ------------------------------------------ *)
   let cross = Odin.Session.cross_hits shared in
   Recorder.count (Some r) ~by:cross "farm.cache_cross_hits";
   List.iter (fun w -> Recorder.merge ~into:r ~parent:farm_sp w.wk_recorder) workers;
   (* per-probe cost roll-up. Toggle counts come from a live worker's
      manager (sessions apply barrier effects identically, so any
      survivor agrees); a fully dead farm falls back to worker 0. *)
-  let probe_costs =
-    let mgr =
-      match live workers with
+  let mgr =
+    match live workers with
+    | w :: _ -> Some w.wk_session.Odin.Session.manager
+    | [] -> (
+      match workers with
       | w :: _ -> Some w.wk_session.Odin.Session.manager
-      | [] -> (
-        match workers with
-        | w :: _ -> Some w.wk_session.Odin.Session.manager
-        | [] -> None)
-    in
-    let toggles pid =
-      match mgr with Some m -> Instr.Manager.toggle_count m pid | None -> 0
-    in
-    List.init n_probes (fun pid ->
-        let hits, cycles =
-          match Hashtbl.find_opt probe_hits_cycles pid with
-          | Some (h, c) -> (!h, !c)
-          | None -> (0, 0)
-        in
-        {
-          pc_pid = pid;
-          pc_toggles = toggles pid;
-          pc_execs_armed =
-            Option.value ~default:0 (Hashtbl.find_opt execs_armed pid);
-          pc_hits = hits;
-          pc_cycles = cycles;
-        })
+      | [] -> None)
   in
+  let toggles pid =
+    match mgr with Some m -> Instr.Manager.toggle_count m pid | None -> 0
+  in
+  let probe_cost = Orch.probe_costs orch ~toggles in
+  let sum f = List.fold_left (fun a w -> a + f w) 0 workers in
+  let crashes = orch.Orch.o_crashes + sum (fun w -> w.wk_crashes) in
   (match jr with
   | None -> ()
   | Some j ->
-    List.iter
-      (fun pc ->
-        Telemetry.Journal.record j ~kind:"probe.cost"
-          [
-            ("pid", Json.Int pc.pc_pid);
-            ("toggles", Json.Int pc.pc_toggles);
-            ("execs_armed", Json.Int pc.pc_execs_armed);
-            ("hits", Json.Int pc.pc_hits);
-            ("cycles", Json.Int pc.pc_cycles);
-          ])
-      probe_costs;
-    Telemetry.Journal.record j ~kind:"farm.done"
-      [
-        ("workers", Json.Int nw);
-        ("execs", Json.Int !total_execs);
-        ("cycles", Json.Int !total_cycles);
-        ("coverage", Json.Int (Csync.covered_count sync));
-        ("total_probes", Json.Int n_probes);
-        ("pruned", Json.Int (Hashtbl.length pruned_global));
-        ("exchanged", Json.Int sync.Csync.accepted);
-        ("cross_hits", Json.Int cross);
-        ("crashes",
-         Json.Int (List.fold_left (fun a w -> a + w.wk_crashes) 0 workers));
-      ];
+    Orch.record_probe_cost_events j probe_cost;
+    Orch.record_done_event j orch ~workers:nw ~cross_hits:cross ~crashes;
     jflush ());
-  {
-    fs_workers = nw;
-    fs_execs = !total_execs;
-    fs_total_cycles = !total_cycles;
-    fs_sync_rounds = !sync_rounds;
-    fs_offered = sync.Csync.offered;
-    fs_exchanged = sync.Csync.accepted;
-    fs_duplicates = sync.Csync.duplicates;
-    fs_stale = sync.Csync.stale;
-    fs_coverage = Csync.covered_list sync;
-    fs_total_probes = n_probes;
-    fs_pruned = Hashtbl.fold (fun pid () acc -> pid :: acc) pruned_global [] |> List.sort compare;
-    fs_corpus = List.rev !corpus_global;
-    fs_cross_hits = cross;
-    fs_recompiles = List.fold_left (fun a w -> a + w.wk_recompiles) 0 workers;
-    fs_skipped = List.fold_left (fun a w -> a + w.wk_skipped) 0 workers;
-    fs_crashes = List.fold_left (fun a w -> a + w.wk_crashes) 0 workers;
-    fs_dead =
-      List.filter_map
-        (fun w ->
-          match w.wk_dead with Some why -> Some (w.wk_id, why) | None -> None)
-        workers;
-    fs_gc_evicted = !gc_evicted;
-    fs_store =
+  Orch.mk_stats orch ~workers:nw ~cross_hits:cross
+    ~skipped:(orch.Orch.o_skipped + sum (fun w -> w.wk_skipped))
+    ~crashes
+    ~recompiles:(orch.Orch.o_recompiles + sum (fun w -> w.wk_recompiles))
+    ~dead:
+      (List.filter_map
+         (fun w ->
+           match w.wk_dead with Some why -> Some (w.wk_id, why) | None -> None)
+         workers)
+    ~store:
       (match workers with
       | w :: _ -> Odin.Session.store_stats w.wk_session
-      | [] -> None);
-    fs_probe_cost = probe_costs;
-  }
+      | [] -> None)
+    ~probe_cost

@@ -3,15 +3,30 @@
     session, sharing one content-addressed object cache. Workers
     rendezvous at sync barriers: deduplicating corpus exchange
     ({!Csync}), global coverage merge, and globally-voted probe pruning
-    ({!Instr.Votes}). Deterministic for a fixed (seed, workers,
-    sync-interval) triple; the logical results (coverage, pruned set,
-    corpus) are worker-count invariant by construction. *)
+    ({!Instr.Votes}). Deterministic for a fixed (seed, sync-interval)
+    pair; the logical results (coverage, pruned set, corpus) are
+    worker-count invariant by construction — and substrate invariant:
+    this domains driver and the process-isolated driver ({!Proc})
+    share one orchestration core ({!Orch}) and produce bit-identical
+    campaigns. *)
 
 (** The corpus-sync protocol, re-exported: [farm.ml] is the library's
     interface module, so this is the public path to {!Csync}. *)
 module Csync = Csync
 
-type config = {
+(** The shared orchestration core (slot execution, barrier merge,
+    weighted votes, adaptive intervals, checkpoints). *)
+module Orch = Orch
+
+(** The supervisor/worker wire protocol and the checkpoint file
+    format. *)
+module Wire = Wire
+
+(** The process-isolated driver: supervisor, preemptive watchdog,
+    kill/restart, checkpoint/resume. *)
+module Proc = Proc
+
+type config = Orch.config = {
   fc_workers : int;
   fc_execs : int;  (** mutated-execution budget, farm-wide (seeds excluded) *)
   fc_sync_interval : int;  (** executions per sync round, farm-wide *)
@@ -22,9 +37,16 @@ type config = {
   fc_cache_limit : int option;  (** store GC size bound (bytes), per barrier *)
   fc_cache_age : float option;  (** store GC age bound (seconds), per barrier *)
   fc_mode : Odin.Partition.mode;
+  fc_vote_decay : float;
+      (** vote-weight multiplier per kill/restart ({!Proc}); 1.0
+          (default) keeps exact integer quorums *)
+  fc_adaptive_sync : bool;
+      (** scale the sync interval up on quiet barriers, reset on new
+          coverage (off by default) *)
 }
 
-(** 1 worker, 400 execs, sync every 100, seed 42, quorum 1, no GC. *)
+(** 1 worker, 400 execs, sync every 100, seed 42, quorum 1, no GC,
+    vote decay 1.0, fixed interval. *)
 val default_config : config
 
 type worker = {
@@ -47,7 +69,7 @@ type worker = {
     executions run while the probe was globally armed, and the VM's
     per-site increment hits/cycles (merged in slot order — worker-count
     invariant like every other farm result). *)
-type probe_cost = {
+type probe_cost = Orch.probe_cost = {
   pc_pid : int;
   pc_toggles : int;
   pc_execs_armed : int;
@@ -55,7 +77,7 @@ type probe_cost = {
   pc_cycles : int;
 }
 
-type stats = {
+type stats = Orch.stats = {
   fs_workers : int;
   fs_execs : int;  (** executions merged at barriers (seeds included) *)
   fs_total_cycles : int;
@@ -98,7 +120,12 @@ val dedup_rate : stats -> float
     cost events plus a final summary at the end, and when a path is
     given the bounded window is atomically republished at each barrier
     (crash-safe: a killed farm leaves the last barrier's journal). A
-    path without a journal creates a private one. *)
+    path without a journal creates a private one.
+
+    [checkpoint_path] publishes an {!Orch.ckpt} atomically at every
+    barrier ({!Wire.write_checkpoint}); [resume] continues a campaign
+    from a loaded checkpoint (same target module and seed required),
+    reaching the same final state as an uninterrupted run. *)
 val run :
   ?telemetry:Telemetry.Recorder.t ->
   ?pool:Support.Pool.t ->
@@ -108,6 +135,8 @@ val run :
   ?journal:Telemetry.Journal.t ->
   ?journal_path:string ->
   ?host:string list ->
+  ?checkpoint_path:string ->
+  ?resume:Orch.ckpt ->
   entry:string ->
   seeds:string list ->
   config ->

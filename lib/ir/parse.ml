@@ -316,7 +316,7 @@ let parse_ins s =
       end
     in
     loop ();
-    mk t (Ins.Phi (List.rev_map (fun (l, v) -> (l, v)) !incoming |> List.rev))
+    mk t (Ins.Phi (List.rev !incoming))
   | None, "alloca" ->
     let t = ty s in
     expect_punct s ',';

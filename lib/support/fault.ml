@@ -7,9 +7,17 @@
     verify-after-patch pass must catch and turn into a clean link
     failure), ["cache.get"], ["store.read"], ["store.write"],
     ["session.materialize"], ["vm.step"] (per basic-block entry in the
-    VM, for killing a guest execution mid-flight) and ["farm.sync"]
+    VM, for killing a guest execution mid-flight), ["farm.sync"]
     (the fuzzing farm's barrier rendezvous, for killing a worker
-    mid-round) — and calls {!hit} on entry. With no plan installed a hit is a couple of
+    mid-round), ["farm.heartbeat"] (the process supervisor's liveness
+    check — an injected fault is treated as a missed deadline and the
+    worker is SIGKILLed), ["wire.send"] (the farm wire protocol's
+    frame writes; its torn kind truncates a frame mid-write) and
+    ["farm.checkpoint"] (the supervisor's barrier checkpoint publish;
+    raise skips the write, torn leaves a truncated checkpoint at the
+    final path) — and calls {!hit} on entry. The [kill] kind SIGKILLs
+    the current process on the spot: in a process farm that is a real,
+    preemptively-detected worker crash. With no plan installed a hit is a couple of
     domain-local reads; with a plan installed, the matching rules decide
     (reproducibly, from the plan seed and the per-rule hit count)
     whether to raise a permanent {!Injected} fault, a retryable
@@ -46,7 +54,12 @@ exception Transient_fault of string  (** retryable fault at a site *)
 
 exception Timed_out of string  (** per-job watchdog expired at a site *)
 
-type kind = Raise | Transient | Delay of float | Torn
+type kind =
+  | Raise
+  | Transient
+  | Delay of float
+  | Torn
+  | Kill  (** SIGKILL the current process — a real, non-catchable crash *)
 
 type trigger = Always | Nth of int  (** fire on the Nth hit only *) | Prob of float
 
@@ -191,6 +204,7 @@ let hit site =
     | Some (Delay d) ->
       virtual_sleep d;
       check_deadline site
+    | Some Kill -> Unix.kill (Unix.getpid ()) Sys.sigkill
     | Some Torn | None -> ()
   end
 
@@ -209,6 +223,7 @@ let kind_to_string = function
   | Raise -> "raise"
   | Transient -> "transient"
   | Torn -> "torn"
+  | Kill -> "kill"
   | Delay d -> Printf.sprintf "delay=%g" d
 
 let trigger_to_string = function
@@ -253,6 +268,7 @@ let parse_plan s =
             | "raise" -> Ok Raise
             | "transient" -> Ok Transient
             | "torn" -> Ok Torn
+            | "kill" -> Ok Kill
             | _ when String.length kind_s > 6 && String.sub kind_s 0 6 = "delay=" -> (
               match
                 float_of_string_opt (String.sub kind_s 6 (String.length kind_s - 6))

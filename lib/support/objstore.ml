@@ -25,6 +25,17 @@
     from concurrent domains: counters are mutex-guarded and the
     filesystem operations are per-entry atomic.
 
+    Multi-process safety: one store directory may be shared by several
+    worker {e processes} (the process farm). Every handle keeps
+    [root/lock] open and takes an advisory [lockf] lock on it — shared
+    for per-entry mutations (put, quarantine: their atomic renames
+    already compose), exclusive for structural passes (format
+    migration, {!gc}) that must not interleave with another process's
+    writes. Advisory locks are per-process, so this complements (does
+    not replace) the per-handle mutex. Lock failures degrade to
+    unlocked best-effort operation — the store never becomes a
+    correctness dependency.
+
     Fault sites: ["store.read"] (a raised fault degrades to a miss),
     ["store.write"] (a raised fault skips persistence — the store is an
     optimization, never a correctness dependency), and the torn-write
@@ -49,6 +60,7 @@ type t = {
   root : string;
   version : int;
   lock : Mutex.t;
+  lockf_fd : Unix.file_descr option;  (** [root/lock], advisory cross-process lock *)
   mutable hits : int;
   mutable misses : int;
   mutable writes : int;
@@ -90,9 +102,34 @@ let write_file path contents =
     (fun () -> output_string oc contents)
 
 let format_file root = Filename.concat root "format"
+let lock_file root = Filename.concat root "lock"
 let objects_dir root = Filename.concat root "objects"
 let quarantine_root t = Filename.concat t.root "quarantine"
 let tmp_dir root = Filename.concat root "tmp"
+
+(* ------------------------------------------------------------------ *)
+(* Advisory cross-process locking                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Best-effort: a platform where lockf is unsupported degrades to the
+   old unlocked behavior rather than failing the store. *)
+let open_lock_fd root =
+  try Some (Unix.openfile (lock_file root) [ Unix.O_RDWR; Unix.O_CREAT ] 0o644)
+  with Unix.Unix_error _ | Sys_error _ -> None
+
+(* F_LOCK = exclusive (structural passes), F_RLOCK = shared
+   (per-entry mutations, whose atomic renames already compose). *)
+let with_fd_lock fd_opt cmd f =
+  match fd_opt with
+  | None -> f ()
+  | Some fd ->
+    let locked = try Unix.lockf fd cmd 0; true with Unix.Unix_error _ -> false in
+    Fun.protect
+      ~finally:(fun () ->
+        if locked then try Unix.lockf fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ())
+      f
+
+let with_store_lock t cmd f = with_fd_lock t.lockf_fd cmd f
 
 (* ------------------------------------------------------------------ *)
 (* Open                                                                *)
@@ -103,24 +140,29 @@ let tmp_dir root = Filename.concat root "tmp"
     cleanly: all objects are dropped and the stamp rewritten. *)
 let open_store ?(version = 1) dir =
   mkdir_p dir;
-  let stamp = Printf.sprintf "%s %d\n" magic version in
-  let current = try Some (read_file (format_file dir)) with Sys_error _ -> None in
-  if current <> Some stamp then begin
-    rm_rf (objects_dir dir);
-    rm_rf (tmp_dir dir);
-    (* publish the new stamp atomically too *)
-    mkdir_p (tmp_dir dir);
-    let tmp = Filename.concat (tmp_dir dir) "format.tmp" in
-    write_file tmp stamp;
-    Sys.rename tmp (format_file dir)
-  end;
-  mkdir_p (objects_dir dir);
-  mkdir_p (tmp_dir dir);
-  mkdir_p (Filename.concat dir "quarantine");
+  let lockf_fd = open_lock_fd dir in
+  (* Migration is structural: wipe + restamp must not race another
+     process's writes, so it runs under the exclusive lock. *)
+  with_fd_lock lockf_fd Unix.F_LOCK (fun () ->
+      let stamp = Printf.sprintf "%s %d\n" magic version in
+      let current = try Some (read_file (format_file dir)) with Sys_error _ -> None in
+      if current <> Some stamp then begin
+        rm_rf (objects_dir dir);
+        rm_rf (tmp_dir dir);
+        (* publish the new stamp atomically too *)
+        mkdir_p (tmp_dir dir);
+        let tmp = Filename.concat (tmp_dir dir) "format.tmp" in
+        write_file tmp stamp;
+        Sys.rename tmp (format_file dir)
+      end;
+      mkdir_p (objects_dir dir);
+      mkdir_p (tmp_dir dir);
+      mkdir_p (Filename.concat dir "quarantine"));
   {
     root = dir;
     version;
     lock = Mutex.create ();
+    lockf_fd;
     hits = 0;
     misses = 0;
     writes = 0;
@@ -187,7 +229,9 @@ let quarantine t path reason =
          (let n = t.quarantined in
           n))
   in
-  (try Sys.rename path dest with Sys_error _ -> ( try Sys.remove path with Sys_error _ -> ()));
+  with_store_lock t Unix.F_RLOCK (fun () ->
+      try Sys.rename path dest
+      with Sys_error _ -> ( try Sys.remove path with Sys_error _ -> ()));
   ignore reason
 
 (* ------------------------------------------------------------------ *)
@@ -257,10 +301,11 @@ let put t key data =
       Mutex.unlock t.lock;
       let tmp =
         Filename.concat (tmp_dir t.root)
-          (Printf.sprintf "%s.%d.tmp" (entry_name key) seq)
+          (Printf.sprintf "%s.%d.%d.tmp" (entry_name key) (Unix.getpid ()) seq)
       in
-      write_file tmp (header t data ^ data);
-      Sys.rename tmp path;
+      with_store_lock t Unix.F_RLOCK (fun () ->
+          write_file tmp (header t data ^ data);
+          Sys.rename tmp path);
       Mutex.lock t.lock;
       t.writes <- t.writes + 1;
       Mutex.unlock t.lock
@@ -355,6 +400,7 @@ let scan_entries t =
     mtime first, path as tie-break. Best-effort like every store
     operation — an entry that vanishes mid-scan is simply skipped. *)
 let gc ?max_bytes ?max_age ?now t =
+  with_store_lock t Unix.F_LOCK @@ fun () ->
   let now = match now with Some n -> n | None -> Unix.gettimeofday () in
   let entries = scan_entries t in
   let scanned = List.length entries in

@@ -177,6 +177,125 @@ let test_votes () =
   Alcotest.(check int) "merged tally" 2 (Instr.Votes.count v 7);
   Alcotest.(check int) "merged distinct" 3 (Instr.Votes.distinct v)
 
+let test_weighted_votes () =
+  (* a killed-and-restarted worker's evidence counts for less: weighted
+     votes accumulate fractionally and only saturate when the weighted
+     tally reaches the quorum *)
+  let v = Instr.Votes.create () in
+  Instr.Votes.record ~weight:0.5 v ~pid:3;
+  Instr.Votes.record ~weight:0.5 v ~pid:3;
+  Alcotest.(check (float 1e-9)) "fractional tally" 1.0 (Instr.Votes.tally v 3);
+  Alcotest.(check int) "count floors" 1 (Instr.Votes.count v 3);
+  Alcotest.(check (list int))
+    "two half votes reach quorum 1" [ 3 ]
+    (Instr.Votes.saturated v ~quorum:1 ~already:(fun _ -> false));
+  Alcotest.(check (list int))
+    "but not quorum 2" []
+    (Instr.Votes.saturated v ~quorum:2 ~already:(fun _ -> false));
+  Instr.Votes.record ~weight:1.0 v ~pid:3;
+  Alcotest.(check (list int))
+    "1.0 more saturates quorum 2" [ 3 ]
+    (Instr.Votes.saturated v ~quorum:2 ~already:(fun _ -> false));
+  (* twice-restarted at decay 0.5: quarter-weight votes *)
+  let w = Instr.Votes.create () in
+  Instr.Votes.record ~weight:(0.5 *. 0.5) w ~pid:9;
+  Instr.Votes.record ~weight:(0.5 *. 0.5) w ~pid:9;
+  Alcotest.(check (list int))
+    "half a vote never saturates quorum 1" []
+    (Instr.Votes.saturated w ~quorum:1 ~already:(fun _ -> false));
+  (* entries/restore round-trip: the checkpoint path *)
+  let v' = Instr.Votes.restore (Instr.Votes.entries v) in
+  Alcotest.(check bool) "restore round-trips" true
+    (Instr.Votes.entries v' = Instr.Votes.entries v)
+
+let test_merge_round_weighted () =
+  let cfg = { Farm.default_config with Farm.fc_prune_quorum = 2 } in
+  let o = Farm.Orch.create ~n_probes:4 cfg in
+  let mk idx input =
+    {
+      Csync.it_index = idx;
+      it_input = input;
+      it_cycles = 5;
+      it_fired = [ 1 ];
+      it_fns = [];
+      it_probe_cost = [];
+    }
+  in
+  let _, prunes = Farm.Orch.merge_round ~weight:(fun _ -> 0.5) o [ mk 0 "a" ] in
+  Alcotest.(check (list int)) "half-weight vote: below quorum" [] prunes;
+  let _, prunes = Farm.Orch.merge_round ~weight:(fun _ -> 1.5) o [ mk 1 "b" ] in
+  Alcotest.(check (list int)) "weighted tally 2.0 saturates" [ 1 ] prunes;
+  Alcotest.(check bool) "marked pruned" true (Farm.Orch.pruned o 1)
+
+(* ---------------- adaptive sync intervals ------------------------------ *)
+
+let test_adaptive_interval () =
+  let cfg =
+    {
+      Farm.default_config with
+      Farm.fc_sync_interval = 10;
+      fc_adaptive_sync = true;
+      fc_prune_quorum = 0;
+    }
+  in
+  let o = Farm.Orch.create ~n_probes:4 cfg in
+  let idx = ref 0 in
+  let mk ~fired () =
+    incr idx;
+    {
+      Csync.it_index = !idx;
+      it_input = Printf.sprintf "input-%d" !idx;
+      it_cycles = 5;
+      it_fired = fired;
+      it_fns = [];
+      it_probe_cost = [];
+    }
+  in
+  let quiet () = ignore (Farm.Orch.merge_round o [ mk ~fired:[] () ]) in
+  let interval () = o.Farm.Orch.o_interval in
+  Alcotest.(check int) "starts at base" 10 (interval ());
+  quiet ();
+  quiet ();
+  Alcotest.(check int) "two quiet barriers: unchanged" 10 (interval ());
+  quiet ();
+  Alcotest.(check int) "third quiet barrier doubles" 20 (interval ());
+  for _ = 1 to 6 do quiet () done;
+  Alcotest.(check int) "keeps doubling" 80 (interval ());
+  for _ = 1 to 30 do quiet () done;
+  Alcotest.(check int) "capped at 8x base" 80 (interval ());
+  (* fresh coverage resets to the base interval *)
+  ignore (Farm.Orch.merge_round o [ mk ~fired:[ 2 ] () ]);
+  Alcotest.(check int) "accept resets" 10 (interval ());
+  (* disabled by default: quiet barriers never move the interval *)
+  let o' =
+    Farm.Orch.create ~n_probes:4
+      { cfg with Farm.fc_adaptive_sync = false }
+  in
+  for _ = 1 to 9 do ignore (Farm.Orch.merge_round o' [ mk ~fired:[] () ]) done;
+  Alcotest.(check int) "fixed when disabled" 10 o'.Farm.Orch.o_interval
+
+let test_adaptive_farm_end_to_end () =
+  (* a farm with adaptive sync on a target that plateaus runs fewer,
+     longer rounds; the fixed-interval run pins the historical count *)
+  let m = Workloads.Generate.compile tiny in
+  let mk adaptive =
+    let cfg =
+      {
+        Farm.default_config with
+        Farm.fc_workers = 2;
+        fc_execs = 200;
+        fc_sync_interval = 10;
+        fc_adaptive_sync = adaptive;
+      }
+    in
+    Farm.run ~pool:Pool.serial ~entry ~seeds cfg m
+  in
+  let fixed = mk false and adaptive = mk true in
+  Alcotest.(check bool) "fewer rounds when adaptive" true
+    (adaptive.Farm.fs_sync_rounds < fixed.Farm.fs_sync_rounds);
+  Alcotest.(check (list int)) "coverage unchanged by pacing"
+    fixed.Farm.fs_coverage adaptive.Farm.fs_coverage
+
 (* ---------------- AFL-style energy ------------------------------------- *)
 
 let test_seed_energy () =
@@ -439,7 +558,21 @@ let () =
             test_csync_dedup_across_rounds;
           Alcotest.test_case "pid bounds" `Quick test_csync_bounds;
         ] );
-      ("votes", [ Alcotest.test_case "tally, quorum, merge" `Quick test_votes ]);
+      ( "votes",
+        [
+          Alcotest.test_case "tally, quorum, merge" `Quick test_votes;
+          Alcotest.test_case "weighted tally + decay" `Quick
+            test_weighted_votes;
+          Alcotest.test_case "weighted merge_round quorum" `Quick
+            test_merge_round_weighted;
+        ] );
+      ( "adaptive sync",
+        [
+          Alcotest.test_case "quiet barriers scale interval" `Quick
+            test_adaptive_interval;
+          Alcotest.test_case "farm end to end" `Slow
+            test_adaptive_farm_end_to_end;
+        ] );
       ( "energy",
         [
           Alcotest.test_case "seed_energy shape" `Quick test_seed_energy;
