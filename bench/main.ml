@@ -1337,6 +1337,178 @@ let farm_proc cfg =
       ])
 
 (* ------------------------------------------------------------------ *)
+(* Mutation testing: kill-matrix campaigns by probe toggling           *)
+(* ------------------------------------------------------------------ *)
+
+(** The amortization headline (the reason mutation testing rides on
+    Odin's machinery at all): a campaign of hundreds of mutants over
+    the scaled-up sqlite workload performs exactly one full
+    compile+link; arming each mutant afterwards is a probe toggle
+    served by an O(changed) schedule pass and an incremental relink.
+    Checked live: [full_links = initial_links] and
+    [incr_links >= mutants]. The naive alternative — one full build per
+    mutant — is priced with the measured full-build time of the same
+    target. A smaller campaign then re-runs with 1/2/4 workers on both
+    farm substrates and the merged kill matrices are compared
+    bit-for-bit. *)
+let mutate_bench _cfg =
+  print_endline "\n== Mutation testing (kill matrix by probe toggling) ==";
+  let xlarge =
+    {
+      (Workloads.Profile.find_exn "sqlite") with
+      Workloads.Profile.name = "sqlite-xl";
+      n_helpers = 400;
+      n_tiny = 200;
+      n_parsers = 24;
+    }
+  in
+  let n_mutants = if !quick_mode then 100 else 500 in
+  let suite = Workloads.Generate.seed_inputs ~count:3 xlarge in
+  (* price the strawman: one full build of the same target *)
+  let t_build =
+    let m = Workloads.Generate.compile xlarge in
+    let session =
+      Odin.Session.create ~keep:[ entry ]
+        ~host:Workloads.Generate.host_functions m
+    in
+    let t0 = Unix.gettimeofday () in
+    ignore (Odin.Session.build session);
+    Unix.gettimeofday () -. t0
+  in
+  let mcfg =
+    {
+      Mutate.Analysis.default_config with
+      Mutate.Analysis.mc_limit = Some n_mutants;
+      mc_chunk = 32;
+    }
+  in
+  let t0 = Unix.gettimeofday () in
+  let matrix, stats =
+    Mutate.Analysis.run ~entry ~suite mcfg (Workloads.Generate.compile xlarge)
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  Support.Tab.print
+    ~title:
+      (Printf.sprintf "mutation campaign, program %s (%d mutants x %d tests)"
+         xlarge.Workloads.Profile.name matrix.Mutate.Analysis.m_generated
+         matrix.Mutate.Analysis.m_tests)
+    ~header:
+      [ "mutants"; "killed"; "survived"; "timeout"; "score %"; "full links";
+        "incr relinks"; "wall s" ]
+    [
+      [
+        string_of_int matrix.Mutate.Analysis.m_generated;
+        string_of_int matrix.Mutate.Analysis.m_killed;
+        string_of_int matrix.Mutate.Analysis.m_survived;
+        string_of_int matrix.Mutate.Analysis.m_timeout;
+        Printf.sprintf "%.1f" matrix.Mutate.Analysis.m_score;
+        string_of_int stats.Mutate.Analysis.s_full_links;
+        string_of_int stats.Mutate.Analysis.s_incr_links;
+        Printf.sprintf "%.2f" wall;
+      ];
+    ];
+  (* the amortization bar, checked live: the campaign's only full link
+     is the initial build, and every mutant was served incrementally *)
+  let amortized =
+    stats.Mutate.Analysis.s_full_links = stats.Mutate.Analysis.s_initial_links
+    && stats.Mutate.Analysis.s_incr_links >= matrix.Mutate.Analysis.m_generated
+  in
+  Printf.printf
+    "  one compile, rest toggles (full %d = initial %d; incr %d >= %d \
+     mutants): %s\n"
+    stats.Mutate.Analysis.s_full_links stats.Mutate.Analysis.s_initial_links
+    stats.Mutate.Analysis.s_incr_links matrix.Mutate.Analysis.m_generated
+    (if amortized then "yes" else "NO — BUG");
+  let modelled_full = float_of_int matrix.Mutate.Analysis.m_generated *. t_build in
+  Printf.printf
+    "  modelled naive cost (one %.2f s full build per mutant): %.1f s; \
+     measured campaign: %.1f s (%.1fx)\n"
+    t_build modelled_full wall
+    (modelled_full /. max 1e-9 wall);
+  (* worker-count / substrate invariance on a smaller campaign: the
+     merged kill matrix must be bit-identical for 1/2/4 domain workers
+     and for supervised child processes *)
+  let small = Workloads.Profile.find_exn "sqlite" in
+  let ssuite = Workloads.Generate.seed_inputs ~count:3 small in
+  let run_small workers mode =
+    let scfg =
+      {
+        Mutate.Analysis.default_config with
+        Mutate.Analysis.mc_workers = workers;
+        mc_mode = mode;
+        mc_limit = Some 60;
+        mc_chunk = 7;
+        mc_worker_argv = Some [| Sys.executable_name; "mutate-worker" |];
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let mx, st =
+      Mutate.Analysis.run ~entry ~suite:ssuite scfg
+        (Workloads.Generate.compile small)
+    in
+    (mx, st, Unix.gettimeofday () -. t0)
+  in
+  let variants =
+    [
+      ("domains", 1, Mutate.Analysis.Domains);
+      ("domains", 2, Mutate.Analysis.Domains);
+      ("domains", 4, Mutate.Analysis.Domains);
+      ("procs", 2, Mutate.Analysis.Procs);
+    ]
+  in
+  let outs =
+    List.map (fun (nm, w, md) -> (nm, w, run_small w md)) variants
+  in
+  Support.Tab.print
+    ~title:
+      (Printf.sprintf "substrate/worker invariance, program %s (60 mutants)"
+         small.Workloads.Profile.name)
+    ~header:[ "mode"; "workers"; "wall s"; "score %"; "incr relinks" ]
+    (List.map
+       (fun (nm, w, (mx, st, secs)) ->
+         [
+           nm;
+           string_of_int w;
+           Printf.sprintf "%.2f" secs;
+           Printf.sprintf "%.1f" mx.Mutate.Analysis.m_score;
+           string_of_int st.Mutate.Analysis.s_incr_links;
+         ])
+       outs);
+  let matrices = List.map (fun (_, _, (mx, _, _)) -> mx) outs in
+  let identical = List.for_all (fun mx -> mx = List.hd matrices) matrices in
+  Printf.printf
+    "  identical kill matrix across worker counts and substrates: %s\n"
+    (if identical then "yes" else "NO — BUG");
+  emit ~section:"mutate"
+    [
+      Snap.metric ~cls:Snap.Exact "mutants"
+        (float_of_int matrix.Mutate.Analysis.m_generated);
+      Snap.metric ~cls:Snap.Exact "tests"
+        (float_of_int matrix.Mutate.Analysis.m_tests);
+      Snap.metric ~cls:Snap.Exact "killed"
+        (float_of_int matrix.Mutate.Analysis.m_killed);
+      Snap.metric ~cls:Snap.Exact "survived"
+        (float_of_int matrix.Mutate.Analysis.m_survived);
+      Snap.metric ~cls:Snap.Exact "timeout"
+        (float_of_int matrix.Mutate.Analysis.m_timeout);
+      Snap.metric ~unit_:"%" ~cls:Snap.Exact "score"
+        matrix.Mutate.Analysis.m_score;
+      Snap.metric ~cls:Snap.Exact "full_links"
+        (float_of_int stats.Mutate.Analysis.s_full_links);
+      Snap.metric ~cls:Snap.Exact "incr_links"
+        (float_of_int stats.Mutate.Analysis.s_incr_links);
+      Snap.metric ~unit_:"s" ~cls:Snap.Wall "campaign_wall_s" wall;
+      Snap.metric ~unit_:"s" ~cls:Snap.Wall "full_build_s" t_build;
+      Snap.metric ~unit_:"s" ~cls:Snap.Wall "modelled_naive_s" modelled_full;
+      Snap.metric ~unit_:"ratio" ~cls:Snap.Info "amortization_speedup"
+        (modelled_full /. max 1e-9 wall);
+      Snap.metric ~cls:Snap.Exact "amortized"
+        (if amortized then 1. else 0.);
+      Snap.metric ~cls:Snap.Exact "invariant_across_workers"
+        (if identical then 1. else 0.);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core operations                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -1404,6 +1576,8 @@ let () =
     Farm.Proc.worker_main ();
     exit 0
   end;
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "mutate-worker" then
+    Mutate.Analysis.worker_main ();
   let args = Array.to_list Sys.argv |> List.tl in
   let rec strip_out_dir = function
     | [] -> []
@@ -1439,5 +1613,6 @@ let () =
   if wants "schedule" then schedule_bench cfg;
   if wants "farm" then farm cfg;
   if wants "farm_proc" then farm_proc cfg;
+  if wants "mutate" then mutate_bench cfg;
   if wants "micro" then micro cfg;
   Printf.printf "\nTotal bench time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -6,6 +6,10 @@
      odinc fuzz file.c [--execs N] [--no-prune] [--jobs N]
                        [--metrics-csv FILE] [--span-limit N]
                        [--workers N --journal FILE]
+     odinc mutate file.c [--ops aor,ror,const,sdl,brs] [--workers N]
+                         [--farm-mode domains|procs] [--tests N]
+                         [--max-steps N] [--deadline SECS]
+                         [--checkpoint FILE [--resume]] [--journal FILE]
      odinc bench-diff BASELINE CURRENT [--ignore CLASS]
      odinc report JOURNAL [--top N]
      odinc workload NAME          (print a generated benchmark program)
@@ -979,7 +983,9 @@ let report_cmd =
           "status     : in flight — last barrier round %d (%d execs, %d/%s \
            blocks)\n"
           (fi ev "round") (fi ev "execs") (fi ev "coverage") "?"
-      | None -> Printf.printf "status     : no farm events in journal\n"));
+      | None ->
+        if last "mutate.done" = None && last "mutant" = None then
+          Printf.printf "status     : no farm events in journal\n"));
     (match last "farm.sync" with
     | Some ev -> (
       match J.field_int ev "interval" with
@@ -1004,6 +1010,44 @@ let report_cmd =
           | _ -> ())
         ev.J.e_fields
     | None -> ());
+    (* mutation campaign: per-mutant verdict events + the summary *)
+    (match last "mutate.done" with
+    | Some ev ->
+      Printf.printf
+        "mutation   : %d mutants — %d killed, %d survived, %d timeout \
+         (score %.1f%%)\n"
+        (fi ev "generated") (fi ev "killed") (fi ev "survived")
+        (fi ev "timeout")
+        (Option.value ~default:0. (J.field_float ev "score"));
+      Printf.printf
+        "amortized  : %d full links, %d incremental mutant toggles\n"
+        (fi ev "full_links") (fi ev "incr_links")
+    | None -> ());
+    let mutants =
+      List.filter (fun (e : J.event) -> e.J.e_kind = "mutant") l.J.l_events
+    in
+    (let survivors =
+       List.filter
+         (fun e -> J.field_str e "verdict" = Some "survived")
+         mutants
+     in
+     if survivors <> [] then begin
+       let fs ev name = Option.value ~default:"?" (J.field_str ev name) in
+       Support.Tab.print
+         ~title:
+           (Printf.sprintf "surviving mutants (%d of %d)"
+              (List.length survivors) (List.length mutants))
+         ~header:[ "id"; "operator"; "target"; "mutation" ]
+         (List.map
+            (fun ev ->
+              [
+                string_of_int (fi ev "id"); fs ev "op"; fs ev "target";
+                fs ev "desc";
+              ])
+            survivors)
+     end
+     else if mutants <> [] then
+       print_endline "mutation   : no surviving mutants — suite kills all");
     (* probe-cost heatmap: latest probe.cost event per pid *)
     let costs : (int, int * int * int * int) Hashtbl.t = Hashtbl.create 97 in
     List.iter
@@ -1064,6 +1108,201 @@ let report_cmd =
           per-probe cost heatmap.")
     Term.(const run $ journal $ top)
 
+(* ---------------- mutate ---------------- *)
+
+let mutate_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let entry =
+    Arg.(value & opt string "target_main" & info [ "entry" ]
+           ~doc:"Entry: int f(char *buf, int len).")
+  in
+  let ops =
+    Arg.(
+      value & opt string "all"
+      & info [ "ops" ] ~docv:"SPEC"
+          ~doc:
+            "Comma-separated operator families to plant: \
+             $(b,aor) (arithmetic swap), $(b,ror) (relational swap), \
+             $(b,const) (literal +1), $(b,sdl) (store deletion), \
+             $(b,brs) (branch swap). $(b,all) selects every family.")
+  in
+  let limit =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "limit" ] ~docv:"N" ~doc:"Keep only the first N mutants.")
+  in
+  let tests =
+    Arg.(
+      value & opt int 4
+      & info [ "tests" ] ~docv:"N"
+          ~doc:
+            "Size of the deterministic generated test suite (inputs of \
+             increasing length; the same N always yields the same suite, \
+             so matrices are comparable across runs).")
+  in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Distribute the campaign over N workers. The merged kill \
+             matrix is bit-identical for any N and either farm mode.")
+  in
+  let farm_mode =
+    Arg.(
+      value
+      & opt (enum [ ("domains", Mutate.Analysis.Domains);
+                    ("procs", Mutate.Analysis.Procs) ])
+          Mutate.Analysis.Domains
+      & info [ "farm-mode" ] ~docv:"MODE"
+          ~doc:
+            "Distribution substrate: $(b,domains) shares one process and \
+             one object cache; $(b,procs) supervises child processes \
+             (odinc mutate-worker) with heartbeat watchdog and \
+             kill/restart recovery.")
+  in
+  let max_steps =
+    Arg.(
+      value & opt int Mutate.Analysis.default_config.Mutate.Analysis.mc_max_steps
+      & info [ "max-steps" ] ~docv:"N"
+          ~doc:
+            "Per-test VM step budget: a mutant that exhausts it gets the \
+             $(b,timeout) verdict instead of hanging the campaign.")
+  in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECS"
+          ~doc:"Per-test wall-clock backstop on top of the step budget.")
+  in
+  let chunk =
+    Arg.(
+      value & opt int 16
+      & info [ "chunk" ] ~docv:"K" ~doc:"Mutants dealt per worker per round.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:
+            "Publish the kill matrix so far atomically after every round \
+             (previous checkpoint rotated to FILE.prev). Resume with \
+             $(b,--resume).")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Continue from the $(b,--checkpoint) file: finished rows are \
+             loaded, only the remaining mutants run, and the final matrix \
+             equals an uninterrupted run's.")
+  in
+  let journal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Flight-recorder journal: one event per mutant verdict plus \
+             the campaign summary. Render with $(b,odinc report).")
+  in
+  let worker_timeout =
+    Arg.(
+      value & opt float 30.
+      & info [ "worker-timeout" ] ~docv:"SECS"
+          ~doc:
+            "Preemptive watchdog deadline (with --farm-mode procs): a \
+             silent worker is SIGKILLed and its mutants re-dealt.")
+  in
+  let run file entry ops limit tests workers farm_mode max_steps deadline
+      chunk checkpoint resume journal worker_timeout fault_plan time_report
+      trace_out =
+    install_faults fault_plan;
+    with_diagnostics @@ fun () ->
+    let families =
+      try Mutate.Gen.families_of_spec ops
+      with Invalid_argument msg ->
+        Printf.eprintf "odinc: %s\n" msg;
+        exit 2
+    in
+    if resume && checkpoint = None then begin
+      Printf.eprintf "odinc: --resume needs --checkpoint FILE\n";
+      exit 2
+    end;
+    let r = Telemetry.Recorder.create () in
+    let m =
+      Telemetry.Recorder.with_span r ~cat:"mutate" "frontend" (fun () ->
+          compile_source file)
+    in
+    (* deterministic suite: same --tests N, same inputs, same matrix *)
+    let suite =
+      List.init tests (fun t ->
+          String.init (8 + (8 * t)) (fun i ->
+              Char.chr (((i * 37) + (t * 11) + 5) land 255)))
+    in
+    let cfg =
+      {
+        Mutate.Analysis.default_config with
+        Mutate.Analysis.mc_workers = workers;
+        mc_mode = farm_mode;
+        mc_families = families;
+        mc_limit = limit;
+        mc_max_steps = max_steps;
+        mc_deadline = deadline;
+        mc_chunk = chunk;
+        mc_checkpoint = checkpoint;
+        mc_resume = resume;
+        mc_worker_timeout = worker_timeout;
+      }
+    in
+    let matrix, stats =
+      Mutate.Analysis.run ~telemetry:r ?journal_path:journal
+        ~host:[ "printf"; "puts" ] ~entry ~suite cfg m
+    in
+    print_string (Mutate.Analysis.render matrix);
+    Printf.printf "workers    : %d (%s)\n" workers
+      (match farm_mode with
+      | Mutate.Analysis.Domains -> "domains"
+      | Mutate.Analysis.Procs -> "procs");
+    Printf.printf "compiles   : %d full build%s (one per worker session)\n"
+      stats.Mutate.Analysis.s_initial_links
+      (if stats.Mutate.Analysis.s_initial_links = 1 then "" else "s");
+    Printf.printf
+      "relinks    : %d incremental (mutant toggles), %d full (%d symbols \
+       patched)\n"
+      stats.Mutate.Analysis.s_incr_links stats.Mutate.Analysis.s_full_links
+      stats.Mutate.Analysis.s_symbols_patched;
+    if stats.Mutate.Analysis.s_resumed_rows > 0 then
+      Printf.printf "resumed    : %d rows loaded from checkpoint\n"
+        stats.Mutate.Analysis.s_resumed_rows;
+    if stats.Mutate.Analysis.s_restarts > 0 then
+      Printf.printf "restarts   : %d worker kill/restarts\n"
+        stats.Mutate.Analysis.s_restarts;
+    List.iter
+      (fun (id, why) -> Printf.printf "retired    : worker %d — %s\n" id why)
+      stats.Mutate.Analysis.s_retired;
+    (match journal with
+    | Some path -> Printf.printf "journal    : %s\n" path
+    | None -> ());
+    (match checkpoint with
+    | Some path -> Printf.printf "checkpoint : %s\n" path
+    | None -> ());
+    export ~time_report ~trace_out ~title:"odinc mutate" r
+  in
+  Cmd.v
+    (Cmd.info "mutate"
+       ~doc:
+         "Mutation-test a mini-C target: one compile, one incremental \
+          relink per mutant, kill matrix out.")
+    Term.(
+      const run $ file $ entry $ ops $ limit $ tests $ workers $ farm_mode
+      $ max_steps $ deadline $ chunk $ checkpoint $ resume $ journal
+      $ worker_timeout $ fault_plan_arg $ time_report_arg $ trace_out_arg)
+
 (* ---------------- workload ---------------- *)
 
 let workload_cmd =
@@ -1090,11 +1329,14 @@ let () =
     Farm.Proc.worker_main ();
     exit 0
   end;
+  (* same trick for the mutation farm's supervised children *)
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "mutate-worker" then
+    Mutate.Analysis.worker_main ();
   let doc = "Odin on-demand instrumentation toolchain (PLDI 2022 reproduction)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "odinc" ~doc)
           [
-            compile_cmd; run_cmd; partition_cmd; fuzz_cmd; bench_diff_cmd;
-            report_cmd; workload_cmd;
+            compile_cmd; run_cmd; partition_cmd; fuzz_cmd; mutate_cmd;
+            bench_diff_cmd; report_cmd; workload_cmd;
           ]))

@@ -167,7 +167,7 @@ let worker_main () =
         die (Printf.sprintf "timed out at %s" site) 2
       | Vm.Fault _ as e | e -> die (Printexc.to_string e) 2)
     | Wire.Init _ | Wire.Ready _ | Wire.Heartbeat _ | Wire.Items _
-    | Wire.Died _ | Wire.Checkpoint _ ->
+    | Wire.Died _ | Wire.Checkpoint _ | Wire.Blob _ ->
       die "protocol violation: unexpected frame" 64
     | exception Wire.Wire_error _ ->
       (* supervisor went away (EOF / torn pipe): nothing to report to *)

@@ -36,7 +36,11 @@
 exception Wire_error of string
 
 let magic = "ODNW"
-let version = 1
+
+(* v2: the Blob envelope frame (tag 9) joined the protocol, carrying
+   satellite protocols — the mutation campaign — without Wire depending
+   on their libraries. *)
+let version = 2
 let header_len = 14
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Wire_error m)) fmt
@@ -381,6 +385,12 @@ type msg =
   | Died of string  (** worker-side graceful fault report *)
   | Shutdown
   | Checkpoint of Orch.ckpt
+  | Blob of { bl_kind : string; bl_data : string }
+      (** envelope for satellite protocols (the mutation campaign):
+          [bl_kind] names the sub-protocol message, [bl_data] is its
+          payload encoded with the {!Codec} primitives by a layer above
+          Wire — framing, versioning and checksumming stay shared
+          without Wire depending on that layer *)
 
 let tag_of = function
   | Init _ -> 1
@@ -391,6 +401,7 @@ let tag_of = function
   | Died _ -> 6
   | Shutdown -> 7
   | Checkpoint _ -> 8
+  | Blob _ -> 9
 
 let encode_payload b = function
   | Init i ->
@@ -425,6 +436,9 @@ let encode_payload b = function
   | Died reason -> w_str b reason
   | Shutdown -> ()
   | Checkpoint ck -> w_ckpt b ck
+  | Blob { bl_kind; bl_data } ->
+    w_str b bl_kind;
+    w_str b bl_data
 
 let decode_payload tag c =
   match tag with
@@ -478,6 +492,10 @@ let decode_payload tag c =
   | 6 -> Died (r_str c)
   | 7 -> Shutdown
   | 8 -> Checkpoint (r_ckpt c)
+  | 9 ->
+    let bl_kind = r_str c in
+    let bl_data = r_str c in
+    Blob { bl_kind; bl_data }
   | n -> fail "unknown message tag %d" n
 
 (* ------------------------------------------------------------------ *)
@@ -672,3 +690,72 @@ let load_checkpoint path =
     | ck -> Ok (ck, true)
     | exception (Wire_error _ | Sys_error _) ->
       Error (Printf.sprintf "no valid checkpoint at %s or %s.prev" path path))
+
+(* ------------------------------------------------------------------ *)
+(* Generic frame files (satellite checkpoints)                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Atomically publish any frame (in practice a {!Blob}) at [path] with
+    the same [.prev] rotation and torn-write discipline as
+    {!write_checkpoint}; the mutation campaign's checkpoint file.
+    Shares the ["farm.checkpoint"] fault site. *)
+let write_frame_file path msg =
+  match Support.Fault.hit "farm.checkpoint" with
+  | () ->
+    if Sys.file_exists path then
+      (try Sys.rename path (path ^ ".prev") with Sys_error _ -> ());
+    let data = encode_frame msg in
+    if Support.Fault.torn "farm.checkpoint" then begin
+      let oc = open_out_bin path in
+      output_string oc (String.sub data 0 (String.length data / 2));
+      close_out oc;
+      true
+    end
+    else begin
+      Support.Fsio.write_atomic path data;
+      true
+    end
+  | exception (Support.Fault.Injected _ | Support.Fault.Transient_fault _) ->
+    false
+
+(** Load the frame at [path], falling back to [path.prev] when the
+    primary is missing or torn; [(msg, fallback_used)]. *)
+let load_frame_file path =
+  let read p = decode_frame (Support.Fsio.read_file p) in
+  match read path with
+  | m -> Ok (m, false)
+  | exception (Wire_error _ | Sys_error _) -> (
+    match read (path ^ ".prev") with
+    | m -> Ok (m, true)
+    | exception (Wire_error _ | Sys_error _) ->
+      Error (Printf.sprintf "no valid frame at %s or %s.prev" path path))
+
+(* ------------------------------------------------------------------ *)
+(* Exported codec primitives                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** The scalar codec primitives, exported so satellite protocols riding
+    the {!Blob} envelope (the mutation campaign) encode their payloads
+    with the same length-prefixed little-endian discipline instead of
+    reinventing (or [Marshal]-ing) their own. *)
+module Codec = struct
+  type nonrec cursor = cursor
+
+  let cursor data = { data; pos = 0 }
+  let at_end c = c.pos = String.length c.data
+  let w_u8 = w_u8
+  let w_i64 = w_i64
+  let w_f64 = w_f64
+  let w_str = w_str
+  let w_bool = w_bool
+  let w_opt = w_opt
+  let w_list = w_list
+  let r_u8 = r_u8
+  let r_i64 = r_i64
+  let r_f64 = r_f64
+  let r_str = r_str
+  let r_bool = r_bool
+  let r_opt = r_opt
+  let r_list = r_list
+  let fail = fail
+end

@@ -66,6 +66,12 @@ type msg =
   | Died of string  (** worker-side graceful fault report *)
   | Shutdown
   | Checkpoint of Orch.ckpt
+  | Blob of { bl_kind : string; bl_data : string }
+      (** envelope for satellite protocols (the mutation campaign):
+          [bl_kind] names the sub-protocol message, [bl_data] its payload
+          encoded with {!Codec} by a layer above Wire — framing,
+          versioning and checksumming stay shared without Wire depending
+          on that layer *)
 
 (** Serialize [msg] into one complete frame. *)
 val encode_frame : msg -> string
@@ -121,3 +127,45 @@ val read_checkpoint : string -> Orch.ckpt
     missing or torn. Returns the checkpoint and whether the fallback
     was used. *)
 val load_checkpoint : string -> (Orch.ckpt * bool, string) result
+
+(** Atomically publish any frame (in practice a {!Blob}) at [path] with
+    the same [.prev] rotation and torn-write discipline as
+    {!write_checkpoint} — the mutation campaign's checkpoint file.
+    Shares the ["farm.checkpoint"] fault site; [false] when a fault
+    suppressed the write. *)
+val write_frame_file : string -> msg -> bool
+
+(** Load the frame at [path], falling back to [path.prev] when the
+    primary is missing or torn; [(msg, fallback_used)]. *)
+val load_frame_file : string -> (msg * bool, string) result
+
+(** The scalar codec primitives, exported so satellite protocols riding
+    the {!Blob} envelope encode their payloads with the same
+    length-prefixed little-endian discipline as the core frames. *)
+module Codec : sig
+  type cursor
+
+  val cursor : string -> cursor
+
+  (** All payload bytes consumed? Sub-protocols should check this after
+      decoding, mirroring the frame decoder's trailing-garbage check. *)
+  val at_end : cursor -> bool
+
+  val w_u8 : Buffer.t -> int -> unit
+  val w_i64 : Buffer.t -> int -> unit
+  val w_f64 : Buffer.t -> float -> unit
+  val w_str : Buffer.t -> string -> unit
+  val w_bool : Buffer.t -> bool -> unit
+  val w_opt : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a option -> unit
+  val w_list : Buffer.t -> (Buffer.t -> 'a -> unit) -> 'a list -> unit
+  val r_u8 : cursor -> int
+  val r_i64 : cursor -> int
+  val r_f64 : cursor -> float
+  val r_str : cursor -> string
+  val r_bool : cursor -> bool
+  val r_opt : cursor -> (cursor -> 'a) -> 'a option
+  val r_list : cursor -> (cursor -> 'a) -> 'a list
+
+  (** Raise {!Wire_error} with a formatted message (malformed payload). *)
+  val fail : ('a, unit, string, 'b) format4 -> 'a
+end

@@ -39,8 +39,8 @@ let bump_toggle t pid =
   Hashtbl.replace t.toggles pid
     (1 + Option.value ~default:0 (Hashtbl.find_opt t.toggles pid))
 
-let add t ~target payload =
-  let p = { Probe.pid = t.next_id; target; enabled = true; payload } in
+let add t ?(enabled = true) ~target payload =
+  let p = { Probe.pid = t.next_id; target; enabled; payload } in
   t.next_id <- t.next_id + 1;
   t.probes <- p :: t.probes;
   Hashtbl.replace t.by_id p.Probe.pid p;
@@ -77,6 +77,15 @@ let set_enabled t (p : Probe.t) enabled =
     bump_toggle t p.Probe.pid;
     Hashtbl.replace t.changed p.Probe.pid ()
   end
+
+(** Batch N probe toggles into the dirty set in one pass. Semantically
+    [List.iter (set_enabled t)]: each flip is O(1) into the same
+    [changed] hashtable, so the whole batch is one dirty-set update that
+    the next rebuild drains with a single [changed_targets] pass and a
+    single schedule — the mutation-campaign hot path (disarm previous
+    mutant + arm next one, or arm a whole mutant set at once). *)
+let toggle_many t toggles =
+  List.iter (fun (p, enabled) -> set_enabled t p enabled) toggles
 
 (** Mark a probe's logic as modified (e.g. its payload was retargeted). *)
 let touch t (p : Probe.t) = Hashtbl.replace t.changed p.Probe.pid ()

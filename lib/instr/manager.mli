@@ -13,8 +13,10 @@ type t
 
 val create : unit -> t
 
-(** Register a new probe against [target]; starts enabled and dirty. *)
-val add : t -> target:string -> Probe.payload -> Probe.t
+(** Register a new probe against [target]; starts dirty, and enabled
+    unless [~enabled:false] (mutants register disarmed: the initial
+    build must produce the pristine image). *)
+val add : t -> ?enabled:bool -> target:string -> Probe.payload -> Probe.t
 
 val get : t -> int -> Probe.t option
 
@@ -29,6 +31,11 @@ val remove : t -> Probe.t -> unit
 
 (** Enable or disable a probe (marks it changed when the state flips). *)
 val set_enabled : t -> Probe.t -> bool -> unit
+
+(** Batch N probe toggles into one dirty-set update: the next rebuild
+    drains the batch with a single [changed_targets] pass and a single
+    schedule (K toggles visit O(K) fragments, not K separate passes). *)
+val toggle_many : t -> (Probe.t * bool) list -> unit
 
 (** Mark a probe's logic as modified (e.g. its payload was retargeted). *)
 val touch : t -> Probe.t -> unit

@@ -24,10 +24,31 @@ type check_state = {
   mutable chk_trips : int;  (** times the check fired (profiling) *)
 }
 
+(** What a mutant does to its site when armed. Replacement operators are
+    stored directly (no lookup at patch time); deletion and branch swaps
+    are structural edits of the cloned site. *)
+type mut_op =
+  | Mut_binop of Ir.Ins.binop  (** arithmetic-operator swap: replacement op *)
+  | Mut_icmp of Ir.Ins.icmp  (** relational-operator swap: replacement predicate *)
+  | Mut_const of int * int64  (** perturb the [n]th operand (a constant) by delta *)
+  | Mut_del  (** delete the instruction (statement deletion; stores only) *)
+  | Mut_brswap  (** swap the block terminator's [Cbr] targets *)
+
+type mut_state = {
+  mut_op : mut_op;
+  mut_ins : Ir.Ins.ins option;
+      (** the mutated instruction in the pristine IR ([None] for
+          terminator mutants — the site is the block instead) *)
+  mut_block : string;  (** IR block label of the site (informational for
+                           instruction mutants, the site for [Mut_brswap]) *)
+  mut_desc : string;  (** e.g. ["aor add->sub"] — stable across runs *)
+}
+
 type payload =
   | Cov of cov_state
   | Cmp of cmp_state
   | Check of check_state
+  | Mutant of mut_state
 
 type t = {
   pid : int;
@@ -45,6 +66,7 @@ let describe p =
       match c.chk_kind with
       | Div_by_zero -> "check(div)"
       | Load_in_bounds -> "check(load)")
+    | Mutant m -> Printf.sprintf "mut(%s@%%%s)" m.mut_desc m.mut_block
   in
   Printf.sprintf "#%d %s@%s%s" p.pid kind p.target
     (if p.enabled then "" else " (disabled)")

@@ -24,7 +24,31 @@ type check_state = {
   mutable chk_trips : int;  (** times the check executed (profiling) *)
 }
 
-type payload = Cov of cov_state | Cmp of cmp_state | Check of check_state
+(** What a mutant does to its site when armed (mutation testing,
+    Mull-style: every mutant is compiled against the same pristine IR and
+    switched by probe toggling instead of recompilation from source). *)
+type mut_op =
+  | Mut_binop of Ir.Ins.binop  (** arithmetic-operator swap: replacement op *)
+  | Mut_icmp of Ir.Ins.icmp  (** relational-operator swap: replacement predicate *)
+  | Mut_const of int * int64  (** perturb the [n]th operand (a constant) by delta *)
+  | Mut_del  (** delete the instruction (statement deletion; stores only) *)
+  | Mut_brswap  (** swap the block terminator's [Cbr] targets *)
+
+type mut_state = {
+  mut_op : mut_op;
+  mut_ins : Ir.Ins.ins option;
+      (** the mutated instruction in the pristine IR ([None] for
+          terminator mutants — the site is the block instead) *)
+  mut_block : string;  (** IR block label of the site (informational for
+                           instruction mutants, the site for [Mut_brswap]) *)
+  mut_desc : string;  (** e.g. ["aor add->sub"] — stable across runs *)
+}
+
+type payload =
+  | Cov of cov_state
+  | Cmp of cmp_state
+  | Check of check_state
+  | Mutant of mut_state
 
 type t = {
   pid : int;  (** unique id, assigned by the manager *)

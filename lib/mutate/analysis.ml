@@ -1,0 +1,1178 @@
+(** Kill-matrix campaign driver. See the interface for the amortization
+    argument; the implementation notes that matter:
+
+    - a mutant transition is ONE batched toggle
+      ([Session.refresh_toggles [(prev, false); (next, true)]]): one
+      dirty-set drain, one O(changed) schedule pass, one incremental
+      relink, regardless of where the two mutants live;
+    - per-mutant work is a pure function of (mutant, suite) — workers
+      never exchange anything mid-round — so merging rows in mutant-id
+      order yields a structurally identical matrix for any worker count
+      and either farm mode;
+    - the [Procs] supervisor is the fuzzing farm's shape
+      ({!Proc.run}): stateless children, restart = re-send the same
+      assignments, retire after [mc_max_restarts], preemptive heartbeat
+      watchdog, orphaned assignments re-dealt to the lowest-id live
+      worker. *)
+
+module Recorder = Telemetry.Recorder
+module Journal = Telemetry.Journal
+module Json = Telemetry.Json
+module Codec = Farm.Wire.Codec
+
+type outcome = Pass | Kill | Crash | Hang
+type verdict = Killed | Timeout | Survived
+
+let outcome_char = function
+  | Pass -> '.'
+  | Kill -> 'K'
+  | Crash -> '!'
+  | Hang -> 'T'
+
+let verdict_to_string = function
+  | Killed -> "killed"
+  | Timeout -> "timeout"
+  | Survived -> "survived"
+
+type row = {
+  r_id : int;
+  r_desc : string;
+  r_family : Gen.family;
+  r_target : string;
+  r_outcomes : outcome list;
+  r_verdict : verdict;
+  r_cycles : int;
+}
+
+type matrix = {
+  m_rows : row list;
+  m_tests : int;
+  m_generated : int;
+  m_killed : int;
+  m_survived : int;
+  m_timeout : int;
+  m_score : float;
+}
+
+type stats = {
+  s_initial_links : int;
+  s_full_links : int;
+  s_incr_links : int;
+  s_symbols_patched : int;
+  s_restarts : int;
+  s_retired : (int * string) list;
+  s_resumed_rows : int;
+}
+
+type mode = Domains | Procs
+
+type config = {
+  mc_workers : int;
+  mc_mode : mode;
+  mc_families : Gen.family list;
+  mc_limit : int option;
+  mc_max_steps : int;
+  mc_deadline : float option;
+  mc_chunk : int;
+  mc_checkpoint : string option;
+  mc_resume : bool;
+  mc_stop_after : int option;
+  mc_worker_argv : string array option;
+  mc_worker_timeout : float;
+  mc_max_restarts : int;
+}
+
+let default_config =
+  {
+    mc_workers = 1;
+    mc_mode = Domains;
+    mc_families = Gen.all_families;
+    mc_limit = None;
+    mc_max_steps = 2_000_000;
+    mc_deadline = None;
+    mc_chunk = 16;
+    mc_checkpoint = None;
+    mc_resume = false;
+    mc_stop_after = None;
+    mc_worker_argv = None;
+    mc_worker_timeout = 30.;
+    mc_max_restarts = 3;
+  }
+
+let families_spec families =
+  String.concat "," (List.map Gen.family_to_string families)
+
+(* ------------------------------------------------------------------ *)
+(* Blob sub-protocol ("mutate.*") and checkpoint codec                 *)
+(* ------------------------------------------------------------------ *)
+
+let family_tag = function
+  | Gen.Aor -> 0
+  | Gen.Ror -> 1
+  | Gen.Const -> 2
+  | Gen.Sdl -> 3
+  | Gen.Brs -> 4
+
+let family_of_tag = function
+  | 0 -> Gen.Aor
+  | 1 -> Gen.Ror
+  | 2 -> Gen.Const
+  | 3 -> Gen.Sdl
+  | 4 -> Gen.Brs
+  | n -> Codec.fail "mutate: bad family tag %d" n
+
+let outcome_tag = function Pass -> 0 | Kill -> 1 | Crash -> 2 | Hang -> 3
+
+let outcome_of_tag = function
+  | 0 -> Pass
+  | 1 -> Kill
+  | 2 -> Crash
+  | 3 -> Hang
+  | n -> Codec.fail "mutate: bad outcome tag %d" n
+
+let verdict_tag = function Killed -> 0 | Timeout -> 1 | Survived -> 2
+
+let verdict_of_tag = function
+  | 0 -> Killed
+  | 1 -> Timeout
+  | 2 -> Survived
+  | n -> Codec.fail "mutate: bad verdict tag %d" n
+
+let w_row b row =
+  Codec.w_i64 b row.r_id;
+  Codec.w_str b row.r_desc;
+  Codec.w_u8 b (family_tag row.r_family);
+  Codec.w_str b row.r_target;
+  Codec.w_list b (fun b o -> Codec.w_u8 b (outcome_tag o)) row.r_outcomes;
+  Codec.w_u8 b (verdict_tag row.r_verdict);
+  Codec.w_i64 b row.r_cycles
+
+let r_row c =
+  let r_id = Codec.r_i64 c in
+  let r_desc = Codec.r_str c in
+  let r_family = family_of_tag (Codec.r_u8 c) in
+  let r_target = Codec.r_str c in
+  let r_outcomes = Codec.r_list c (fun c -> outcome_of_tag (Codec.r_u8 c)) in
+  let r_verdict = verdict_of_tag (Codec.r_u8 c) in
+  let r_cycles = Codec.r_i64 c in
+  { r_id; r_desc; r_family; r_target; r_outcomes; r_verdict; r_cycles }
+
+let blob kind pack =
+  let b = Buffer.create 256 in
+  pack b;
+  Farm.Wire.Blob { bl_kind = kind; bl_data = Buffer.contents b }
+
+let open_blob ~kind data =
+  let c = Codec.cursor data in
+  ignore kind;
+  c
+
+let close_blob ~kind c =
+  if not (Codec.at_end c) then Codec.fail "mutate: trailing bytes in %s" kind
+
+(* mutate.init: everything a stateless child needs to rebuild the exact
+   session and mutant universe (module text round-trips like the fuzz
+   farm's Wire.Init). *)
+type winit = {
+  wi_id : int;
+  wi_entry : string;
+  wi_host : string list;
+  wi_suite : string list;
+  wi_spec : string;  (** comma-joined operator families *)
+  wi_limit : int option;
+  wi_max_steps : int;
+  wi_deadline : float option;
+  wi_mod_name : string;
+  wi_mod_text : string;
+}
+
+let init_blob i =
+  blob "mutate.init" (fun b ->
+      Codec.w_i64 b i.wi_id;
+      Codec.w_str b i.wi_entry;
+      Codec.w_list b Codec.w_str i.wi_host;
+      Codec.w_list b Codec.w_str i.wi_suite;
+      Codec.w_str b i.wi_spec;
+      Codec.w_opt b Codec.w_i64 i.wi_limit;
+      Codec.w_i64 b i.wi_max_steps;
+      Codec.w_opt b Codec.w_f64 i.wi_deadline;
+      Codec.w_str b i.wi_mod_name;
+      Codec.w_str b i.wi_mod_text)
+
+let init_of_blob data =
+  let c = open_blob ~kind:"mutate.init" data in
+  let wi_id = Codec.r_i64 c in
+  let wi_entry = Codec.r_str c in
+  let wi_host = Codec.r_list c Codec.r_str in
+  let wi_suite = Codec.r_list c Codec.r_str in
+  let wi_spec = Codec.r_str c in
+  let wi_limit = Codec.r_opt c Codec.r_i64 in
+  let wi_max_steps = Codec.r_i64 c in
+  let wi_deadline = Codec.r_opt c Codec.r_f64 in
+  let wi_mod_name = Codec.r_str c in
+  let wi_mod_text = Codec.r_str c in
+  close_blob ~kind:"mutate.init" c;
+  {
+    wi_id;
+    wi_entry;
+    wi_host;
+    wi_suite;
+    wi_spec;
+    wi_limit;
+    wi_max_steps;
+    wi_deadline;
+    wi_mod_name;
+    wi_mod_text;
+  }
+
+let ready_blob ~id ~n_mutants =
+  blob "mutate.ready" (fun b ->
+      Codec.w_i64 b id;
+      Codec.w_i64 b n_mutants)
+
+let ready_of_blob data =
+  let c = open_blob ~kind:"mutate.ready" data in
+  let id = Codec.r_i64 c in
+  let n = Codec.r_i64 c in
+  close_blob ~kind:"mutate.ready" c;
+  (id, n)
+
+let assign_blob ~round ids =
+  blob "mutate.assign" (fun b ->
+      Codec.w_i64 b round;
+      Codec.w_list b Codec.w_i64 ids)
+
+let assign_of_blob data =
+  let c = open_blob ~kind:"mutate.assign" data in
+  let round = Codec.r_i64 c in
+  let ids = Codec.r_list c Codec.r_i64 in
+  close_blob ~kind:"mutate.assign" c;
+  (round, ids)
+
+(* worker -> supervisor: rows plus this batch's link accounting *)
+let rows_blob ~round ~incr ~full ~patched rows =
+  blob "mutate.rows" (fun b ->
+      Codec.w_i64 b round;
+      Codec.w_i64 b incr;
+      Codec.w_i64 b full;
+      Codec.w_i64 b patched;
+      Codec.w_list b w_row rows)
+
+let rows_of_blob data =
+  let c = open_blob ~kind:"mutate.rows" data in
+  let round = Codec.r_i64 c in
+  let incr = Codec.r_i64 c in
+  let full = Codec.r_i64 c in
+  let patched = Codec.r_i64 c in
+  let rows = Codec.r_list c r_row in
+  close_blob ~kind:"mutate.rows" c;
+  (round, incr, full, patched, rows)
+
+let ckpt_version = 1
+
+type ckpt = {
+  ck_digest : string;  (** target module digest ({!Orch.module_digest}) *)
+  ck_spec : string;
+  ck_limit : int option;
+  ck_tests : int;
+  ck_suite_digest : string;
+  ck_rows : row list;  (** completed rows, mutant id ascending *)
+}
+
+let suite_digest suite =
+  Digest.to_hex (Digest.string (String.concat "\x00" suite))
+
+let ckpt_blob ck =
+  blob "mutate.ckpt" (fun b ->
+      Codec.w_u8 b ckpt_version;
+      Codec.w_str b ck.ck_digest;
+      Codec.w_str b ck.ck_spec;
+      Codec.w_opt b Codec.w_i64 ck.ck_limit;
+      Codec.w_i64 b ck.ck_tests;
+      Codec.w_str b ck.ck_suite_digest;
+      Codec.w_list b w_row ck.ck_rows)
+
+let ckpt_of_blob data =
+  let c = open_blob ~kind:"mutate.ckpt" data in
+  let v = Codec.r_u8 c in
+  if v <> ckpt_version then Codec.fail "mutate: checkpoint version %d" v;
+  let ck_digest = Codec.r_str c in
+  let ck_spec = Codec.r_str c in
+  let ck_limit = Codec.r_opt c Codec.r_i64 in
+  let ck_tests = Codec.r_i64 c in
+  let ck_suite_digest = Codec.r_str c in
+  let ck_rows = Codec.r_list c r_row in
+  close_blob ~kind:"mutate.ckpt" c;
+  { ck_digest; ck_spec; ck_limit; ck_tests; ck_suite_digest; ck_rows }
+
+(* ------------------------------------------------------------------ *)
+(* Single-worker evaluation (both modes, supervisor and child)         *)
+(* ------------------------------------------------------------------ *)
+
+type wstate = {
+  ws_session : Odin.Session.t;
+  ws_mutants : Instr.Probe.t array;  (** generation order = mutant id *)
+  ws_entry : string;
+  ws_host : string list;
+  ws_suite : string list;
+  ws_baseline : int64 array;
+  ws_max_steps : int;
+  ws_deadline : float option;
+  mutable ws_armed : Instr.Probe.t option;
+  (* link accounting since the last drain *)
+  mutable ws_incr : int;
+  mutable ws_full : int;
+  mutable ws_patched : int;
+}
+
+let run_test ~max_steps ~deadline ~entry ~host exe input =
+  let vm = Vm.create ~max_steps exe in
+  List.iter (fun n -> Vm.register_host vm n (fun _ -> 0L)) host;
+  let addr = Vm.write_buffer vm input in
+  let result =
+    match
+      Support.Fault.with_deadline deadline (fun () ->
+          Vm.call vm entry [ addr; Int64.of_int (String.length input) ])
+    with
+    | ret -> Ok ret
+    | exception Vm.Fault _ when Vm.budget_exhausted vm -> Error Hang
+    | exception Support.Fault.Timed_out _ -> Error Hang
+    | exception Vm.Fault _ -> Error Crash
+  in
+  (result, vm.Vm.cycles)
+
+let baseline_returns ~max_steps ~deadline ~entry ~host session suite =
+  Array.of_list
+    (List.map
+       (fun input ->
+         match
+           run_test ~max_steps ~deadline ~entry ~host
+             (Odin.Session.executable session)
+             input
+         with
+         | Ok ret, _ -> ret
+         | Error o, _ ->
+           failwith
+             (Printf.sprintf
+                "mutate: pristine baseline %s on input of %d bytes — raise \
+                 max_steps/deadline or fix the suite"
+                (match o with
+                | Hang -> "exhausted its budget"
+                | _ -> "trapped")
+                (String.length input)))
+       suite)
+
+(** One mutant: batched toggle [(prev, off); (this, on)] → refresh →
+    run the whole suite → row. *)
+let eval_mutant st id =
+  let p = st.ws_mutants.(id) in
+  let toggles =
+    (match st.ws_armed with
+    | Some prev when prev != p -> [ (prev, false) ]
+    | _ -> [])
+    @ [ (p, true) ]
+  in
+  st.ws_armed <- Some p;
+  (match Odin.Session.refresh_toggles st.ws_session toggles with
+  | Some (_, Some ev) ->
+    if ev.Odin.Session.ev_link_incremental then
+      st.ws_incr <- st.ws_incr + 1
+    else st.ws_full <- st.ws_full + 1;
+    st.ws_patched <- st.ws_patched + ev.Odin.Session.ev_symbols_patched
+  | Some (_, None) (* rolled back: the mutant never reached the image *)
+  | None -> ());
+  let m =
+    match p.Instr.Probe.payload with
+    | Instr.Probe.Mutant m -> m
+    | _ -> assert false
+  in
+  let cycles = ref 0 in
+  let outcomes =
+    List.mapi
+      (fun i input ->
+        let result, c =
+          run_test ~max_steps:st.ws_max_steps ~deadline:st.ws_deadline
+            ~entry:st.ws_entry ~host:st.ws_host
+            (Odin.Session.executable st.ws_session)
+            input
+        in
+        cycles := !cycles + c;
+        match result with
+        | Ok ret -> if Int64.equal ret st.ws_baseline.(i) then Pass else Kill
+        | Error o -> o)
+      st.ws_suite
+  in
+  let verdict =
+    if List.exists (fun o -> o = Kill || o = Crash) outcomes then Killed
+    else if List.mem Hang outcomes then Timeout
+    else Survived
+  in
+  {
+    r_id = id;
+    r_desc = m.Instr.Probe.mut_desc;
+    r_family =
+      (match Gen.family_of_probe p with Some f -> f | None -> assert false);
+    r_target = p.Instr.Probe.target;
+    r_outcomes = outcomes;
+    r_verdict = verdict;
+    r_cycles = !cycles;
+  }
+
+(** Disarm whatever is armed: the session's image returns bit-pristine
+    (same structural digests → cached objects → no-op patches). *)
+let quiesce st =
+  match st.ws_armed with
+  | None -> ()
+  | Some p ->
+    st.ws_armed <- None;
+    (match Odin.Session.refresh_toggles st.ws_session [ (p, false) ] with
+    | Some (_, Some ev) ->
+      if ev.Odin.Session.ev_link_incremental then st.ws_incr <- st.ws_incr + 1
+      else st.ws_full <- st.ws_full + 1;
+      st.ws_patched <- st.ws_patched + ev.Odin.Session.ev_symbols_patched
+    | _ -> ())
+
+let drain_links st =
+  let r = (st.ws_incr, st.ws_full, st.ws_patched) in
+  st.ws_incr <- 0;
+  st.ws_full <- 0;
+  st.ws_patched <- 0;
+  r
+
+let mk_wstate ?objects ?owner ?pool ?telemetry ~families ~limit ~entry ~host
+    ~suite ~max_steps ~deadline m =
+  let session =
+    Odin.Session.create ~keep:[ entry ] ~host
+      ?pool ?objects ?owner ?telemetry m
+  in
+  let mutants = Gen.setup ~families ?limit session in
+  (match Odin.Session.try_build session with
+  | Odin.Session.Ok | Odin.Session.Degraded _ -> ()
+  | Odin.Session.Rolled_back err ->
+    failwith ("mutate: initial build rolled back: " ^ err.Odin.Session.err_msg));
+  let baseline =
+    baseline_returns ~max_steps ~deadline ~entry ~host session suite
+  in
+  {
+    ws_session = session;
+    ws_mutants = Array.of_list mutants;
+    ws_entry = entry;
+    ws_host = host;
+    ws_suite = suite;
+    ws_baseline = baseline;
+    ws_max_steps = max_steps;
+    ws_deadline = deadline;
+    ws_armed = None;
+    ws_incr = 0;
+    ws_full = 0;
+    ws_patched = 0;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Merge + accounting                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let merge_rows ~tests rows =
+  let rows = List.sort (fun a b -> compare a.r_id b.r_id) rows in
+  let count v = List.length (List.filter (fun r -> r.r_verdict = v) rows) in
+  let killed = count Killed and timeout = count Timeout in
+  let survived = count Survived in
+  let generated = List.length rows in
+  let score =
+    if generated = 0 then 0.
+    else 100. *. float_of_int (killed + timeout) /. float_of_int generated
+  in
+  {
+    m_rows = rows;
+    m_tests = tests;
+    m_generated = generated;
+    m_killed = killed;
+    m_survived = survived;
+    m_timeout = timeout;
+    m_score = score;
+  }
+
+let record_counters r rows =
+  List.iter
+    (fun row ->
+      let labels = [ ("op", Gen.family_to_string row.r_family) ] in
+      Recorder.count r ~labels "mutate.generated";
+      Recorder.count r ~labels ("mutate." ^ verdict_to_string row.r_verdict))
+    rows
+
+let record_rows_events jr rows =
+  match jr with
+  | None -> ()
+  | Some j ->
+    List.iter
+      (fun row ->
+        Journal.record j ~kind:"mutant"
+          [
+            ("id", Json.Int row.r_id);
+            ("desc", Json.String row.r_desc);
+            ("op", Json.String (Gen.family_to_string row.r_family));
+            ("target", Json.String row.r_target);
+            ("verdict", Json.String (verdict_to_string row.r_verdict));
+            ("cycles", Json.Int row.r_cycles);
+          ])
+      rows
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint plumbing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let publish_ckpt path ck = ignore (Farm.Wire.write_frame_file path (ckpt_blob ck))
+
+let load_ckpt ~digest ~spec ~limit ~tests ~sdigest path =
+  match Farm.Wire.load_frame_file path with
+  | Error _ -> None
+  | Ok (Farm.Wire.Blob { bl_kind = "mutate.ckpt"; bl_data }, _) -> (
+    match ckpt_of_blob bl_data with
+    | ck ->
+      if ck.ck_digest <> digest then
+        invalid_arg "mutate: checkpoint is for a different target module";
+      if ck.ck_spec <> spec || ck.ck_limit <> limit then
+        invalid_arg "mutate: checkpoint operator set differs";
+      if ck.ck_tests <> tests || ck.ck_suite_digest <> sdigest then
+        invalid_arg "mutate: checkpoint suite differs";
+      Some ck
+    | exception Farm.Wire.Wire_error _ -> None)
+  | Ok _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Round scheduler (shared by both modes)                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Deal the next [chunk * n_live] pending mutant ids round-robin over
+    the live workers; the deal only decides who computes what. *)
+let deal ~chunk pending live =
+  let n = List.length live in
+  let take = min (chunk * n) (List.length pending) in
+  let rec split i acc = function
+    | rest when i = take -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> split (i + 1) (x :: acc) rest
+  in
+  let batch, rest = split 0 [] pending in
+  let shares = Array.make n [] in
+  List.iteri (fun k id -> shares.(k mod n) <- id :: shares.(k mod n)) batch;
+  let jobs =
+    List.mapi (fun k w -> (w, List.rev shares.(k))) live
+    |> List.filter (fun (_, ids) -> ids <> [])
+  in
+  (jobs, rest)
+
+(* ------------------------------------------------------------------ *)
+(* Domains mode                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_domains ~r ~jr ~host ~entry ~suite cfg base ~done_rows ~resumed =
+  let nw = max 1 cfg.mc_workers in
+  let pool = Support.Pool.default () in
+  let shared = Odin.Session.object_cache ~size:1024 () in
+  let jclock = Telemetry.Clock.synchronized r.Recorder.clock in
+  (* serial creation in id order: worker 0's build fills the shared
+     cache, later builds are cross hits *)
+  let workers =
+    List.init nw (fun i ->
+        let wr = Recorder.fork ~clock:jclock r in
+        let st =
+          mk_wstate ~objects:shared ~owner:i ~pool ~telemetry:wr
+            ~families:cfg.mc_families ~limit:cfg.mc_limit ~entry ~host ~suite
+            ~max_steps:cfg.mc_max_steps ~deadline:cfg.mc_deadline
+            (Ir.Clone.clone_module base)
+        in
+        (st, wr))
+  in
+  let n_mutants =
+    match workers with
+    | (st, _) :: _ -> Array.length st.ws_mutants
+    | [] -> 0
+  in
+  let rows = Hashtbl.create 997 in
+  List.iter (fun row -> Hashtbl.replace rows row.r_id row) done_rows;
+  let incr_links = ref 0 and full_links = ref 0 and patched = ref 0 in
+  let pending =
+    List.init n_mutants Fun.id
+    |> List.filter (fun id -> not (Hashtbl.mem rows id))
+  in
+  let publish () =
+    match cfg.mc_checkpoint with
+    | None -> ()
+    | Some path ->
+      let all =
+        Hashtbl.fold (fun _ row acc -> row :: acc) rows []
+        |> List.sort (fun a b -> compare a.r_id b.r_id)
+      in
+      publish_ckpt path
+        {
+          ck_digest = Farm.Orch.module_digest base;
+          ck_spec = families_spec cfg.mc_families;
+          ck_limit = cfg.mc_limit;
+          ck_tests = List.length suite;
+          ck_suite_digest = suite_digest suite;
+          ck_rows = all;
+        }
+  in
+  let stopped () =
+    match cfg.mc_stop_after with
+    | None -> false
+    | Some n -> Hashtbl.length rows >= n
+  in
+  let rec rounds round pending =
+    if pending = [] || stopped () then ()
+    else begin
+      let jobs, rest = deal ~chunk:cfg.mc_chunk pending workers in
+      let results =
+        Support.Pool.map pool
+          (fun ((st, wr), ids) ->
+            Recorder.with_span wr ~cat:"mutate"
+              ~args:[ ("round", string_of_int round) ]
+              "worker-round"
+              (fun () -> List.map (eval_mutant st) ids))
+          jobs
+      in
+      let fresh = List.concat results in
+      List.iter (fun row -> Hashtbl.replace rows row.r_id row) fresh;
+      List.iter
+        (fun ((st, _), _) ->
+          let i, f, p = drain_links st in
+          incr_links := !incr_links + i;
+          full_links := !full_links + f;
+          patched := !patched + p)
+        jobs;
+      record_counters (Some r) fresh;
+      record_rows_events jr fresh;
+      Recorder.count (Some r) "mutate.rounds";
+      publish ();
+      rounds (round + 1) rest
+    end
+  in
+  rounds 1 pending;
+  (* leave every session bit-pristine (and count the closing relinks) *)
+  List.iter
+    (fun (st, _) ->
+      quiesce st;
+      let i, f, p = drain_links st in
+      incr_links := !incr_links + i;
+      full_links := !full_links + f;
+      patched := !patched + p)
+    workers;
+  List.iter (fun (_, wr) -> Recorder.merge ~into:r wr) workers;
+  let all =
+    Hashtbl.fold (fun _ row acc -> row :: acc) rows []
+    |> List.sort (fun a b -> compare a.r_id b.r_id)
+  in
+  let matrix = merge_rows ~tests:(List.length suite) all in
+  let stats =
+    {
+      s_initial_links = nw;
+      s_full_links = nw + !full_links;
+      s_incr_links = !incr_links;
+      s_symbols_patched = !patched;
+      s_restarts = 0;
+      s_retired = [];
+      s_resumed_rows = (if resumed then List.length done_rows else 0);
+    }
+  in
+  (matrix, stats)
+
+(* ------------------------------------------------------------------ *)
+(* Procs mode: supervisor                                              *)
+(* ------------------------------------------------------------------ *)
+
+type pworker = {
+  pw_id : int;
+  mutable pw_pid : int;
+  mutable pw_in : Unix.file_descr;
+  mutable pw_out : Farm.Wire.reader;
+  mutable pw_restarts : int;
+  mutable pw_retired : string option;
+  mutable pw_last_seen : float;
+  mutable pw_queue : (int * int list) list;  (** outstanding (round, ids) *)
+}
+
+exception All_workers_retired
+
+let run_procs ~r ~jr ~host ~entry ~suite cfg base ~done_rows ~resumed =
+  let nw = max 1 cfg.mc_workers in
+  let argv =
+    match cfg.mc_worker_argv with
+    | Some a -> a
+    | None -> [| Sys.executable_name; "mutate-worker" |]
+  in
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let env = Unix.environment () in
+  let init_for id =
+    init_blob
+      {
+        wi_id = id;
+        wi_entry = entry;
+        wi_host = host;
+        wi_suite = suite;
+        wi_spec = families_spec cfg.mc_families;
+        wi_limit = cfg.mc_limit;
+        wi_max_steps = cfg.mc_max_steps;
+        wi_deadline = cfg.mc_deadline;
+        wi_mod_name = base.Ir.Modul.mname;
+        wi_mod_text = Ir.Print.module_to_string base;
+      }
+  in
+  let total_restarts = ref 0 in
+  let retired_log = ref [] in
+  let reap w =
+    (try Unix.kill w.pw_pid Sys.sigkill with Unix.Unix_error _ -> ());
+    (try ignore (Unix.waitpid [] w.pw_pid) with Unix.Unix_error _ -> ());
+    (try Unix.close w.pw_in with Unix.Unix_error _ -> ());
+    (try Unix.close w.pw_out.Farm.Wire.rd_fd with Unix.Unix_error _ -> ());
+    Recorder.count (Some r) "mutate.worker_deaths"
+  in
+  let start w =
+    let out_r, out_w = Unix.pipe ~cloexec:true () in
+    let in_r, in_w = Unix.pipe ~cloexec:true () in
+    let pid = Unix.create_process_env argv.(0) argv env in_r out_w Unix.stderr in
+    Unix.close in_r;
+    Unix.close out_w;
+    w.pw_pid <- pid;
+    w.pw_in <- in_w;
+    w.pw_out <- Farm.Wire.reader out_r;
+    w.pw_last_seen <- Unix.gettimeofday ();
+    match
+      Farm.Wire.send w.pw_in (init_for w.pw_id);
+      let deadline = Unix.gettimeofday () +. max cfg.mc_worker_timeout 5. in
+      let rec await () =
+        match Farm.Wire.next w.pw_out with
+        | Some (Farm.Wire.Blob { bl_kind = "mutate.ready"; bl_data }) ->
+          let _, n = ready_of_blob bl_data in
+          Ok n
+        | Some (Farm.Wire.Died reason) -> Error reason
+        | Some _ -> Error "protocol violation in handshake"
+        | None ->
+          if Unix.gettimeofday () > deadline then Error "handshake timeout"
+          else (
+            match Unix.select [ w.pw_out.Farm.Wire.rd_fd ] [] [] 0.1 with
+            | [], _, _ -> await ()
+            | _ -> (
+              match Farm.Wire.feed w.pw_out with
+              | `Eof -> Error "worker exited during handshake"
+              | `Read _ -> await ()))
+      in
+      await ()
+    with
+    | result -> result
+    | exception Farm.Wire.Wire_error m -> Error m
+  in
+  let ws =
+    Array.init nw (fun id ->
+        {
+          pw_id = id;
+          pw_pid = -1;
+          pw_in = Unix.stdin;
+          pw_out = Farm.Wire.reader Unix.stdin;
+          pw_restarts = 0;
+          pw_retired = None;
+          pw_last_seen = 0.;
+          pw_queue = [];
+        })
+  in
+  let alive () =
+    Array.to_list ws |> List.filter (fun w -> w.pw_retired = None)
+  in
+  let send_assign w (round, ids) =
+    Farm.Wire.send w.pw_in (assign_blob ~round ids)
+  in
+  let rec on_death w reason =
+    if w.pw_retired = None then begin
+      reap w;
+      if w.pw_restarts < cfg.mc_max_restarts then begin
+        w.pw_restarts <- w.pw_restarts + 1;
+        incr total_restarts;
+        Recorder.count (Some r) "mutate.worker_restarts";
+        match start w with
+        | Ok _ -> (
+          try List.iter (send_assign w) w.pw_queue
+          with Farm.Wire.Wire_error m -> on_death w ("resend failed: " ^ m))
+        | Error m -> on_death w ("restart failed: " ^ m)
+      end
+      else begin
+        w.pw_retired <- Some reason;
+        retired_log := (w.pw_id, reason) :: !retired_log;
+        let orphans = w.pw_queue in
+        w.pw_queue <- [];
+        match alive () with
+        | [] -> raise All_workers_retired
+        | h :: _ ->
+          if orphans <> [] then begin
+            h.pw_queue <- h.pw_queue @ orphans;
+            try List.iter (send_assign h) orphans
+            with Farm.Wire.Wire_error m ->
+              on_death h ("orphan reassign failed: " ^ m)
+          end
+      end
+    end
+  in
+  (* initial fleet *)
+  let n_mutants = ref (-1) in
+  Array.iter
+    (fun w ->
+      let rec boot attempts =
+        match start w with
+        | Ok n ->
+          if !n_mutants < 0 then n_mutants := n
+          else if n <> !n_mutants then begin
+            reap w;
+            w.pw_retired <- Some "mutant-count mismatch";
+            retired_log := (w.pw_id, "mutant-count mismatch") :: !retired_log
+          end
+        | Error m ->
+          reap w;
+          if attempts < cfg.mc_max_restarts then begin
+            w.pw_restarts <- w.pw_restarts + 1;
+            incr total_restarts;
+            boot (attempts + 1)
+          end
+          else begin
+            w.pw_retired <- Some m;
+            retired_log := (w.pw_id, m) :: !retired_log
+          end
+      in
+      boot 0)
+    ws;
+  if alive () = [] then raise All_workers_retired;
+  let n_mutants = max 0 !n_mutants in
+  let rows = Hashtbl.create 997 in
+  List.iter (fun row -> Hashtbl.replace rows row.r_id row) done_rows;
+  let incr_links = ref 0 and full_links = ref 0 and patched = ref 0 in
+  let collect_round shares =
+    List.iter
+      (fun (w, a) ->
+        w.pw_queue <- w.pw_queue @ [ a ];
+        try send_assign w a
+        with Farm.Wire.Wire_error m -> on_death w ("assign failed: " ^ m))
+      shares;
+    let outstanding () =
+      Array.to_list ws
+      |> List.filter (fun w -> w.pw_retired = None && w.pw_queue <> [])
+    in
+    let exception Dead of string in
+    while outstanding () <> [] do
+      let now = Unix.gettimeofday () in
+      List.iter
+        (fun w ->
+          if now -. w.pw_last_seen > cfg.mc_worker_timeout then
+            on_death w "missed heartbeat deadline (preemptive kill)")
+        (outstanding ());
+      let waiting = outstanding () in
+      if waiting <> [] then begin
+        let fds = List.map (fun w -> w.pw_out.Farm.Wire.rd_fd) waiting in
+        let readable, _, _ =
+          try Unix.select fds [] [] 0.05
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+        in
+        List.iter
+          (fun fd ->
+            match
+              List.find_opt
+                (fun w -> w.pw_out.Farm.Wire.rd_fd == fd)
+                waiting
+            with
+            | None -> ()
+            | Some w -> (
+              try
+                (match Farm.Wire.feed w.pw_out with
+                | `Eof ->
+                  if Farm.Wire.pending w.pw_out > 0 then
+                    raise (Dead "torn frame: worker died mid-send")
+                  else raise (Dead "worker closed pipe")
+                | `Read n ->
+                  if n > 0 then w.pw_last_seen <- Unix.gettimeofday ());
+                let rec drain () =
+                  match Farm.Wire.next w.pw_out with
+                  | None -> ()
+                  | Some (Farm.Wire.Heartbeat _) ->
+                    w.pw_last_seen <- Unix.gettimeofday ();
+                    drain ()
+                  | Some (Farm.Wire.Blob { bl_kind = "mutate.rows"; bl_data })
+                    ->
+                    w.pw_last_seen <- Unix.gettimeofday ();
+                    let round, incr, full, pat, batch =
+                      rows_of_blob bl_data
+                    in
+                    (match w.pw_queue with
+                    | [] -> raise (Dead "unsolicited rows frame")
+                    | (qround, _) :: rest ->
+                      if qround <> round then
+                        raise (Dead "rows for the wrong round");
+                      w.pw_queue <- rest;
+                      incr_links := !incr_links + incr;
+                      full_links := !full_links + full;
+                      patched := !patched + pat;
+                      List.iter
+                        (fun row -> Hashtbl.replace rows row.r_id row)
+                        batch;
+                      record_counters (Some r) batch;
+                      record_rows_events jr batch);
+                    drain ()
+                  | Some (Farm.Wire.Died reason) ->
+                    raise (Dead ("worker fault: " ^ reason))
+                  | Some _ -> raise (Dead "protocol violation")
+                in
+                drain ()
+              with
+              | Dead reason -> on_death w reason
+              | Farm.Wire.Wire_error m -> on_death w m))
+          readable
+      end
+    done
+  in
+  let publish () =
+    match cfg.mc_checkpoint with
+    | None -> ()
+    | Some path ->
+      let all =
+        Hashtbl.fold (fun _ row acc -> row :: acc) rows []
+        |> List.sort (fun a b -> compare a.r_id b.r_id)
+      in
+      publish_ckpt path
+        {
+          ck_digest = Farm.Orch.module_digest base;
+          ck_spec = families_spec cfg.mc_families;
+          ck_limit = cfg.mc_limit;
+          ck_tests = List.length suite;
+          ck_suite_digest = suite_digest suite;
+          ck_rows = all;
+        }
+  in
+  let stopped () =
+    match cfg.mc_stop_after with
+    | None -> false
+    | Some n -> Hashtbl.length rows >= n
+  in
+  let pending =
+    List.init n_mutants Fun.id
+    |> List.filter (fun id -> not (Hashtbl.mem rows id))
+  in
+  let rec rounds round pending =
+    if pending = [] || stopped () then ()
+    else begin
+      let jobs, rest = deal ~chunk:cfg.mc_chunk pending (alive ()) in
+      collect_round (List.map (fun (w, ids) -> (w, (round, ids))) jobs);
+      Recorder.count (Some r) "mutate.rounds";
+      publish ();
+      rounds (round + 1) rest
+    end
+  in
+  Fun.protect ~finally:(fun () ->
+      Array.iter
+        (fun w ->
+          if w.pw_retired = None then begin
+            (try Farm.Wire.send w.pw_in Farm.Wire.Shutdown
+             with Farm.Wire.Wire_error _ -> ());
+            (try ignore (Unix.waitpid [] w.pw_pid)
+             with Unix.Unix_error _ -> ());
+            (try Unix.close w.pw_in with Unix.Unix_error _ -> ());
+            try Unix.close w.pw_out.Farm.Wire.rd_fd
+            with Unix.Unix_error _ -> ()
+          end)
+        ws)
+  @@ fun () ->
+  rounds 1 pending;
+  let all =
+    Hashtbl.fold (fun _ row acc -> row :: acc) rows []
+    |> List.sort (fun a b -> compare a.r_id b.r_id)
+  in
+  let matrix = merge_rows ~tests:(List.length suite) all in
+  (* children quiesce on Shutdown; each (re)boot was a full compile *)
+  let stats =
+    {
+      s_initial_links = nw + !total_restarts;
+      s_full_links = nw + !total_restarts + !full_links;
+      s_incr_links = !incr_links;
+      s_symbols_patched = !patched;
+      s_restarts = !total_restarts;
+      s_retired = List.rev !retired_log;
+      s_resumed_rows = (if resumed then List.length done_rows else 0);
+    }
+  in
+  (matrix, stats)
+
+(* ------------------------------------------------------------------ *)
+(* Procs mode: child                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let worker_main () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  ignore (Support.Fault.init_from_env ());
+  let rd = Farm.Wire.reader Unix.stdin in
+  let send m = Farm.Wire.send Unix.stdout m in
+  let die reason code =
+    (try send (Farm.Wire.Died reason) with _ -> ());
+    exit code
+  in
+  let init =
+    match Farm.Wire.recv rd with
+    | Farm.Wire.Blob { bl_kind = "mutate.init"; bl_data } ->
+      init_of_blob bl_data
+    | _ -> die "protocol violation: expected mutate.init" 64
+    | exception Farm.Wire.Wire_error _ -> exit 65
+  in
+  let m =
+    Ir.Parse.module_of_string ~name:init.wi_mod_name init.wi_mod_text
+  in
+  let st =
+    try
+      mk_wstate ~pool:Support.Pool.serial
+        ~families:(Gen.families_of_spec init.wi_spec)
+        ~limit:init.wi_limit ~entry:init.wi_entry ~host:init.wi_host
+        ~suite:init.wi_suite ~max_steps:init.wi_max_steps
+        ~deadline:init.wi_deadline m
+    with Failure msg -> die msg 3
+  in
+  (try
+     send (ready_blob ~id:init.wi_id ~n_mutants:(Array.length st.ws_mutants))
+   with Farm.Wire.Wire_error _ -> exit 70);
+  let rec serve () =
+    (match Farm.Wire.recv rd with
+    | Farm.Wire.Shutdown ->
+      quiesce st;
+      exit 0
+    | Farm.Wire.Blob { bl_kind = "mutate.assign"; bl_data } -> (
+      let round, ids = assign_of_blob bl_data in
+      try
+        send (Farm.Wire.Heartbeat { hb_round = round; hb_done = 0 });
+        let done_count = ref 0 in
+        let batch =
+          List.map
+            (fun id ->
+              let row = eval_mutant st id in
+              incr done_count;
+              send
+                (Farm.Wire.Heartbeat { hb_round = round; hb_done = !done_count });
+              row)
+            ids
+        in
+        let incr, full, patched = drain_links st in
+        send (rows_blob ~round ~incr ~full ~patched batch)
+      with
+      | Farm.Wire.Wire_error _ ->
+        (* torn send: this process can no longer speak the protocol *)
+        exit 70
+      | Support.Fault.Injected site ->
+        die (Printf.sprintf "injected fault at %s" site) 2
+      | e -> die (Printexc.to_string e) 2)
+    | _ -> die "protocol violation: expected mutate.assign or Shutdown" 64
+    | exception Farm.Wire.Wire_error _ -> exit 65);
+    serve ()
+  in
+  serve ()
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run ?telemetry ?journal ?journal_path
+    ?(host = Workloads.Generate.host_functions) ~entry ~suite cfg base =
+  let r = match telemetry with Some r -> r | None -> Recorder.create () in
+  let jr =
+    match (journal, journal_path) with
+    | Some j, _ -> Some j
+    | None, Some _ -> Some (Journal.create ~clock:r.Recorder.clock ())
+    | None, None -> None
+  in
+  let jflush () =
+    match (jr, journal_path) with
+    | Some j, Some p -> Journal.flush j p
+    | _ -> ()
+  in
+  let done_rows, resumed =
+    match (cfg.mc_checkpoint, cfg.mc_resume) with
+    | Some path, true -> (
+      match
+        load_ckpt
+          ~digest:(Farm.Orch.module_digest base)
+          ~spec:(families_spec cfg.mc_families)
+          ~limit:cfg.mc_limit ~tests:(List.length suite)
+          ~sdigest:(suite_digest suite) path
+      with
+      | Some ck -> (ck.ck_rows, true)
+      | None -> ([], false))
+    | _ -> ([], false)
+  in
+  let sp =
+    Telemetry.Span.enter r.Recorder.spans ~cat:"mutate"
+      ~args:
+        [
+          ("workers", string_of_int (max 1 cfg.mc_workers));
+          ("mode", match cfg.mc_mode with Domains -> "domains" | Procs -> "procs");
+          ("ops", families_spec cfg.mc_families);
+          ("tests", string_of_int (List.length suite));
+        ]
+      "campaign"
+  in
+  Fun.protect ~finally:(fun () ->
+      Telemetry.Span.exit r.Recorder.spans sp;
+      jflush ())
+  @@ fun () ->
+  let matrix, stats =
+    match cfg.mc_mode with
+    | Domains -> run_domains ~r ~jr ~host ~entry ~suite cfg base ~done_rows ~resumed
+    | Procs -> run_procs ~r ~jr ~host ~entry ~suite cfg base ~done_rows ~resumed
+  in
+  (match jr with
+  | None -> ()
+  | Some j ->
+    Journal.record j ~kind:"mutate.done"
+      [
+        ("generated", Json.Int matrix.m_generated);
+        ("killed", Json.Int matrix.m_killed);
+        ("survived", Json.Int matrix.m_survived);
+        ("timeout", Json.Int matrix.m_timeout);
+        ("score", Json.Float matrix.m_score);
+        ("full_links", Json.Int stats.s_full_links);
+        ("incr_links", Json.Int stats.s_incr_links);
+        ("restarts", Json.Int stats.s_restarts);
+      ]);
+  (matrix, stats)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let render m =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "kill matrix: %d mutants x %d tests\n" m.m_generated
+       m.m_tests);
+  List.iter
+    (fun row ->
+      let cells = String.init m.m_tests (fun i ->
+          match List.nth_opt row.r_outcomes i with
+          | Some o -> outcome_char o
+          | None -> '?')
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  %4d  %-22s %-24s [%s] %s\n" row.r_id row.r_desc
+           row.r_target cells
+           (verdict_to_string row.r_verdict)))
+    m.m_rows;
+  Buffer.add_string b "  per-operator:\n";
+  List.iter
+    (fun fam ->
+      let rows = List.filter (fun r -> r.r_family = fam) m.m_rows in
+      if rows <> [] then begin
+        let count v =
+          List.length (List.filter (fun r -> r.r_verdict = v) rows)
+        in
+        Buffer.add_string b
+          (Printf.sprintf
+             "    %-6s generated %4d  killed %4d  timeout %4d  survived %4d\n"
+             (Gen.family_to_string fam) (List.length rows) (count Killed)
+             (count Timeout) (count Survived))
+      end)
+    Gen.all_families;
+  Buffer.add_string b
+    (Printf.sprintf
+       "  score: %.1f%% (%d killed + %d timeout of %d; %d survived)\n"
+       m.m_score m.m_killed m.m_timeout m.m_generated m.m_survived);
+  Buffer.contents b

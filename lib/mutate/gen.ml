@@ -1,0 +1,302 @@
+(** The mutation pass: plant mutants as disarmed probe sites over the
+    pristine IR (Mull's compile-all-mutants-once trick on Odin's
+    probe/refresh machinery).
+
+    Design constraints that shaped the operator set:
+    - a {e disarmed} mutant contributes nothing to the patched IR, so the
+      image with all mutants disarmed is bit-for-bit the pristine build
+      (the differential test in [test_mutate.ml] pins this down);
+    - an {e armed} mutant edits only its cloned site in the temporary IR,
+      before optimization — any later constant folding or DCE of the
+      mutated code preserves the {e mutated} semantics, exactly like
+      instrument-then-optimize preserves probe semantics (paper
+      Section 3.1);
+    - every edit is verifier-safe by construction: operator swaps keep
+      the SSA shape, constant perturbation keeps types, statement
+      deletion is restricted to stores (no SSA result to orphan), and
+      branch swaps keep the successor set (phi predecessors intact). *)
+
+type family = Aor | Ror | Const | Sdl | Brs
+
+let all_families = [ Aor; Ror; Const; Sdl; Brs ]
+
+let family_to_string = function
+  | Aor -> "aor"
+  | Ror -> "ror"
+  | Const -> "const"
+  | Sdl -> "sdl"
+  | Brs -> "brs"
+
+let family_of_string = function
+  | "aor" -> Some Aor
+  | "ror" -> Some Ror
+  | "const" -> Some Const
+  | "sdl" -> Some Sdl
+  | "brs" -> Some Brs
+  | _ -> None
+
+let families_of_spec spec =
+  match String.trim spec with
+  | "" | "all" -> all_families
+  | s ->
+    String.split_on_char ',' s
+    |> List.map (fun name ->
+           match family_of_string (String.trim name) with
+           | Some f -> f
+           | None ->
+             invalid_arg
+               (Printf.sprintf "unknown mutation operator %S (expected %s)"
+                  name
+                  (String.concat "," (List.map family_to_string all_families))))
+
+let family_of_op = function
+  | Instr.Probe.Mut_binop _ -> Aor
+  | Instr.Probe.Mut_icmp _ -> Ror
+  | Instr.Probe.Mut_const _ -> Const
+  | Instr.Probe.Mut_del -> Sdl
+  | Instr.Probe.Mut_brswap -> Brs
+
+let family_of_probe (p : Instr.Probe.t) =
+  match p.Instr.Probe.payload with
+  | Instr.Probe.Mutant m -> Some (family_of_op m.Instr.Probe.mut_op)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Operator tables                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* One deterministic replacement per operator (Mull's AOR/ROR pairs):
+   the swap must change semantics on generic operands without breaking
+   the verifier, and must not introduce a trap the pristine operator
+   could not also raise (divisions map away from division, never into
+   it — a div-by-zero kill should come from perturbed operands, not
+   from the swap fabricating a divide). *)
+let binop_swap : Ir.Ins.binop -> Ir.Ins.binop = function
+  | Ir.Ins.Add -> Ir.Ins.Sub
+  | Ir.Ins.Sub -> Ir.Ins.Add
+  | Ir.Ins.Mul -> Ir.Ins.Add
+  | Ir.Ins.Sdiv -> Ir.Ins.Mul
+  | Ir.Ins.Udiv -> Ir.Ins.Mul
+  | Ir.Ins.Srem -> Ir.Ins.Mul
+  | Ir.Ins.Urem -> Ir.Ins.Mul
+  | Ir.Ins.And -> Ir.Ins.Or
+  | Ir.Ins.Or -> Ir.Ins.And
+  | Ir.Ins.Xor -> Ir.Ins.Or
+  | Ir.Ins.Shl -> Ir.Ins.Lshr
+  | Ir.Ins.Lshr -> Ir.Ins.Shl
+  | Ir.Ins.Ashr -> Ir.Ins.Lshr
+
+(* Boundary swaps (eq<->ne, strict<->non-strict): the classic ROR set —
+   off-by-one boundaries are exactly what surviving test suites miss. *)
+let icmp_swap : Ir.Ins.icmp -> Ir.Ins.icmp = function
+  | Ir.Ins.Eq -> Ir.Ins.Ne
+  | Ir.Ins.Ne -> Ir.Ins.Eq
+  | Ir.Ins.Slt -> Ir.Ins.Sle
+  | Ir.Ins.Sle -> Ir.Ins.Slt
+  | Ir.Ins.Sgt -> Ir.Ins.Sge
+  | Ir.Ins.Sge -> Ir.Ins.Sgt
+  | Ir.Ins.Ult -> Ir.Ins.Ule
+  | Ir.Ins.Ule -> Ir.Ins.Ult
+  | Ir.Ins.Ugt -> Ir.Ins.Uge
+  | Ir.Ins.Uge -> Ir.Ins.Ugt
+
+(* ------------------------------------------------------------------ *)
+(* Site discovery                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Constant perturbation targets: value-carrying operand positions of
+   arithmetic/comparison/select/store instructions. Address arithmetic
+   (Gep), callees and phis are excluded — perturbing those mutates
+   control plumbing, not the computation under test. *)
+let const_site (ins : Ir.Ins.ins) =
+  match ins.Ir.Ins.kind with
+  | Ir.Ins.Binop _ | Ir.Ins.Icmp _ | Ir.Ins.Select _ | Ir.Ins.Store _ ->
+    let found = ref None in
+    List.iteri
+      (fun i v ->
+        if !found = None then
+          match v with
+          | Ir.Ins.Const (ty, _) when Ir.Types.is_integer ty -> found := Some i
+          | _ -> ())
+      (Ir.Ins.operands ins);
+    !found
+  | _ -> None
+
+(* Mutants of one instruction, family order fixed (Aor, Ror, Const,
+   Sdl); [want] filters by the campaign's operator selection. *)
+let ins_mutants want blk_label (ins : Ir.Ins.ins) =
+  if ins.Ir.Ins.volatile then [] (* never mutate instrumentation *)
+  else begin
+    let sites = ref [] in
+    let add op desc = sites := (op, desc) :: !sites in
+    (match ins.Ir.Ins.kind with
+    | Ir.Ins.Binop (op, _, _) when want Aor ->
+      let op' = binop_swap op in
+      add (Instr.Probe.Mut_binop op')
+        (Printf.sprintf "aor %s->%s" (Ir.Ins.binop_to_string op)
+           (Ir.Ins.binop_to_string op'))
+    | _ -> ());
+    (match ins.Ir.Ins.kind with
+    | Ir.Ins.Icmp (p, _, _) when want Ror ->
+      let p' = icmp_swap p in
+      add (Instr.Probe.Mut_icmp p')
+        (Printf.sprintf "ror %s->%s" (Ir.Ins.icmp_to_string p)
+           (Ir.Ins.icmp_to_string p'))
+    | _ -> ());
+    (if want Const then
+       match const_site ins with
+       | Some idx ->
+         add
+           (Instr.Probe.Mut_const (idx, 1L))
+           (Printf.sprintf "const +1@%d" idx)
+       | None -> ());
+    (match ins.Ir.Ins.kind with
+    | Ir.Ins.Store _ when want Sdl -> add Instr.Probe.Mut_del "sdl store"
+    | _ -> ());
+    List.rev_map
+      (fun (op, desc) ->
+        {
+          Instr.Probe.mut_op = op;
+          mut_ins = Some ins;
+          mut_block = blk_label;
+          mut_desc = desc;
+        })
+      !sites
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Patch logic                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let apply_to_clone (m : Instr.Probe.mut_state) (clone : Ir.Ins.ins) =
+  match m.Instr.Probe.mut_op with
+  | Instr.Probe.Mut_binop op' -> (
+    match clone.Ir.Ins.kind with
+    | Ir.Ins.Binop (_, a, b) -> clone.Ir.Ins.kind <- Ir.Ins.Binop (op', a, b)
+    | _ -> ())
+  | Instr.Probe.Mut_icmp p' -> (
+    match clone.Ir.Ins.kind with
+    | Ir.Ins.Icmp (_, a, b) -> clone.Ir.Ins.kind <- Ir.Ins.Icmp (p', a, b)
+    | _ -> ())
+  | Instr.Probe.Mut_const (idx, delta) ->
+    (* positional rewrite: [Ins.map_operands] gives no visit-order
+       guarantee (constructor arguments evaluate right-to-left), so
+       index the operand list explicitly *)
+    let bump i v =
+      if i <> idx then v
+      else
+        match v with
+        | Ir.Ins.Const (ty, c) ->
+          Ir.Ins.Const (ty, Ir.Types.normalize ty (Int64.add c delta))
+        | v -> v
+    in
+    (match clone.Ir.Ins.kind with
+    | Ir.Ins.Binop (op, a, b) ->
+      clone.Ir.Ins.kind <- Ir.Ins.Binop (op, bump 0 a, bump 1 b)
+    | Ir.Ins.Icmp (p, a, b) ->
+      clone.Ir.Ins.kind <- Ir.Ins.Icmp (p, bump 0 a, bump 1 b)
+    | Ir.Ins.Select (c, a, b) ->
+      clone.Ir.Ins.kind <- Ir.Ins.Select (bump 0 c, bump 1 a, bump 2 b)
+    | Ir.Ins.Store (a, b) ->
+      clone.Ir.Ins.kind <- Ir.Ins.Store (bump 0 a, bump 1 b)
+    | _ -> ())
+  | Instr.Probe.Mut_del | Instr.Probe.Mut_brswap ->
+    () (* structural edits need the function; handled in [apply_mutant] *)
+
+let apply_mutant (sched : Odin.Session.sched) target
+    (m : Instr.Probe.mut_state) =
+  match m.Instr.Probe.mut_op with
+  | Instr.Probe.Mut_brswap -> (
+    match Odin.Session.map_func sched target with
+    | Some fn -> (
+      match Ir.Func.find_block fn m.Instr.Probe.mut_block with
+      | Some blk -> (
+        match blk.Ir.Func.term with
+        | Ir.Ins.Cbr (c, a, b) -> blk.Ir.Func.term <- Ir.Ins.Cbr (c, b, a)
+        | _ -> ())
+      | None -> ())
+    | None -> ())
+  | Instr.Probe.Mut_del -> (
+    match m.Instr.Probe.mut_ins with
+    | None -> ()
+    | Some pristine -> (
+      match
+        (Odin.Session.map_ins sched pristine, Odin.Session.map_func sched target)
+      with
+      | Some clone, Some fn ->
+        (* stores have no SSA result, so physically dropping the clone
+           orphans nothing *)
+        Ir.Func.iter_blocks
+          (fun blk ->
+            blk.Ir.Func.insns <-
+              List.filter (fun i -> i != clone) blk.Ir.Func.insns)
+          fn
+      | _ -> ()))
+  | Instr.Probe.Mut_binop _ | Instr.Probe.Mut_icmp _ | Instr.Probe.Mut_const _
+    -> (
+    match m.Instr.Probe.mut_ins with
+    | None -> ()
+    | Some pristine -> (
+      match Odin.Session.map_ins sched pristine with
+      | Some clone -> apply_to_clone m clone
+      | None -> () (* site not in this schedule's clones: stale probe *)))
+
+(** The registered patch logic: apply every {e armed} mutant scheduled
+    into this rebuild. Disarmed mutants are not in [sched.active], so a
+    fragment with all its mutants disarmed is patched into exactly the
+    pristine IR — same structural digest, same cached object. *)
+let patch (sched : Odin.Session.sched) =
+  List.iter
+    (fun (p : Instr.Probe.t) ->
+      match p.Instr.Probe.payload with
+      | Instr.Probe.Mutant m -> apply_mutant sched p.Instr.Probe.target m
+      | _ -> ())
+    sched.Odin.Session.active
+
+(* ------------------------------------------------------------------ *)
+(* Registration                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let setup ?(families = all_families) ?limit (session : Odin.Session.t) =
+  let want f = List.mem f families in
+  let planted = ref [] in
+  let count = ref 0 in
+  let room () = match limit with None -> true | Some n -> !count < n in
+  List.iter
+    (fun (f : Ir.Func.t) ->
+      Ir.Func.iter_blocks
+        (fun (blk : Ir.Func.block) ->
+          List.iter
+            (fun ins ->
+              List.iter
+                (fun m ->
+                  if room () then begin
+                    planted :=
+                      Instr.Manager.add session.Odin.Session.manager
+                        ~enabled:false ~target:f.Ir.Func.name
+                        (Instr.Probe.Mutant m)
+                      :: !planted;
+                    incr count
+                  end)
+                (ins_mutants want blk.Ir.Func.label ins))
+            blk.Ir.Func.insns;
+          (* block terminator: branch swap *)
+          (match blk.Ir.Func.term with
+          | Ir.Ins.Cbr (_, a, b) when want Brs && a <> b && room () ->
+            planted :=
+              Instr.Manager.add session.Odin.Session.manager ~enabled:false
+                ~target:f.Ir.Func.name
+                (Instr.Probe.Mutant
+                   {
+                     Instr.Probe.mut_op = Instr.Probe.Mut_brswap;
+                     mut_ins = None;
+                     mut_block = blk.Ir.Func.label;
+                     mut_desc = "brs cbr-swap";
+                   })
+              :: !planted;
+            incr count
+          | _ -> ()))
+        f)
+    (Ir.Modul.defined_functions session.Odin.Session.base);
+  Odin.Session.add_patcher session patch;
+  List.rev !planted

@@ -1,0 +1,48 @@
+(** The mutation pass: walk the pristine IR and plant mutants as guarded
+    probe sites (Mull's trick on Odin's machinery — compile the program
+    once, switch mutants by probe toggling + incremental relink instead
+    of one compile per mutant).
+
+    Every mutant is an {!Instr.Probe.t} with a [Mutant] payload,
+    registered {e disarmed} against the function holding its site: the
+    initial build produces the bit-pristine image, and arming mutant M
+    is an ordinary probe toggle — one dirty symbol, one O(changed)
+    schedule pass, one fragment recompile, one incremental relink.
+    Disarming M removes its only difference from pristine, so the
+    fragment's structural digest returns to the cached pristine object
+    and the relink is a no-op patch. *)
+
+(** Operator families, selectable per campaign ([odinc mutate --ops]). *)
+type family =
+  | Aor  (** arithmetic-operator swap: [add<->sub], [mul->add], ... *)
+  | Ror  (** relational-operator swap: [eq<->ne], [slt<->sle], ... *)
+  | Const  (** constant perturbation: first literal operand + 1 *)
+  | Sdl  (** statement deletion: drop a non-volatile store *)
+  | Brs  (** branch swap: exchange a [Cbr]'s then/else targets *)
+
+val all_families : family list
+
+(** ["aor" | "ror" | "const" | "sdl" | "brs"]. *)
+val family_to_string : family -> string
+
+val family_of_string : string -> family option
+
+(** Parse a comma-separated operator list (["aor,ror"]; ["all"] or [""]
+    selects every family). @raise Invalid_argument on unknown names. *)
+val families_of_spec : string -> family list
+
+(** The family a planted mutant belongs to. *)
+val family_of_probe : Instr.Probe.t -> family option
+
+(** Walk [session]'s pristine IR in deterministic order (module
+    function order, block order, instruction order; families in
+    {!all_families} order at each site) and register one disarmed
+    [Mutant] probe per opportunity; registers the patch logic once via
+    {!Odin.Session.add_patcher}. [limit] keeps only the first N
+    mutants. Call before {!Odin.Session.build}. Returns the planted
+    probes, probe ids ascending. *)
+val setup : ?families:family list -> ?limit:int -> Odin.Session.t -> Instr.Probe.t list
+
+(** The patch logic alone (already registered by {!setup}): applies every
+    armed mutant in [sched.active] to the temporary IR. *)
+val patch : Odin.Session.sched -> unit

@@ -1051,6 +1051,26 @@ let refresh ?(backprop = true) t =
   | Some (Ok | Degraded _) -> Some (List.hd t.events)
   | Some (Rolled_back err) -> raise (Build_error err)
 
+(** Batched multi-toggle refresh: flip a whole probe set (the mutation
+    campaign's "disarm previous mutant, arm next one" — or arm a K-mutant
+    set at once) as ONE dirty-set update and ONE schedule pass. With the
+    incremental scheduler this is O(changed): K toggles visit the
+    fragments those K probes live in (the [session.schedule_visited]
+    counter records the walk's extent), never K separate refreshes and
+    never an O(program) scan. Returns the transactional outcome plus the
+    recompile event when a rebuild happened and was not rolled back. *)
+let refresh_toggles ?(backprop = true) t toggles =
+  Instr.Manager.toggle_many t.manager toggles;
+  match try_refresh ~backprop t with
+  | None -> None
+  | Some outcome ->
+    let ev =
+      match outcome with
+      | Ok | Degraded _ -> Some (List.hd t.events)
+      | Rolled_back _ -> None
+    in
+    Some (outcome, ev)
+
 let executable t =
   match t.exe with
   | Some exe -> exe

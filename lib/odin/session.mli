@@ -318,6 +318,18 @@ val try_refresh : ?backprop:bool -> t -> rebuild_outcome option
     @raise Build_error when the rebuild rolled back. *)
 val refresh : ?backprop:bool -> t -> recompile_event option
 
+(** Batched multi-toggle refresh: flip a whole probe set as ONE dirty-set
+    update and ONE schedule pass (O(changed) with the incremental
+    scheduler: K toggles visit the O(K) fragments those probes live in).
+    [None] when the toggles were all no-ops and nothing else was pending;
+    otherwise the transactional outcome plus the recompile event (absent
+    on rollback). Never raises on build failure. *)
+val refresh_toggles :
+  ?backprop:bool ->
+  t ->
+  (Instr.Probe.t * bool) list ->
+  (rebuild_outcome * recompile_event option) option
+
 (** @raise Build_error before the first {!build}. *)
 val executable : t -> Link.Linker.exe
 

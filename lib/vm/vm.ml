@@ -46,6 +46,10 @@ type t = {
   mutable cycles : int;
   mutable steps : int;
   max_steps : int;
+  mutable budget_hit : bool;
+      (** the last {!Fault} was step-budget exhaustion, not a genuine
+          trap — lets callers classify "ran too long" (a timeout
+          verdict) apart from "crashed" without parsing the message *)
   host : (string, t -> int64) Hashtbl.t;
       (** host functions read args from regs r0..r5, return the result *)
   mutable host_cost : int;  (** default cycles charged per host call *)
@@ -66,6 +70,7 @@ let create ?(max_steps = 200_000_000) exe =
       cycles = 0;
       steps = 0;
       max_steps;
+      budget_hit = false;
       host = Hashtbl.create 8;
       host_cost = 10;
       block_hook = None;
@@ -263,7 +268,10 @@ let call vm fname args =
       fault "pc out of range in @%s" mf.mf_name;
     let inst = code.(!pc) in
     vm.steps <- vm.steps + 1;
-    if vm.steps > vm.max_steps then fault "cycle budget exhausted";
+    if vm.steps > vm.max_steps then begin
+      vm.budget_hit <- true;
+      fault "cycle budget exhausted"
+    end;
     vm.cycles <- vm.cycles + cost inst;
     (match vm.prof with
     | Some p ->
@@ -376,4 +384,10 @@ let call vm fname args =
 (** Reset the per-run counters (memory and globals keep their state). *)
 let reset_counters vm =
   vm.cycles <- 0;
-  vm.steps <- 0
+  vm.steps <- 0;
+  vm.budget_hit <- false
+
+(** Did the last {!Fault} come from step-budget exhaustion? Distinguishes
+    a mutant (or program) that ran too long — a deterministic timeout
+    verdict — from one that genuinely trapped. *)
+let budget_exhausted vm = vm.budget_hit

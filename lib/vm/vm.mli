@@ -37,6 +37,9 @@ type t = {
   mutable cycles : int;
   mutable steps : int;
   max_steps : int;
+  mutable budget_hit : bool;
+      (** the last {!Fault} was step-budget exhaustion (see
+          {!budget_exhausted}) *)
   host : (string, t -> int64) Hashtbl.t;
   mutable host_cost : int;  (** cycles charged per host call *)
   mutable block_hook : (t -> string -> int -> unit) option;
@@ -96,3 +99,9 @@ val call : t -> string -> int64 list -> int64
 
 (** Reset cycle/step counters (memory and globals keep their state). *)
 val reset_counters : t -> unit
+
+(** Did the last {!Fault} come from step-budget exhaustion? Lets callers
+    classify "ran too long" (deterministic timeout — e.g. a mutation
+    campaign's timeout verdict) apart from a genuine trap, without
+    parsing the fault message. *)
+val budget_exhausted : t -> bool

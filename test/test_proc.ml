@@ -135,6 +135,7 @@ let sample_msgs =
     sample_items;
     Wire.Died "vm fault";
     Wire.Shutdown;
+    Wire.Blob { bl_kind = "mutate.assign"; bl_data = "\x00\x01binary\xffpayload" };
   ]
 
 let test_wire_roundtrip () =
@@ -191,7 +192,8 @@ let test_wire_torn_and_corrupt () =
       Wire.decode_frame (flip frame 10));
   expect_wire_error "trailing garbage" (fun () ->
       Wire.decode_frame (frame ^ "x"));
-  Alcotest.(check int) "protocol version pinned" 1 Wire.version;
+  (* v2: the Blob envelope frame joined the protocol *)
+  Alcotest.(check int) "protocol version pinned" 2 Wire.version;
   Alcotest.(check int) "header length pinned" 14 Wire.header_len
 
 (* ---------------- checkpoint files ------------------------------------- *)
