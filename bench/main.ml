@@ -899,6 +899,176 @@ let relink _cfg =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* Two-tier compilation: baseline backend vs optimizing pipeline       *)
+(* ------------------------------------------------------------------ *)
+
+(** Tier-0 exists to make fresh fragments cheap: the single-pass
+    baseline backend must produce a fragment for a small fraction of
+    the optimizing pipeline's modelled cost while staying semantically
+    equivalent, and a fully promoted tiered session must converge on
+    the untiered session's objects and traces exactly. Both bars are
+    asserted live — the bench fails loudly rather than snapshot a
+    broken tier. sqlite-xl runs with a skewed hot/cold cycle
+    distribution ([hot_skew]) so a realistic minority of fragments
+    dominates the profile promotions are decided from. *)
+let tier _cfg =
+  print_endline "\n== Tiered compilation (tier-0 baseline vs optimizing tier) ==";
+  let xlarge =
+    {
+      (Workloads.Profile.find_exn "sqlite") with
+      Workloads.Profile.name = "sqlite-xl";
+      n_helpers = 400;
+      n_tiny = 200;
+      n_parsers = 24;
+      hot_skew = 8;
+    }
+  in
+  let m_src = Workloads.Generate.source xlarge in
+  let mk tiered =
+    let m = Minic.Lower.compile m_src in
+    let session =
+      Odin.Session.create ~mode:Odin.Partition.Max ~keep:[ entry ]
+        ~runtime_globals:[ Odin.Cov.runtime_global m ]
+        ~host:Workloads.Generate.host_functions ~tiered m
+    in
+    ignore (Odin.Cov.setup session);
+    session
+  in
+  let timed f =
+    Gc.major ();
+    let t0 = Unix.gettimeofday () in
+    let x = f () in
+    (x, 1000. *. (Unix.gettimeofday () -. t0))
+  in
+  let inputs = Workloads.Generate.seed_inputs ~count:4 xlarge in
+  let run_target ?profile session input =
+    let vm = Vm.create (Odin.Session.executable session) in
+    let prof = if profile = Some true then Some (Vm.enable_profile vm) else None in
+    List.iter
+      (fun n -> Vm.register_host vm n (fun _ -> 0L))
+      Workloads.Generate.host_functions;
+    let addr = Vm.write_buffer vm input in
+    let ret = Vm.call vm entry [ addr; Int64.of_int (String.length input) ] in
+    ((ret, vm.Vm.cycles), prof)
+  in
+  let trace session = List.map (fun i -> fst (run_target session i)) inputs in
+  let fingerprint session =
+    Hashtbl.fold
+      (fun fid obj acc -> (fid, Digest.string (Marshal.to_string obj [])) :: acc)
+      session.Odin.Session.cache []
+    |> List.sort compare
+  in
+  (* initial build, both tiers *)
+  let u_sess, u_ms = timed (fun () -> let s = mk false in ignore (Odin.Session.build s); s) in
+  let t_sess, t_ms = timed (fun () -> let s = mk true in ignore (Odin.Session.build s); s) in
+  let u_st = Odin.Session.tier_stats u_sess in
+  let t_st = Odin.Session.tier_stats t_sess in
+  let per0 =
+    float_of_int t_st.Odin.Session.ts_tier0_cost
+    /. float_of_int (max 1 t_st.Odin.Session.ts_tier0_compiles)
+  in
+  let per1 =
+    float_of_int u_st.Odin.Session.ts_tier1_cost
+    /. float_of_int (max 1 u_st.Odin.Session.ts_tier1_compiles)
+  in
+  let cost_ratio = per1 /. max 1. per0 in
+  (* returns must agree while the whole program is still at tier 0 *)
+  let tier0_returns_ok =
+    List.map fst (trace t_sess) = List.map fst (trace u_sess)
+  in
+  (* profile a live run on the tier-0 image and promote the hot set *)
+  let (_, prof) = run_target ~profile:true t_sess (List.hd inputs) in
+  let fn_cycles = Vm.profile_top (Option.get prof) in
+  let hot = Odin.Session.promote_hot ~threshold:0.02 t_sess fn_cycles in
+  let osr_vm = Vm.create (Odin.Session.executable t_sess) in
+  List.iter
+    (fun n -> Vm.register_host osr_vm n (fun _ -> 0L))
+    Workloads.Generate.host_functions;
+  let (), promo_ms = timed (fun () -> ignore (Odin.Session.refresh t_sess)) in
+  (* OSR: migrate a VM created on the pre-promotion image, measuring
+     the size of the transferred byte delta and the queue+apply cost *)
+  let osr_slots = List.length (Link.Incremental.last_slots t_sess.Odin.Session.linker) in
+  let migrated, osr_ms =
+    timed (fun () ->
+        if not (Odin.Session.osr_into t_sess osr_vm) then false
+        else begin
+          let addr = Vm.write_buffer osr_vm (List.hd inputs) in
+          ignore
+            (Vm.call osr_vm entry
+               [ addr; Int64.of_int (String.length (List.hd inputs)) ]);
+          Vm.osr_migrations osr_vm = 1
+        end)
+  in
+  (* promote everything that remains and demand exact convergence *)
+  let all_fids =
+    List.map fst (Odin.Session.fragment_sizes t_sess) |> List.sort compare
+  in
+  Odin.Session.promote t_sess all_fids;
+  ignore (Odin.Session.refresh t_sess);
+  let objects_identical = fingerprint t_sess = fingerprint u_sess in
+  let traces_identical = trace t_sess = trace u_sess in
+  let final = Odin.Session.tier_stats t_sess in
+  Support.Tab.print
+    ~title:"tier-0 baseline vs optimizing tier (sqlite-xl, Max partition)"
+    ~header:
+      [ "metric"; "tier 0"; "tier 1" ]
+    [
+      [ "fresh compiles (initial build)";
+        string_of_int t_st.Odin.Session.ts_tier0_compiles;
+        string_of_int u_st.Odin.Session.ts_tier1_compiles ];
+      [ "modelled cost / fragment";
+        Printf.sprintf "%.0f" per0;
+        Printf.sprintf "%.0f" per1 ];
+      [ "initial build wall ms";
+        Printf.sprintf "%.1f" t_ms;
+        Printf.sprintf "%.1f" u_ms ];
+    ];
+  Printf.printf
+    "  cost separation: optimizing tier %.1fx the baseline per fragment\n"
+    cost_ratio;
+  Printf.printf
+    "  hot set: %d fragments promoted from a live profile (threshold 2%%), \
+     relink %.1f ms\n"
+    (List.length hot) promo_ms;
+  Printf.printf
+    "  OSR: migrated=%b, %d data slots replayed, queue+first-call %.2f ms\n"
+    migrated osr_slots osr_ms;
+  Printf.printf "  fully promoted: objects %s, traces %s\n"
+    (if objects_identical then "identical" else "DIVERGED — BUG")
+    (if traces_identical then "identical" else "DIVERGED — BUG");
+  (* the acceptance bars, asserted live *)
+  if cost_ratio < 5.0 then
+    failwith
+      (Printf.sprintf
+         "tier bench: tier-0 cost separation %.1fx is below the 5x bar"
+         cost_ratio);
+  if not (tier0_returns_ok && objects_identical && traces_identical) then
+    failwith "tier bench: tiered session diverged from the untiered oracle";
+  if not migrated then failwith "tier bench: OSR migration did not land";
+  emit ~section:"tier"
+    [
+      Snap.metric ~cls:Snap.Exact "tier0_compiles"
+        (float_of_int t_st.Odin.Session.ts_tier0_compiles);
+      Snap.metric ~cls:Snap.Exact "tier1_compiles"
+        (float_of_int u_st.Odin.Session.ts_tier1_compiles);
+      Snap.metric ~unit_:"cost" ~cls:Snap.Cost "tier0_cost_per_fragment" per0;
+      Snap.metric ~unit_:"cost" ~cls:Snap.Cost "tier1_cost_per_fragment" per1;
+      Snap.metric ~unit_:"ratio" ~cls:Snap.Info "cost_ratio" cost_ratio;
+      Snap.metric ~unit_:"ms" ~cls:Snap.Wall "tier0_build_ms" t_ms;
+      Snap.metric ~unit_:"ms" ~cls:Snap.Wall "tier1_build_ms" u_ms;
+      Snap.metric ~cls:Snap.Exact "hot_promoted" (float_of_int (List.length hot));
+      Snap.metric ~unit_:"ms" ~cls:Snap.Wall "promotion_relink_ms" promo_ms;
+      Snap.metric ~cls:Snap.Exact "osr_slots_replayed" (float_of_int osr_slots);
+      Snap.metric ~unit_:"ms" ~cls:Snap.Wall "osr_migrate_ms" osr_ms;
+      Snap.metric ~cls:Snap.Exact "promotions_total"
+        (float_of_int final.Odin.Session.ts_promotions);
+      Snap.metric ~cls:Snap.Exact "objects_identical"
+        (if objects_identical then 1. else 0.);
+      Snap.metric ~cls:Snap.Exact "traces_identical"
+        (if traces_identical then 1. else 0.);
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* O(changed) refresh scheduling: dirty-set indexes + opt memo         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1610,6 +1780,7 @@ let () =
   if wants "timereport" then timereport cfg;
   if wants "parallel" then parallel cfg;
   if wants "relink" then relink cfg;
+  if wants "tier" then tier cfg;
   if wants "schedule" then schedule_bench cfg;
   if wants "farm" then farm cfg;
   if wants "farm_proc" then farm_proc cfg;

@@ -451,11 +451,25 @@ let fuzz_cmd =
              evidence from a crash-looping worker counts for less toward \
              the prune quorum. 1.0 (default) keeps exact integer quorums.")
   in
+  let promote_share =
+    Arg.(
+      value & opt float 0.0
+      & info [ "promote-share" ] ~docv:"F"
+          ~doc:
+            "Tiered compilation for the farm (with --workers): worker \
+             sessions compile fresh fragments through the single-pass \
+             tier-0 baseline backend, and at each barrier every fragment \
+             whose share of the barrier-merged cycle profile reaches F is \
+             promoted to the optimizing tier. Promotion decisions are a \
+             pure function of the merged profile, so results stay \
+             bit-identical across worker counts and farm modes. 0 \
+             (default) keeps the farm untiered.")
+  in
   (* ------------- farm mode (--workers N) ------------- *)
   let run_farm ~r ~pool ~m ~entry ~execs ~no_prune ~workers ~sync_interval
       ~prune_quorum ~cache_limit ~cache_dir ~incremental_link ~journal
       ~farm_mode ~checkpoint ~resume ~worker_timeout ~adaptive_sync
-      ~vote_decay =
+      ~vote_decay ~promote_share =
     let cfg =
       {
         Farm.default_config with
@@ -466,6 +480,7 @@ let fuzz_cmd =
         fc_cache_limit = cache_limit;
         fc_vote_decay = vote_decay;
         fc_adaptive_sync = adaptive_sync;
+        fc_promote_share = promote_share;
       }
     in
     let resume =
@@ -522,6 +537,20 @@ let fuzz_cmd =
     Printf.printf "cache      : %d cross-worker object hits\n"
       st.Farm.fs_cross_hits;
     Printf.printf "recompiles : %d barrier refreshes\n" st.Farm.fs_recompiles;
+    (if promote_share > 0. then
+       match farm_mode with
+       | `Domains ->
+         Printf.printf
+           "tier       : %d promotions landed (threshold %.2f), %d tier-0 \
+            compiles\n"
+           (counter_total r "farm.tier_promotions")
+           promote_share
+           (counter_total r "session.tier0_compiles")
+       | `Procs ->
+         (* worker sessions live in their own processes; their tier
+            counters land in the per-worker journals, not here *)
+         Printf.printf "tier       : tiered workers (threshold %.2f)\n"
+           promote_share);
     Printf.printf
       "relinks    : %d incremental, %d full (%d symbols patched, %d shard \
        waits)\n"
@@ -568,7 +597,7 @@ let fuzz_cmd =
   let run file entry execs no_prune jobs metrics_csv span_limit cache_dir
       workers sync_interval prune_quorum cache_limit journal incremental_link
       farm_mode checkpoint resume worker_timeout adaptive_sync vote_decay
-      fault_plan time_report trace_out =
+      promote_share fault_plan time_report trace_out =
     install_faults fault_plan;
     with_diagnostics @@ fun () ->
     let r = Telemetry.Recorder.create ?span_limit () in
@@ -590,7 +619,7 @@ let fuzz_cmd =
       run_farm ~r ~pool ~m ~entry ~execs ~no_prune ~workers:n ~sync_interval
         ~prune_quorum ~cache_limit ~cache_dir ~incremental_link ~journal
         ~farm_mode ~checkpoint ~resume ~worker_timeout ~adaptive_sync
-        ~vote_decay;
+        ~vote_decay ~promote_share;
       (match metrics_csv with
       | Some path -> (
         try
@@ -667,6 +696,14 @@ let fuzz_cmd =
     Printf.printf "coverage   : %d / %d blocks\n" (Odin.Cov.covered cov)
       cov.Odin.Cov.total_probes;
     Printf.printf "recompiles : %d\n" !recompiles;
+    (if Odin.Session.tiered session then
+       let ts = Odin.Session.tier_stats session in
+       Printf.printf
+         "tier       : %d tier-0 compiles (cost %d), %d tier-1 (cost %d), \
+          %d promotions, %d OSR migrations\n"
+         ts.Odin.Session.ts_tier0_compiles ts.Odin.Session.ts_tier0_cost
+         ts.Odin.Session.ts_tier1_compiles ts.Odin.Session.ts_tier1_cost
+         ts.Odin.Session.ts_promotions ts.Odin.Session.ts_osr_migrations);
     Printf.printf
       "relinks    : %d incremental, %d full (%d symbols patched, %d shard \
        waits)\n"
@@ -754,8 +791,8 @@ let fuzz_cmd =
       const run $ file $ entry $ execs $ no_prune $ jobs $ metrics_csv
       $ span_limit $ cache_dir $ workers $ sync_interval $ prune_quorum
       $ cache_limit $ journal $ incremental_link $ farm_mode $ checkpoint
-      $ resume $ worker_timeout $ adaptive_sync $ vote_decay $ fault_plan_arg
-      $ time_report_arg $ trace_out_arg)
+      $ resume $ worker_timeout $ adaptive_sync $ vote_decay $ promote_share
+      $ fault_plan_arg $ time_report_arg $ trace_out_arg)
 
 (* ---------------- bench-diff ---------------- *)
 

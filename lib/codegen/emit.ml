@@ -1,16 +1,25 @@
 (** Frame lowering and final code layout: prologue/epilogue insertion,
     frame-slot resolution, and branch-target resolution from block ids to
-    instruction indices. *)
+    instruction indices.
+
+    [finish] is the tier-independent tail of code generation: both the
+    optimizing path below and the tier-0 baseline path ({!Baseline})
+    feed it a rewritten vcode plus the spill/callee-saved bookkeeping
+    their allocator produced. *)
 
 open Mach
 
-(** Compile one defined IR function to machine code. Declares the
-    ["codegen.emit"] fault site (one hit per function compiled). *)
-let compile_func (fn : Ir.Func.t) =
-  Support.Fault.hit "codegen.emit";
-  let vc = Isel.select fn in
-  let assignment, spill_slots, used_callee = Regalloc.allocate vc in
-  Regalloc.rewrite vc assignment;
+(** Number of selected (virtual) instructions — the unit of the modelled
+    compile-cost accounting threaded through [?cost] below. *)
+let vcode_size (vc : Isel.vcode) =
+  Array.fold_left
+    (fun acc vb -> acc + List.length vb.Isel.vb_insts)
+    0 vc.Isel.vc_blocks
+
+(** Finish compilation of a rewritten (physical-register) vcode: frame
+    layout, prologue/epilogue, linear block layout and branch-target
+    resolution. *)
+let finish ~name (vc : Isel.vcode) spill_slots used_callee =
   (* frame layout: alloca slots then spill slots, 8-byte aligned *)
   let all_slots = vc.Isel.vc_slots @ spill_slots in
   let offsets = Hashtbl.create 16 in
@@ -91,7 +100,24 @@ let compile_func (fn : Ir.Func.t) =
   let blocks =
     Array.mapi (fun i (_, label, _) -> (block_start.(i), label)) expanded_blocks
   in
-  { mf_name = fn.Ir.Func.name; mf_code = code; mf_blocks = blocks; mf_frame = frame }
+  { mf_name = name; mf_code = code; mf_blocks = blocks; mf_frame = frame }
+
+(** Compile one defined IR function to machine code through the
+    optimizing (tier-1) backend. Declares the ["codegen.emit"] fault
+    site (one hit per function compiled).
+
+    When [cost] is given, the modelled backend work is accumulated into
+    it: one pass of instruction selection, ~4 passes of liveness /
+    interval construction / allocation, one rewrite pass and one layout
+    pass — 7 scans of the selected code. The tier-0 baseline
+    ({!Baseline.compile_func}) charges 2. *)
+let compile_func ?cost (fn : Ir.Func.t) =
+  Support.Fault.hit "codegen.emit";
+  let vc = Isel.select fn in
+  (match cost with Some c -> c := !c + (7 * vcode_size vc) | None -> ());
+  let assignment, spill_slots, used_callee = Regalloc.allocate vc in
+  Regalloc.rewrite vc assignment;
+  finish ~name:fn.Ir.Func.name vc spill_slots used_callee
 
 let func_to_string (mf : mfunc) =
   let buf = Buffer.create 256 in

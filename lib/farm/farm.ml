@@ -81,6 +81,9 @@ type config = Orch.config = {
   fc_adaptive_sync : bool;
       (** scale the sync interval up on quiet barriers, reset on new
           coverage *)
+  fc_promote_share : float;
+      (** > 0: tiered workers + barrier tier promotions at this merged
+          cycle-share threshold; 0.0 (default) = untiered ({!Orch}) *)
 }
 
 let default_config = Orch.default_config
@@ -201,10 +204,12 @@ let run ?telemetry ?pool ?cache_dir ?incremental_link ?incremental_sched
     let wr = Recorder.fork ~clock:jclock r in
     let m = Ir.Clone.clone_module base in
     let session =
+      (* tiering pinned to the config, not ODIN_TIER: farm results must
+         not depend on the environment the campaign happens to run in *)
       Odin.Session.create ~mode:cfg.fc_mode ~keep:[ entry ]
         ~runtime_globals:[ Odin.Cov.runtime_global m ]
         ~host ~pool ~objects:shared ~owner:i ?cache_dir ?incremental_link
-        ?incremental_sched ~telemetry:wr m
+        ?incremental_sched ~tiered:(cfg.fc_promote_share > 0.) ~telemetry:wr m
     in
     let cov = Odin.Cov.setup session in
     let dead =
@@ -265,7 +270,19 @@ let run ?telemetry ?pool ?cache_dir ?incremental_link ?incremental_sched
         | Some p -> Instr.Manager.remove w.wk_session.Odin.Session.manager p
         | None -> ())
       prunes;
-    if prunes <> [] || Odin.Session.degraded_fragments w.wk_session <> [] then
+    (* tier promotions catch up from the checkpointed merged profile:
+       promote_hot is idempotent, so the fresh session re-derives the
+       cumulative promotion set the campaign had reached *)
+    let promoted =
+      if cfg.fc_promote_share > 0. then
+        Odin.Session.promote_hot ~threshold:cfg.fc_promote_share w.wk_session
+          (Orch.fn_profile orch)
+      else []
+    in
+    if
+      prunes <> [] || promoted <> []
+      || Odin.Session.degraded_fragments w.wk_session <> []
+    then
       match Odin.Session.try_refresh w.wk_session with
       | Some (Odin.Session.Ok | Odin.Session.Degraded _) ->
         w.wk_recompiles <- w.wk_recompiles + 1
@@ -367,7 +384,16 @@ let run ?telemetry ?pool ?cache_dir ?incremental_link ?incremental_sched
     Recorder.count (Some r) ~by:(List.length broadcast) "farm.inputs_exchanged";
     if prunes <> [] then
       Recorder.count (Some r) ~by:(List.length prunes) "farm.probes_pruned";
-    (* the global prune decision, applied identically to every survivor *)
+    (* the global tier-promotion decision: a pure function of the
+       barrier-merged profile, evaluated per survivor — every session
+       derives the same set, so within a round all workers still run
+       byte-identical executables *)
+    let profile =
+      if cfg.fc_promote_share > 0. then Orch.fn_profile orch else []
+    in
+    let promoted_any = ref [] in
+    (* the global prune + promotion decisions, applied identically to
+       every survivor *)
     List.iter
       (fun w ->
         List.iter
@@ -376,15 +402,28 @@ let run ?telemetry ?pool ?cache_dir ?incremental_link ?incremental_sched
             | Some p -> Instr.Manager.remove w.wk_session.Odin.Session.manager p
             | None -> ())
           prunes;
+        let promoted =
+          if profile <> [] then
+            Odin.Session.promote_hot ~threshold:cfg.fc_promote_share
+              w.wk_session profile
+          else []
+        in
+        if !promoted_any = [] then promoted_any := promoted;
         (* serial, in worker order: the first survivor compiles the
-           post-prune fragments, the rest hit the shared cache *)
-        if prunes <> [] || Odin.Session.degraded_fragments w.wk_session <> []
+           post-prune (and newly promoted) fragments, the rest hit the
+           shared cache *)
+        if
+          prunes <> [] || promoted <> []
+          || Odin.Session.degraded_fragments w.wk_session <> []
         then
           match Odin.Session.try_refresh w.wk_session with
           | Some (Odin.Session.Ok | Odin.Session.Degraded _) ->
             w.wk_recompiles <- w.wk_recompiles + 1
           | Some (Odin.Session.Rolled_back _) | None -> ())
       survivors;
+    if !promoted_any <> [] then
+      Recorder.count (Some r) ~by:(List.length !promoted_any)
+        "farm.tier_promotions";
     (* store GC: bound the shared persistent tier while everyone is
        parked at the barrier *)
     (match (survivors, cfg.fc_cache_limit, cfg.fc_cache_age) with

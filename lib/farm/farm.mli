@@ -43,6 +43,9 @@ type config = Orch.config = {
   fc_adaptive_sync : bool;
       (** scale the sync interval up on quiet barriers, reset on new
           coverage (off by default) *)
+  fc_promote_share : float;
+      (** > 0: tiered workers + barrier tier promotions at this merged
+          cycle-share threshold; 0.0 (default) = untiered ({!Orch}) *)
 }
 
 (** 1 worker, 400 execs, sync every 100, seed 42, quorum 1, no GC,

@@ -39,6 +39,15 @@ type config = {
       (** scale the sync interval up on quiet barriers, reset on new
           coverage (off by default: a fixed interval is what the
           worker-count-invariance tests pin down) *)
+  fc_promote_share : float;
+      (** tiered compilation: when > 0, worker sessions compile fresh
+          fragments through the tier-0 baseline backend and, at each
+          barrier, fragments whose share of the {e barrier-merged}
+          per-function cycles reaches this threshold are promoted to
+          the optimizing tier — a pure function of merged state, so
+          promotion decisions are bit-identical across worker counts
+          and [--farm-mode domains|procs]. 0.0 (default) keeps every
+          worker untiered, bit-identical to the pre-tier farm. *)
 }
 
 let default_config =
@@ -53,6 +62,7 @@ let default_config =
     fc_mode = Odin.Partition.Auto;
     fc_vote_decay = 1.0;
     fc_adaptive_sync = false;
+    fc_promote_share = 0.0;
   }
 
 (** Cumulative cost attribution for one probe site across the whole
@@ -127,6 +137,9 @@ type t = {
   o_pruned : (int, unit) Hashtbl.t;
   o_hits_cycles : (int, int ref * int ref) Hashtbl.t;
   o_execs_armed : (int, int) Hashtbl.t;
+  o_fn_cycles : (string, int ref) Hashtbl.t;
+      (** barrier-merged per-function cycle attribution: the global
+          profile tier promotions are decided from *)
   mutable o_corpus : centry list;  (** accepted entries, newest first *)
   mutable o_execs : int;
   mutable o_cycles : int;
@@ -154,6 +167,7 @@ let create ~n_probes (cfg : config) =
     o_pruned = Hashtbl.create 97;
     o_hits_cycles = Hashtbl.create 97;
     o_execs_armed = Hashtbl.create 97;
+    o_fn_cycles = Hashtbl.create 97;
     o_corpus = [];
     o_execs = 0;
     o_cycles = 0;
@@ -168,6 +182,16 @@ let create ~n_probes (cfg : config) =
   }
 
 let pruned t pid = Hashtbl.mem t.o_pruned pid
+
+(** The barrier-merged global per-function cycle profile, heaviest
+    first (ties by name) — the same shape as {!Vm.profile_top}, and the
+    deterministic input every worker feeds to
+    [Odin.Session.promote_hot] so promotion decisions cannot depend on
+    worker count or driver substrate. *)
+let fn_profile t =
+  Hashtbl.fold (fun fn c acc -> (fn, !c) :: acc) t.o_fn_cycles []
+  |> List.sort (fun (n1, c1) (n2, c2) ->
+         match compare c2 c1 with 0 -> compare n1 n2 | c -> c)
 
 let pruned_list t =
   Hashtbl.fold (fun pid () acc -> pid :: acc) t.o_pruned [] |> List.sort compare
@@ -285,6 +309,14 @@ let merge_round ?(weight = fun (_ : Csync.item) -> 1.0) t items =
     (fun it ->
       t.o_execs <- t.o_execs + 1;
       t.o_cycles <- t.o_cycles + it.Csync.it_cycles;
+      (* merge the execution's per-function cycles into the global
+         profile promotions are decided from *)
+      List.iter
+        (fun (fn, cy) ->
+          match Hashtbl.find_opt t.o_fn_cycles fn with
+          | Some c -> c := !c + cy
+          | None -> Hashtbl.replace t.o_fn_cycles fn (ref cy))
+        it.Csync.it_fns;
       (* one (weighted) vote per (probe, execution) toward saturation *)
       let w = weight it in
       List.iter
@@ -357,8 +389,9 @@ let probe_costs t ~toggles =
 (* ------------------------------------------------------------------ *)
 
 (** Bumped whenever the checkpoint payload changes shape; {!Wire}
-    rejects mismatches cleanly. *)
-let ckpt_version = 1
+    rejects mismatches cleanly. v2: the barrier-merged per-function
+    cycle profile joined the payload (tier promotions resume from it). *)
+let ckpt_version = 2
 
 (** A complete, self-contained snapshot of a campaign at a sync
     barrier. [ck_next] is the mutation-budget cursor (slot RNGs are
@@ -387,6 +420,7 @@ type ckpt = {
   ck_rounds : int;
   ck_execs_armed : (int * int) list;
   ck_probe_cost : (int * int * int) list;  (** (pid, hits, cycles) *)
+  ck_fn_cycles : (string * int) list;  (** merged profile, heaviest first *)
   ck_interval : int;
   ck_quiet : int;
   ck_skipped : int;
@@ -432,6 +466,7 @@ let snapshot t ~digest ~workers ~round ~next ~skipped ~crashes ~recompiles
         (fun pid (h, c) acc -> (pid, !h, !c) :: acc)
         t.o_hits_cycles []
       |> List.sort compare;
+    ck_fn_cycles = fn_profile t;
     ck_interval = t.o_interval;
     ck_quiet = t.o_quiet;
     ck_skipped = skipped;
@@ -464,6 +499,9 @@ let restore (cfg : config) ck =
   List.iter
     (fun (pid, h, c) -> Hashtbl.replace t.o_hits_cycles pid (ref h, ref c))
     ck.ck_probe_cost;
+  List.iter
+    (fun (fn, cy) -> Hashtbl.replace t.o_fn_cycles fn (ref cy))
+    ck.ck_fn_cycles;
   t.o_corpus <- List.rev ck.ck_corpus;
   t.o_execs <- ck.ck_execs;
   t.o_cycles <- ck.ck_cycles;

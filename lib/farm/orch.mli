@@ -23,6 +23,15 @@ type config = {
       (** scale the sync interval up on quiet barriers, reset on new
           coverage (off by default: a fixed interval is what the
           worker-count-invariance tests pin down) *)
+  fc_promote_share : float;
+      (** tiered compilation: when > 0, worker sessions compile fresh
+          fragments through the tier-0 baseline backend and, at each
+          barrier, fragments whose share of the {e barrier-merged}
+          per-function cycles reaches this threshold are promoted to
+          the optimizing tier — a pure function of merged state, so
+          promotion decisions are bit-identical across worker counts
+          and [--farm-mode domains|procs]. 0.0 (default) keeps every
+          worker untiered, bit-identical to the pre-tier farm. *)
 }
 
 val default_config : config
@@ -87,6 +96,9 @@ type t = {
   o_pruned : (int, unit) Hashtbl.t;
   o_hits_cycles : (int, int ref * int ref) Hashtbl.t;
   o_execs_armed : (int, int) Hashtbl.t;
+  o_fn_cycles : (string, int ref) Hashtbl.t;
+      (** barrier-merged per-function cycle attribution: the global
+          profile tier promotions are decided from *)
   mutable o_corpus : centry list;  (** accepted entries, newest first *)
   mutable o_execs : int;
   mutable o_cycles : int;
@@ -103,6 +115,12 @@ type t = {
 val create : n_probes:int -> config -> t
 val pruned : t -> int -> bool
 val pruned_list : t -> int list
+
+(** The barrier-merged global per-function cycle profile, heaviest
+    first (ties by name) — the deterministic input every worker feeds
+    to [Odin.Session.promote_hot], so promotion decisions cannot
+    depend on worker count or driver substrate. *)
+val fn_profile : t -> (string * int) list
 
 (** Accepted corpus entries, acceptance order. *)
 val corpus_entries : t -> centry list
@@ -169,6 +187,7 @@ type ckpt = {
   ck_rounds : int;
   ck_execs_armed : (int * int) list;
   ck_probe_cost : (int * int * int) list;  (** (pid, hits, cycles) *)
+  ck_fn_cycles : (string * int) list;  (** merged profile, heaviest first *)
   ck_interval : int;
   ck_quiet : int;
   ck_skipped : int;

@@ -89,7 +89,8 @@ let worker_main () =
       ~host:init.Wire.in_host ~pool:Support.Pool.serial
       ?cache_dir:init.Wire.in_cache_dir
       ?incremental_link:init.Wire.in_incr_link
-      ?incremental_sched:init.Wire.in_incr_sched m
+      ?incremental_sched:init.Wire.in_incr_sched
+      ~tiered:(init.Wire.in_promote_share > 0.) m
   in
   let cov = Odin.Cov.setup session in
   (match Odin.Session.try_build session with
@@ -123,8 +124,20 @@ let worker_main () =
           | Some p -> Instr.Manager.remove session.Odin.Session.manager p
           | None -> ())
         fresh_prunes;
+      (* tier promotions: re-derive the cumulative promotion set from
+         the merged profile the supervisor sent. promote_hot is
+         idempotent, so a long-lived process queues only what is new —
+         and a freshly restarted one catches up on everything at once *)
+      let fresh_promos =
+        if init.Wire.in_promote_share > 0. then
+          Odin.Session.promote_hot ~threshold:init.Wire.in_promote_share
+            session a.Wire.as_fn_cycles
+        else []
+      in
       let recompiles = ref 0 in
-      if fresh_prunes <> [] || Odin.Session.degraded_fragments session <> []
+      if
+        fresh_prunes <> [] || fresh_promos <> []
+        || Odin.Session.degraded_fragments session <> []
       then (
         match Odin.Session.try_refresh session with
         | Some (Odin.Session.Ok | Odin.Session.Degraded _) -> incr recompiles
@@ -280,6 +293,7 @@ let run ?telemetry ?cache_dir ?incremental_link ?incremental_sched ?journal
       in_cache_dir = cache_dir;
       in_incr_link = incremental_link;
       in_incr_sched = incremental_sched;
+      in_promote_share = cfg.Orch.fc_promote_share;
     }
   in
   let retired_log = ref [] in
@@ -586,6 +600,9 @@ let run ?telemetry ?cache_dir ?incremental_link ?incremental_sched ?journal
       List.iteri (fun k idx -> shares.(k mod n) <- idx :: shares.(k mod n)) idxs;
       let corpus = Orch.corpus_entries orch in
       let pruned = Orch.pruned_list orch in
+      let fn_cycles =
+        if cfg.Orch.fc_promote_share > 0. then Orch.fn_profile orch else []
+      in
       let jobs =
         List.mapi
           (fun k w ->
@@ -595,6 +612,7 @@ let run ?telemetry ?cache_dir ?incremental_link ?incremental_sched ?journal
                 as_slots = List.rev shares.(k);
                 as_corpus = corpus;
                 as_pruned = pruned;
+                as_fn_cycles = fn_cycles;
               } ))
           live
         |> List.filter (fun (_, a) -> a.Wire.as_slots <> [])

@@ -39,8 +39,12 @@ let magic = "ODNW"
 
 (* v2: the Blob envelope frame (tag 9) joined the protocol, carrying
    satellite protocols — the mutation campaign — without Wire depending
-   on their libraries. *)
-let version = 2
+   on their libraries.
+   v3: tiered compilation — Init carries the promotion threshold
+   (workers derive their tiering from it), Assign carries the
+   barrier-merged per-function cycle profile promotions are decided
+   from, and the checkpoint payload moved to ckpt v2. *)
+let version = 3
 let header_len = 14
 
 let fail fmt = Printf.ksprintf (fun m -> raise (Wire_error m)) fmt
@@ -234,6 +238,11 @@ let w_ckpt b (ck : Orch.ckpt) =
       w_i64 b h;
       w_i64 b cy)
     ck.ck_probe_cost;
+  w_list b
+    (fun b (fn, cy) ->
+      w_str b fn;
+      w_i64 b cy)
+    ck.ck_fn_cycles;
   w_i64 b ck.ck_interval;
   w_i64 b ck.ck_quiet;
   w_i64 b ck.ck_skipped;
@@ -288,6 +297,12 @@ let r_ckpt c =
         let cy = r_i64 c in
         (pid, h, cy))
   in
+  let ck_fn_cycles =
+    r_list c (fun c ->
+        let fn = r_str c in
+        let cy = r_i64 c in
+        (fn, cy))
+  in
   let ck_interval = r_i64 c in
   let ck_quiet = r_i64 c in
   let ck_skipped = r_i64 c in
@@ -324,6 +339,7 @@ let r_ckpt c =
     ck_rounds;
     ck_execs_armed;
     ck_probe_cost;
+    ck_fn_cycles;
     ck_interval;
     ck_quiet;
     ck_skipped;
@@ -353,6 +369,9 @@ type init = {
   in_cache_dir : string option;
   in_incr_link : bool option;
   in_incr_sched : bool option;
+  in_promote_share : float;
+      (** > 0: run the worker's session tiered; the threshold it feeds
+          to [Odin.Session.promote_hot] each round. 0.0: untiered. *)
 }
 
 (** One round's work order. Carries the {e full} global corpus replica
@@ -364,6 +383,11 @@ type assign = {
   as_slots : int list;
   as_corpus : Orch.centry list;  (** acceptance order *)
   as_pruned : int list;  (** ascending *)
+  as_fn_cycles : (string * int) list;
+      (** barrier-merged global cycle profile, heaviest first; a tiered
+          worker re-derives the cumulative promotion set from it
+          ([promote_hot] is idempotent), so a freshly restarted worker
+          catches up on every promotion it missed *)
 }
 
 (** One round's results: the items for the assigned slots (slot order)
@@ -415,7 +439,8 @@ let encode_payload b = function
     w_str b i.in_mod_text;
     w_opt b w_str i.in_cache_dir;
     w_opt b w_bool i.in_incr_link;
-    w_opt b w_bool i.in_incr_sched
+    w_opt b w_bool i.in_incr_sched;
+    w_f64 b i.in_promote_share
   | Ready { rd_id; rd_n_probes } ->
     w_i64 b rd_id;
     w_i64 b rd_n_probes
@@ -423,7 +448,12 @@ let encode_payload b = function
     w_i64 b a.as_round;
     w_list b w_i64 a.as_slots;
     w_list b w_centry a.as_corpus;
-    w_list b w_i64 a.as_pruned
+    w_list b w_i64 a.as_pruned;
+    w_list b
+      (fun b (fn, cy) ->
+        w_str b fn;
+        w_i64 b cy)
+      a.as_fn_cycles
   | Heartbeat { hb_round; hb_done } ->
     w_i64 b hb_round;
     w_i64 b hb_done
@@ -454,6 +484,7 @@ let decode_payload tag c =
     let in_cache_dir = r_opt c r_str in
     let in_incr_link = r_opt c r_bool in
     let in_incr_sched = r_opt c r_bool in
+    let in_promote_share = r_f64 c in
     Init
       {
         in_id;
@@ -467,6 +498,7 @@ let decode_payload tag c =
         in_cache_dir;
         in_incr_link;
         in_incr_sched;
+        in_promote_share;
       }
   | 2 ->
     let rd_id = r_i64 c in
@@ -477,7 +509,13 @@ let decode_payload tag c =
     let as_slots = r_list c r_i64 in
     let as_corpus = r_list c r_centry in
     let as_pruned = r_list c r_i64 in
-    Assign { as_round; as_slots; as_corpus; as_pruned }
+    let as_fn_cycles =
+      r_list c (fun c ->
+          let fn = r_str c in
+          let cy = r_i64 c in
+          (fn, cy))
+    in
+    Assign { as_round; as_slots; as_corpus; as_pruned; as_fn_cycles }
   | 4 ->
     let hb_round = r_i64 c in
     let hb_done = r_i64 c in

@@ -212,9 +212,13 @@ let replay_odincov ?telemetry ?(prune = true) ?(mode = Odin.Partition.Auto)
     ?cache_dir (p : prepared) =
   let base = Ir.Clone.clone_module p.modul in
   let session =
+    (* tier pinned off, not read from ODIN_TIER: the figure-8/9 overhead
+       ratios measure instrumentation against the optimizing tier, and a
+       replay must not change shape with the caller's environment *)
     Odin.Session.create ~mode ~keep:[ entry ]
       ~runtime_globals:[ Odin.Cov.runtime_global base ]
-      ~host:Workloads.Generate.host_functions ?cache_dir ?telemetry base
+      ~host:Workloads.Generate.host_functions ?cache_dir ?telemetry
+      ~tiered:false base
   in
   let cov = Odin.Cov.setup session in
   ignore (Odin.Session.build session);

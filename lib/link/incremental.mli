@@ -124,6 +124,14 @@ val relink :
 (** Most recent link's work; meaningful after the first {!relink}. *)
 val last : t -> link_stats
 
+(** Absolute (address, value) pairs of every 8-byte data slot the most
+    recent {e successful incremental} patch rewrote — the byte-level
+    delta an OSR migration replays into a live VM's memory (see
+    [Vm.request_osr]). [[]] when the last link was full: no delta is
+    known, so a migration must be refused and the execution restarted
+    on the new image. *)
+val last_slots : t -> (int * int64) list
+
 val stats : t -> stats
 
 (** Slab geometry of the committed link, in link order; [[]] before the

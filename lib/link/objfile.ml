@@ -55,8 +55,17 @@ let data_of_init (init : Ir.Modul.init) ~const =
   | Ir.Modul.Zero n -> { d_bytes = Bytes.make (max 1 n) '\x00'; d_relocs = []; d_const = const }
   | Ir.Modul.Extern -> error "cannot emit extern declaration as data"
 
-(** Compile a module to an object file. The module must verify. *)
-let of_module (m : Ir.Modul.t) =
+(** Compile a module to an object file. The module must verify.
+
+    [tier] selects the backend: [0] routes every function through the
+    single-pass baseline emitter ({!Codegen.Baseline}), anything else
+    (default [1]) through the optimizing backend. [cost] accumulates
+    the modelled backend work (see {!Codegen.Emit.compile_func}). *)
+let of_module ?(tier = 1) ?cost (m : Ir.Modul.t) =
+  let compile =
+    if tier = 0 then Codegen.Baseline.compile_func ?cost
+    else Codegen.Emit.compile_func ?cost
+  in
   let syms = ref [] in
   let aliases = ref [] in
   let defined = Hashtbl.create 32 in
@@ -64,7 +73,7 @@ let of_module (m : Ir.Modul.t) =
     (fun gv ->
       match gv with
       | Ir.Modul.Fun f when not (Ir.Func.is_declaration f) ->
-        let mf = Codegen.Emit.compile_func f in
+        let mf = compile f in
         Hashtbl.replace defined f.Ir.Func.name ();
         syms :=
           {

@@ -32,9 +32,12 @@ exception Emit_error of string
     @raise Emit_error for extern declarations. *)
 val data_of_init : Ir.Modul.init -> const:bool -> data
 
-(** Compile a (verified) module to an object file.
+(** Compile a (verified) module to an object file. [tier] selects the
+    backend: [0] is the single-pass baseline ({!Codegen.Baseline}),
+    anything else (default [1]) the optimizing backend. [cost]
+    accumulates the modelled backend work.
     @raise Emit_error on an alias whose base is not defined here. *)
-val of_module : Ir.Modul.t -> t
+val of_module : ?tier:int -> ?cost:int ref -> Ir.Modul.t -> t
 
 (** Total code size in instructions. *)
 val code_size : t -> int

@@ -222,6 +222,26 @@ type t = {
           IR -> finished object. A hit returns before verify, the shard
           locks and Opt.Pipeline; reset by {!set_opt_rounds}. Written
           only from the serial join loop, read concurrently by jobs *)
+  mutable tiered : bool;
+      (** two-tier compilation: freshly changed fragments compile through
+          the single-pass tier-0 baseline backend (no [Opt.Pipeline], no
+          liveness), and fragments the profile marks hot are *promoted*
+          to the optimizing tier-1 backend by an ordinary incremental
+          relink. Off by default — an untiered session compiles
+          everything at tier 1, exactly as before *)
+  tier_of : (int, int) Hashtbl.t;
+      (** fragment id -> tier its current object was compiled at; absent
+          means "not compiled yet" (tiered) / tier 1 (untiered) *)
+  promote_pending : (int, unit) Hashtbl.t;
+      (** fragments queued for background promotion to tier 1; they are
+          force-scheduled on the next refresh like [degraded] and leave
+          the queue when their tier-1 object lands *)
+  mutable tier0_compiles : int;  (** fragments compiled by the baseline *)
+  mutable tier0_cost : int;  (** modelled backend work at tier 0 *)
+  mutable tier1_compiles : int;  (** fragments compiled by the optimizer *)
+  mutable tier1_cost : int;  (** modelled opt+backend work at tier 1 *)
+  mutable promotion_count : int;  (** tier-0 -> tier-1 promotions landed *)
+  mutable osr_migrations : int;  (** live executions migrated (see Vm) *)
   mutable host : string list;
   mutable exe : Link.Linker.exe option;
   mutable patchers : (sched -> unit) list;
@@ -262,8 +282,10 @@ let map_func sched name = Ir.Modul.find_func sched.temp name
 
 (* Bump when the marshalled Objfile payload or the key derivation
    changes shape: a version mismatch makes an existing on-disk store
-   invalidate cleanly. 2 = structural (Ir.Shash) cache keys. *)
-let store_format_version = 2
+   invalidate cleanly. 2 = structural (Ir.Shash) cache keys; 3 = the
+   compilation tier joined the key (a tier-0 object must never satisfy
+   a tier-1 lookup, or vice versa). *)
+let store_format_version = 3
 
 (* ------------------------------------------------------------------ *)
 (* Session construction                                                *)
@@ -285,6 +307,14 @@ let env_incremental_sched () =
   | Some ("0" | "false" | "off" | "no") -> false
   | _ -> true
 
+(* ODIN_TIER=1 (or true/on/yes) enables tiered compilation process-wide;
+   ODIN_TIER=0 (or unset) keeps the classic always-optimized pipeline.
+   The [?tiered] create param overrides. *)
+let env_tiered () =
+  match Sys.getenv_opt "ODIN_TIER" with
+  | Some ("1" | "true" | "on" | "yes") -> true
+  | _ -> false
+
 (** Create a session for [base].
     [runtime_globals] are data symbols owned by the instrumentation
     runtime (e.g. coverage counter arrays), linked as a separate object;
@@ -298,7 +328,7 @@ let env_incremental_sched () =
 let create ?(mode = Partition.Auto) ?(copy_on_use = true) ?(keep = [ "main" ])
     ?(runtime_globals = []) ?(host = []) ?(opt_rounds = 2) ?pool
     ?(cache_size = 256) ?objects ?(owner = 0) ?cache_dir ?(max_retries = 2)
-    ?job_timeout ?incremental_link ?incremental_sched
+    ?job_timeout ?incremental_link ?incremental_sched ?tiered
     ?(telemetry = Telemetry.Recorder.create ()) (base : Ir.Modul.t) =
   Ir.Verify.run_exn base;
   (* session setup is not a rebuild: the classification survey runs the
@@ -372,6 +402,15 @@ let create ?(mode = Partition.Auto) ?(copy_on_use = true) ?(keep = [ "main" ])
       | None -> env_incremental_sched ());
     clone_index;
     memo = Hashtbl.create 64;
+    tiered = (match tiered with Some b -> b | None -> env_tiered ());
+    tier_of = Hashtbl.create 32;
+    promote_pending = Hashtbl.create 8;
+    tier0_compiles = 0;
+    tier0_cost = 0;
+    tier1_compiles = 0;
+    tier1_cost = 0;
+    promotion_count = 0;
+    osr_migrations = 0;
     host;
     exe = None;
     patchers = [];
@@ -416,6 +455,139 @@ let incremental_sched t = t.incr_sched
 
 (** Entries currently held by the optimization memo. *)
 let memo_size t = Hashtbl.length t.memo
+
+(* ------------------------------------------------------------------ *)
+(* Tiered compilation                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Whether this session compiles freshly changed fragments through the
+    tier-0 baseline backend. *)
+let tiered t = t.tiered
+
+(* The tier a scheduled fragment compiles at on this rebuild: untiered
+   sessions always optimize (tier 1, same cache keys as a fully-promoted
+   tiered session); tiered sessions compile at tier 1 only when the
+   fragment's promotion is pending, and at tier 0 otherwise — a probe
+   toggle on a promoted fragment deliberately re-demotes it, because the
+   edit path must stay single-pass; heat re-promotes it later. *)
+let tier_for t fid =
+  if not t.tiered then 1 else if Hashtbl.mem t.promote_pending fid then 1 else 0
+
+(** The tier of [fid]'s current object: 1 for untiered sessions, and for
+    tiered sessions the tier it last compiled at (0 before any build). *)
+let fragment_tier t fid =
+  match Hashtbl.find_opt t.tier_of fid with
+  | Some tier -> tier
+  | None -> if t.tiered then 0 else 1
+
+(** Fragment ids currently queued for promotion, ascending. *)
+let pending_promotions t =
+  List.sort compare
+    (Hashtbl.fold (fun fid () acc -> fid :: acc) t.promote_pending [])
+
+(** Queue fragments for promotion to the optimizing tier; they are
+    force-scheduled on the next refresh (like degraded fragments) and
+    land as an ordinary incremental relink. No-op on untiered sessions
+    and for fragments already serving a tier-1 object. *)
+let promote t fids =
+  if t.tiered then
+    List.iter
+      (fun fid ->
+        if
+          fid >= 0
+          && fid < Array.length t.plan.Partition.fragments
+          && fragment_tier t fid <> 1
+        then Hashtbl.replace t.promote_pending fid ())
+      fids
+
+(** Promotion policy: given per-function cycle attribution (e.g.
+    [Vm.profile_top]), accumulate heat per fragment through the plan's
+    symbol->fragment index and queue every tier-0 fragment whose share
+    of the total cycles is at least [threshold]. Returns the fragment
+    ids newly queued, ascending — a pure function of its input, so
+    every farm worker reaches the same promotion set from the merged
+    profile. *)
+let promote_hot ?(threshold = 0.05) t fn_cycles =
+  if not t.tiered then []
+  else begin
+    let total =
+      List.fold_left (fun acc (_, c) -> acc + max 0 c) 0 fn_cycles
+    in
+    if total = 0 then []
+    else begin
+      let heat = Hashtbl.create 16 in
+      List.iter
+        (fun (sym, cycles) ->
+          match Hashtbl.find_opt t.plan.Partition.frag_of sym with
+          | Some fid ->
+            Hashtbl.replace heat fid
+              (max 0 cycles
+              + Option.value ~default:0 (Hashtbl.find_opt heat fid))
+          | None -> ())
+        fn_cycles;
+      let hot =
+        Hashtbl.fold
+          (fun fid cycles acc ->
+            if
+              float_of_int cycles >= threshold *. float_of_int total
+              && fragment_tier t fid <> 1
+              && not (Hashtbl.mem t.promote_pending fid)
+            then fid :: acc
+            else acc)
+          heat []
+        |> List.sort compare
+      in
+      List.iter (fun fid -> Hashtbl.replace t.promote_pending fid ()) hot;
+      hot
+    end
+  end
+
+(** Record that a live execution migrated tier-0 -> tier-1 through an
+    OSR point (see [Vm.request_osr]); surfaces as the
+    [session.osr_migrations] counter. *)
+let note_osr_migration t =
+  t.osr_migrations <- t.osr_migrations + 1;
+  Telemetry.Recorder.count (Some t.telemetry) "session.osr_migrations"
+
+(** Migrate a live execution onto the session's current executable
+    through the VM's OSR mechanism: queue the swap plus the last
+    relink's byte-level data delta ({!Link.Incremental.last_slots});
+    the VM applies both at its next fragment boundary. Returns [false]
+    — and queues nothing — when no delta is known (the last link was
+    full, or the session has no executable yet): the caller must
+    restart the execution on the new image instead. Counted as a
+    [session.osr_migrations] the moment the swap is queued, since the
+    VM deterministically applies it at its next call dispatch. *)
+let osr_into t vm =
+  match t.exe with
+  | None -> false
+  | Some exe ->
+    let ls = Link.Incremental.last t.linker in
+    if not ls.Link.Incremental.ls_incremental then false
+    else begin
+      Vm.request_osr vm ~exe ~slots:(Link.Incremental.last_slots t.linker);
+      note_osr_migration t;
+      true
+    end
+
+type tier_stats = {
+  ts_tier0_compiles : int;
+  ts_tier0_cost : int;  (** modelled backend work summed at tier 0 *)
+  ts_tier1_compiles : int;
+  ts_tier1_cost : int;  (** modelled opt+backend work summed at tier 1 *)
+  ts_promotions : int;
+  ts_osr_migrations : int;
+}
+
+let tier_stats t =
+  {
+    ts_tier0_compiles = t.tier0_compiles;
+    ts_tier0_cost = t.tier0_cost;
+    ts_tier1_compiles = t.tier1_compiles;
+    ts_tier1_cost = t.tier1_cost;
+    ts_promotions = t.promotion_count;
+    ts_osr_migrations = t.osr_migrations;
+  }
 
 (** Replace all patch logic with [patcher]. *)
 let set_patcher t patcher = t.patchers <- [ patcher ]
@@ -505,12 +677,17 @@ let schedule ?(initial = false) ?(backprop = true) t =
         (List.fold_left (fun acc s -> SSet.add s acc) SSet.empty changed_targets)
   in
   (* re-heal: degraded fragments rejoin every schedule until they
-     compile cleanly again *)
+     compile cleanly again; queued promotions are force-scheduled the
+     same way so a tier-1 object can land with no probe change *)
   let frag_ids =
-    if Hashtbl.length t.degraded = 0 then frag_ids
+    if Hashtbl.length t.degraded = 0 && Hashtbl.length t.promote_pending = 0
+    then frag_ids
     else
       List.sort_uniq compare
-        (Hashtbl.fold (fun fid () acc -> fid :: acc) t.degraded frag_ids)
+        (Hashtbl.fold
+           (fun fid () acc -> fid :: acc)
+           t.degraded
+           (Hashtbl.fold (fun fid () acc -> fid :: acc) t.promote_pending frag_ids))
   in
   (* visited = fragments the scheduler examined: the whole program on
      the full walk (and on the initial build), only the index-resolved
@@ -632,6 +809,12 @@ let rebuild (sched : sched) =
       (fun fid -> (fid, Hashtbl.mem t.degraded fid))
       sched.changed_fragments
   in
+  let snap_tier =
+    List.map
+      (fun fid ->
+        (fid, Hashtbl.find_opt t.tier_of fid, Hashtbl.mem t.promote_pending fid))
+      sched.changed_fragments
+  in
   let rollback err =
     List.iter
       (fun (fid, prev) ->
@@ -645,6 +828,14 @@ let rebuild (sched : sched) =
         if was then Hashtbl.replace t.degraded fid ()
         else Hashtbl.remove t.degraded fid)
       snap_degraded;
+    List.iter
+      (fun (fid, tier, pending) ->
+        (match tier with
+        | Some tr -> Hashtbl.replace t.tier_of fid tr
+        | None -> Hashtbl.remove t.tier_of fid);
+        if pending then Hashtbl.replace t.promote_pending fid ()
+        else Hashtbl.remove t.promote_pending fid)
+      snap_tier;
     t.rollback_count <- t.rollback_count + 1;
     Telemetry.Recorder.count some_r "session.rebuild_rollbacks";
     (* probe changes are NOT cleared: the next refresh retries them *)
@@ -715,11 +906,17 @@ let rebuild (sched : sched) =
           else None)
         sched.active
     in
+    (* The tier this fragment compiles at on this rebuild. Reading
+       [promote_pending] from a pool job is safe: the queue is only
+       written by the user API and the serial join loop, never while
+       jobs are in flight. *)
+    let tier = tier_for t fid in
     (* One full attempt at producing this fragment's object from
-       [produce_source]; raises on failure. Returns
-       (object, served from cache/store/memo?, content key to memoize).
-       The key is [None] on a memo hit (already memoized) — the join
-       loop is the only writer of [t.memo]. *)
+       [produce_source]; raises on failure. Returns (object, served
+       from cache/store/memo?, content key to memoize, modelled
+       compile cost — 0 when served). The key is [None] on a memo hit
+       (already memoized) — the join loop is the only writer of
+       [t.memo]. *)
     let produce produce_source =
       let frag_module =
         Telemetry.Span.with_span jspans ~cat:"session" "materialize" (fun () ->
@@ -737,7 +934,11 @@ let rebuild (sched : sched) =
       let key =
         Telemetry.Span.with_span jspans ~cat:"session" "digest" (fun () ->
             let b = Buffer.create 4096 in
-            Buffer.add_string b (Printf.sprintf "fid=%d;rounds=%d;" fid t.opt_rounds);
+            (* the tier is part of the content address: a baseline
+               object can never satisfy an optimized lookup (or vice
+               versa) in the memo, the shared cache or the store *)
+            Buffer.add_string b
+              (Printf.sprintf "fid=%d;rounds=%d;tier=%d;" fid t.opt_rounds tier);
             Ir.Shash.add_module b frag_module;
             Digest.bytes (Buffer.to_bytes b))
       in
@@ -752,7 +953,7 @@ let rebuild (sched : sched) =
            join loop between pool batches *)
         Telemetry.Span.add_arg fsp "cache" "memo";
         Telemetry.Recorder.count (Some jr) "session.opt_memo_hits";
-        (obj, true, None)
+        (obj, true, None, 0)
       | None ->
       Telemetry.Span.with_span jspans ~cat:"session" "verify" (fun () ->
           match Ir.Verify.check_module frag_module with
@@ -787,7 +988,7 @@ let rebuild (sched : sched) =
       match cached with
       | Some obj ->
         Telemetry.Span.add_arg fsp "cache" "hit";
-        (obj, true, Some key)
+        (obj, true, Some key, 0)
       | None -> (
         (* persistent tier: a store hit skips optimize+codegen too *)
         let from_store =
@@ -808,14 +1009,20 @@ let rebuild (sched : sched) =
               Support.Lru.add cs.cs_lru key obj;
               if not (Hashtbl.mem cs.cs_owners key) then
                 Hashtbl.replace cs.cs_owners key t.owner);
-          (obj, true, Some key)
+          (obj, true, Some key, 0)
         | None ->
-          ignore
-            (Opt.Pipeline.run_fragment ~recorder:jr ~max_rounds:t.opt_rounds
-               frag_module);
+          (* tier 0 is the whole point of the baseline path: skip the
+             pass pipeline entirely and run the single-pass backend.
+             [cost] accumulates the modelled work either way, so the
+             tier bench can compare per-fragment compile cost. *)
+          let cost = ref 0 in
+          if tier <> 0 then
+            ignore
+              (Opt.Pipeline.run_fragment ~recorder:jr ~cost
+                 ~max_rounds:t.opt_rounds frag_module);
           let obj =
             Telemetry.Span.with_span jspans ~cat:"session" "codegen" (fun () ->
-                Link.Objfile.of_module frag_module)
+                Link.Objfile.of_module ~tier ~cost frag_module)
           in
           with_shard oc key (fun cs ->
               Support.Lru.add cs.cs_lru key obj;
@@ -824,7 +1031,7 @@ let rebuild (sched : sched) =
           (match t.store with
           | None -> ()
           | Some st -> Support.Objstore.put st key (Marshal.to_string obj []));
-          (obj, false, Some key))
+          (obj, false, Some key, !cost))
     in
     (* Bounded retries with virtual-clock backoff for transient faults;
        the cooperative watchdog (armed below) can cut any attempt short. *)
@@ -842,22 +1049,27 @@ let rebuild (sched : sched) =
       Support.Fault.with_deadline t.job_timeout (fun () -> attempt 0)
     in
     match result with
-    | Stdlib.Ok (obj, hit, mkey) -> (fid, Stdlib.Ok (obj, hit, false, mkey), jr, fsp)
+    | Stdlib.Ok (obj, hit, mkey, cost) ->
+      (fid, Stdlib.Ok (obj, hit, false, mkey, Some tier, cost), jr, fsp)
     | Stdlib.Error err -> (
       Telemetry.Span.add_arg fsp "degraded" "true";
       Telemetry.Recorder.count (Some jr) "session.fragment_faults";
       (* Degrade: last-good object if one exists (the fid cache is not
          touched until the join), else the pristine un-instrumented
          fragment — compiled with injection suppressed: the recovery
-         path must not be sabotaged by the fault it recovers from. *)
+         path must not be sabotaged by the fault it recovers from. The
+         last-good object keeps whatever tier it was compiled at
+         ([None] = leave [tier_of] alone). *)
       match Hashtbl.find_opt t.cache fid with
-      | Some last_good -> (fid, Stdlib.Ok (last_good, false, true, None), jr, fsp)
+      | Some last_good ->
+        (fid, Stdlib.Ok (last_good, false, true, None, None, 0), jr, fsp)
       | None -> (
         match
           Support.Fault.with_suppressed (fun () ->
               try Stdlib.Ok (produce (fun _ -> None)) with e -> Stdlib.Error e)
         with
-        | Stdlib.Ok (obj, hit, mkey) -> (fid, Stdlib.Ok (obj, hit, true, mkey), jr, fsp)
+        | Stdlib.Ok (obj, hit, mkey, cost) ->
+          (fid, Stdlib.Ok (obj, hit, true, mkey, Some tier, cost), jr, fsp)
         | Stdlib.Error _ ->
           (* no last-good and even the pristine object will not build:
              nothing consistent to serve — fatal, forces a rollback *)
@@ -872,6 +1084,10 @@ let rebuild (sched : sched) =
   in
   let cache_hits = ref 0 in
   let degraded_now = ref [] in
+  let tier0_now = ref 0 in
+  let promoted_now = ref 0 in
+  let tier0_cost_before = t.tier0_cost in
+  let tier1_cost_before = t.tier1_cost in
   (* objects that differ from the previous link's input, by name —
      physical identity is exact here: an unchanged fragment is never
      scheduled, and a scheduled one either round-trips to the very same
@@ -880,7 +1096,7 @@ let rebuild (sched : sched) =
   List.iter
     (fun (fid, res, jr, fsp) ->
       (match res with
-      | Stdlib.Ok (obj, hit, degr, mkey) ->
+      | Stdlib.Ok (obj, hit, degr, mkey, tier, cost) ->
         (match Hashtbl.find_opt t.cache fid with
         | Some prev when prev == obj -> ()
         | _ -> changed_objs := obj.Link.Objfile.o_name :: !changed_objs);
@@ -890,6 +1106,29 @@ let rebuild (sched : sched) =
         (match mkey with
         | Some k when t.incr_sched -> Hashtbl.replace t.memo k obj
         | _ -> ());
+        (* tier bookkeeping: record the tier the object now serving this
+           fragment was compiled at, count fresh compiles per tier, and
+           retire the promotion once its tier-1 object is in *)
+        (match tier with
+        | Some tr ->
+          (if t.tiered && tr = 1 && Hashtbl.mem t.promote_pending fid then begin
+             Hashtbl.remove t.promote_pending fid;
+             incr promoted_now;
+             t.promotion_count <- t.promotion_count + 1
+           end);
+          Hashtbl.replace t.tier_of fid tr;
+          if not hit then begin
+            if tr = 0 then begin
+              incr tier0_now;
+              t.tier0_compiles <- t.tier0_compiles + 1;
+              t.tier0_cost <- t.tier0_cost + cost
+            end
+            else begin
+              t.tier1_compiles <- t.tier1_compiles + 1;
+              t.tier1_cost <- t.tier1_cost + cost
+            end
+          end
+        | None -> ());
         if hit then incr cache_hits;
         if degr then begin
           degraded_now := fid :: !degraded_now;
@@ -982,6 +1221,17 @@ let rebuild (sched : sched) =
         ((Link.Incremental.stats t.linker).Link.Incremental.st_compactions
         - compactions_before)
       "link.slab_compactions";
+    Telemetry.Recorder.count some_r ~by:!tier0_now "session.tier0_compiles";
+    Telemetry.Recorder.count some_r ~by:!promoted_now "session.tier_promotions";
+    (* touched so the counter is present (possibly 0) in every report;
+       [note_osr_migration] does the real bumping *)
+    Telemetry.Recorder.count some_r ~by:0 "session.osr_migrations";
+    Telemetry.Recorder.count some_r
+      ~by:(t.tier0_cost - tier0_cost_before)
+      "session.tier0_cost";
+    Telemetry.Recorder.count some_r
+      ~by:(t.tier1_cost - tier1_cost_before)
+      "session.tier1_cost";
     Telemetry.Recorder.count some_r
       ~by:(List.length sched.active)
       "session.probes_applied";
@@ -1034,7 +1284,11 @@ let build t =
 (** Incremental transactional rebuild after probe changes (or pending
     degraded fragments to re-heal); [None] when nothing to do. *)
 let try_refresh ?(backprop = true) t =
-  if Instr.Manager.has_changes t.manager || Hashtbl.length t.degraded > 0 then
+  if
+    Instr.Manager.has_changes t.manager
+    || Hashtbl.length t.degraded > 0
+    || Hashtbl.length t.promote_pending > 0
+  then
     Telemetry.Recorder.with_span t.telemetry ~cat:"session" "refresh" (fun () ->
         let sched =
           Telemetry.Recorder.with_span t.telemetry ~cat:"session" "schedule"

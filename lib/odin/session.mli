@@ -157,6 +157,23 @@ type t = {
           entirely. Reset by {!set_opt_rounds} (the digest also embeds
           the bound — belt and braces); written only from the serial
           join loop, read concurrently by pool jobs *)
+  mutable tiered : bool;
+      (** two-tier compilation: freshly changed fragments compile
+          through the single-pass tier-0 baseline backend and hot
+          fragments are promoted to the optimizing tier in the
+          background. Off by default; an untiered session behaves
+          exactly as before (everything tier 1) *)
+  tier_of : (int, int) Hashtbl.t;
+      (** fragment id -> tier its current object was compiled at *)
+  promote_pending : (int, unit) Hashtbl.t;
+      (** fragments queued for promotion; force-scheduled like
+          [degraded] until their tier-1 object lands *)
+  mutable tier0_compiles : int;
+  mutable tier0_cost : int;
+  mutable tier1_compiles : int;
+  mutable tier1_cost : int;
+  mutable promotion_count : int;
+  mutable osr_migrations : int;
   mutable host : string list;
   mutable exe : Link.Linker.exe option;
   mutable patchers : (sched -> unit) list;
@@ -229,6 +246,13 @@ val map_func : sched -> string -> Ir.Func.t option
       optimization by fragment Shash (default: on, unless
       [ODIN_INCR_SCHED=0]); purely a performance switch — schedules,
       images and outcomes are identical either way
+    @param tiered two-tier compilation (default: off, unless
+      [ODIN_TIER=1]): freshly changed fragments compile through the
+      single-pass tier-0 baseline backend ({!Codegen.Baseline}, no
+      {!Opt.Pipeline}), and fragments queued by {!promote} /
+      {!promote_hot} land optimized tier-1 objects as ordinary
+      incremental relinks. A fully-promoted tiered session serves the
+      same objects (same cache keys) as an untiered one
     @param telemetry recorder for build spans/counters (fresh monotonic
       recorder by default; tests inject a virtual-clock recorder) *)
 val create :
@@ -247,6 +271,7 @@ val create :
   ?job_timeout:float ->
   ?incremental_link:bool ->
   ?incremental_sched:bool ->
+  ?tiered:bool ->
   ?telemetry:Telemetry.Recorder.t ->
   Ir.Modul.t ->
   t
@@ -276,6 +301,59 @@ val incremental_sched : t -> bool
 
 (** Entries in the per-session optimization memo (digest -> object). *)
 val memo_size : t -> int
+
+(** Whether this session compiles freshly changed fragments through the
+    tier-0 baseline backend. *)
+val tiered : t -> bool
+
+(** The tier of a fragment's current object: 1 for untiered sessions;
+    for tiered sessions the tier it last compiled at (0 before any
+    build — tiered sessions always start at the baseline). *)
+val fragment_tier : t -> int -> int
+
+(** Fragment ids currently queued for promotion, ascending. *)
+val pending_promotions : t -> int list
+
+(** Queue fragments for promotion to the optimizing tier; they are
+    force-scheduled on the next refresh (like degraded fragments) and
+    their tier-1 objects land as an ordinary incremental relink. No-op
+    on untiered sessions and for fragments already at tier 1. *)
+val promote : t -> int list -> unit
+
+(** Promotion policy: accumulate per-function cycle attribution (e.g.
+    [Vm.profile_top]) into per-fragment heat through the plan's
+    symbol->fragment index and queue every tier-0 fragment whose share
+    of total cycles is at least [threshold] (default 0.05). Returns the
+    newly queued fragment ids, ascending. Pure in its input: every farm
+    worker derives the same promotion set from the same merged profile. *)
+val promote_hot : ?threshold:float -> t -> (string * int) list -> int list
+
+(** Record a live tier-0 -> tier-1 execution migration (see
+    [Vm.request_osr]); bumps the [session.osr_migrations] counter. *)
+val note_osr_migration : t -> unit
+
+(** Migrate a live execution onto the session's current executable:
+    queue an OSR swap ({!Vm.request_osr}) carrying the last relink's
+    byte-level data delta; the VM applies it at its next fragment
+    boundary. Returns [false] — queuing nothing — when no delta is
+    known (last link was full, or no executable yet): the caller must
+    restart on the new image instead. *)
+val osr_into : t -> Vm.t -> bool
+
+(** Cumulative tier accounting: fresh compiles and modelled compile
+    cost per tier (the [?cost] accounting threaded through
+    {!Opt.Pipeline} and {!Link.Objfile.of_module}), promotions landed,
+    and OSR migrations recorded. *)
+type tier_stats = {
+  ts_tier0_compiles : int;
+  ts_tier0_cost : int;
+  ts_tier1_compiles : int;
+  ts_tier1_cost : int;
+  ts_promotions : int;
+  ts_osr_migrations : int;
+}
+
+val tier_stats : t -> tier_stats
 
 (** Replace all patch logic (applies active probes to [sched.temp]). *)
 val set_patcher : t -> (sched -> unit) -> unit
@@ -359,5 +437,6 @@ val store_stats : t -> Support.Objstore.stats option
 (** Format version of the persistent store's entries (cache-key scheme
     + object layout). Bumped whenever either changes; a mismatched
     on-disk store is wiped on open. v2: structural IR digests
-    ({!Ir.Shash}) replaced printed-IR digests in the cache key. *)
+    ({!Ir.Shash}) replaced printed-IR digests in the cache key. v3: the
+    compilation tier joined the key. *)
 val store_format_version : int

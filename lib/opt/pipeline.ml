@@ -70,8 +70,21 @@ let fragment_passes () =
     Dce.pass;
   ]
 
+(* Modelled work of one pass execution: one scan of every defined
+   instruction in the module. Accumulated into the [?cost] ref threaded
+   from [run_fragment] — the tier bench compares this against the
+   baseline backend, which skips the pipeline entirely. *)
+let module_insts modul =
+  List.fold_left
+    (fun acc fn -> acc + Ir.Func.insn_count fn)
+    0
+    (Ir.Modul.defined_functions modul)
+
 (* One pass execution, timed and counted when [recorder] is present. *)
-let run_pass recorder ctx (p : Pass.t) =
+let run_pass ?cost recorder ctx (p : Pass.t) =
+  (match cost with
+  | Some c -> c := !c + module_insts ctx.Pass.modul
+  | None -> ());
   let changed =
     Telemetry.Recorder.span_opt recorder ~cat:"pass" p.Pass.name (fun () ->
         p.Pass.run ctx)
@@ -83,13 +96,15 @@ let run_pass recorder ctx (p : Pass.t) =
 
 (* Bounded-fixpoint driver shared by [run] and [run_fragment]; [track]
    additionally advances [ctx.rounds] (the survey's round log). *)
-let fixpoint ?recorder ~max_rounds ~track ctx passes =
+let fixpoint ?recorder ?cost ~max_rounds ~track ctx passes =
   let rec go round =
     if round < max_rounds then begin
       if track then ctx.Pass.rounds <- round + 1;
       Telemetry.Recorder.count recorder "opt.rounds";
       let changed =
-        List.fold_left (fun acc p -> run_pass recorder ctx p || acc) false passes
+        List.fold_left
+          (fun acc p -> run_pass ?cost recorder ctx p || acc)
+          false passes
       in
       if changed then go (round + 1)
     end
@@ -108,9 +123,9 @@ let run ?recorder ?(trial = false) ?(max_rounds = 5) ?(keep = [ "main" ]) modul 
 (** Optimize a single fragment module during recompilation. Declares the
     ["opt.pipeline"] fault site: an injected fault here surfaces as a
     fragment-compile failure that Session retries or degrades. *)
-let run_fragment ?recorder ?(max_rounds = 2) modul =
+let run_fragment ?recorder ?cost ?(max_rounds = 2) modul =
   Support.Fault.hit "opt.pipeline";
   let ctx = Pass.make_ctx ~trial:false modul in
   Telemetry.Recorder.span_opt recorder ~cat:"opt" "optimize" (fun () ->
-      fixpoint ?recorder ~max_rounds ~track:false ctx (fragment_passes ()));
+      fixpoint ?recorder ?cost ~max_rounds ~track:false ctx (fragment_passes ()));
   ctx

@@ -80,6 +80,15 @@ let gen_helper g k =
      clean; probes inflate the body past the unroll budget, which is one
      of the instrument-first costs the paper discusses (Section 2.2) *)
   let trip = Support.Rng.range g.rng 3 4 in
+  (* skewed hot/cold distribution: every 16th helper runs its loop
+     hot_skew times as long. The multiplier rides on the same RNG draw,
+     so hot_skew = 0 generates byte-identical source with identical
+     draws — the knob cannot perturb existing profiles *)
+  let trip =
+    if g.p.Profile.hot_skew > 0 && k mod 16 = 0 then
+      trip * g.p.Profile.hot_skew
+    else trip
+  in
   let loop_stmts = max 2 (g.p.Profile.helper_stmts / 2) in
   line g "  int r = 0;";
   line g "  do {";

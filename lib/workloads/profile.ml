@@ -19,6 +19,12 @@ type t = {
   coupling : int;  (** 0 = independent functions .. 3 = dense call graph *)
   const_tables : int;  (** number of constant lookup tables *)
   magic_checks : int;  (** comparison roadblocks in the header check *)
+  hot_skew : int;
+      (** skewed hot/cold cycle distribution: every 16th helper's mixing
+          loop runs [hot_skew]x as many trips, concentrating execution
+          cycles in a small hot set (realistic promotion targets for the
+          tiered pipeline). 0 = uniform — byte-identical source to the
+          pre-knob generator, with identical RNG draws. *)
 }
 
 (* Parameters are scaled to keep whole-suite bench runtimes sane while
@@ -28,43 +34,43 @@ let all : t list =
   [
     { name = "freetype2"; seed = 101; n_helpers = 26; helper_stmts = 10; n_tiny = 8;
       n_parsers = 7; parser_cases = 6; opcode_switch = None; coupling = 2;
-      const_tables = 6; magic_checks = 3 };
+      const_tables = 6; magic_checks = 3; hot_skew = 0 };
     { name = "libjpeg"; seed = 102; n_helpers = 20; helper_stmts = 12; n_tiny = 4;
       n_parsers = 5; parser_cases = 5; opcode_switch = None; coupling = 0;
-      const_tables = 5; magic_checks = 2 };
+      const_tables = 5; magic_checks = 2; hot_skew = 0 };
     { name = "proj4"; seed = 103; n_helpers = 14; helper_stmts = 14; n_tiny = 3;
       n_parsers = 3; parser_cases = 4; opcode_switch = None; coupling = 1;
-      const_tables = 3; magic_checks = 1 };
+      const_tables = 3; magic_checks = 1; hot_skew = 0 };
     { name = "libpng"; seed = 104; n_helpers = 16; helper_stmts = 10; n_tiny = 5;
       n_parsers = 6; parser_cases = 5; opcode_switch = None; coupling = 1;
-      const_tables = 4; magic_checks = 3 };
+      const_tables = 4; magic_checks = 3; hot_skew = 0 };
     { name = "re2"; seed = 105; n_helpers = 12; helper_stmts = 8; n_tiny = 10;
       n_parsers = 4; parser_cases = 8; opcode_switch = Some 24; coupling = 2;
-      const_tables = 3; magic_checks = 1 };
+      const_tables = 3; magic_checks = 1; hot_skew = 0 };
     { name = "harfbuzz"; seed = 106; n_helpers = 22; helper_stmts = 9; n_tiny = 8;
       n_parsers = 6; parser_cases = 6; opcode_switch = None; coupling = 3;
-      const_tables = 5; magic_checks = 2 };
+      const_tables = 5; magic_checks = 2; hot_skew = 0 };
     { name = "sqlite"; seed = 107; n_helpers = 18; helper_stmts = 10; n_tiny = 6;
       n_parsers = 4; parser_cases = 5; opcode_switch = Some 96; coupling = 2;
-      const_tables = 6; magic_checks = 2 };
+      const_tables = 6; magic_checks = 2; hot_skew = 0 };
     { name = "json"; seed = 108; n_helpers = 4; helper_stmts = 6; n_tiny = 48;
       n_parsers = 4; parser_cases = 6; opcode_switch = None; coupling = 2;
-      const_tables = 2; magic_checks = 1 };
+      const_tables = 2; magic_checks = 1; hot_skew = 0 };
     { name = "libxml2"; seed = 109; n_helpers = 20; helper_stmts = 10; n_tiny = 8;
       n_parsers = 8; parser_cases = 7; opcode_switch = None; coupling = 2;
-      const_tables = 5; magic_checks = 3 };
+      const_tables = 5; magic_checks = 3; hot_skew = 0 };
     { name = "vorbis"; seed = 110; n_helpers = 18; helper_stmts = 14; n_tiny = 4;
       n_parsers = 4; parser_cases = 4; opcode_switch = None; coupling = 1;
-      const_tables = 5; magic_checks = 2 };
+      const_tables = 5; magic_checks = 2; hot_skew = 0 };
     { name = "lcms"; seed = 111; n_helpers = 13; helper_stmts = 12; n_tiny = 4;
       n_parsers = 3; parser_cases = 4; opcode_switch = None; coupling = 1;
-      const_tables = 6; magic_checks = 1 };
+      const_tables = 6; magic_checks = 1; hot_skew = 0 };
     { name = "woff2"; seed = 112; n_helpers = 10; helper_stmts = 10; n_tiny = 4;
       n_parsers = 4; parser_cases = 5; opcode_switch = None; coupling = 1;
-      const_tables = 3; magic_checks = 2 };
+      const_tables = 3; magic_checks = 2; hot_skew = 0 };
     { name = "x509"; seed = 113; n_helpers = 11; helper_stmts = 9; n_tiny = 5;
       n_parsers = 6; parser_cases = 5; opcode_switch = None; coupling = 2;
-      const_tables = 3; magic_checks = 2 };
+      const_tables = 3; magic_checks = 2; hot_skew = 0 };
   ]
 
 (** ~10k-function stress shape for the O(changed)-refresh benchmarks:
@@ -77,13 +83,13 @@ let all : t list =
 let sqlite_xxl =
   { name = "sqlite-xxl"; seed = 114; n_helpers = 7800; helper_stmts = 3;
     n_tiny = 2000; n_parsers = 200; parser_cases = 3; opcode_switch = Some 24;
-    coupling = 0; const_tables = 4; magic_checks = 2 }
+    coupling = 0; const_tables = 4; magic_checks = 2; hot_skew = 0 }
 
 (** A smaller profile for unit tests and the quickstart example. *)
 let tiny =
   { name = "tinytarget"; seed = 999; n_helpers = 4; helper_stmts = 6; n_tiny = 3;
     n_parsers = 2; parser_cases = 3; opcode_switch = None; coupling = 1;
-    const_tables = 2; magic_checks = 1 }
+    const_tables = 2; magic_checks = 1; hot_skew = 0 }
 
 let find name =
   List.find_opt (fun p -> String.equal p.name name) (all @ [ sqlite_xxl; tiny ])

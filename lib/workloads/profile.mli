@@ -17,6 +17,11 @@ type t = {
   coupling : int;  (** 0 = independent functions .. 3 = dense call graph *)
   const_tables : int;
   magic_checks : int;  (** comparison roadblocks in the header check *)
+  hot_skew : int;
+      (** skewed hot/cold cycle distribution: every 16th helper's mixing
+          loop runs [hot_skew]x as many trips, concentrating cycles in a
+          small hot set. 0 = uniform (byte-identical source and RNG
+          draws to the pre-knob generator). *)
 }
 
 (** The 13 benchmark profiles, in the paper's order. *)

@@ -197,8 +197,10 @@ let test_partition_variants_ordering () =
   let run mode =
     let base = Ir.Clone.clone_module p.Fuzzer.Campaign.modul in
     let session =
+      (* tier pinned off: the figure's cost ordering is a property of
+         optimized fragment boundaries, not the tier-0 baseline *)
       Odin.Session.create ~mode ~keep:[ "target_main" ]
-        ~host:Workloads.Generate.host_functions base
+        ~host:Workloads.Generate.host_functions ~tiered:false base
     in
     ignore (Odin.Session.build session);
     let exe = Odin.Session.executable session in

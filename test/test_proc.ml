@@ -94,6 +94,7 @@ let sample_init =
       in_cache_dir = Some "/tmp/x";
       in_incr_link = Some true;
       in_incr_sched = None;
+      in_promote_share = 0.05;
     }
 
 let sample_assign =
@@ -104,6 +105,7 @@ let sample_assign =
       as_corpus =
         [ { Orch.ce_input = "in-0"; ce_energy = 3; ce_cycles = 77; ce_fresh = 2 } ];
       as_pruned = [ 1; 4 ];
+      as_fn_cycles = [ ("hot", 900); ("cold", 1) ];
     }
 
 let sample_items =
@@ -192,8 +194,9 @@ let test_wire_torn_and_corrupt () =
       Wire.decode_frame (flip frame 10));
   expect_wire_error "trailing garbage" (fun () ->
       Wire.decode_frame (frame ^ "x"));
-  (* v2: the Blob envelope frame joined the protocol *)
-  Alcotest.(check int) "protocol version pinned" 2 Wire.version;
+  (* v3: tiered compilation joined the protocol (Init threshold,
+     Assign merged profile, ckpt v2) *)
+  Alcotest.(check int) "protocol version pinned" 3 Wire.version;
   Alcotest.(check int) "header length pinned" 14 Wire.header_len
 
 (* ---------------- checkpoint files ------------------------------------- *)

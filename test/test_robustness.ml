@@ -468,9 +468,13 @@ let make_faulty_session ?pool ?cache_dir ?max_retries ?job_timeout
   let m = compile fault_src in
   let reference = Ir.Clone.clone_module m in
   let session =
+    (* tier pinned off: the matrix pins which fault sites fire on the
+       optimizing pipeline, and tier-0 legitimately never visits
+       opt.pipeline (the torn tier-swap row lives in test_tier) *)
     Odin.Session.create ~mode:Odin.Partition.Max ~keep:[ "main" ]
       ~runtime_globals:[ Odin.Cov.runtime_global m ]
-      ?pool ?cache_dir ?max_retries ?job_timeout ?incremental_link m
+      ?pool ?cache_dir ?max_retries ?job_timeout ?incremental_link
+      ~tiered:false m
   in
   let _cov = Odin.Cov.setup session in
   (session, reference)
